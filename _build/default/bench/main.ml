@@ -1,0 +1,213 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation (Section 4) plus the Section 3.4 analysis and the
+   ablations listed in DESIGN.md, then runs Bechamel micro-benchmarks
+   (one per experiment) on scaled-down inputs.
+
+   Usage:
+     dune exec bench/main.exe                 (default: 6000 packets/trace)
+     dune exec bench/main.exe -- --full       (full Table 1 packet counts)
+     dune exec bench/main.exe -- --packets N
+     dune exec bench/main.exe -- --sections fig1,fig5b
+     dune exec bench/main.exe -- --no-bechamel *)
+
+let sections_filter = ref None
+
+let n_packets = ref (Some 6000)
+
+let with_bechamel = ref true
+
+let csv_dir = ref None
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        n_packets := None;
+        go rest
+    | "--packets" :: n :: rest ->
+        n_packets := Some (int_of_string n);
+        go rest
+    | "--sections" :: s :: rest ->
+        sections_filter := Some (String.split_on_char ',' s);
+        go rest
+    | "--no-bechamel" :: rest ->
+        with_bechamel := false;
+        go rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        go rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let want name =
+  match !sections_filter with None -> true | Some names -> List.mem name names
+
+let section name body =
+  if want name then begin
+    Printf.printf "================================================================\n";
+    Printf.printf "== %s\n" name;
+    Printf.printf "================================================================\n";
+    body ();
+    print_newline ()
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let featured_pairs =
+  lazy
+    (List.map (fun row -> Harness.Figures.run_pair ?n_packets:!n_packets row) Mtrace.Meta.featured)
+
+let all_pairs =
+  lazy
+    (List.map
+       (fun row ->
+         match
+           List.find_opt
+             (fun p -> p.Harness.Figures.row.Mtrace.Meta.name = row.Mtrace.Meta.name)
+             (Lazy.force featured_pairs)
+         with
+         | Some p -> p
+         | None -> Harness.Figures.run_pair ?n_packets:!n_packets row)
+       Mtrace.Meta.all)
+
+let reproduction () =
+  section "table1" (fun () -> print_string (Harness.Figures.table1 (Lazy.force all_pairs)));
+  section "attribution" (fun () ->
+      print_string (Harness.Figures.attribution_accuracy (Lazy.force all_pairs)));
+  section "fig1" (fun () ->
+      List.iter (fun p -> print_string (Harness.Figures.figure1 p)) (Lazy.force featured_pairs));
+  section "fig2" (fun () ->
+      List.iter (fun p -> print_string (Harness.Figures.figure2 p)) (Lazy.force featured_pairs));
+  section "fig3" (fun () ->
+      List.iter (fun p -> print_string (Harness.Figures.figure3 p)) (Lazy.force featured_pairs));
+  section "fig4" (fun () ->
+      List.iter (fun p -> print_string (Harness.Figures.figure4 p)) (Lazy.force featured_pairs));
+  section "fig5a" (fun () -> print_string (Harness.Figures.figure5a (Lazy.force all_pairs)));
+  section "fig5b" (fun () -> print_string (Harness.Figures.figure5b (Lazy.force all_pairs)));
+  section "summary" (fun () -> print_string (Harness.Figures.summary (Lazy.force all_pairs)));
+  section "analysis" (fun () -> print_string (Harness.Analysis.report (Lazy.force all_pairs)));
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      Harness.Figures.write_csvs ~dir (Lazy.force all_pairs);
+      Printf.printf "(CSV figures written to %s/)\n\n" dir
+
+let ablation_packets () = match !n_packets with Some n -> min n 4000 | None -> 4000
+
+let ablations () =
+  let n = ablation_packets () in
+  let featured3 = [ Mtrace.Meta.nth 1; Mtrace.Meta.nth 7; Mtrace.Meta.nth 11 ] in
+  section "ablation-policy" (fun () ->
+      print_string (Harness.Ablation.policies ~n_packets:n featured3));
+  section "ablation-cache" (fun () ->
+      print_string (Harness.Ablation.cache_sizes ~n_packets:n (Mtrace.Meta.nth 1)));
+  section "ablation-reorder" (fun () ->
+      print_string (Harness.Ablation.reorder_delays ~n_packets:n (Mtrace.Meta.nth 1)));
+  section "ablation-linkdelay" (fun () ->
+      print_string (Harness.Ablation.link_delays ~n_packets:n (Mtrace.Meta.nth 7)));
+  section "ablation-lossy" (fun () ->
+      print_string
+        (Harness.Ablation.lossy_recovery ~n_packets:n [ Mtrace.Meta.nth 1; Mtrace.Meta.nth 9 ]));
+  section "ablation-router-assist" (fun () ->
+      print_string (Harness.Ablation.router_assist ~n_packets:n featured3));
+  section "ablation-reordering" (fun () ->
+      print_string (Harness.Ablation.reordering ~n_packets:n (Mtrace.Meta.nth 1)));
+  section "ablation-lossy-sessions" (fun () ->
+      print_string (Harness.Ablation.lossy_sessions ~n_packets:n [ Mtrace.Meta.nth 9 ]));
+  section "ablation-adaptive" (fun () ->
+      print_string
+        (Harness.Ablation.adaptive_timers ~n_packets:n [ Mtrace.Meta.nth 1; Mtrace.Meta.nth 11 ]));
+  section "extension-churn" (fun () ->
+      print_string (Harness.Churn.report ~n_packets:n (Mtrace.Meta.nth 7)));
+  section "extension-scaling" (fun () ->
+      print_string (Harness.Ablation.scaling ~n_packets:(min n 3000) ()));
+  section "ablation-heterogeneous" (fun () ->
+      print_string
+        (Harness.Ablation.heterogeneous ~n_packets:n [ Mtrace.Meta.nth 1; Mtrace.Meta.nth 9 ]))
+
+(* --- Bechamel micro-benchmarks ------------------------------------- *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let row = Mtrace.Meta.nth 4 (* the smallest trace *) in
+  let small_gen = lazy (Mtrace.Generator.synthesize ~n_packets:800 row) in
+  let small_trace = lazy (Lazy.force small_gen).Mtrace.Generator.trace in
+  let small_att = lazy (Harness.Runner.attribution_of_trace (Lazy.force small_trace)) in
+  let make name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"cesrm" ~fmt:"%s/%s"
+      [
+        make "table1:synthesize-trace" (fun () ->
+            ignore (Mtrace.Generator.synthesize ~n_packets:400 row));
+        make "sec4.2:yajnik+attribution" (fun () ->
+            ignore (Harness.Runner.attribution_of_trace (Lazy.force small_trace)));
+        make "fig1-4:srm-run" (fun () ->
+            ignore
+              (Harness.Runner.run Harness.Runner.Srm_protocol (Lazy.force small_trace)
+                 (Lazy.force small_att)));
+        make "fig1-4:cesrm-run" (fun () ->
+            ignore
+              (Harness.Runner.run (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+                 (Lazy.force small_trace) (Lazy.force small_att)));
+        make "fig5:overhead-accounting" (fun () ->
+            let c = Net.Cost.create () in
+            for _ = 1 to 1000 do
+              Net.Cost.record_crossing c Net.Cost.Reply Net.Cost.Multicast
+            done;
+            ignore (Net.Cost.retransmission_overhead c));
+        make "substrate:event-heap-10k" (fun () ->
+            let h = Sim.Heap.create ~cmp:Int.compare in
+            for i = 10_000 downto 1 do
+              Sim.Heap.add h i
+            done;
+            let acc = ref 0 in
+            while not (Sim.Heap.is_empty h) do
+              acc := !acc + Sim.Heap.pop_exn h
+            done;
+            ignore !acc);
+        make "substrate:gilbert-50k" (fun () ->
+            let model = Mtrace.Gilbert.of_marginal ~loss_rate:0.05 ~mean_burst:2.5 in
+            ignore (Mtrace.Gilbert.run model (Sim.Rng.create 7L) 50_000));
+        make "substrate:cache-churn" (fun () ->
+            let cache = Cesrm.Cache.create ~capacity:16 in
+            for i = 1 to 1_000 do
+              ignore
+                (Cesrm.Cache.note_reply cache
+                   {
+                     Cesrm.Cache.seq = i;
+                     requestor = i mod 7;
+                     d_qs = float_of_int (i mod 5) /. 10.;
+                     replier = i mod 11;
+                     d_rq = float_of_int (i mod 3) /. 10.;
+                     turning_point = None;
+                   })
+            done;
+            ignore (Cesrm.Policy.choose Cesrm.Policy.Most_frequent cache));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+    |> List.map (fun (name, ns) -> [ name; Printf.sprintf "%10.3f ms/run" (ns /. 1e6) ])
+  in
+  print_string (Stats.Table.render ~header:[ "benchmark"; "time" ] ~rows)
+
+let () =
+  parse_args ();
+  let t0 = Unix.gettimeofday () in
+  reproduction ();
+  ablations ();
+  if !with_bechamel then section "bechamel" bechamel;
+  Printf.printf "total wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,246 @@
+(* The cesrm command-line tool: synthesize traces, inspect them, run
+   the link-loss inference pipeline, and run / compare the protocols. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_flag =
+  let doc = "Enable protocol-level debug logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+(* -- shared arguments ------------------------------------------------ *)
+
+let trace_name =
+  let doc = "Table 1 trace name (e.g. RFV960419). Run `cesrm list` for the catalogue." in
+  Arg.(value & opt (some string) None & info [ "t"; "trace" ] ~doc ~docv:"NAME")
+
+let trace_file =
+  let doc = "Read the trace from a file produced by `cesrm gen-trace`." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~doc ~docv:"FILE")
+
+let packets =
+  let doc = "Truncate the trace to this many packets (default: the full published count)." in
+  Arg.(value & opt (some int) None & info [ "n"; "packets" ] ~doc ~docv:"N")
+
+let seed =
+  let doc = "Generator seed (default: derived from the trace name)." in
+  Arg.(value & opt (some int64) None & info [ "seed" ] ~doc ~docv:"SEED")
+
+let load_trace ~name ~file ~packets ~seed =
+  match (name, file) with
+  | None, None -> Error "one of --trace or --file is required"
+  | Some _, Some _ -> Error "--trace and --file are mutually exclusive"
+  | None, Some path -> Ok (Mtrace.Codec.load path)
+  | Some n, None -> (
+      match List.find_opt (fun r -> r.Mtrace.Meta.name = n) Mtrace.Meta.all with
+      | None -> Error (Printf.sprintf "unknown trace %s" n)
+      | Some row ->
+          let gen = Mtrace.Generator.synthesize ?seed ?n_packets:packets row in
+          Ok gen.Mtrace.Generator.trace)
+
+let trace_term =
+  let combine name file packets seed =
+    match load_trace ~name ~file ~packets ~seed with
+    | Ok t -> `Ok t
+    | Error msg -> `Error (false, msg)
+  in
+  Term.(ret (const combine $ trace_name $ trace_file $ packets $ seed))
+
+(* -- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter (fun r -> Format.printf "%a@." Mtrace.Meta.pp_row r) Mtrace.Meta.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 14 published trace rows (Table 1).")
+    Term.(const run $ const ())
+
+(* -- gen-trace -------------------------------------------------------- *)
+
+let gen_trace_cmd =
+  let output =
+    let doc = "Output file (defaults to <NAME>.trace)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let run name packets seed output =
+    match name with
+    | None -> `Error (false, "--trace is required")
+    | Some n -> (
+        match List.find_opt (fun r -> r.Mtrace.Meta.name = n) Mtrace.Meta.all with
+        | None -> `Error (false, Printf.sprintf "unknown trace %s" n)
+        | Some row ->
+            let gen = Mtrace.Generator.synthesize ?seed ?n_packets:packets row in
+            let trace = gen.Mtrace.Generator.trace in
+            let path = Option.value output ~default:(n ^ ".trace") in
+            Mtrace.Codec.save trace path;
+            Printf.printf "wrote %s: %s\n" path (Mtrace.Trace.summary trace);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "gen-trace"
+       ~doc:"Synthesize a Table 1 trace (calibrated Gilbert losses) and save it.")
+    Term.(ret (const run $ trace_name $ packets $ seed $ output))
+
+(* -- info ------------------------------------------------------------- *)
+
+let info_cmd =
+  let run trace =
+    Printf.printf "%s\n" (Mtrace.Trace.summary trace);
+    Format.printf "tree:@.%a" Net.Tree.pp (Mtrace.Trace.tree trace);
+    let s = Mtrace.Locality.trace trace in
+    Format.printf "locality: %a@." Mtrace.Locality.pp_trace_stats s
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print a trace's tree, loss counts and locality metrics.")
+    Term.(const run $ trace_term)
+
+(* -- infer ------------------------------------------------------------ *)
+
+let infer_cmd =
+  let run trace =
+    let tree = Mtrace.Trace.tree trace in
+    let yajnik = Inference.Yajnik.estimate trace in
+    let minc = Inference.Minc.estimate trace in
+    let att = Inference.Attribution.infer ~rates:yajnik trace in
+    let rows =
+      List.map
+        (fun l ->
+          [
+            string_of_int l;
+            string_of_int (Net.Tree.parent tree l);
+            Printf.sprintf "%.4f" yajnik.(l);
+            Printf.sprintf "%.4f" minc.(l);
+          ])
+        (Array.to_list (Net.Tree.links tree))
+    in
+    print_string
+      (Stats.Table.render ~header:[ "link(child)"; "parent"; "yajnik"; "minc" ] ~rows);
+    let a95, a98 = Inference.Attribution.posterior_quantile_stats att in
+    Printf.printf "attribution: %d distinct patterns; posterior>0.95 %.1f%%, >0.98 %.1f%%\n"
+      (Inference.Attribution.distinct_patterns att)
+      (100. *. a95) (100. *. a98)
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Estimate per-link loss rates (Yajnik and MINC) and attribute each loss.")
+    Term.(const run $ trace_term)
+
+(* -- run / compare ----------------------------------------------------- *)
+
+let protocol_arg =
+  let doc = "Protocol to run: srm, cesrm or lms." in
+  Arg.(
+    value
+    & opt (enum [ ("srm", `Srm); ("cesrm", `Cesrm); ("lms", `Lms) ]) `Cesrm
+    & info [ "p"; "protocol" ] ~doc)
+
+let policy_arg =
+  let doc = "CESRM pair-selection policy: most-recent, most-frequent, freq-recent or success-biased." in
+  let policy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Cesrm.Policy.of_name s with
+          | Some p -> Ok p
+          | None -> Error (`Msg (Printf.sprintf "unknown policy %s" s))),
+        fun ppf p -> Format.pp_print_string ppf (Cesrm.Policy.name p) )
+  in
+  Arg.(value & opt policy_conv Cesrm.Policy.Most_recent & info [ "policy" ] ~doc)
+
+let router_assist_arg =
+  Arg.(value & flag & info [ "router-assist" ] ~doc:"Enable turning-point subcast (Section 3.3).")
+
+let lossy_arg =
+  Arg.(value & flag & info [ "lossy-recovery" ] ~doc:"Drop recovery packets per link rates.")
+
+let link_delay_arg =
+  let doc = "Per-link one-way delay in milliseconds." in
+  Arg.(value & opt float 20. & info [ "link-delay" ] ~doc ~docv:"MS")
+
+let make_setup ~lossy ~link_delay_ms =
+  { Harness.Runner.default_setup with lossy_recovery = lossy; link_delay = link_delay_ms /. 1000. }
+
+let print_result (res : Harness.Runner.result) =
+  let name = Harness.Runner.protocol_name res.protocol in
+  let rows =
+    List.map
+      (fun (node, rtt) ->
+        let s = Harness.Runner.normalized_recovery res ~node ~filter:(fun _ -> true) in
+        [
+          string_of_int node;
+          Printf.sprintf "%.0f" (1000. *. rtt);
+          string_of_int (Stats.Summary.count s);
+          (if Stats.Summary.count s = 0 then "-"
+           else Printf.sprintf "%.2f" (Stats.Summary.mean s));
+        ])
+      res.rtt_to_source
+  in
+  Printf.printf "%s on %s\n" name (Mtrace.Trace.summary res.trace);
+  print_string
+    (Stats.Table.render ~header:[ "receiver"; "rtt(ms)"; "recoveries"; "avg rec (RTT)" ] ~rows);
+  Printf.printf "detected %d, unrecovered %d\n" res.detected res.unrecovered;
+  Printf.printf "requests: mc %d uc %d | replies: %d expedited %d | sessions %d\n"
+    (Stats.Counters.total res.counters Stats.Counters.Rqst)
+    (Stats.Counters.total res.counters Stats.Counters.Exp_rqst)
+    (Stats.Counters.total res.counters Stats.Counters.Repl)
+    (Stats.Counters.total res.counters Stats.Counters.Exp_repl)
+    (Stats.Counters.total res.counters Stats.Counters.Sess);
+  if res.exp_requests > 0 then
+    Printf.printf "expedited success: %.1f%%\n"
+      (100. *. float_of_int res.exp_replies /. float_of_int res.exp_requests);
+  Printf.printf "overhead: retransmissions %d crossings, control mc %d uc %d\n"
+    (Net.Cost.retransmission_overhead res.cost)
+    (Net.Cost.control_overhead res.cost ~multicast:true)
+    (Net.Cost.control_overhead res.cost ~multicast:false);
+  if res.audit_violations > 0 then
+    Printf.printf "WARNING: %d protocol-audit violations\n" res.audit_violations
+
+let run_cmd =
+  let run verbose trace protocol policy router_assist lossy link_delay_ms =
+    setup_logs verbose;
+    let att = Harness.Runner.attribution_of_trace trace in
+    let setup = make_setup ~lossy ~link_delay_ms in
+    let proto =
+      match protocol with
+      | `Srm -> Harness.Runner.Srm_protocol
+      | `Lms -> Harness.Runner.Lms_protocol
+      | `Cesrm ->
+          Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist }
+    in
+    print_result (Harness.Runner.run ~setup proto trace att)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Re-enact a trace under SRM or CESRM and report recovery statistics.")
+    Term.(
+      const run $ verbose_flag $ trace_term $ protocol_arg $ policy_arg $ router_assist_arg
+      $ lossy_arg $ link_delay_arg)
+
+let compare_cmd =
+  let run verbose trace policy router_assist lossy link_delay_ms =
+    setup_logs verbose;
+    let att = Harness.Runner.attribution_of_trace trace in
+    let setup = make_setup ~lossy ~link_delay_ms in
+    let srm = Harness.Runner.run ~setup Harness.Runner.Srm_protocol trace att in
+    let cesrm =
+      Harness.Runner.run ~setup
+        (Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist })
+        trace att
+    in
+    print_result srm;
+    print_newline ();
+    print_result cesrm
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run both protocols on the same trace and print both reports.")
+    Term.(
+      const run $ verbose_flag $ trace_term $ policy_arg $ router_assist_arg $ lossy_arg
+      $ link_delay_arg)
+
+(* -- main -------------------------------------------------------------- *)
+
+let () =
+  let doc = "Caching-Enhanced Scalable Reliable Multicast — trace-driven simulation toolkit" in
+  let info = Cmd.info "cesrm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; gen_trace_cmd; info_cmd; infer_cmd; run_cmd; compare_cmd ]))

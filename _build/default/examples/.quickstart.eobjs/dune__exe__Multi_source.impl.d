@@ -1,0 +1,1 @@
+examples/multi_source.ml: Cesrm Format List Net Sim Srm Stats

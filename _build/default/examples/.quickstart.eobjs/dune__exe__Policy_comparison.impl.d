@@ -1,0 +1,1 @@
+examples/policy_comparison.ml: Cesrm Harness List Mtrace Printf Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cesrm Format List Net Sim Srm Stats

@@ -1,0 +1,1 @@
+examples/router_assist_demo.ml: Cesrm Format Harness Mtrace Net

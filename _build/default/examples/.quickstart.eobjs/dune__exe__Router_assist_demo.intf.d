@@ -1,0 +1,1 @@
+examples/router_assist_demo.mli:

@@ -1,0 +1,1 @@
+examples/streaming_playout.ml: Array Cesrm Format Harness List Mtrace Printf Stats Sys

@@ -1,0 +1,1 @@
+examples/trace_study.ml: Array Cesrm Format Harness Inference List Mtrace Net Stats Sys

@@ -1,0 +1,49 @@
+(* Multi-source session: SRM (and so CESRM) is a many-to-many
+   protocol — any member may transmit, and every member keeps per-source
+   reception state and a per-source requestor/replier cache (paper
+   Section 3.1). This example runs a small "conference": the root and
+   two receivers all stream concurrently, each stream suffering losses
+   on a different link, and CESRM repairs all three independently.
+
+   Run with:  dune exec examples/multi_source.exe *)
+
+let () =
+  (* 0 - 1 - {3,4}; 0 - 2 - {5,6}: two branches of two receivers. *)
+  let tree = Net.Tree.of_parents [| -1; 0; 0; 1; 1; 2; 2 |] in
+  let engine = Sim.Engine.create ~seed:11L () in
+  let network = Net.Network.create ~engine ~tree ~link_delay:0.02 () in
+  (* Stream 0 loses packets on link 1 (receivers 3 and 4 miss them);
+     stream 3 loses packets on link 5; stream 5 loses packets on
+     link 3. *)
+  Net.Network.set_drop network (fun ~link ~down (p : Net.Packet.t) ->
+      match (p.payload, p.sender) with
+      | Net.Packet.Data { seq }, 0 -> down && link = 1 && seq mod 10 = 4
+      | Net.Packet.Data { seq }, 3 -> down && link = 5 && seq mod 10 = 6
+      | Net.Packet.Data { seq }, 5 -> down && link = 3 && seq mod 10 = 8
+      | _ -> false);
+  let proto =
+    Cesrm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:60 ~period:0.05 ()
+  in
+  Cesrm.Proto.start proto ~warmup:5.0 ~tail:15.0;
+  Cesrm.Proto.add_stream proto ~src:3 ~n_packets:60 ~period:0.05 ~start_at:5.5;
+  Cesrm.Proto.add_stream proto ~src:5 ~n_packets:60 ~period:0.07 ~start_at:6.0;
+  Sim.Engine.run engine;
+  let recs = Stats.Recovery.records (Cesrm.Proto.recoveries proto) in
+  Format.printf "%d losses recovered across three concurrent streams:@." (List.length recs);
+  List.iter
+    (fun src ->
+      let of_stream = List.filter (fun (r : Stats.Recovery.record) -> r.src = src) recs in
+      let expedited =
+        List.length (List.filter (fun (r : Stats.Recovery.record) -> r.expedited) of_stream)
+      in
+      Format.printf "  stream from member %d: %2d recoveries (%d expedited)@." src
+        (List.length of_stream) expedited)
+    [ 0; 3; 5 ];
+  (* Each member's cache is per source: receiver 3 recovered losses
+     from streams 0 and 5, so it holds two independent caches. *)
+  let host3 = Cesrm.Proto.host proto 3 in
+  List.iter
+    (fun src ->
+      Format.printf "  member 3's cache for stream %d holds %d tuple(s)@." src
+        (Cesrm.Cache.size (Cesrm.Host.cache ~src host3)))
+    [ 0; 5 ]

@@ -1,0 +1,50 @@
+(* Policy comparison: Section 3.2 sketches two expeditious-pair
+   selection policies (most-recent loss, most-frequent loss) and hints
+   at more sophisticated ones. This example compares all three shipped
+   policies across a few traces.
+
+   Run with:  dune exec examples/policy_comparison.exe *)
+
+let avg_norm (res : Harness.Runner.result) =
+  let s = Stats.Summary.create () in
+  List.iter
+    (fun (node, _) ->
+      let n = Harness.Runner.normalized_recovery res ~node ~filter:(fun _ -> true) in
+      if Stats.Summary.count n > 0 then Stats.Summary.add s (Stats.Summary.mean n))
+    res.rtt_to_source;
+  Stats.Summary.mean s
+
+let () =
+  let traces = [ "RFV960419"; "WRN951113"; "WRN951211"; "WRN951218" ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let row = Mtrace.Meta.find name in
+        let gen = Mtrace.Generator.synthesize ~n_packets:4000 row in
+        let trace = gen.Mtrace.Generator.trace in
+        let att = Harness.Runner.attribution_of_trace trace in
+        List.map
+          (fun policy ->
+            let config = { Cesrm.Host.default_config with policy; cache_capacity = 16 } in
+            let res = Harness.Runner.run (Harness.Runner.Cesrm_protocol config) trace att in
+            let success =
+              100. *. float_of_int res.exp_replies /. float_of_int (max 1 res.exp_requests)
+            in
+            [
+              name;
+              Cesrm.Policy.name policy;
+              Printf.sprintf "%.2f" (avg_norm res);
+              Printf.sprintf "%d" res.exp_requests;
+              Printf.sprintf "%.0f%%" success;
+            ])
+          Cesrm.Policy.all)
+      traces
+  in
+  print_string
+    (Stats.Table.render
+       ~header:[ "trace"; "policy"; "avg recovery (RTT)"; "expedited rqsts"; "success" ]
+       ~rows);
+  print_endline
+    "The paper evaluates most-recent (simplest: one cached pair suffices) and reports\n\
+     it beats most-frequent on the real traces; on synthetic traces the ordering can\n\
+     flip when loss patterns alternate quickly."

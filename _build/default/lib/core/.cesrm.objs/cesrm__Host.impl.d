@@ -1,0 +1,1 @@
+lib/core/host.ml: Cache Hashtbl Net Option Policy Sim Srm Stats

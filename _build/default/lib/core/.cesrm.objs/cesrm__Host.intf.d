@@ -1,0 +1,1 @@
+lib/core/host.mli: Cache Net Policy Srm Stats

@@ -1,0 +1,1 @@
+lib/core/proto.ml: Array Host List Net Sim Srm Stats

@@ -1,0 +1,77 @@
+type entry = {
+  seq : int;
+  requestor : int;
+  d_qs : float;
+  replier : int;
+  d_rq : float;
+  turning_point : int option;
+}
+
+let recovery_delay e = e.d_qs +. (2. *. e.d_rq)
+
+type t = { capacity : int; mutable entries : entry list (* sorted by seq, descending *) }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity >= 1 required";
+  { capacity; entries = [] }
+
+let capacity t = t.capacity
+
+let size t = List.length t.entries
+
+let entries t = t.entries
+
+let most_recent t = match t.entries with [] -> None | e :: _ -> Some e
+
+let find t ~seq = List.find_opt (fun e -> e.seq = seq) t.entries
+
+let clear t = t.entries <- []
+
+let note_reply t e =
+  match find t ~seq:e.seq with
+  | Some existing ->
+      if recovery_delay e < recovery_delay existing then begin
+        t.entries <- List.map (fun x -> if x.seq = e.seq then e else x) t.entries;
+        `Updated
+      end
+      else `Ignored
+  | None ->
+      let full = size t >= t.capacity in
+      let least_recent_seq =
+        List.fold_left (fun acc x -> min acc x.seq) max_int t.entries
+      in
+      if full && e.seq < least_recent_seq then `Ignored
+      else begin
+        let kept =
+          if full then List.filter (fun x -> x.seq <> least_recent_seq) t.entries
+          else t.entries
+        in
+        t.entries <- List.sort (fun a b -> compare b.seq a.seq) (e :: kept);
+        `Inserted
+      end
+
+let most_frequent t =
+  match t.entries with
+  | [] -> None
+  | es ->
+      (* Count (requestor, replier) pair occurrences; entries are most
+         recent first, so the first representative of a pair is its
+         most recent tuple, and [max] on (count, position) breaks ties
+         toward recency. *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let key = (e.requestor, e.replier) in
+          let count, first = Option.value (Hashtbl.find_opt tbl key) ~default:(0, e) in
+          Hashtbl.replace tbl key (count + 1, first))
+        es;
+      let best =
+        List.fold_left
+          (fun acc e ->
+            let count, first = Hashtbl.find tbl (e.requestor, e.replier) in
+            match acc with
+            | Some (best_count, _) when best_count >= count -> acc
+            | _ -> Some (count, first))
+          None es
+      in
+      Option.map snd best

@@ -1,0 +1,50 @@
+(** The per-source optimal requestor/replier cache (paper Section 3.1).
+
+    Each receiver caches, for its most recent recovered losses, the
+    requestor/replier pair that carried out the recovery, as tuples
+    [⟨i, q, d̂_qs, r, d̂_rq⟩]. When several pairs arise for the same
+    packet (duplicate requests/replies), only the {e optimal} pair is
+    kept — the one minimizing the recovery delay [d̂_qs + 2·d̂_rq].
+    When the cache is full, the tuple of the least recent packet is
+    evicted; replies for packets less recent than everything cached are
+    ignored. *)
+
+type entry = {
+  seq : int;  (** the recovered packet *)
+  requestor : int;
+  d_qs : float;  (** requestor's distance estimate to the source *)
+  replier : int;
+  d_rq : float;  (** replier's distance estimate to the requestor *)
+  turning_point : int option;  (** router-assist annotation, if any *)
+}
+
+val recovery_delay : entry -> float
+(** [d_qs + 2·d_rq] — the optimality measure. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if capacity < 1. *)
+
+val capacity : t -> int
+
+val size : t -> int
+
+val note_reply : t -> entry -> [ `Inserted | `Updated | `Ignored ]
+(** Digest a reply's annotation for a loss this receiver suffered:
+    insert, improve an existing tuple for the same packet (if the new
+    pair is strictly better), evict the least recent tuple when full,
+    or ignore (stale packet on a full cache, or a no-better duplicate). *)
+
+val entries : t -> entry list
+(** Most recent packet first. *)
+
+val most_recent : t -> entry option
+
+val most_frequent : t -> entry option
+(** The pair (requestor, replier) occurring most often, represented by
+    its most recent tuple; ties break toward the more recent pair. *)
+
+val find : t -> seq:int -> entry option
+
+val clear : t -> unit

@@ -1,0 +1,170 @@
+type config = {
+  cache_capacity : int;
+  policy : Policy.t;
+  reorder_delay : float;
+  router_assist : bool;
+}
+
+let default_config =
+  { cache_capacity = 16; policy = Policy.Most_recent; reorder_delay = 0.; router_assist = false }
+
+type t = {
+  srm : Srm.Host.t;
+  network : Net.Network.t;
+  self : int;
+  config : config;
+  caches : (int, Cache.t) Hashtbl.t; (* per stream source (Section 3.1) *)
+  counters : Stats.Counters.t;
+  exp_timers : (int * int, Sim.Engine.timer) Hashtbl.t;
+  pending_exp : (int * int, int) Hashtbl.t; (* (src, seq) -> replier we expedited to *)
+  replier_stats : (int, int * int) Hashtbl.t; (* replier -> successes, attempts *)
+  mutable exp_requests_sent : int;
+  mutable exp_replies_sent : int;
+}
+
+let srm t = t.srm
+
+let cache ?(src = 0) t =
+  match Hashtbl.find_opt t.caches src with
+  | Some c -> c
+  | None ->
+      let c = Cache.create ~capacity:t.config.cache_capacity in
+      Hashtbl.replace t.caches src c;
+      c
+
+let self t = t.self
+
+let expedited_requests_sent t = t.exp_requests_sent
+
+let expedited_replies_sent t = t.exp_replies_sent
+
+let engine t = Net.Network.engine t.network
+
+(* Observed per-replier expedited success rate; unknown repliers get
+   the optimistic prior so fresh pairs are always tried. *)
+let replier_score t ~replier =
+  match Hashtbl.find_opt t.replier_stats replier with
+  | Some (ok, total) when total > 0 -> float_of_int ok /. float_of_int total
+  | _ -> 1.
+
+let note_expedited_outcome t ~src seq ~expedited =
+  match Hashtbl.find_opt t.pending_exp (src, seq) with
+  | None -> ()
+  | Some replier ->
+      Hashtbl.remove t.pending_exp (src, seq);
+      let ok, total = Option.value ~default:(0, 0) (Hashtbl.find_opt t.replier_stats replier) in
+      Hashtbl.replace t.replier_stats replier ((ok + if expedited then 1 else 0), total + 1)
+
+let cancel_expedited t ~src seq =
+  match Hashtbl.find_opt t.exp_timers (src, seq) with
+  | Some timer ->
+      Sim.Engine.cancel timer;
+      Hashtbl.remove t.exp_timers (src, seq)
+  | None -> ()
+
+let send_expedited_request t ~src seq (pair : Cache.entry) =
+  Hashtbl.remove t.exp_timers (src, seq);
+  if not (Srm.Host.has_packet ~src t.srm ~seq) then begin
+    t.exp_requests_sent <- t.exp_requests_sent + 1;
+    Hashtbl.replace t.pending_exp (src, seq) pair.replier;
+    Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Exp_rqst;
+    Net.Network.unicast t.network ~from:t.self ~dst:pair.replier
+      {
+        Net.Packet.sender = t.self;
+        payload =
+          Net.Packet.Exp_request
+            {
+              src;
+              seq;
+              requestor = t.self;
+              d_qs = Srm.Host.dist_to_source ~src t.srm;
+              replier = pair.replier;
+              turning_point = (if t.config.router_assist then pair.turning_point else None);
+            };
+      }
+  end
+
+(* Section 3.2: on detecting a loss, consult the policy; if we are the
+   expeditious requestor, arm the REORDER_DELAY timer. *)
+let maybe_expedite t ~src ~seq =
+  match
+    Policy.choose
+      ~score:(fun ~replier -> replier_score t ~replier)
+      t.config.policy (cache ~src t)
+  with
+  | Some pair when pair.requestor = t.self && not (Hashtbl.mem t.exp_timers (src, seq)) ->
+      let timer =
+        Sim.Engine.schedule (engine t) ~after:t.config.reorder_delay (fun () ->
+            send_expedited_request t ~src seq pair)
+      in
+      Hashtbl.replace t.exp_timers (src, seq) timer
+  | _ -> ()
+
+(* Section 3.1: digest reply annotations for losses we suffered. *)
+let digest_reply t payload =
+  match payload with
+  | Net.Packet.Reply { src; seq; requestor; d_qs; replier; d_rq; expedited = _; turning_point } ->
+      if Srm.Host.suffered_loss ~src t.srm ~seq then begin
+        let turning_point =
+          if not t.config.router_assist then None
+          else
+            match turning_point with
+            | Some _ as tp -> tp
+            | None ->
+                (* What the router annotation would carry: the node at
+                   which this reply turned downward toward us. *)
+                Some (Net.Tree.lca (Net.Network.tree t.network) replier t.self)
+        in
+        ignore
+          (Cache.note_reply (cache ~src t)
+             { Cache.seq; requestor; d_qs; replier; d_rq; turning_point })
+      end
+  | _ -> ()
+
+let handle_expedited_request t ~src ~seq ~requestor ~d_qs ~turning_point =
+  let transmit =
+    match (t.config.router_assist, turning_point) with
+    | true, Some via when via <> t.self ->
+        Some (fun packet -> Net.Network.relayed_subcast t.network ~from:t.self ~via packet)
+    | _ -> None
+  in
+  let sent =
+    Srm.Host.send_reply_now ~src t.srm ~seq ~requestor ~d_qs ~expedited:true
+      ?turning_point:(if t.config.router_assist then turning_point else None)
+      ?transmit ()
+  in
+  if sent then t.exp_replies_sent <- t.exp_replies_sent + 1
+
+let on_packet t (p : Net.Packet.t) =
+  match p.payload with
+  | Net.Packet.Exp_request { src; seq; requestor; d_qs; replier; turning_point } ->
+      if replier = t.self then handle_expedited_request t ~src ~seq ~requestor ~d_qs ~turning_point
+  | _ -> Srm.Host.on_packet t.srm p
+
+let create ~network ~self ~params ~config ~n_packets ~counters ~recoveries =
+  let srm = Srm.Host.create ~network ~self ~params ~n_packets ~counters ~recoveries in
+  let t =
+    {
+      srm;
+      network;
+      self;
+      config;
+      caches = Hashtbl.create 4;
+      counters;
+      exp_timers = Hashtbl.create 16;
+      pending_exp = Hashtbl.create 16;
+      replier_stats = Hashtbl.create 8;
+      exp_requests_sent = 0;
+      exp_replies_sent = 0;
+    }
+  in
+  let hooks = Srm.Host.hooks srm in
+  hooks.on_loss_detected <- (fun ~src ~seq -> maybe_expedite t ~src ~seq);
+  hooks.on_packet_obtained <-
+    (fun ~src ~seq ~expedited ->
+      cancel_expedited t ~src seq;
+      note_expedited_outcome t ~src seq ~expedited);
+  hooks.on_reply_observed <- (fun payload -> digest_reply t payload);
+  t
+
+let start t ~session_until = Srm.Host.start t.srm ~session_until

@@ -1,0 +1,63 @@
+(** A CESRM group member (paper Section 3).
+
+    A CESRM host {e is} an SRM host plus the caching-based expedited
+    recovery scheme, wired through the SRM host's hooks:
+
+    - every incoming reply for a loss this member suffered feeds the
+      optimal requestor/replier {!Cache};
+    - on detecting a loss, the member consults its {!Policy}; if the
+      chosen pair names it as the expeditious requestor, it schedules
+      an expedited request [REORDER_DELAY] in the future, cancelled if
+      the packet shows up first, and otherwise {e unicast} to the
+      expeditious replier;
+    - a replier receiving an expedited request immediately multicasts
+      an expedited reply, provided it has the packet and no reply for
+      it is scheduled or pending;
+    - with {!config.router_assist} on, cache tuples carry turning-point
+      routers and expedited replies travel unicast-to-turning-point
+      then subcast (Section 3.3), shrinking exposure.
+
+    SRM's ordinary recovery keeps running underneath; when an expedited
+    recovery fails, the loss is still repaired the SRM way. *)
+
+type config = {
+  cache_capacity : int;
+  policy : Policy.t;
+  reorder_delay : float;
+  router_assist : bool;
+}
+
+val default_config : config
+(** Capacity 16, most-recent policy, zero reorder delay (the paper's
+    simulation setting — no reordering occurs), no router assist. *)
+
+type t
+
+val create :
+  network:Net.Network.t ->
+  self:int ->
+  params:Srm.Params.t ->
+  config:config ->
+  n_packets:int ->
+  counters:Stats.Counters.t ->
+  recoveries:Stats.Recovery.t ->
+  t
+
+val srm : t -> Srm.Host.t
+(** The underlying SRM machinery (for queries: [has_packet], …). *)
+
+val cache : ?src:int -> t -> Cache.t
+(** The per-source optimal requestor/replier cache (created on first
+    use; Section 3.1's "collection of per-source caches"). *)
+
+val self : t -> int
+
+val start : t -> session_until:float -> unit
+
+val on_packet : t -> Net.Packet.t -> unit
+(** Full CESRM dispatch: handles expedited PDUs, delegates the rest to
+    the SRM host. *)
+
+val expedited_requests_sent : t -> int
+
+val expedited_replies_sent : t -> int

@@ -1,0 +1,52 @@
+type t = Most_recent | Most_frequent | Frequency_weighted_recent | Success_biased
+
+let all = [ Most_recent; Most_frequent; Frequency_weighted_recent; Success_biased ]
+
+let name = function
+  | Most_recent -> "most-recent"
+  | Most_frequent -> "most-frequent"
+  | Frequency_weighted_recent -> "freq-recent"
+  | Success_biased -> "success-biased"
+
+let of_name s = List.find_opt (fun p -> name p = s) all
+
+let take n xs =
+  let rec go n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: go (n - 1) rest in
+  go n xs
+
+let choose ?(score = fun ~replier:_ -> 1.) policy cache =
+  match policy with
+  | Most_recent -> Cache.most_recent cache
+  | Most_frequent -> Cache.most_frequent cache
+  | Success_biased -> (
+      (* Most recent entry whose replier has been answering; when every
+         known replier disappoints, fall back to plain recency so the
+         SRM fallback can repopulate the cache. *)
+      match
+        List.find_opt (fun (e : Cache.entry) -> score ~replier:e.replier >= 0.5)
+          (Cache.entries cache)
+      with
+      | Some e -> Some e
+      | None -> Cache.most_recent cache)
+  | Frequency_weighted_recent -> (
+      (* Most-frequent over a recency window of 8, so stale pairs age
+         out faster than with plain most-frequent. *)
+      match Cache.entries cache with
+      | [] -> None
+      | recent -> (
+          let window = take 8 recent in
+          let count pair =
+            List.length
+              (List.filter
+                 (fun (e : Cache.entry) -> (e.requestor, e.replier) = pair)
+                 window)
+          in
+          match
+            List.fold_left
+              (fun acc (e : Cache.entry) ->
+                let c = count (e.requestor, e.replier) in
+                match acc with Some (bc, _) when bc >= c -> acc | _ -> Some (c, e))
+              None window
+          with
+          | Some (_, e) -> Some e
+          | None -> None))

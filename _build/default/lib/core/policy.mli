@@ -1,0 +1,33 @@
+(** Expeditious requestor/replier selection policies (Section 3.2).
+
+    The paper describes two: {e most recent loss} — the optimal pair of
+    the most recent recovered loss (the policy its evaluation uses,
+    found superior in the author's thesis) — and {e most frequent
+    loss} — the pair appearing most often in the cache. A hybrid is
+    included as the kind of "more sophisticated policy" the paper
+    alludes to: most-frequent, falling back to most-recent on ties or
+    thin caches. *)
+
+type t =
+  | Most_recent
+  | Most_frequent
+  | Frequency_weighted_recent
+      (** most-frequent among the [k] most recent entries, recency as
+          tie-break *)
+  | Success_biased
+      (** most recent entry whose replier has a good observed expedited
+          success rate (the kind of "more sophisticated policy" the
+          paper alludes to); adapts around dead or loss-sharing
+          repliers faster than plain recency *)
+
+val all : t list
+
+val name : t -> string
+
+val of_name : string -> t option
+
+val choose : ?score:(replier:int -> float) -> t -> Cache.t -> Cache.entry option
+(** The pair to use for the next expedited recovery, if the cache
+    offers one. [score] reports the observed per-replier expedited
+    success rate in [0, 1] (default: optimistic 1) and is only
+    consulted by [Success_biased]. *)

@@ -1,0 +1,74 @@
+type t = {
+  network : Net.Network.t;
+  n_packets : int;
+  period : float;
+  hosts : (int * Host.t) list;
+  counters : Stats.Counters.t;
+  recoveries : Stats.Recovery.t;
+}
+
+let deploy ?(config = Host.default_config) ~network ~params ~n_packets ~period () =
+  let tree = Net.Network.tree network in
+  let counters = Stats.Counters.create ~n_nodes:(Net.Tree.n_nodes tree) in
+  let recoveries = Stats.Recovery.create () in
+  let member node =
+    let host =
+      Host.create ~network ~self:node ~params ~config ~n_packets ~counters ~recoveries
+    in
+    Net.Network.on_receive network node (Host.on_packet host);
+    (node, host)
+  in
+  let nodes = 0 :: Array.to_list (Net.Tree.receivers tree) in
+  { network; n_packets; period; hosts = List.map member nodes; counters; recoveries }
+
+let host t node = List.assoc node t.hosts
+
+let members t = t.hosts
+
+let receivers t = List.filter (fun (node, _) -> node <> 0) t.hosts
+
+let counters t = t.counters
+
+let recoveries t = t.recoveries
+
+let network t = t.network
+
+let n_packets t = t.n_packets
+
+let end_time t ~warmup ~tail = warmup +. (float_of_int t.n_packets *. t.period) +. tail
+
+let add_stream ?(send_jitter = 0.) t ~src ~n_packets ~period ~start_at =
+  let engine = Net.Network.engine t.network in
+  let origin = host t src in
+  let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  for seq = 1 to min n_packets t.n_packets do
+    let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
+    let at = start_at +. (float_of_int (seq - 1) *. period) +. jitter in
+    ignore
+      (Sim.Engine.schedule_at engine ~at (fun () ->
+           Srm.Host.note_sent ~src (Host.srm origin) ~seq;
+           Net.Network.multicast t.network ~from:src
+             { Net.Packet.sender = src; payload = Net.Packet.Data { seq } }))
+  done
+
+let start ?(send_jitter = 0.) t ~warmup ~tail =
+  let engine = Net.Network.engine t.network in
+  let session_until = end_time t ~warmup ~tail in
+  List.iter (fun (_, h) -> Host.start h ~session_until) t.hosts;
+  let source = host t 0 in
+  let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  for seq = 1 to t.n_packets do
+    let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
+    let at = warmup +. (float_of_int (seq - 1) *. t.period) +. jitter in
+    ignore
+      (Sim.Engine.schedule_at engine ~at (fun () ->
+           Srm.Host.note_sent (Host.srm source) ~seq;
+           Net.Network.multicast t.network ~from:0
+             { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } }))
+  done
+
+let expedited_requests t =
+  List.fold_left (fun acc (_, h) -> acc + Host.expedited_requests_sent h) 0 t.hosts
+
+let expedited_replies t =
+  List.fold_left (fun acc (_, h) -> acc + Host.expedited_replies_sent h) 0 t.hosts

@@ -1,0 +1,50 @@
+(** Deploying CESRM on a simulated multicast group — the CESRM
+    counterpart of [Srm.Proto]. *)
+
+type t
+
+val deploy :
+  ?config:Host.config ->
+  network:Net.Network.t ->
+  params:Srm.Params.t ->
+  n_packets:int ->
+  period:float ->
+  unit ->
+  t
+(** Default config is {!Host.default_config}. *)
+
+val start : ?send_jitter:float -> t -> warmup:float -> tail:float -> unit
+(** Same schedule as [Srm.Proto.start]. *)
+
+val end_time : t -> warmup:float -> tail:float -> float
+
+val add_stream :
+  ?send_jitter:float ->
+  t ->
+  src:int ->
+  n_packets:int ->
+  period:float ->
+  start_at:float ->
+  unit
+(** Schedule a second data stream originating at member [src]; each
+    member keeps a per-source requestor/replier cache (Section 3.1). *)
+
+val host : t -> int -> Host.t
+(** By node id. @raise Not_found for non-members. *)
+
+val members : t -> (int * Host.t) list
+
+val receivers : t -> (int * Host.t) list
+
+val counters : t -> Stats.Counters.t
+
+val recoveries : t -> Stats.Recovery.t
+
+val network : t -> Net.Network.t
+
+val n_packets : t -> int
+
+val expedited_requests : t -> int
+(** Total over members. *)
+
+val expedited_replies : t -> int

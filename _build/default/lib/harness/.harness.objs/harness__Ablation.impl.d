@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Cesrm List Mtrace Net Printf Runner Srm Stats

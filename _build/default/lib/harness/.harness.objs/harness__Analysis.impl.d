@@ -1,0 +1,1 @@
+lib/harness/analysis.ml: Figures List Mtrace Printf Runner Srm Stats

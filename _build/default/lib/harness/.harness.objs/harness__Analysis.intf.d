@@ -1,0 +1,1 @@
+lib/harness/analysis.mli: Figures Runner Srm Stats

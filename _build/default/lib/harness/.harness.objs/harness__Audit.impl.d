@@ -1,0 +1,1 @@
+lib/harness/audit.ml: Format Hashtbl List Net Option Printf Sim Srm String

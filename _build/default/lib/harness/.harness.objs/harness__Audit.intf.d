@@ -1,0 +1,1 @@
+lib/harness/audit.mli: Format Net

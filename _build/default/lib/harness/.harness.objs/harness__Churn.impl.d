@@ -1,0 +1,1 @@
+lib/harness/churn.ml: Array Cesrm Hashtbl Inference List Lms Mtrace Net Option Printf Runner Sim Srm Stats

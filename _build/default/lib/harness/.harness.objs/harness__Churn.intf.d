@@ -1,0 +1,1 @@
+lib/harness/churn.mli: Inference Mtrace

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Cesrm Filename Fun Inference List Mtrace Net Printf Runner Stats String Sys

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Audit Cesrm Hashtbl Inference List Lms Mtrace Net Sim Srm Stats

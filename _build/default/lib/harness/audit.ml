@@ -1,0 +1,114 @@
+type violation = { at : float; rule : string; detail : string }
+
+type t = {
+  network : Net.Network.t;
+  expect_in_order : bool;
+  max_exp_per_loss : int;
+  mutable finalized : bool;
+  mutable seen : int;
+  mutable violations : violation list;
+  max_data_seq : (int, int) Hashtbl.t; (* per stream source *)
+  requested : (int * int, unit) Hashtbl.t; (* (src, seq) with a request *)
+  data_sent_at : (int * int, float) Hashtbl.t;
+  exp_requests : (int * int * int, int) Hashtbl.t; (* (host, src, seq) -> count *)
+  requests : (int * int * int, int) Hashtbl.t; (* (host, src, seq) -> mc request count *)
+}
+
+let now t = Sim.Engine.now (Net.Network.engine t.network)
+
+let flag t rule detail = t.violations <- { at = now t; rule; detail } :: t.violations
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let max_seq_of t src = Option.value ~default:0 (Hashtbl.find_opt t.max_data_seq src)
+
+let observe t ~from (p : Net.Packet.t) =
+  t.seen <- t.seen + 1;
+  match p.payload with
+  | Net.Packet.Data { seq } ->
+      (* any member may source a stream; its own sends are the stream *)
+      let src = from in
+      if t.expect_in_order && seq <> max_seq_of t src + 1 then
+        flag t "data-well-formed"
+          (Printf.sprintf "source %d sent seq %d after %d" src seq (max_seq_of t src));
+      Hashtbl.replace t.max_data_seq src (max (max_seq_of t src) seq);
+      if Hashtbl.mem t.data_sent_at (src, seq) then
+        flag t "data-well-formed" (Printf.sprintf "source %d seq %d sent twice" src seq)
+      else Hashtbl.replace t.data_sent_at (src, seq) (now t)
+  | Net.Packet.Request { src; seq; requestor; round = _; _ } ->
+      if seq > max_seq_of t src then
+        flag t "request-subject-exists"
+          (Printf.sprintf "host %d requested unsent src %d seq %d" requestor src seq);
+      Hashtbl.replace t.requested (src, seq) ();
+      bump t.requests (requestor, src, seq);
+      let n = Hashtbl.find t.requests (requestor, src, seq) in
+      if n > Srm.Params.default.max_rounds + 1 then
+        flag t "request-rounds-bounded"
+          (Printf.sprintf "host %d sent %d requests for seq %d" requestor n seq)
+  | Net.Packet.Exp_request { src; seq; requestor; _ } ->
+      if seq > max_seq_of t src then
+        flag t "request-subject-exists"
+          (Printf.sprintf "host %d expedited unsent src %d seq %d" requestor src seq);
+      Hashtbl.replace t.requested (src, seq) ();
+      bump t.exp_requests (requestor, src, seq)
+  | Net.Packet.Reply { src; seq; replier; _ } ->
+      if not (Hashtbl.mem t.requested (src, seq)) then
+        flag t "reply-has-cause"
+          (Printf.sprintf "host %d replied to unrequested src %d seq %d" replier src seq);
+      (match Hashtbl.find_opt t.data_sent_at (src, seq) with
+      | Some sent when sent <= now t -> ()
+      | _ ->
+          flag t "replier-plausible"
+            (Printf.sprintf "host %d retransmitted src %d seq %d before the original send"
+               replier src seq))
+  | Net.Packet.Session _ -> ()
+
+let finalize_checks t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    Hashtbl.iter
+      (fun (host, _src, seq) n ->
+        if n > t.max_exp_per_loss then
+          flag t "expedited-singleton"
+            (Printf.sprintf "host %d sent %d expedited requests for seq %d" host n seq))
+      t.exp_requests
+  end
+
+(* LMS retries legitimately resend expedited requests (pass a higher
+   [max_exp_per_loss]); CESRM's REORDER-DELAY timer is unique per loss,
+   so its runs are audited with the strict default of 1. *)
+let attach ?(expect_in_order = true) ?(max_exp_per_loss = 1) network =
+  let t =
+    {
+      network;
+      expect_in_order;
+      max_exp_per_loss;
+      finalized = false;
+      seen = 0;
+      violations = [];
+      max_data_seq = Hashtbl.create 4;
+      requested = Hashtbl.create 256;
+      data_sent_at = Hashtbl.create 1024;
+      exp_requests = Hashtbl.create 256;
+      requests = Hashtbl.create 256;
+    }
+  in
+  Net.Network.set_tap network (fun ~from p -> observe t ~from p);
+  t
+
+let violations t =
+  finalize_checks t;
+  List.rev t.violations
+
+let packets_seen t = t.seen
+
+let pp_violation ppf v = Format.fprintf ppf "[%.4f] %s: %s" v.at v.rule v.detail
+
+let check t =
+  match violations t with
+  | [] -> ()
+  | vs ->
+      failwith
+        (Printf.sprintf "protocol audit failed (%d violations): %s" (List.length vs)
+           (String.concat "; "
+              (List.map (fun v -> Format.asprintf "%a" pp_violation v) vs)))

@@ -1,0 +1,47 @@
+(** A passive protocol auditor.
+
+    CESRM descends from a line of work on formally modelled multicast
+    protocols (the first author's thesis develops SRM and CESRM in the
+    IOA framework); this module carries a little of that spirit into
+    the simulator: it taps every packet the network sends and checks
+    global safety invariants that any correct SRM/CESRM/LMS execution
+    must satisfy. Attach before running; read violations after.
+
+    Invariants checked:
+
+    - {b data-well-formed}: each stream's original transmissions carry
+      strictly increasing sequence numbers, each sent exactly once;
+    - {b request-subject-exists}: no repair request (expedited or not)
+      names a sequence number the source has not yet sent;
+    - {b reply-has-cause}: every reply is preceded by some request or
+      expedited request for the same packet;
+    - {b replier-plausible}: no member retransmits a packet it could
+      not hold (it neither sent it nor could have received it —
+      approximated as: the reply does not precede the original send);
+    - {b expedited-singleton}: a member never sends two expedited
+      requests for the same packet (the REORDER-DELAY timer is unique
+      per loss);
+    - {b request-rounds-bounded}: per member and packet, the number of
+      multicast requests never exceeds SRM's round cap. *)
+
+type t
+
+type violation = { at : float; rule : string; detail : string }
+
+val attach : ?expect_in_order:bool -> ?max_exp_per_loss:int -> Net.Network.t -> t
+(** Installs the tap. The auditor sees sends from that moment on.
+    [expect_in_order] (default true) enforces strictly increasing
+    source sequence numbers — disable under deliberate send jitter.
+    [max_exp_per_loss] (default 1, CESRM's invariant) bounds expedited
+    requests per member and packet — raise it for LMS, whose retries
+    legitimately resend. *)
+
+val violations : t -> violation list
+(** In occurrence order. Empty for a correct execution. *)
+
+val packets_seen : t -> int
+
+val check : t -> unit
+(** @raise Failure listing the violations, if any. For tests. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,175 @@
+type protocol = Srm_protocol | Cesrm_protocol of Cesrm.Host.config | Lms_protocol
+
+let protocol_name = function
+  | Srm_protocol -> "SRM"
+  | Cesrm_protocol config -> if config.Cesrm.Host.router_assist then "CESRM+RA" else "CESRM"
+  | Lms_protocol -> "LMS"
+
+type setup = {
+  link_delay : float;
+  bandwidth_bps : float;
+  params : Srm.Params.t;
+  warmup : float;
+  tail : float;
+  lossy_recovery : bool;
+  lossy_sessions : bool;
+  data_jitter : float;
+  heterogeneous_delays : bool;
+  seed : int64;
+}
+
+let default_setup =
+  {
+    link_delay = 0.020;
+    bandwidth_bps = 1.5e6;
+    params = Srm.Params.default;
+    warmup = 5.0;
+    tail = 30.0;
+    lossy_recovery = false;
+    lossy_sessions = false;
+    data_jitter = 0.;
+    heterogeneous_delays = false;
+    seed = 42L;
+  }
+
+type result = {
+  trace : Mtrace.Trace.t;
+  protocol : protocol;
+  setup : setup;
+  counters : Stats.Counters.t;
+  recoveries : Stats.Recovery.t;
+  cost : Net.Cost.t;
+  rtt_to_source : (int * float) list;
+  exp_requests : int;
+  exp_replies : int;
+  unrecovered : int;
+  detected : int;
+  audit_violations : int;  (* protocol-invariant violations; 0 expected *)
+}
+
+let attribution_of_trace trace =
+  Inference.Attribution.infer ~rates:(Inference.Yajnik.estimate trace) trace
+
+(* Loss injection: drop an original data packet on exactly the links
+   the attribution blames for it; optionally drop recovery packets per
+   estimated link rates. Session traffic is never dropped (Section 4.3
+   presumes lossless session exchange). *)
+let make_drop ~attribution ~lossy_recovery ~lossy_sessions ~rates ~rng =
+  let cut_sets = Hashtbl.create 1024 in
+  let cuts_of seq =
+    match Hashtbl.find_opt cut_sets seq with
+    | Some cuts -> cuts
+    | None ->
+        let cuts = Inference.Attribution.cuts attribution ~seq in
+        Hashtbl.replace cut_sets seq cuts;
+        cuts
+  in
+  fun ~link ~down (p : Net.Packet.t) ->
+    match p.payload with
+    | Net.Packet.Data { seq } -> down && List.mem link (cuts_of seq)
+    | Net.Packet.Session _ -> lossy_sessions && Sim.Rng.bernoulli rng rates.(link)
+    | Net.Packet.Request _ | Net.Packet.Reply _ | Net.Packet.Exp_request _ ->
+        lossy_recovery && Sim.Rng.bernoulli rng rates.(link)
+
+let run ?(setup = default_setup) protocol trace attribution =
+  let tree = Mtrace.Trace.tree trace in
+  let n_packets = Mtrace.Trace.n_packets trace in
+  let period = Mtrace.Trace.period trace in
+  let engine = Sim.Engine.create ~seed:setup.seed () in
+  let network =
+    if setup.heterogeneous_delays then begin
+      (* Per-link delays log-uniform in [link_delay/3, 3·link_delay]:
+         the real MBone had heterogeneous latencies; the paper used a
+         uniform delay, so this is a robustness probe. *)
+      let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+      let delays =
+        Array.init (Net.Tree.n_nodes tree) (fun l ->
+            if l = 0 then 0.
+            else Sim.Rng.log_uniform rng (setup.link_delay /. 3.) (3. *. setup.link_delay))
+      in
+      Net.Network.create_heterogeneous ~engine ~tree ~delays
+        ~bandwidth_bps:setup.bandwidth_bps ()
+    end
+    else
+      Net.Network.create ~engine ~tree ~link_delay:setup.link_delay
+        ~bandwidth_bps:setup.bandwidth_bps ()
+  in
+  let rates =
+    if setup.lossy_recovery || setup.lossy_sessions then Inference.Yajnik.estimate trace
+    else Array.make (Net.Tree.n_nodes tree) 0.
+  in
+  let drop_rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  Net.Network.set_drop network
+    (make_drop ~attribution ~lossy_recovery:setup.lossy_recovery
+       ~lossy_sessions:setup.lossy_sessions ~rates ~rng:drop_rng);
+  (* Every run is audited against the global protocol invariants; LMS
+     retries legitimately repeat expedited requests, so its bound is
+     loose. *)
+  let audit =
+    Audit.attach
+      ~expect_in_order:(setup.data_jitter <= 0.)
+      ~max_exp_per_loss:(match protocol with Lms_protocol -> 64 | _ -> 1)
+      network
+  in
+  let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected =
+    let horizon = setup.warmup +. (float_of_int n_packets *. period) +. setup.tail +. 240. in
+    Sim.Engine.run ~until:horizon engine;
+    let recovered = Stats.Recovery.count recoveries in
+    {
+      trace;
+      protocol;
+      setup;
+      counters;
+      recoveries;
+      cost = Net.Network.cost network;
+      rtt_to_source =
+        Array.to_list
+          (Array.map (fun node -> (node, Net.Network.rtt network 0 node)) (Net.Tree.receivers tree));
+      exp_requests;
+      exp_replies;
+      unrecovered = detected () - recovered;
+      detected = detected ();
+      audit_violations = List.length (Audit.violations audit);
+    }
+  in
+  match protocol with
+  | Srm_protocol ->
+      let proto = Srm.Proto.deploy ~network ~params:setup.params ~n_packets ~period in
+      Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup ~tail:setup.tail;
+      let detected () =
+        List.fold_left (fun acc (_, h) -> acc + Srm.Host.detected_losses h) 0 (Srm.Proto.members proto)
+      in
+      finish ~counters:(Srm.Proto.counters proto) ~recoveries:(Srm.Proto.recoveries proto)
+        ~exp_requests:0 ~exp_replies:0 ~detected
+  | Cesrm_protocol config ->
+      let proto =
+        Cesrm.Proto.deploy ~config ~network ~params:setup.params ~n_packets ~period ()
+      in
+      Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
+        ~tail:setup.tail;
+      let detected () =
+        List.fold_left
+          (fun acc (_, h) -> acc + Srm.Host.detected_losses (Cesrm.Host.srm h))
+          0 (Cesrm.Proto.members proto)
+      in
+      let result =
+        finish ~counters:(Cesrm.Proto.counters proto) ~recoveries:(Cesrm.Proto.recoveries proto)
+          ~exp_requests:0 ~exp_replies:0 ~detected
+      in
+      {
+        result with
+        exp_requests = Cesrm.Proto.expedited_requests proto;
+        exp_replies = Cesrm.Proto.expedited_replies proto;
+      }
+  | Lms_protocol ->
+      let proto = Lms.Proto.deploy ~network ~n_packets ~period () in
+      Lms.Proto.start proto ~warmup:setup.warmup ~tail:setup.tail;
+      finish ~counters:(Lms.Proto.counters proto) ~recoveries:(Lms.Proto.recoveries proto)
+        ~exp_requests:0 ~exp_replies:0
+        ~detected:(fun () -> Lms.Proto.detected proto)
+
+let normalized_recovery result ~node ~filter =
+  let rtt = List.assoc node result.rtt_to_source in
+  Stats.Recovery.latency_summary result.recoveries
+    ~normalize:(fun _ -> rtt)
+    ~filter:(fun r -> r.Stats.Recovery.node = node && filter r)

@@ -1,0 +1,67 @@
+(** Trace-driven protocol runs (paper Section 4.3).
+
+    A run re-enacts one trace: the multicast tree is built with a fixed
+    per-link delay and bandwidth, losses are injected on the links the
+    {!Inference.Attribution} pipeline blames for each packet, sessions
+    warm up before data flows, and one of the protocols recovers the
+    losses. Recovery traffic is lossless by default; the lossy-recovery
+    variant drops recovery packets per estimated link rates. *)
+
+type protocol =
+  | Srm_protocol
+  | Cesrm_protocol of Cesrm.Host.config
+  | Lms_protocol
+      (** the router-assisted baseline of Section 3.3's comparison;
+          note its data jitter and adaptive-timer options are
+          inapplicable *)
+
+val protocol_name : protocol -> string
+
+type setup = {
+  link_delay : float;  (** seconds; paper uses 10/20/30 ms, default 20 ms *)
+  bandwidth_bps : float;  (** default 1.5 Mbps *)
+  params : Srm.Params.t;
+  warmup : float;  (** session warm-up before data starts; default 5 s *)
+  tail : float;  (** session time kept after the last packet; default 30 s *)
+  lossy_recovery : bool;  (** drop recovery packets per link rates *)
+  lossy_sessions : bool;
+      (** drop session packets per link rates too (the paper assumes a
+          lossless session exchange; this probes that assumption) *)
+  data_jitter : float;
+      (** max uniform per-packet send jitter, seconds; > period causes
+          reordering, the case REORDER-DELAY exists for *)
+  heterogeneous_delays : bool;
+      (** draw per-link delays log-uniformly in
+          [link_delay/3, 3·link_delay] instead of the paper's uniform
+          setting — a robustness probe for the suppression timers *)
+  seed : int64;
+}
+
+val default_setup : setup
+
+type result = {
+  trace : Mtrace.Trace.t;
+  protocol : protocol;
+  setup : setup;
+  counters : Stats.Counters.t;
+  recoveries : Stats.Recovery.t;
+  cost : Net.Cost.t;
+  rtt_to_source : (int * float) list;  (** per receiver node, true RTT *)
+  exp_requests : int;
+  exp_replies : int;
+  unrecovered : int;  (** losses detected but never repaired (0 expected) *)
+  detected : int;  (** losses detected across receivers *)
+  audit_violations : int;
+      (** protocol-invariant violations found by {!Audit} (0 expected) *)
+}
+
+val run :
+  ?setup:setup -> protocol -> Mtrace.Trace.t -> Inference.Attribution.t -> result
+
+val attribution_of_trace : Mtrace.Trace.t -> Inference.Attribution.t
+(** The paper's Section 4.2 pipeline: Yajnik link-rate estimation, then
+    maximum-likelihood attribution of each loss. *)
+
+val normalized_recovery : result -> node:int -> filter:(Stats.Recovery.record -> bool) -> Stats.Summary.t
+(** Recovery latencies of one receiver divided by that receiver's RTT
+    to the source, over records passing [filter]. *)

@@ -1,0 +1,1 @@
+lib/inference/attribution.ml: Array Float Hashtbl List Mtrace Net Pattern

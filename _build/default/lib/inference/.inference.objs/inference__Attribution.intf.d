@@ -1,0 +1,1 @@
+lib/inference/attribution.mli: Mtrace

@@ -1,0 +1,1 @@
+lib/inference/minc.ml: Array Float List Mtrace Net Pattern

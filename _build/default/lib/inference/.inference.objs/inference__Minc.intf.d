@@ -1,0 +1,1 @@
+lib/inference/minc.mli: Mtrace

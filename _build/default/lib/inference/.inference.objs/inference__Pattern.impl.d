@@ -1,0 +1,1 @@
+lib/inference/pattern.ml: Array List Mtrace Net

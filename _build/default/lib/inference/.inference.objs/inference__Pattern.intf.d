@@ -1,0 +1,1 @@
+lib/inference/pattern.mli: Mtrace Net

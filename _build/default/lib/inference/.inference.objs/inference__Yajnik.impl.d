@@ -1,0 +1,1 @@
+lib/inference/yajnik.ml: Array Mtrace Net Pattern

@@ -1,0 +1,1 @@
+lib/inference/yajnik.mli: Mtrace

@@ -1,0 +1,100 @@
+type attribution = { cut_links : int list; posterior : float }
+
+type t = {
+  tree : Net.Tree.t;
+  per_packet : attribution option array; (* index seq-1; None = no loss *)
+  n_distinct : int;
+}
+
+let clamp_rate p = Float.max 1e-9 (Float.min (1. -. 1e-9) p)
+
+(* Sum-product and max-product DP over one fully-lost subtree. Returns
+   (f, g, best) where [f] sums p(c) over all coverings of the subtree,
+   [g] is the max, and [best] the argmax cut set (as a list of links). *)
+let rec cover tree rates v =
+  let children_product cs =
+    List.fold_left
+      (fun (f_acc, g_acc, b_acc) c ->
+        let f, g, b = cover tree rates c in
+        (f_acc *. f, g_acc *. g, b_acc @ b))
+      (1., 1., []) cs
+  in
+  if v = 0 then
+    (* The root has no entry link: the only way to cover an all-lost
+       pattern is to cover each child subtree. *)
+    children_product (Net.Tree.children tree v)
+  else begin
+    let p = rates.(v) in
+    match Net.Tree.children tree v with
+    | [] -> (p, p, [ v ])
+    | cs ->
+        let fs, gs, bests = children_product cs in
+        let f = p +. ((1. -. p) *. fs) in
+        let g_recurse = (1. -. p) *. gs in
+        if p >= g_recurse then (f, p, [ v ]) else (f, g_recurse, bests)
+  end
+
+let attribute_pattern tree rates pattern lost_nodes =
+  Pattern.load pattern ~lost_nodes;
+  let roots = Pattern.maximal_fully_lost pattern in
+  let f_total, g_total, cut_links =
+    List.fold_left
+      (fun (f_acc, g_acc, b_acc) v ->
+        let f, g, b = cover tree rates v in
+        (f_acc *. f, g_acc *. g, b_acc @ b))
+      (1., 1., []) roots
+  in
+  { cut_links; posterior = (if f_total <= 0. then 1. else g_total /. f_total) }
+
+let infer ~rates trace =
+  let tree = Mtrace.Trace.tree trace in
+  let rates = Array.map clamp_rate rates in
+  let pattern = Pattern.create tree in
+  let receiver_nodes = Mtrace.Trace.receiver_nodes trace in
+  let k = Mtrace.Trace.n_packets trace in
+  let per_packet = Array.make k None in
+  let memo : (int list, attribution) Hashtbl.t = Hashtbl.create 256 in
+  for seq = 1 to k do
+    match Mtrace.Trace.loss_pattern trace ~seq with
+    | [] -> ()
+    | indices ->
+        let att =
+          match Hashtbl.find_opt memo indices with
+          | Some att -> att
+          | None ->
+              let lost_nodes = List.map (fun i -> receiver_nodes.(i)) indices in
+              let att = attribute_pattern tree rates pattern lost_nodes in
+              Hashtbl.replace memo indices att;
+              att
+        in
+        per_packet.(seq - 1) <- Some att
+  done;
+  { tree; per_packet; n_distinct = Hashtbl.length memo }
+
+let cuts t ~seq =
+  match t.per_packet.(seq - 1) with None -> [] | Some a -> a.cut_links
+
+let posterior t ~seq =
+  match t.per_packet.(seq - 1) with None -> 1.0 | Some a -> a.posterior
+
+let responsible_link t ~node ~seq =
+  match t.per_packet.(seq - 1) with
+  | None -> None
+  | Some a -> List.find_opt (fun l -> Net.Tree.is_ancestor t.tree l node) a.cut_links
+
+let distinct_patterns t = t.n_distinct
+
+let posterior_quantile_stats t =
+  let total = ref 0 and above_95 = ref 0 and above_98 = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some a ->
+          incr total;
+          if a.posterior > 0.95 then incr above_95;
+          if a.posterior > 0.98 then incr above_98)
+    t.per_packet;
+  if !total = 0 then (1., 1.)
+  else
+    ( float_of_int !above_95 /. float_of_int !total,
+      float_of_int !above_98 /. float_of_int !total )

@@ -1,0 +1,51 @@
+(** Maximum-likelihood attribution of each loss to tree links
+    (paper Section 4.2).
+
+    For each observed loss pattern [x] the set [C_x] of link
+    combinations that produce exactly [x] is, in general, exponential;
+    the paper selects the combination with the highest occurrence
+    probability [p(c) = Π_{l ∈ c} p(l) · Π_{l' ∈ U} (1 − p(l'))] and
+    reports the posterior [p(c) / Σ_{c' ∈ C_x} p(c')].
+
+    We compute both the best combination and the full normalizing sum
+    {e exactly} with a max-product / sum-product dynamic program over
+    the pattern's fully-lost subtrees: for a fully-lost node [v] with
+    entry link [l_v],
+
+    [f(v) = p(l_v) + (1 − p(l_v)) · Π_{c ∈ children(v)} f(c)]
+
+    (sum over all coverings) and the same recurrence with [max] instead
+    of [+] for the best covering. Nodes outside the fully-lost regions
+    contribute identical [(1 − p)] factors to every combination and
+    cancel in the posterior. *)
+
+type t
+
+val infer : rates:float array -> Mtrace.Trace.t -> t
+(** Attribute every lossy packet of the trace. [rates] are per-link
+    drop probabilities (e.g. from {!Yajnik.estimate}); they are clamped
+    away from 0 and 1 so every pattern keeps a well-defined
+    distribution over combinations. *)
+
+val cuts : t -> seq:int -> int list
+(** The selected responsible links (as link ids) for packet [seq];
+    [[]] if the packet was not lost by anyone. *)
+
+val posterior : t -> seq:int -> float
+(** Probability of the selected combination within [C_x]; [1.0] for
+    packets without loss. *)
+
+val responsible_link : t -> node:int -> seq:int -> int option
+(** The selected link that explains receiver [node]'s loss of packet
+    [seq] — the unique cut on the receiver's root path — or [None] if
+    that receiver did not lose the packet. This is the paper's
+    [link(r)(i)] mapping driving loss injection. *)
+
+val distinct_patterns : t -> int
+(** Number of distinct loss patterns attributed (the DP memoizes by
+    pattern, which is what makes full traces cheap). *)
+
+val posterior_quantile_stats : t -> float * float
+(** [(above_95, above_98)]: over per-loss-instance selected
+    combinations, the fraction whose posterior exceeds 0.95 / 0.98 —
+    the paper's accuracy statistic. *)

@@ -1,0 +1,63 @@
+let solve_branching ~gamma_k ~gamma_children =
+  (* Root of (1 - γ_k/A) = Π_j (1 - γ_j/A) in (lo, 1]. The LHS-RHS
+     difference is negative at A = γ_k and (generically) positive at
+     A = 1, and is monotone on the bracket; bisect. *)
+  let h a =
+    (1. -. (gamma_k /. a))
+    -. List.fold_left (fun acc g -> acc *. (1. -. (g /. a))) 1. gamma_children
+  in
+  let lo = List.fold_left Float.max gamma_k gamma_children +. 1e-12 in
+  if lo >= 1. then 1.
+  else if h 1. <= 0. then 1.
+  else begin
+    let rec bisect lo hi iters =
+      if iters = 0 then (lo +. hi) /. 2.
+      else begin
+        let mid = (lo +. hi) /. 2. in
+        if h mid < 0. then bisect mid hi (iters - 1) else bisect lo mid (iters - 1)
+      end
+    in
+    bisect lo 1. 80
+  end
+
+let estimate trace =
+  let tree = Mtrace.Trace.tree trace in
+  let n = Net.Tree.n_nodes tree in
+  let k_total = float_of_int (Mtrace.Trace.n_packets trace) in
+  let reached = Pattern.reached_counts tree trace in
+  let gamma = Array.init n (fun v -> float_of_int reached.(v) /. k_total) in
+  let a = Array.make n Float.nan in
+  a.(0) <- 1.;
+  (* Identifiable nodes: branching nodes (their own MLE equation) and
+     leaves (β = 1, so A = γ). *)
+  for v = 1 to n - 1 do
+    match Net.Tree.children tree v with
+    | [] -> a.(v) <- gamma.(v)
+    | [ _ ] -> ()
+    | cs -> a.(v) <- solve_branching ~gamma_k:gamma.(v) ~gamma_children:(List.map (fun c -> gamma.(c)) cs)
+  done;
+  (* Chains are not identifiable; match the Yajnik convention of
+     charging a chain's entire loss to its *topmost* link: every chain
+     node inherits the A of the chain's identifiable bottom, so only
+     the link entering the chain shows a drop. *)
+  let rec chain_bottom_a v =
+    if Float.is_nan a.(v) then begin
+      match Net.Tree.children tree v with
+      | [ c ] ->
+          let ac = chain_bottom_a c in
+          a.(v) <- ac;
+          ac
+      | _ -> assert false
+    end
+    else a.(v)
+  in
+  for v = 1 to n - 1 do
+    ignore (chain_bottom_a v)
+  done;
+  Array.init n (fun v ->
+      if v = 0 then 0.
+      else begin
+        let ap = a.(Net.Tree.parent tree v) in
+        if ap <= 0. then 0.
+        else Float.max 0. (Float.min 1. (1. -. (a.(v) /. ap)))
+      end)

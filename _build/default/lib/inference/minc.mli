@@ -1,0 +1,19 @@
+(** The Cáceres–Duffield–Horowitz–Towsley maximum-likelihood estimator
+    ("MINC", IEEE Trans. IT 1999) for multicast link loss rates, the
+    alternative estimator the paper cross-checks against.
+
+    With [γ_k = P(some receiver under k receives)] observed for every
+    node, the MLE of [A_k = P(packet reaches k)] at each branching node
+    solves
+
+    [1 − γ_k / A = Π_{j ∈ children(k)} (1 − γ_j / A)]
+
+    which has a unique root in [(max_j γ_j, 1]] whenever [k] has at
+    least two children. Link pass rates are then [α_k = A_k / A_parent].
+    Chains are unresolvable (as with {!Yajnik}); we use the same
+    convention — the topmost link of a chain carries the chain's loss
+    and the links below it are lossless. *)
+
+val estimate : Mtrace.Trace.t -> float array
+(** Per-link drop probabilities [1 − α], indexed by link id; slot 0 is
+    0. Estimates are clamped to [\[0, 1\]]. *)

@@ -1,0 +1,85 @@
+type t = {
+  tree : Net.Tree.t;
+  receivers_below : int array; (* receivers in each node's subtree *)
+  lost_below : int array; (* receivers of the loaded pattern below each node *)
+  mutable loaded : int list;
+}
+
+let create tree =
+  let n = Net.Tree.n_nodes tree in
+  let receivers_below = Array.make n 0 in
+  Array.iter
+    (fun r ->
+      let rec bump v =
+        receivers_below.(v) <- receivers_below.(v) + 1;
+        if v <> 0 then bump (Net.Tree.parent tree v)
+      in
+      bump r)
+    (Net.Tree.receivers tree);
+  { tree; receivers_below; lost_below = Array.make n 0; loaded = [] }
+
+let load t ~lost_nodes =
+  (* Clear only the ancestors touched by the previous pattern. *)
+  let rec wipe v =
+    if t.lost_below.(v) <> 0 then begin
+      t.lost_below.(v) <- 0;
+      if v <> 0 then wipe (Net.Tree.parent t.tree v)
+    end
+  in
+  List.iter wipe t.loaded;
+  List.iter
+    (fun r ->
+      if not (Net.Tree.is_leaf t.tree r) || r = 0 then
+        invalid_arg "Pattern.load: not a receiver";
+      let rec bump v =
+        t.lost_below.(v) <- t.lost_below.(v) + 1;
+        if v <> 0 then bump (Net.Tree.parent t.tree v)
+      in
+      bump r)
+    lost_nodes;
+  t.loaded <- lost_nodes
+
+let is_fully_lost t v = t.receivers_below.(v) > 0 && t.lost_below.(v) = t.receivers_below.(v)
+
+let maximal_fully_lost t =
+  if t.loaded = [] then []
+  else if is_fully_lost t 0 then [ 0 ]
+  else begin
+    (* Descend from the root; stop at the first fully-lost node on each
+       branch that still contains losses. *)
+    let acc = ref [] in
+    let rec visit v =
+      if t.lost_below.(v) > 0 then
+        if is_fully_lost t v then acc := v :: !acc
+        else List.iter visit (Net.Tree.children t.tree v)
+    in
+    visit 0;
+    List.rev !acc
+  end
+
+let reached_counts tree trace =
+  let n = Net.Tree.n_nodes tree in
+  let k = Mtrace.Trace.n_packets trace in
+  (* received(v) = OR over receivers under v of NOT loss; fold bottom-up. *)
+  let received = Array.make n None in
+  Array.iteri
+    (fun idx node ->
+      received.(node) <-
+        Some (Mtrace.Bitset.complement (Mtrace.Trace.loss_bits trace ~rcvr:idx)))
+    (Mtrace.Trace.receiver_nodes trace);
+  let rec fold v =
+    match received.(v) with
+    | Some bits -> bits
+    | None ->
+        let bits = Mtrace.Bitset.create k in
+        List.iter
+          (fun c -> Mtrace.Bitset.union_into ~dst:bits (fold c))
+          (Net.Tree.children tree v);
+        received.(v) <- Some bits;
+        bits
+  in
+  let counts =
+    Array.init n (fun v -> Mtrace.Bitset.count (fold v))
+  in
+  counts.(0) <- k;
+  counts

@@ -1,0 +1,33 @@
+(** Loss-pattern algebra over a multicast tree.
+
+    A {e loss pattern} is the set of receivers that lost a given
+    packet. The attribution machinery (paper Section 4.2) reasons about
+    the nodes whose entire receiver subtree is contained in the
+    pattern: only links above such nodes can be "cut" by a candidate
+    link combination. *)
+
+type t
+(** Per-tree scratch state; reusable across patterns. *)
+
+val create : Net.Tree.t -> t
+
+val load : t -> lost_nodes:int list -> unit
+(** Load a pattern given as receiver {e node ids}.
+    @raise Invalid_argument if a node is not a receiver. *)
+
+val is_fully_lost : t -> int -> bool
+(** After {!load}: does the node's receiver subtree lie entirely inside
+    the pattern? (False for subtrees with no receivers.) *)
+
+val maximal_fully_lost : t -> int list
+(** After {!load}: the highest nodes whose receiver subtrees are fully
+    contained in the pattern — the roots of the regions a link
+    combination must cover. Empty for the empty pattern; [[0]] (the
+    root) when every receiver lost the packet. *)
+
+val reached_counts : Net.Tree.t -> Mtrace.Trace.t -> int array
+(** [reached_counts tree trace] gives, per node [v], the number of
+    packets for which at least one receiver in [v]'s subtree received
+    the packet — the observable "packet reached v" proxy both
+    estimators use. The root counts every packet (the source sent
+    them all). *)

@@ -1,0 +1,12 @@
+let estimate trace =
+  let tree = Mtrace.Trace.tree trace in
+  let reached = Pattern.reached_counts tree trace in
+  let n = Net.Tree.n_nodes tree in
+  Array.init n (fun v ->
+      if v = 0 then 0.
+      else begin
+        let parent = Net.Tree.parent tree v in
+        let denom = reached.(parent) in
+        if denom = 0 then 0.
+        else float_of_int (denom - reached.(v)) /. float_of_int denom
+      end)

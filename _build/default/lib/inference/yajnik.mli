@@ -1,0 +1,18 @@
+(** The Yajnik et al. link loss-rate estimator (paper Section 4.2,
+    method of [15]).
+
+    For link [l] into node [v], the conditional drop probability
+    [p(l) = P(dropped on l | reached parent v)] is estimated from the
+    observable proxy "reached n = some receiver under n received":
+
+    [p̂(l) = (#reached(parent) − #reached(v)) / #reached(parent)].
+
+    Chains (single-child routers) are inherently unresolvable from leaf
+    observations; the proxy attributes all of a chain's loss to its
+    {e topmost} link and 0 to the links below it, which is
+    behaviourally equivalent for the simulation (the same receiver set
+    sits below every link of the chain). *)
+
+val estimate : Mtrace.Trace.t -> float array
+(** Per-link conditional drop probabilities, indexed by link (= child
+    node) id; slot 0 is 0. *)

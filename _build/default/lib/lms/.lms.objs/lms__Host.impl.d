@@ -1,0 +1,1 @@
+lib/lms/host.ml: Bytes Float Hashtbl List Net Option Sim Stats

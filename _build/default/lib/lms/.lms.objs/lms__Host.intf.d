@@ -1,0 +1,1 @@
+lib/lms/host.mli: Net Stats

@@ -1,0 +1,1 @@
+lib/lms/proto.ml: Array Host List Net Routing Sim Stats

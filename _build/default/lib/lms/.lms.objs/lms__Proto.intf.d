@@ -1,0 +1,1 @@
+lib/lms/proto.mli: Host Net Stats

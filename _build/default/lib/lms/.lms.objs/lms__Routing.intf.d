@@ -1,0 +1,1 @@
+lib/lms/routing.mli: Net

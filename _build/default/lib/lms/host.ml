@@ -1,0 +1,239 @@
+type retry_state = { mutable attempt : int; mutable timer : Sim.Engine.timer option }
+
+type stream_state = { received : Bytes.t; mutable max_seq : int }
+
+type t = {
+  network : Net.Network.t;
+  self : int;
+  n_packets : int;
+  rng : Sim.Rng.t;
+  route : from:int -> (int * int) option;
+  streams : (int, stream_state) Hashtbl.t;
+  detect_info : (int * int, float) Hashtbl.t;
+  retries : (int * int, retry_state) Hashtbl.t;
+  mutable n_detected : int;
+  counters : Stats.Counters.t;
+  recoveries : Stats.Recovery.t;
+}
+
+let max_forward_ttl = 24
+
+let engine t = Net.Network.engine t.network
+
+let now t = Sim.Engine.now (engine t)
+
+let self t = t.self
+
+let stream t src =
+  match Hashtbl.find_opt t.streams src with
+  | Some s -> s
+  | None ->
+      let s = { received = Bytes.make t.n_packets '\000'; max_seq = 0 } in
+      Hashtbl.replace t.streams src s;
+      s
+
+let has_packet ?(src = 0) t ~seq =
+  seq >= 1 && seq <= t.n_packets && Bytes.get (stream t src).received (seq - 1) = '\001'
+
+let detected_losses t = t.n_detected
+
+let max_seq ?(src = 0) t = (stream t src).max_seq
+
+let max_seqs t =
+  Hashtbl.fold
+    (fun src st acc -> if st.max_seq > 0 then (src, st.max_seq) :: acc else acc)
+    t.streams []
+
+let create ~network ~self ~n_packets ~route ~counters ~recoveries =
+  {
+    network;
+    self;
+    n_packets;
+    rng = Sim.Rng.split (Sim.Engine.rng (Net.Network.engine network));
+    route;
+    streams = Hashtbl.create 4;
+    detect_info = Hashtbl.create 64;
+    retries = Hashtbl.create 64;
+    n_detected = 0;
+    counters;
+    recoveries;
+  }
+
+(* --- requests -------------------------------------------------------- *)
+
+let send_request t ~src seq =
+  match t.route ~from:t.self with
+  | None -> ()
+  | Some (turning_point, replier) ->
+      Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Exp_rqst;
+      let packet =
+        {
+          Net.Packet.sender = t.self;
+          payload =
+            Net.Packet.Exp_request
+              {
+                src;
+                seq;
+                requestor = t.self;
+                d_qs = 0.;
+                replier;
+                turning_point = Some turning_point;
+              };
+        }
+      in
+      if replier = 0 || replier = t.self then
+        (* walk reached the source (or degenerate self-route) *)
+        Net.Network.unicast t.network ~from:t.self ~dst:0 packet
+      else Net.Network.unicast t.network ~from:t.self ~dst:replier packet
+
+let rec arm_retry t ~src seq st =
+  (* LMS has no suppression to wait for: retry on a timeout scaled by
+     the round trip to the source, doubling each attempt. *)
+  let d = Net.Network.dist t.network src t.self in
+  let timeout = Float.max (4. *. d) 0.2 *. Float.of_int (1 lsl min st.attempt 16) in
+  st.timer <-
+    Some
+      (Sim.Engine.schedule (engine t) ~after:timeout (fun () ->
+           if not (has_packet ~src t ~seq) then begin
+             st.attempt <- st.attempt + 1;
+             send_request t ~src seq;
+             arm_retry t ~src seq st
+           end))
+
+let detect_loss t ~src seq =
+  if not (has_packet ~src t ~seq || Hashtbl.mem t.retries (src, seq)) then begin
+    if not (Hashtbl.mem t.detect_info (src, seq)) then begin
+      Hashtbl.replace t.detect_info (src, seq) (now t);
+      t.n_detected <- t.n_detected + 1
+    end;
+    let st = { attempt = 0; timer = None } in
+    Hashtbl.replace t.retries (src, seq) st;
+    (* small jitter so co-detecting receivers do not fire in lockstep *)
+    ignore
+      (Sim.Engine.schedule (engine t) ~after:(Sim.Rng.float t.rng 0.005) (fun () ->
+           if not (has_packet ~src t ~seq) then begin
+             send_request t ~src seq;
+             arm_retry t ~src seq st
+           end))
+  end
+
+let seq_exists t ~src m =
+  let stream = stream t src in
+  if m > stream.max_seq then begin
+    let first = stream.max_seq + 1 in
+    stream.max_seq <- min m t.n_packets;
+    for seq = first to stream.max_seq do
+      if not (has_packet ~src t ~seq) then detect_loss t ~src seq
+    done
+  end
+
+let obtain t ~src seq =
+  if not (has_packet ~src t ~seq) then begin
+    Bytes.set (stream t src).received (seq - 1) '\001';
+    (match Hashtbl.find_opt t.retries (src, seq) with
+    | Some st ->
+        (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
+        Hashtbl.remove t.retries (src, seq)
+    | None -> ());
+    match Hashtbl.find_opt t.detect_info (src, seq) with
+    | Some detected_at ->
+        Stats.Recovery.add t.recoveries
+          {
+            Stats.Recovery.node = t.self;
+            src;
+            seq;
+            detected_at;
+            recovered_at = now t;
+            rounds = 0;
+            expedited = false;
+          }
+    | None -> ()
+  end
+
+let note_sent ?(src = 0) t ~seq =
+  if seq >= 1 && seq <= t.n_packets then begin
+    let stream = stream t src in
+    Bytes.set stream.received (seq - 1) '\001';
+    if seq > stream.max_seq then stream.max_seq <- seq
+  end
+
+(* --- replier side ----------------------------------------------------- *)
+
+let answer t ~src ~seq ~requestor ~turning_point ~ttl =
+  if has_packet ~src t ~seq then begin
+    Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Exp_repl;
+    let reply =
+      {
+        Net.Packet.sender = t.self;
+        payload =
+          Net.Packet.Reply
+            {
+              src;
+              seq;
+              requestor;
+              d_qs = 0.;
+              replier = t.self;
+              d_rq = 0.;
+              expedited = false;
+              turning_point = Some turning_point;
+            };
+      }
+    in
+    match turning_point with
+    | tp when tp = t.self || ttl < 0 -> Net.Network.multicast t.network ~from:t.self reply
+    | tp -> Net.Network.relayed_subcast t.network ~from:t.self ~via:tp reply
+  end
+  else if ttl > 0 then begin
+    (* We share the loss: escape the lossy subtree by re-forwarding
+       from our own position, keeping the original requestor. *)
+    match t.route ~from:t.self with
+    | None -> ()
+    | Some (turning_point, replier) ->
+        Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Exp_rqst;
+        Net.Network.unicast t.network ~from:t.self
+          ~dst:(if replier = 0 then 0 else replier)
+          {
+            Net.Packet.sender = t.self;
+            payload =
+              Net.Packet.Exp_request
+                {
+                  src;
+                  seq;
+                  requestor;
+                  d_qs = float_of_int (ttl - 1);
+                  replier;
+                  turning_point = Some turning_point;
+                };
+          }
+  end
+
+let on_packet t (p : Net.Packet.t) =
+  match p.payload with
+  | Net.Packet.Data { seq } ->
+      let src = p.sender in
+      seq_exists t ~src (seq - 1);
+      obtain t ~src seq;
+      let stream = stream t src in
+      if seq > stream.max_seq then stream.max_seq <- seq
+  | Net.Packet.Exp_request { src; seq; requestor; d_qs; replier = _; turning_point } ->
+      let ttl =
+        (* the TTL rides the (otherwise unused) d_qs annotation *)
+        if d_qs > 0. then int_of_float d_qs else max_forward_ttl
+      in
+      let turning_point = Option.value turning_point ~default:t.self in
+      if requestor <> t.self then answer t ~src ~seq ~requestor ~turning_point ~ttl
+  | Net.Packet.Reply { src; seq; _ } ->
+      seq_exists t ~src seq;
+      obtain t ~src seq
+  | Net.Packet.Session { max_seqs; _ } ->
+      (* source heartbeat: announced packets may still be in flight;
+         wait out one source-path delay before declaring losses *)
+      List.iter
+        (fun (src, m) ->
+          if m > (stream t src).max_seq then begin
+            let grace = Net.Network.dist t.network src t.self +. 0.05 in
+            ignore
+              (Sim.Engine.schedule (engine t) ~after:grace (fun () -> seq_exists t ~src m))
+          end)
+        max_seqs
+  | Net.Packet.Request _ -> ()

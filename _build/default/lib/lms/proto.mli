@@ -1,0 +1,42 @@
+(** Deploying LMS on a simulated multicast group.
+
+    Routers get designated repliers at deploy time ({!Routing.designate})
+    and re-designate periodically — the soft-state refresh whose
+    latency is LMS's weakness under membership churn (CESRM paper,
+    Sections 3.3 and 5). Crash a member with [Net.Network.set_enabled];
+    stale replier state then blackholes that subtree's requests until
+    the next refresh. *)
+
+type t
+
+val deploy :
+  network:Net.Network.t ->
+  n_packets:int ->
+  period:float ->
+  ?refresh_period:float ->
+  unit ->
+  t
+(** Default refresh period: 10 s. *)
+
+val start : t -> warmup:float -> tail:float -> unit
+(** Data schedule as in [Srm.Proto.start]; the source additionally
+    multicasts a 1 s heartbeat carrying its highest sequence number
+    (tail-loss detection). *)
+
+val end_time : t -> warmup:float -> tail:float -> float
+
+val host : t -> int -> Host.t
+
+val members : t -> (int * Host.t) list
+
+val repliers : t -> int array
+(** The live replier table (per node; [-1] where none). *)
+
+val counters : t -> Stats.Counters.t
+
+val recoveries : t -> Stats.Recovery.t
+
+val network : t -> Net.Network.t
+
+val detected : t -> int
+(** Losses detected across members. *)

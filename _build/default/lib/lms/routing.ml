@@ -1,0 +1,35 @@
+let designate tree ~alive =
+  let n = Net.Tree.n_nodes tree in
+  let repliers = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if not (Net.Tree.is_leaf tree v) || v = 0 then begin
+      let candidates =
+        List.filter (fun r -> alive r) (Net.Tree.subtree_receivers tree v)
+      in
+      let best =
+        List.fold_left
+          (fun acc r ->
+            let d = Net.Tree.hops tree v r in
+            match acc with
+            | Some (bd, br) when (bd, br) <= (d, r) -> acc
+            | _ -> Some (d, r))
+          None candidates
+      in
+      repliers.(v) <- (match best with Some (_, r) -> r | None -> -1)
+    end
+  done;
+  repliers
+
+let route tree ~repliers ~from =
+  if from = 0 then None
+  else begin
+    (* [branch] is the child of [router] whose subtree the request
+       arrived from. *)
+    let rec walk ~branch ~router =
+      let rep = repliers.(router) in
+      if rep >= 0 && not (Net.Tree.is_ancestor tree branch rep) then Some (router, rep)
+      else if router = 0 then Some (0, 0) (* the source answers *)
+      else walk ~branch:router ~router:(Net.Tree.parent tree router)
+    in
+    walk ~branch:from ~router:(Net.Tree.parent tree from)
+  end

@@ -1,0 +1,24 @@
+(** LMS request routing (Papadopoulos et al., INFOCOM '98 — reference
+    [13] of the CESRM paper).
+
+    Every multicast router maintains a {e replier link} naming a
+    designated member of its subtree. A repair request travels hop by
+    hop toward the source; the first router whose designated replier
+    lies outside the branch the request arrived from becomes the
+    request's {e turning point} and forwards it down to that replier.
+    If the walk reaches the root, the source itself answers.
+
+    The replier table is the soft state whose staleness under
+    membership churn the CESRM paper contrasts itself against. *)
+
+val designate : Net.Tree.t -> alive:(int -> bool) -> int array
+(** [designate tree ~alive] assigns each interior node (and the root)
+    the nearest alive receiver in its subtree (ties toward the lower
+    node id), or [-1] if its subtree holds none. Receivers map to
+    [-1]. *)
+
+val route :
+  Net.Tree.t -> repliers:int array -> from:int -> (int * int) option
+(** [route tree ~repliers ~from] walks up from member [from] and
+    returns [(turning_point, replier)] — [(0, 0)] when the walk
+    reaches the source. [None] only if [from] is the source itself. *)

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Cost Float List Packet Sim Tree

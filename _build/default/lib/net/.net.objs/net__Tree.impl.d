@@ -1,0 +1,1 @@
+lib/net/tree.ml: Array Format Fun List

@@ -1,0 +1,179 @@
+type t = {
+  engine : Sim.Engine.t;
+  tree : Tree.t;
+  delays : float array; (* per link id; slot 0 unused *)
+  bandwidth_bps : float;
+  dist : float array array;
+  mutable drop : link:int -> down:bool -> Packet.t -> bool;
+  handlers : (Packet.t -> unit) option array;
+  enabled : bool array; (* crashed / departed members are disabled *)
+  busy : float array array; (* directed serialization reservations *)
+  cost : Cost.t;
+  mutable delivered : int;
+  mutable tap : (from:int -> Packet.t -> unit) option;
+}
+
+let no_drop ~link:_ ~down:_ _ = false
+
+let create_heterogeneous ~engine ~tree ~delays ?(bandwidth_bps = 1.5e6) () =
+  let n = Tree.n_nodes tree in
+  if Array.length delays <> n then invalid_arg "Network.create_heterogeneous: delays size";
+  let dist = Tree.distance_matrix tree ~delay:(fun l -> delays.(l)) in
+  {
+    engine;
+    tree;
+    delays;
+    bandwidth_bps;
+    dist;
+    drop = no_drop;
+    handlers = Array.make n None;
+    enabled = Array.make n true;
+    busy = Array.make_matrix n n 0.;
+    cost = Cost.create ();
+    delivered = 0;
+    tap = None;
+  }
+
+let create ~engine ~tree ?(link_delay = 0.020) ?bandwidth_bps () =
+  let delays = Array.make (Tree.n_nodes tree) link_delay in
+  create_heterogeneous ~engine ~tree ~delays ?bandwidth_bps ()
+
+let engine t = t.engine
+
+let tree t = t.tree
+
+let cost t = t.cost
+
+let link_delay t l = t.delays.(l)
+
+let dist t u v = t.dist.(u).(v)
+
+let rtt t u v = 2. *. t.dist.(u).(v)
+
+let set_drop t f = t.drop <- f
+
+let set_tap t f = t.tap <- Some f
+
+let tap t ~from packet = match t.tap with None -> () | Some f -> f ~from packet
+
+let on_receive t v f = t.handlers.(v) <- Some f
+
+let packets_delivered t = t.delivered
+
+let set_enabled t v flag = t.enabled.(v) <- flag
+
+let is_enabled t v = t.enabled.(v)
+
+let deliver t ~node ~at packet =
+  match t.handlers.(node) with
+  | None -> ()
+  | Some _ when not t.enabled.(node) -> ()
+  | Some handler ->
+      ignore
+        (Sim.Engine.schedule_at t.engine ~at (fun () ->
+             t.delivered <- t.delivered + 1;
+             handler packet))
+
+(* Move [packet] across the edge [from -- to_], leaving [from] at time
+   [at]. Returns the arrival time, or [None] if the loss predicate
+   dropped it. Reserves the directed link for the serialization time,
+   giving FIFO links. *)
+let traverse t ~cast ~from ~to_ ~at packet =
+  let link = if Tree.parent t.tree to_ = from then to_ else from in
+  let down = link = to_ in
+  if t.drop ~link ~down packet then None
+  else begin
+    Cost.record_crossing t.cost (Cost.category_of packet) cast;
+    let tx = float_of_int (Packet.size_bits packet) /. t.bandwidth_bps in
+    (* Size-0 control packets serialize instantly: they neither wait on
+       nor extend link reservations. Payload packets pay one
+       serialization time per hop. Only the source's paced data stream
+       accumulates FIFO reservations: it is the only same-link in-order
+       flow, whereas reply floods originate at many members whose
+       crossing times are computed at send time — letting them reserve
+       both breaks causality and, under reply implosion, builds
+       unbounded queues the paper's lossless-recovery model does not
+       have (NS2 would drop, not queue, that excess). *)
+    if tx = 0. then Some (at +. t.delays.(link))
+    else begin
+      match packet.Packet.payload with
+      | Packet.Data _ ->
+          let start = Float.max at t.busy.(from).(to_) in
+          t.busy.(from).(to_) <- start +. tx;
+          Some (start +. tx +. t.delays.(link))
+      | _ -> Some (at +. tx +. t.delays.(link))
+    end
+  end
+
+(* Flood away from [prev], delivering at every visited node. *)
+let rec flood t ~cast ~prev ~node ~at packet =
+  deliver t ~node ~at packet;
+  let forward nb =
+    if nb <> prev then
+      match traverse t ~cast ~from:node ~to_:nb ~at packet with
+      | None -> ()
+      | Some at' -> flood t ~cast ~prev:node ~node:nb ~at:at' packet
+  in
+  List.iter forward (Tree.neighbors t.tree node)
+
+let multicast t ~from packet =
+  if not t.enabled.(from) then ()
+  else begin
+  tap t ~from packet;
+  Cost.record_send t.cost (Cost.category_of packet) Cost.Multicast;
+  let at = Sim.Engine.now t.engine in
+  let forward nb =
+    match traverse t ~cast:Cost.Multicast ~from ~to_:nb ~at packet with
+    | None -> ()
+    | Some at' -> flood t ~cast:Cost.Multicast ~prev:from ~node:nb ~at:at' packet
+  in
+  List.iter forward (Tree.neighbors t.tree from)
+  end
+
+let unicast t ~from ~dst packet =
+  if not t.enabled.(from) then ()
+  else begin
+  tap t ~from packet;
+  Cost.record_send t.cost (Cost.category_of packet) Cost.Unicast;
+  let rec walk ~node ~at = function
+    | [] -> deliver t ~node ~at packet
+    | next :: rest -> (
+        match traverse t ~cast:Cost.Unicast ~from:node ~to_:next ~at packet with
+        | None -> ()
+        | Some at' -> walk ~node:next ~at:at' rest)
+  in
+  match Tree.path t.tree from dst with
+  | [] | [ _ ] -> () (* self-send: nothing to do *)
+  | _ :: hops -> walk ~node:from ~at:(Sim.Engine.now t.engine) hops
+  end
+
+let rec flood_down t ~node ~at packet =
+  deliver t ~node ~at packet;
+  let forward child =
+    match traverse t ~cast:Cost.Subcast ~from:node ~to_:child ~at packet with
+    | None -> ()
+    | Some at' -> flood_down t ~node:child ~at:at' packet
+  in
+  List.iter forward (Tree.children t.tree node)
+
+let subcast t ~at:root packet =
+  tap t ~from:root packet;
+  Cost.record_send t.cost (Cost.category_of packet) Cost.Subcast;
+  flood_down t ~node:root ~at:(Sim.Engine.now t.engine) packet
+
+let relayed_subcast t ~from ~via packet =
+  if not t.enabled.(from) then ()
+  else begin
+  tap t ~from packet;
+  Cost.record_send t.cost (Cost.category_of packet) Cost.Subcast;
+  let rec climb ~node ~at = function
+    | [] -> flood_down t ~node ~at packet
+    | next :: rest -> (
+        match traverse t ~cast:Cost.Unicast ~from:node ~to_:next ~at packet with
+        | None -> ()
+        | Some at' -> climb ~node:next ~at:at' rest)
+  in
+  match Tree.path t.tree from via with
+  | [] | [ _ ] -> flood_down t ~node:via ~at:(Sim.Engine.now t.engine) packet
+  | _ :: hops -> climb ~node:from ~at:(Sim.Engine.now t.engine) hops
+  end

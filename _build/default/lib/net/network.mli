@@ -1,0 +1,92 @@
+(** Packet delivery over the multicast tree.
+
+    The network model is the slice of NS2 the paper's evaluation uses
+    (Section 4.3): every tree link has a fixed propagation delay and a
+    fixed bandwidth; payload packets pay a serialization time of
+    [size / bandwidth] per hop; control packets are size 0. Links are
+    FIFO: a directed link is reserved while a packet serializes onto it.
+
+    Three delivery primitives are provided: [multicast] (flood over the
+    whole tree away from the sending member — plain IP multicast),
+    [unicast] (along the tree path), and [subcast] (flood only downward
+    from a given router — the router-assist capability of Section 3.3).
+
+    Loss injection is a pluggable predicate consulted once per directed
+    link traversal; dropping a packet on a link prunes the flood below
+    that link, which is exactly how a loss on an IP multicast tree link
+    manifests. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  tree:Tree.t ->
+  ?link_delay:float ->
+  ?bandwidth_bps:float ->
+  unit ->
+  t
+(** Defaults: 20 ms per link and 1.5 Mbps, the paper's settings. *)
+
+val create_heterogeneous :
+  engine:Sim.Engine.t ->
+  tree:Tree.t ->
+  delays:float array ->
+  ?bandwidth_bps:float ->
+  unit ->
+  t
+(** Per-link delays, indexed by link (= child node) id; entry 0 unused. *)
+
+val engine : t -> Sim.Engine.t
+
+val tree : t -> Tree.t
+
+val cost : t -> Cost.t
+
+val link_delay : t -> int -> float
+
+val dist : t -> int -> int -> float
+(** True one-way latency between two nodes (sum of link delays). *)
+
+val rtt : t -> int -> int -> float
+
+val set_drop : t -> (link:int -> down:bool -> Packet.t -> bool) -> unit
+(** Install the loss-injection predicate. [down] is true when the
+    packet is traversing the link away from the root. Return [true] to
+    drop. The default predicate drops nothing. *)
+
+val on_receive : t -> int -> (Packet.t -> unit) -> unit
+(** Register node [v]'s delivery handler. Only registered nodes receive
+    packets; interior routers just forward. *)
+
+val multicast : t -> from:int -> Packet.t -> unit
+(** Flood to the whole group. The sender does not hear its own
+    multicast. *)
+
+val unicast : t -> from:int -> dst:int -> Packet.t -> unit
+
+val subcast : t -> at:int -> Packet.t -> unit
+(** Flood only the subtree rooted at router [at], delivering to every
+    registered node strictly below it (and [at] itself if registered).
+    Models the LMS-style subcast of Section 3.3. *)
+
+val relayed_subcast : t -> from:int -> via:int -> Packet.t -> unit
+(** Router-assisted reply delivery (Section 3.3): unicast the packet
+    from [from] to the turning-point router [via], which then subcasts
+    it down its subtree. The uphill leg is charged as unicast
+    crossings, the downhill flood as subcast crossings. *)
+
+val set_tap : t -> (from:int -> Packet.t -> unit) -> unit
+(** Install a passive observer invoked once per packet {e sent} (any
+    cast mode), before delivery is computed. Used by the protocol
+    auditor; has no effect on behaviour. *)
+
+val set_enabled : t -> int -> bool -> unit
+(** Crash or revive a member: a disabled node receives no deliveries
+    and its own transmissions are silently discarded, so a crashed
+    host's lingering timers cannot reach the network. Routers cannot
+    be disabled (forwarding is topology, not host, behaviour). *)
+
+val is_enabled : t -> int -> bool
+
+val packets_delivered : t -> int
+(** Total handler invocations, for sanity checks. *)

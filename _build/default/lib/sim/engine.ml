@@ -1,0 +1,89 @@
+type timer = {
+  time : float;
+  seq : int;
+  mutable action : (unit -> unit) option; (* None once fired or cancelled *)
+}
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : timer Heap.t;
+  root_rng : Rng.t;
+}
+
+let compare_timer a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.;
+    next_seq = 0;
+    queue = Heap.create ~cmp:compare_timer;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~at f =
+  let at = if at < t.clock then t.clock else at in
+  let timer = { time = at; seq = t.next_seq; action = Some f } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue timer;
+  timer
+
+let schedule t ~after f =
+  let after = if after < 0. then 0. else after in
+  schedule_at t ~at:(t.clock +. after) f
+
+(* Cancellation leaves a tombstone in the heap; the run loop and the
+   counting functions skip dead timers. *)
+let cancel timer = timer.action <- None
+
+let is_pending timer = timer.action <> None
+
+let fire_time timer = timer.time
+
+let pending_events t =
+  List.length (List.filter is_pending (Heap.to_sorted_list t.queue))
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some timer -> (
+        match timer.action with
+        | None -> next ()
+        | Some f ->
+            timer.action <- None;
+            t.clock <- timer.time;
+            f ();
+            true)
+  in
+  next ()
+
+(* Discard leading tombstones so the horizon check sees a live event. *)
+let rec peek_live t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some timer ->
+      if is_pending timer then Some timer
+      else begin
+        ignore (Heap.pop t.queue);
+        peek_live t
+      end
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue () =
+    !budget > 0
+    &&
+    match peek_live t with
+    | None -> false
+    | Some timer -> ( match until with None -> true | Some horizon -> timer.time <= horizon)
+  in
+  while continue () && step t do
+    decr budget
+  done

@@ -1,0 +1,54 @@
+(** The discrete-event simulation engine.
+
+    An engine owns a virtual clock and a pending-event heap. Events are
+    closures scheduled at absolute or relative virtual times; [run]
+    executes them in time order (FIFO among equal times). Timers are
+    cancellable: cancellation is O(1) and leaves a tombstone that the
+    run loop discards.
+
+    The engine also owns the experiment's root {!Rng.t} so that a
+    simulation is a deterministic function of its seed. *)
+
+type t
+
+type timer
+(** A handle on a scheduled event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time 0.0. Default seed is 1. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root generator. Hosts should [Rng.split] it. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> timer
+(** [schedule t ~after f] runs [f] at [now t +. after]. Negative delays
+    are clamped to 0. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> timer
+(** [schedule_at t ~at f] runs [f] at absolute time [at]; clamped to
+    [now t] if already past. *)
+
+val cancel : timer -> unit
+(** Cancel a pending timer. Cancelling a fired or already-cancelled
+    timer is a no-op. *)
+
+val is_pending : timer -> bool
+(** True if the timer has neither fired nor been cancelled. *)
+
+val fire_time : timer -> float
+(** The virtual time at which the timer fires (or fired / would have
+    fired). *)
+
+val pending_events : t -> int
+(** Number of live (non-cancelled) events still queued. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Execute events in order until the queue is empty, the clock would
+    pass [until], or [max_events] events have run. Events scheduled at
+    exactly [until] are executed. *)
+
+val step : t -> bool
+(** Execute the single next live event. Returns [false] if none. *)

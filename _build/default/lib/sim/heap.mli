@@ -1,0 +1,30 @@
+(** A polymorphic binary min-heap.
+
+    Used as the simulator's pending-event set. Elements are ordered by
+    a user-supplied comparison fixed at creation time. All operations
+    are the classic O(log n) / O(1) bounds. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructively list all elements in ascending order. O(n log n). *)

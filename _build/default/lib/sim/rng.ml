@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (bits64 t)
+
+(* Top 53 bits give a uniform float in [0,1). *)
+let unit_float t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1p-53
+
+let float t b =
+  assert (b > 0.);
+  unit_float t *. b
+
+let uniform t lo hi =
+  if hi <= lo then lo else lo +. (unit_float t *. (hi -. lo))
+
+let int t n =
+  assert (n > 0);
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for any n
+     we use (n << 2^63). *)
+  let x = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem x (Int64.of_int n))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+let exponential t mean =
+  let u = unit_float t in
+  (* u = 0 would give infinity; nudge. *)
+  let u = if u <= 0. then 0x1p-53 else u in
+  -.mean *. log u
+
+let log_uniform t lo hi =
+  assert (lo > 0. && hi > 0.);
+  exp (uniform t (log lo) (log hi))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    The simulator must be reproducible: a run is a pure function of its
+    seed. We therefore carry our own SplitMix64 generator rather than
+    depending on the global [Random] state. SplitMix64 passes BigCrush
+    and is trivially splittable, which lets every host derive an
+    independent stream from the experiment seed. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Distinct seeds yield
+    statistically independent streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy and the original
+    then evolve independently. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing
+    [t]. Use one split per host / per experiment leg. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [\[0, b)]. [b] must be positive. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. Requires [lo <= hi];
+    returns [lo] when the interval is empty. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. [n] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential with the given mean. *)
+
+val log_uniform : t -> float -> float -> float
+(** [log_uniform t lo hi] samples log-uniformly in [\[lo, hi)];
+    both bounds must be positive. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

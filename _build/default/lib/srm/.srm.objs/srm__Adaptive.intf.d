@@ -1,0 +1,1 @@
+lib/srm/adaptive.mli: Params

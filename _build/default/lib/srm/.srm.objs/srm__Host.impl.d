@@ -1,0 +1,1 @@
+lib/srm/host.ml: Adaptive Bytes Float Hashtbl Logs Net Option Params Session Sim Stats

@@ -1,0 +1,1 @@
+lib/srm/host.mli: Net Params Session Stats

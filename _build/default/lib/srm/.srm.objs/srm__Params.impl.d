@@ -1,0 +1,1 @@
+lib/srm/params.ml: Format

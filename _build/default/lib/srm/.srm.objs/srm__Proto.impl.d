@@ -1,0 +1,1 @@
+lib/srm/proto.ml: Array Host List Net Sim Stats

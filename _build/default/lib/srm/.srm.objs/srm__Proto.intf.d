@@ -1,0 +1,1 @@
+lib/srm/proto.mli: Host Net Params Stats

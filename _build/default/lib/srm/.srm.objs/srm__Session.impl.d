@@ -1,0 +1,1 @@
+lib/srm/session.ml: Hashtbl List Net Printf Sim

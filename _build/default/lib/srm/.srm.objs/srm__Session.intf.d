@@ -1,0 +1,1 @@
+lib/srm/session.mli: Net Sim

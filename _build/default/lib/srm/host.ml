@@ -1,0 +1,419 @@
+let log = Logs.Src.create "srm.host" ~doc:"SRM host events"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type request_state = {
+  mutable backoff : int; (* k = number of times this request was scheduled *)
+  mutable timer : Sim.Engine.timer option;
+  mutable abstain_until : float; (* back-off abstinence horizon *)
+  mutable dup_requests : int; (* duplicate requests overheard for this loss *)
+  mutable first_sent : float option; (* when our own first request fired *)
+}
+
+type hooks = {
+  mutable on_loss_detected : src:int -> seq:int -> unit;
+  mutable on_reply_observed : Net.Packet.payload -> unit;
+  mutable on_packet_obtained : src:int -> seq:int -> expedited:bool -> unit;
+}
+
+let no_hooks () =
+  {
+    on_loss_detected = (fun ~src:_ ~seq:_ -> ());
+    on_reply_observed = (fun _ -> ());
+    on_packet_obtained = (fun ~src:_ ~seq:_ ~expedited:_ -> ());
+  }
+
+(* Per-stream reception state; SRM is multi-source, so every table
+   below is keyed by (stream source, sequence number). *)
+type stream_state = {
+  received : Bytes.t; (* one byte per seq: 0 = missing, 1 = have *)
+  mutable max_seq : int;
+}
+
+type t = {
+  network : Net.Network.t;
+  self : int;
+  params : Params.t;
+  n_packets : int; (* per-stream cap *)
+  rng : Sim.Rng.t;
+  session : Session.t;
+  streams : (int, stream_state) Hashtbl.t;
+  requests : (int * int, request_state) Hashtbl.t;
+  replies : (int * int, Sim.Engine.timer) Hashtbl.t; (* scheduled reply *)
+  reply_abstain : (int * int, float) Hashtbl.t; (* -> horizon *)
+  detect_info : (int * int, float) Hashtbl.t; (* -> detection time *)
+  replied : (int * int, float) Hashtbl.t; (* -> when we sent a reply *)
+  adaptive : Adaptive.t option;
+  mutable n_detected : int;
+  counters : Stats.Counters.t;
+  recoveries : Stats.Recovery.t;
+  hooks : hooks;
+}
+
+let engine t = Net.Network.engine t.network
+
+let now t = Sim.Engine.now (engine t)
+
+let self t = t.self
+
+let session t = t.session
+
+let hooks t = t.hooks
+
+let stream t src =
+  match Hashtbl.find_opt t.streams src with
+  | Some s -> s
+  | None ->
+      let s = { received = Bytes.make t.n_packets '\000'; max_seq = 0 } in
+      Hashtbl.replace t.streams src s;
+      s
+
+let has_packet ?(src = 0) t ~seq =
+  seq >= 1 && seq <= t.n_packets && Bytes.get (stream t src).received (seq - 1) = '\001'
+
+let suffered_loss ?(src = 0) t ~seq = Hashtbl.mem t.detect_info (src, seq)
+
+let max_seq_seen ?(src = 0) t = (stream t src).max_seq
+
+let max_seqs t =
+  Hashtbl.fold
+    (fun src st acc -> if st.max_seq > 0 then (src, st.max_seq) :: acc else acc)
+    t.streams []
+
+let detected_losses t = t.n_detected
+
+let pending_requests t = Hashtbl.length t.requests
+
+let request_round ?(src = 0) t ~seq =
+  Option.map (fun (st : request_state) -> st.backoff) (Hashtbl.find_opt t.requests (src, seq))
+
+(* Paper Section 4.3 assumes distances are known before data flows; the
+   1 s fallback only matters if a request fires inside the warm-up. *)
+let dist_to t peer = match Session.distance t.session peer with Some d -> d | None -> 1.0
+
+let dist_to_source ?(src = 0) t = dist_to t src
+
+(* --- request scheduling ------------------------------------------- *)
+
+let two_pow k = Float.of_int (1 lsl min k 30)
+
+(* Current scheduling weights: fixed from Params, or the adaptive
+   controller's live values. *)
+let request_weights t =
+  match t.adaptive with
+  | Some a -> (Adaptive.c1 a, Adaptive.c2 a)
+  | None -> (t.params.Params.c1, t.params.Params.c2)
+
+let reply_weights t =
+  match t.adaptive with
+  | Some a -> (Adaptive.d1 a, Adaptive.d2 a)
+  | None -> (t.params.Params.d1, t.params.Params.d2)
+
+let request_interval t ~src (st : request_state) =
+  let d = dist_to_source ~src t in
+  let w1, w2 = request_weights t in
+  let lo = w1 *. d and w = w2 *. d in
+  let f = two_pow st.backoff in
+  Sim.Rng.uniform t.rng (f *. lo) (f *. (lo +. w))
+
+let rec arm_request t ~src seq st =
+  st.timer <-
+    Some
+      (Sim.Engine.schedule (engine t) ~after:(request_interval t ~src st) (fun () ->
+           fire_request t ~src seq st))
+
+and fire_request t ~src seq st =
+  if not (has_packet ~src t ~seq) then begin
+    let d = dist_to_source ~src t in
+    Log.debug (fun m ->
+        m "t=%.4f host %d RQST src %d seq %d round %d d_hs=%.4f" (now t) t.self src seq
+          st.backoff d);
+    Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Rqst;
+    if st.first_sent = None then st.first_sent <- Some (now t);
+    Net.Network.multicast t.network ~from:t.self
+      {
+        Net.Packet.sender = t.self;
+        payload = Net.Packet.Request { src; seq; requestor = t.self; d_qs = d; round = st.backoff };
+      };
+    (* Schedule the next round: k increments, the interval doubles, and
+       a fresh back-off abstinence period opens (Section 2.1). *)
+    if st.backoff < t.params.Params.max_rounds then begin
+      st.backoff <- st.backoff + 1;
+      st.abstain_until <- now t +. (two_pow st.backoff *. t.params.Params.c3 *. d);
+      arm_request t ~src seq st
+    end
+    else st.timer <- None
+  end
+
+(* A request for [seq] was overheard while ours is pending: push ours to
+   the next round unless inside the back-off abstinence period. *)
+let back_off_request t ~src seq st =
+  if now t >= st.abstain_until && st.backoff < t.params.Params.max_rounds then begin
+    (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
+    st.backoff <- st.backoff + 1;
+    st.abstain_until <-
+      now t +. (two_pow st.backoff *. t.params.Params.c3 *. dist_to_source ~src t);
+    arm_request t ~src seq st
+  end
+
+let detect_loss ?(initial_backoff = 0) t ~src seq =
+  if not (has_packet ~src t ~seq || Hashtbl.mem t.requests (src, seq)) then begin
+    if not (Hashtbl.mem t.detect_info (src, seq)) then begin
+      Hashtbl.replace t.detect_info (src, seq) (now t);
+      Log.debug (fun m -> m "t=%.4f host %d DETECT src %d seq %d" (now t) t.self src seq);
+      t.n_detected <- t.n_detected + 1
+    end;
+    let st =
+      {
+        backoff = initial_backoff;
+        timer = None;
+        abstain_until = neg_infinity;
+        dup_requests = 0;
+        first_sent = None;
+      }
+    in
+    Hashtbl.replace t.requests (src, seq) st;
+    arm_request t ~src seq st;
+    t.hooks.on_loss_detected ~src ~seq
+  end
+
+(* Evidence that packets 1..m of [src]'s stream exist (sources send
+   sequentially): any unseen gap at or below m is a loss. *)
+let seq_exists t ~src m =
+  let stream = stream t src in
+  if m > stream.max_seq then begin
+    let first = stream.max_seq + 1 in
+    stream.max_seq <- min m t.n_packets;
+    for seq = first to stream.max_seq do
+      if not (has_packet ~src t ~seq) then detect_loss t ~src seq
+    done
+  end
+
+(* --- obtaining packets -------------------------------------------- *)
+
+let record_recovery t ~src seq ~expedited ~rounds =
+  match Hashtbl.find_opt t.detect_info (src, seq) with
+  | None -> ()
+  | Some detected_at ->
+      Stats.Recovery.add t.recoveries
+        {
+          Stats.Recovery.node = t.self;
+          src;
+          seq;
+          detected_at;
+          recovered_at = now t;
+          rounds;
+          expedited;
+        }
+
+let obtain t ~src seq ~expedited =
+  if not (has_packet ~src t ~seq) then begin
+    Bytes.set (stream t src).received (seq - 1) '\001';
+    (* A pending request is now moot. *)
+    let rounds =
+      match Hashtbl.find_opt t.requests (src, seq) with
+      | None -> 0
+      | Some st ->
+          (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
+          Hashtbl.remove t.requests (src, seq);
+          (match (t.adaptive, st.first_sent, Hashtbl.find_opt t.detect_info (src, seq)) with
+          | Some a, Some sent, Some detected ->
+              let d = Float.max 1e-9 (dist_to_source ~src t) in
+              Adaptive.note_request_cycle a ~dups:st.dup_requests
+                ~delay_in_d:((sent -. detected) /. d)
+          | _ -> ());
+          st.backoff
+    in
+    if suffered_loss ~src t ~seq then begin
+      Log.debug (fun m -> m "t=%.4f host %d RECOVERED src %d seq %d" (now t) t.self src seq);
+      record_recovery t ~src seq ~expedited ~rounds
+    end;
+    t.hooks.on_packet_obtained ~src ~seq ~expedited
+  end
+
+let note_sent ?(src = 0) t ~seq =
+  if seq >= 1 && seq <= t.n_packets then begin
+    let stream = stream t src in
+    Bytes.set stream.received (seq - 1) '\001';
+    if seq > stream.max_seq then stream.max_seq <- seq
+  end
+
+(* --- replies ------------------------------------------------------- *)
+
+let reply_pending t ~src seq =
+  match Hashtbl.find_opt t.reply_abstain (src, seq) with
+  | Some horizon -> now t < horizon
+  | None -> false
+
+let reply_blocked ?(src = 0) t ~seq =
+  Hashtbl.mem t.replies (src, seq) || reply_pending t ~src seq
+
+let open_reply_abstinence t ~src seq ~requestor =
+  Hashtbl.replace t.reply_abstain (src, seq)
+    (now t +. (t.params.Params.d3 *. dist_to t requestor))
+
+let emit_reply ?transmit ?(delay_norm = 0.) t ~src ~seq ~requestor ~d_qs ~expedited
+    ~turning_point =
+  let d_rq = dist_to t requestor in
+  Log.debug (fun m ->
+      m "t=%.4f host %d %s src %d seq %d (req=%d d_rq=%.4f)" (now t) t.self
+        (if expedited then "EREPL" else "REPL")
+        src seq requestor d_rq);
+  Stats.Counters.bump t.counters ~node:t.self
+    (if expedited then Stats.Counters.Exp_repl else Stats.Counters.Repl);
+  let packet =
+    {
+      Net.Packet.sender = t.self;
+      payload =
+        Net.Packet.Reply
+          { src; seq; requestor; d_qs; replier = t.self; d_rq; expedited; turning_point };
+    }
+  in
+  (match transmit with
+  | Some send -> send packet
+  | None -> Net.Network.multicast t.network ~from:t.self packet);
+  (match t.adaptive with
+  | Some a ->
+      Hashtbl.replace t.replied (src, seq) (now t);
+      Adaptive.note_reply_cycle a ~dups:0 ~delay_in_d:delay_norm
+  | None -> ());
+  open_reply_abstinence t ~src seq ~requestor
+
+let send_reply_now ?(src = 0) t ~seq ~requestor ~d_qs ~expedited ?turning_point ?transmit () =
+  if has_packet ~src t ~seq && not (reply_blocked ~src t ~seq) then begin
+    emit_reply ?transmit t ~src ~seq ~requestor ~d_qs ~expedited ~turning_point;
+    true
+  end
+  else false
+
+let schedule_reply t ~src ~seq ~requestor ~d_qs =
+  let d = dist_to t requestor in
+  let w1, w2 = reply_weights t in
+  let lo = w1 *. d and w = w2 *. d in
+  let delay = Sim.Rng.uniform t.rng lo (lo +. w) in
+  Log.debug (fun m ->
+      m "t=%.4f host %d schedule REPL seq %d for +%.4f (d_rq=%.4f req=%d)" (now t) t.self seq
+        delay d requestor);
+  let delay_norm = if d <= 0. then 0. else delay /. d in
+  let timer =
+    Sim.Engine.schedule (engine t) ~after:delay (fun () ->
+        Hashtbl.remove t.replies (src, seq);
+        (* The abstinence may have opened while we waited (an expedited
+           reply of ours, for instance). *)
+        if (not (reply_pending t ~src seq)) && has_packet ~src t ~seq then
+          emit_reply ~delay_norm t ~src ~seq ~requestor ~d_qs ~expedited:false
+            ~turning_point:None)
+  in
+  Hashtbl.replace t.replies (src, seq) timer
+
+(* --- incoming PDUs -------------------------------------------------- *)
+
+let handle_request t ~src ~seq ~requestor ~d_qs =
+  if requestor <> t.self then begin
+    seq_exists t ~src seq;
+    if has_packet ~src t ~seq then begin
+      (* Replier side: requests are discarded while a reply is
+         scheduled or pending (Section 2.2). *)
+      if not (reply_blocked ~src t ~seq) then schedule_reply t ~src ~seq ~requestor ~d_qs
+    end
+    else
+      match Hashtbl.find_opt t.requests (src, seq) with
+      | Some st ->
+          st.dup_requests <- st.dup_requests + 1;
+          back_off_request t ~src seq st
+      | None ->
+          (* We share the loss but have no pending request: the
+             overheard request covers the current round, so join at the
+             next one — that is the suppression. *)
+          detect_loss ~initial_backoff:1 t ~src seq
+  end
+
+let handle_reply t payload ~src ~seq ~requestor ~replier =
+  if replier <> t.self then begin
+    seq_exists t ~src seq;
+    (* Suppression: cancel any scheduled reply for this packet. *)
+    (match Hashtbl.find_opt t.replies (src, seq) with
+    | Some timer ->
+        Sim.Engine.cancel timer;
+        Hashtbl.remove t.replies (src, seq)
+    | None -> ());
+    (* Adaptive: a reply for something we also replied to recently is a
+       duplicate our timers failed to suppress. *)
+    (match (t.adaptive, Hashtbl.find_opt t.replied (src, seq)) with
+    | Some a, Some _ -> Adaptive.note_reply_cycle a ~dups:1 ~delay_in_d:1.
+    | _ -> ());
+    open_reply_abstinence t ~src seq ~requestor;
+    let expedited =
+      match payload with Net.Packet.Reply { expedited; _ } -> expedited | _ -> false
+    in
+    obtain t ~src seq ~expedited;
+    t.hooks.on_reply_observed payload
+  end
+
+let on_packet t (p : Net.Packet.t) =
+  match p.payload with
+  | Net.Packet.Data { seq } ->
+      let src = p.sender in
+      seq_exists t ~src (seq - 1);
+      obtain t ~src seq ~expedited:false;
+      let stream = stream t src in
+      if seq > stream.max_seq then stream.max_seq <- seq
+  | Net.Packet.Request { src; seq; requestor; d_qs; round = _ } ->
+      handle_request t ~src ~seq ~requestor ~d_qs
+  | Net.Packet.Reply { src; seq; requestor; replier; _ } ->
+      handle_reply t p.payload ~src ~seq ~requestor ~replier
+  | Net.Packet.Session _ -> Session.on_packet t.session p
+  | Net.Packet.Exp_request _ -> ()
+
+let start t ~session_until = Session.start t.session ~until:session_until
+
+let create ~network ~self ~params ~n_packets ~counters ~recoveries =
+  let rng = Sim.Rng.split (Sim.Engine.rng (Net.Network.engine network)) in
+  (* The session needs callbacks into the host being constructed; tie
+     the knot with forward cells. *)
+  let get_max_seqs_cell = ref (fun () -> []) in
+  let on_max_seq_cell = ref (fun ~src:_ (_ : int) -> ()) in
+  let session =
+    Session.create ~network ~self ~period:params.Params.session_period ~rng:(Sim.Rng.split rng)
+      ~get_max_seqs:(fun () -> !get_max_seqs_cell ())
+      ~on_max_seq:(fun ~src m -> !on_max_seq_cell ~src m)
+      ~on_send:(fun () -> Stats.Counters.bump counters ~node:self Stats.Counters.Sess)
+  in
+  let t =
+    {
+      network;
+      self;
+      params;
+      n_packets;
+      rng;
+      session;
+      streams = Hashtbl.create 4;
+      requests = Hashtbl.create 64;
+      replies = Hashtbl.create 64;
+      reply_abstain = Hashtbl.create 64;
+      detect_info = Hashtbl.create 64;
+      replied = Hashtbl.create 64;
+      adaptive = (if params.Params.adaptive then Some (Adaptive.create ~initial:params) else None);
+      n_detected = 0;
+      counters;
+      recoveries;
+      hooks = no_hooks ();
+    }
+  in
+  get_max_seqs_cell := (fun () -> max_seqs t);
+  (* A peer's session max-seq may name packets still in flight to us
+     (the peer can be closer to the source). Gap- and request-triggered
+     detection cannot be premature — a request fires at least 2·d_qs
+     after the requestor's own copy landed, which bounds our copy's
+     remaining flight time — but session-triggered detection must wait
+     out one source-path delay (plus serialization slack) before
+     declaring a gap a loss. *)
+  on_max_seq_cell :=
+    (fun ~src m ->
+      if m > (stream t src).max_seq then begin
+        let grace = dist_to_source ~src t +. 0.05 in
+        ignore
+          (Sim.Engine.schedule (Net.Network.engine network) ~after:grace (fun () ->
+               seq_exists t ~src m))
+      end);
+  t

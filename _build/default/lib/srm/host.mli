@@ -1,0 +1,107 @@
+(** An SRM group member: loss detection, request scheduling with
+    deterministic + probabilistic suppression and exponential back-off,
+    reply scheduling with suppression and abstinence (paper Section 2).
+
+    SRM is multi-source: any member may originate a data stream, and
+    all reception, detection, and recovery state is kept per stream
+    source. Every function that names a packet takes an optional
+    [?src] (defaulting to 0, the conventional single-source root) — the
+    paper's exposition and its whole evaluation are single-source, but
+    the protocol itself is not.
+
+    One implementation serves both protocols: CESRM installs the
+    {!hooks} callbacks and drives the expedited scheme on top (see
+    [Cesrm.Host]), so the suppression machinery is shared verbatim. *)
+
+type t
+
+type hooks = {
+  mutable on_loss_detected : src:int -> seq:int -> unit;
+      (** fired once per loss, right after the SRM request is first
+          scheduled *)
+  mutable on_reply_observed : Net.Packet.payload -> unit;
+      (** fired for every incoming reply, after SRM processing (cache
+          maintenance hook) *)
+  mutable on_packet_obtained : src:int -> seq:int -> expedited:bool -> unit;
+      (** fired whenever the packet becomes locally available —
+          [expedited] says whether an expedited reply delivered it
+          (false for original data and ordinary replies); used to
+          cancel expedited requests and score repliers *)
+}
+
+val no_hooks : unit -> hooks
+
+val create :
+  network:Net.Network.t ->
+  self:int ->
+  params:Params.t ->
+  n_packets:int ->
+  counters:Stats.Counters.t ->
+  recoveries:Stats.Recovery.t ->
+  t
+(** The member joins the group on node [self] of the network's tree.
+    [n_packets] caps each stream's length. Handlers are {e not}
+    registered with the network — the owner dispatches via {!on_packet}
+    (this lets CESRM intercept its own PDUs first). *)
+
+val hooks : t -> hooks
+
+val self : t -> int
+
+val session : t -> Session.t
+
+val start : t -> session_until:float -> unit
+(** Start session-message emission (with random phase). *)
+
+val on_packet : t -> Net.Packet.t -> unit
+(** Main dispatch for Data / Request / Reply / Session. Expedited PDUs
+    are ignored here (CESRM handles them). *)
+
+val note_sent : ?src:int -> t -> seq:int -> unit
+(** Source-side: mark an original packet of [src]'s stream as sent
+    (and so available for retransmission). *)
+
+val has_packet : ?src:int -> t -> seq:int -> bool
+
+val suffered_loss : ?src:int -> t -> seq:int -> bool
+(** Has this member ever detected the loss of [seq]? *)
+
+val reply_blocked : ?src:int -> t -> seq:int -> bool
+(** A reply for the packet is scheduled or pending (abstinence) — the
+    condition under which CESRM must not send an expedited reply. *)
+
+val send_reply_now :
+  ?src:int ->
+  t ->
+  seq:int ->
+  requestor:int ->
+  d_qs:float ->
+  expedited:bool ->
+  ?turning_point:int ->
+  ?transmit:(Net.Packet.t -> unit) ->
+  unit ->
+  bool
+(** Immediately send a reply if [has_packet] and not [reply_blocked];
+    returns whether it was sent. Sets the reply abstinence period like
+    any sent reply. [transmit] overrides the delivery primitive
+    (default: multicast) — the router-assisted path substitutes a
+    relayed subcast. Used by CESRM's expedited replier (with
+    [expedited:true]). *)
+
+val dist_to_source : ?src:int -> t -> float
+(** Session estimate, falling back to 1 s before any exchange. *)
+
+val dist_to : t -> int -> float
+
+val max_seq_seen : ?src:int -> t -> int
+
+val max_seqs : t -> (int * int) list
+(** Per stream source, the highest sequence number seen. *)
+
+val request_round : ?src:int -> t -> seq:int -> int option
+(** Current back-off exponent of a pending request, for tests. *)
+
+val detected_losses : t -> int
+(** Across all streams. *)
+
+val pending_requests : t -> int

@@ -1,0 +1,36 @@
+type t = {
+  c1 : float;
+  c2 : float;
+  c3 : float;
+  d1 : float;
+  d2 : float;
+  d3 : float;
+  session_period : float;
+  max_rounds : int;
+  adaptive : bool;
+}
+
+let default =
+  {
+    c1 = 2.;
+    c2 = 2.;
+    c3 = 1.5;
+    d1 = 1.;
+    d2 = 1.;
+    d3 = 1.5;
+    session_period = 1.;
+    max_rounds = 40;
+    adaptive = false;
+  }
+
+let validate t =
+  if t.c1 < 0. || t.c2 < 0. || t.c3 < 0. || t.d1 < 0. || t.d2 < 0. || t.d3 < 0. then
+    Error "scheduling weights must be non-negative"
+  else if t.session_period <= 0. then Error "session period must be positive"
+  else if t.max_rounds <= 0 then Error "max_rounds must be positive"
+  else Ok t
+
+let pp ppf t =
+  Format.fprintf ppf "C1=%g C2=%g C3=%g D1=%g D2=%g D3=%g session=%gs%s" t.c1 t.c2 t.c3 t.d1
+    t.d2 t.d3 t.session_period
+    (if t.adaptive then " (adaptive)" else "")

@@ -1,0 +1,31 @@
+(** SRM scheduling parameters (paper Section 2).
+
+    Requests are scheduled uniformly in
+    [2^k · \[C1·d_hs, (C1+C2)·d_hs\]] and backed off once per round;
+    the back-off abstinence period is [2^k · C3 · d_hs]. Replies are
+    scheduled uniformly in [\[D1·d_hh', (D1+D2)·d_hh'\]] with a reply
+    abstinence period of [D3 · d_hh']. *)
+
+type t = {
+  c1 : float;  (** request deterministic-suppression weight *)
+  c2 : float;  (** request probabilistic-suppression window *)
+  c3 : float;  (** back-off abstinence weight *)
+  d1 : float;  (** reply deterministic-suppression weight *)
+  d2 : float;  (** reply probabilistic-suppression window *)
+  d3 : float;  (** reply abstinence weight *)
+  session_period : float;  (** seconds between session messages *)
+  max_rounds : int;  (** safety cap on request rounds *)
+  adaptive : bool;
+      (** adjust C1/C2 and D1/D2 dynamically per host ({!Adaptive});
+          the values above are then the starting point *)
+}
+
+val default : t
+(** The paper's Section 4.3 settings: C1 = C2 = 2, C3 = 1.5,
+    D1 = D2 = 1, D3 = 1.5, session period 1 s. *)
+
+val validate : t -> (t, string) result
+(** Reject negative weights, non-positive session period, and a
+    non-positive round cap. *)
+
+val pp : Format.formatter -> t -> unit

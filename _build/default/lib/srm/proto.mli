@@ -1,0 +1,48 @@
+(** Deploying plain SRM on a simulated multicast group.
+
+    Creates one {!Host} per group member (the source on node 0 plus
+    every receiver leaf), registers their network handlers, and drives
+    the source's constant-rate transmission. *)
+
+type t
+
+val deploy :
+  network:Net.Network.t -> params:Params.t -> n_packets:int -> period:float -> t
+
+val start : ?send_jitter:float -> t -> warmup:float -> tail:float -> unit
+(** Sessions begin immediately (randomly phased); the source transmits
+    packet [seq] at [warmup + (seq-1)·period] plus a uniform random
+    [send_jitter] (default 0 — jitter beyond one period reorders
+    packets, the case REORDER-DELAY guards against); session emission
+    stops at [end_of_data + tail]. Run the engine afterwards. *)
+
+val end_time : t -> warmup:float -> tail:float -> float
+(** The horizon matching {!start}'s schedule. *)
+
+val add_stream :
+  ?send_jitter:float ->
+  t ->
+  src:int ->
+  n_packets:int ->
+  period:float ->
+  start_at:float ->
+  unit
+(** Schedule a second data stream originating at member [src] (SRM is
+    multi-source; recovery state is kept per stream). [n_packets] is
+    clamped to the deployment's per-stream cap. *)
+
+val host : t -> int -> Host.t
+(** By node id. @raise Not_found for non-members. *)
+
+val members : t -> (int * Host.t) list
+(** All members, source first. *)
+
+val receivers : t -> (int * Host.t) list
+
+val counters : t -> Stats.Counters.t
+
+val recoveries : t -> Stats.Recovery.t
+
+val network : t -> Net.Network.t
+
+val n_packets : t -> int

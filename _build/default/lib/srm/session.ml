@@ -1,0 +1,76 @@
+type t = {
+  network : Net.Network.t;
+  self : int;
+  period : float;
+  rng : Sim.Rng.t;
+  get_max_seqs : unit -> (int * int) list;
+  on_max_seq : src:int -> int -> unit;
+  on_send : unit -> unit;
+  dist : (int, float) Hashtbl.t;
+  last_heard : (int, float * float) Hashtbl.t; (* peer -> (their ts, our recv time) *)
+}
+
+let create ~network ~self ~period ~rng ~get_max_seqs ~on_max_seq ~on_send =
+  {
+    network;
+    self;
+    period;
+    rng;
+    get_max_seqs;
+    on_max_seq;
+    on_send;
+    dist = Hashtbl.create 16;
+    last_heard = Hashtbl.create 16;
+  }
+
+let engine t = Net.Network.engine t.network
+
+let send t =
+  let now = Sim.Engine.now (engine t) in
+  let echoes =
+    Hashtbl.fold
+      (fun peer (ts, recv_at) acc ->
+        { Net.Packet.echo_member = peer; echo_ts = ts; echo_delay = now -. recv_at } :: acc)
+      t.last_heard []
+  in
+  t.on_send ();
+  Net.Network.multicast t.network ~from:t.self
+    {
+      Net.Packet.sender = t.self;
+      payload = Net.Packet.Session { origin = t.self; sent_at = now; max_seqs = t.get_max_seqs (); echoes };
+    }
+
+let start ?jitter t ~until =
+  let jitter = match jitter with Some j -> j | None -> t.period in
+  let offset = if jitter <= 0. then 0. else Sim.Rng.float t.rng jitter in
+  let rec tick () =
+    if Sim.Engine.now (engine t) <= until then begin
+      send t;
+      ignore (Sim.Engine.schedule (engine t) ~after:t.period tick)
+    end
+  in
+  ignore (Sim.Engine.schedule (engine t) ~after:offset tick)
+
+let on_packet t (p : Net.Packet.t) =
+  match p.payload with
+  | Net.Packet.Session { origin; sent_at; max_seqs; echoes } when origin <> t.self ->
+      let now = Sim.Engine.now (engine t) in
+      Hashtbl.replace t.last_heard origin (sent_at, now);
+      List.iter
+        (fun { Net.Packet.echo_member; echo_ts; echo_delay } ->
+          if echo_member = t.self then begin
+            let rtt = now -. echo_ts -. echo_delay in
+            if rtt >= 0. then Hashtbl.replace t.dist origin (rtt /. 2.)
+          end)
+        echoes;
+      List.iter (fun (src, m) -> if m > 0 then t.on_max_seq ~src m) max_seqs
+  | _ -> ()
+
+let distance t peer = Hashtbl.find_opt t.dist peer
+
+let distance_exn t peer =
+  match distance t peer with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "Session.distance_exn: no estimate for peer %d" peer)
+
+let known_peers t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.dist [])

@@ -1,0 +1,45 @@
+(** SRM session-message exchange and inter-host distance estimation
+    (paper Section 2, and the setup assumptions of Section 4.3).
+
+    Every group member periodically multicasts a session message
+    carrying its current timestamp, the highest source sequence number
+    it has seen, and an echo table: for each peer, the peer's last
+    timestamp and how long it was held before being echoed. On hearing
+    its own timestamp echoed by peer [m], a member computes
+    [rtt = (now − ts) − held] and estimates its one-way distance to [m]
+    as [rtt / 2].
+
+    Session messages double as a loss-detection channel: a session
+    max-sequence number above the local one reveals tail losses. *)
+
+type t
+
+val create :
+  network:Net.Network.t ->
+  self:int ->
+  period:float ->
+  rng:Sim.Rng.t ->
+  get_max_seqs:(unit -> (int * int) list) ->
+  on_max_seq:(src:int -> int -> unit) ->
+  on_send:(unit -> unit) ->
+  t
+(** [get_max_seqs] supplies the advertised per-stream sequence numbers;
+    [on_max_seq] is invoked for each stream a peer advertises;
+    [on_send] is invoked per session message sent (for counting). *)
+
+val start : ?jitter:float -> t -> until:float -> unit
+(** Begin periodic transmission after a random offset in
+    [\[0, jitter\]] (default: one period), stopping at [until]. *)
+
+val on_packet : t -> Net.Packet.t -> unit
+(** Feed an incoming session packet. Non-session packets are ignored. *)
+
+val distance : t -> int -> float option
+(** Current one-way distance estimate to a peer, if any exchange has
+    completed. *)
+
+val distance_exn : t -> int -> float
+(** @raise Failure when no estimate exists yet — protocol logic should
+    only need distances after the warm-up phase. *)
+
+val known_peers : t -> int list

@@ -1,0 +1,1 @@
+lib/stats/recovery.ml: List Summary

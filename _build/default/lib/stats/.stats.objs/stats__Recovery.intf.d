@@ -1,0 +1,1 @@
+lib/stats/recovery.mli: Summary

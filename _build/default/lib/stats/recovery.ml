@@ -1,0 +1,37 @@
+type record = {
+  node : int;
+  src : int;
+  seq : int;
+  detected_at : float;
+  recovered_at : float;
+  rounds : int;
+  expedited : bool;
+}
+
+let latency r = r.recovered_at -. r.detected_at
+
+type t = { mutable records : record list; mutable n : int }
+
+let create () = { records = []; n = 0 }
+
+let add t r =
+  t.records <- r :: t.records;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let records t = List.rev t.records
+
+let for_node t node = List.filter (fun r -> r.node = node) (records t)
+
+let latency_summary ?(normalize = fun _ -> 1.) ?(filter = fun _ -> true) t =
+  let s = Summary.create () in
+  List.iter (fun r -> if filter r then Summary.add s (latency r /. normalize r)) t.records;
+  s
+
+let unrecovered t ~expected =
+  List.filter_map
+    (fun (node, losses) ->
+      let got = List.length (for_node t node) in
+      if got < losses then Some (node, losses - got) else None)
+    expected

@@ -1,0 +1,40 @@
+(** Per-loss recovery records.
+
+    One record is produced when a receiver that detected a loss first
+    obtains the packet again (via any reply or a late data duplicate).
+    Latencies are measured from detection, and the figures normalize
+    them by the receiver's RTT to the source, as in the paper. *)
+
+type record = {
+  node : int;  (** receiver node id *)
+  src : int;  (** the stream the packet belongs to *)
+  seq : int;
+  detected_at : float;
+  recovered_at : float;
+  rounds : int;  (** SRM request-timer expirations before recovery *)
+  expedited : bool;  (** recovered by an expedited reply *)
+}
+
+val latency : record -> float
+
+type t
+(** A collector. *)
+
+val create : unit -> t
+
+val add : t -> record -> unit
+
+val count : t -> int
+
+val records : t -> record list
+(** In insertion order. *)
+
+val for_node : t -> int -> record list
+
+val latency_summary : ?normalize:(record -> float) -> ?filter:(record -> bool) -> t -> Summary.t
+(** Summary of [latency r /. normalize r] over records passing
+    [filter]. Default: no filter, normalizer 1. *)
+
+val unrecovered : t -> expected:(int * int) list -> (int * int) list
+(** Given [(node, losses_detected)] expectations, report nodes whose
+    record count falls short, as [(node, missing)]. *)

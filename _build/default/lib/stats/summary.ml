@@ -1,0 +1,86 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable minv : float;
+  mutable maxv : float;
+  mutable total : float;
+  samples : Vec.t option;
+}
+
+let create ?(keep_samples = true) () =
+  {
+    n = 0;
+    mean = 0.;
+    m2 = 0.;
+    minv = infinity;
+    maxv = neg_infinity;
+    total = 0.;
+    samples = (if keep_samples then Some (Vec.create ()) else None);
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x;
+  t.total <- t.total +. x;
+  match t.samples with None -> () | Some d -> Vec.add d x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0. else t.mean
+
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t = t.minv
+
+let max t = t.maxv
+
+let total t = t.total
+
+let percentile t q =
+  match t.samples with
+  | None -> invalid_arg "Summary.percentile: samples not retained"
+  | Some d ->
+      if t.n = 0 then invalid_arg "Summary.percentile: empty"
+      else if q < 0. || q > 1. then invalid_arg "Summary.percentile: q in [0,1]"
+      else begin
+        let a = Vec.to_array d in
+        Array.sort Float.compare a;
+        let rank = int_of_float (Float.round (q *. float_of_int (t.n - 1))) in
+        a.(rank)
+      end
+
+let merge a b =
+  let keep = a.samples <> None && b.samples <> None in
+  let t = create ~keep_samples:keep () in
+  let absorb s =
+    match s.samples with
+    | Some d -> Vec.iter (fun x -> add t x) d
+    | None ->
+        (* Moment-only merge: replay is impossible, so merge moments
+           directly (Chan et al. parallel update). *)
+        let n1 = float_of_int t.n and n2 = float_of_int s.n in
+        if s.n > 0 then begin
+          let delta = s.mean -. t.mean in
+          let n = n1 +. n2 in
+          t.mean <- t.mean +. (delta *. n2 /. n);
+          t.m2 <- t.m2 +. s.m2 +. (delta *. delta *. n1 *. n2 /. n);
+          t.n <- t.n + s.n;
+          t.total <- t.total +. s.total;
+          if s.minv < t.minv then t.minv <- s.minv;
+          if s.maxv > t.maxv then t.maxv <- s.maxv
+        end
+  in
+  absorb a;
+  absorb b;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f" t.n (mean t) (stddev t)
+    t.minv t.maxv

@@ -1,0 +1,39 @@
+(** Streaming univariate summaries (Welford) with optional exact
+    percentiles from retained samples. *)
+
+type t
+
+val create : ?keep_samples:bool -> unit -> t
+(** With [keep_samples] (default true) every observation is retained so
+    percentiles are exact; disable for very long streams where only
+    moments are needed. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** +inf when empty. *)
+
+val max : t -> float
+(** -inf when empty. *)
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.5] is the median (nearest-rank). Requires retained
+    samples and a non-empty summary.
+    @raise Invalid_argument otherwise. *)
+
+val merge : t -> t -> t
+(** Combine two summaries (samples concatenated if both retained). *)
+
+val pp : Format.formatter -> t -> unit

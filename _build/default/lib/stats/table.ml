@@ -1,0 +1,47 @@
+let render ~header ~rows =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
+
+let bar ~width ~max_value v =
+  let v = Float.max 0. (Float.min max_value v) in
+  let n =
+    if max_value <= 0. then 0
+    else int_of_float (Float.round (v /. max_value *. float_of_int width))
+  in
+  String.make n '#'
+
+let bar_chart ~title ?(unit_label = "") ~labels ~series () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let max_value =
+    List.fold_left (fun acc (_, vs) -> List.fold_left Float.max acc vs) 1e-9 series
+  in
+  let series_width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 series
+  in
+  let label_width = List.fold_left (fun acc l -> max acc (String.length l)) 0 labels in
+  List.iteri
+    (fun i label ->
+      List.iter
+        (fun (name, vs) ->
+          match List.nth_opt vs i with
+          | None -> ()
+          | Some v ->
+              Buffer.add_string buf
+                (Printf.sprintf "%-*s %-*s %10.3f%s |%s\n" label_width label series_width name
+                   v unit_label
+                   (bar ~width:40 ~max_value v)))
+        series;
+      if series <> [] then Buffer.add_char buf '\n')
+    labels;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** ASCII rendering of tables and bar series, used by the bench harness
+    to print each of the paper's tables and figures as text. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a separator under the header. *)
+
+val bar : width:int -> max_value:float -> float -> string
+(** A horizontal bar scaled so [max_value] fills [width] characters.
+    Values are clamped to [\[0, max_value\]]. *)
+
+val bar_chart :
+  title:string ->
+  ?unit_label:string ->
+  labels:string list ->
+  series:(string * float list) list ->
+  unit ->
+  string
+(** Grouped horizontal bar chart: one block per label, one bar per
+    series, with shared scaling and numeric annotations. *)

@@ -1,0 +1,26 @@
+type t = { mutable data : float array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ndata = Array.make (if cap = 0 then 16 else 2 * cap) 0. in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let length t = t.size
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.get";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let to_array t = Array.sub t.data 0 t.size

@@ -1,0 +1,16 @@
+(** Minimal growable float array (OCaml 5.1 has no Stdlib.Dynarray). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val length : t -> int
+
+val get : t -> int -> float
+
+val iter : (float -> unit) -> t -> unit
+
+val to_array : t -> float array
+(** Fresh array of the live elements. *)

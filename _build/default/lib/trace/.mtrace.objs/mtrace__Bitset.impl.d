@@ -1,0 +1,1 @@
+lib/trace/bitset.ml: Array Bytes Char List

@@ -1,0 +1,1 @@
+lib/trace/codec.ml: Array Bitset Buffer Fun List Net Printf String Trace

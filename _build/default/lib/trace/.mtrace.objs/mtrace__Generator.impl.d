@@ -1,0 +1,1 @@
+lib/trace/generator.ml: Array Bitset Char Float Gilbert Int64 List Meta Net Sim String Topology_gen Trace

@@ -1,0 +1,1 @@
+lib/trace/generator.mli: Bitset Meta Net Trace

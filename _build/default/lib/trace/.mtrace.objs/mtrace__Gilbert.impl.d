@@ -1,0 +1,1 @@
+lib/trace/gilbert.ml: Bitset Float Sim

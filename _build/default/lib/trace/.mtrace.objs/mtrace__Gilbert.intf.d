@@ -1,0 +1,1 @@
+lib/trace/gilbert.mli: Bitset Sim

@@ -1,0 +1,1 @@
+lib/trace/locality.ml: Bitset Format Fun List Trace

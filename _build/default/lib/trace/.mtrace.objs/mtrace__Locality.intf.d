@@ -1,0 +1,1 @@
+lib/trace/locality.mli: Format Trace

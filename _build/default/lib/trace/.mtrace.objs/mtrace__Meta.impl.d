@@ -1,0 +1,1 @@
+lib/trace/meta.ml: Format List

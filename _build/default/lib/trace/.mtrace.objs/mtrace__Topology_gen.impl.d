@@ -1,0 +1,1 @@
+lib/trace/topology_gen.ml: Array Hashtbl List Net Sim

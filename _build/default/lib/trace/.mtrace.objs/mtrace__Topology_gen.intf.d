@@ -1,0 +1,1 @@
+lib/trace/topology_gen.mli: Net Sim

@@ -1,0 +1,94 @@
+type t = { len : int; data : Bytes.t }
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create";
+  { len; data = Bytes.make ((len + 7) / 8) '\000' }
+
+let length t = t.len
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.data b (Char.chr (Char.code (Bytes.get t.data b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.data b (Char.chr (Char.code (Bytes.get t.data b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let assign t i v = if v then set t i else clear t i
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let count t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) t.data;
+  !acc
+
+let copy t = { len = t.len; data = Bytes.copy t.data }
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let iter_set t f =
+  for i = 0 to t.len - 1 do
+    if get t i then f i
+  done
+
+let fold_runs t ~init ~f =
+  if t.len = 0 then init
+  else begin
+    let acc = ref init in
+    let run_value = ref (get t 0) in
+    let run_len = ref 1 in
+    for i = 1 to t.len - 1 do
+      let v = get t i in
+      if v = !run_value then incr run_len
+      else begin
+        acc := f !acc !run_value !run_len;
+        run_value := v;
+        run_len := 1
+      end
+    done;
+    f !acc !run_value !run_len
+  end
+
+let union_into ~dst src =
+  if dst.len <> src.len then invalid_arg "Bitset.union_into: length mismatch";
+  for b = 0 to Bytes.length dst.data - 1 do
+    Bytes.set dst.data b
+      (Char.chr (Char.code (Bytes.get dst.data b) lor Char.code (Bytes.get src.data b)))
+  done
+
+let complement t =
+  let r = create t.len in
+  for i = 0 to t.len - 1 do
+    if not (get t i) then set r i
+  done;
+  r
+
+let of_runs len runs =
+  let t = create len in
+  let pos =
+    List.fold_left
+      (fun pos (v, n) ->
+        if n < 0 || pos + n > len then invalid_arg "Bitset.of_runs: overflow";
+        if v then
+          for i = pos to pos + n - 1 do
+            set t i
+          done;
+        pos + n)
+      0 runs
+  in
+  if pos <> len then invalid_arg "Bitset.of_runs: runs do not cover length";
+  t

@@ -1,0 +1,44 @@
+(** Compact fixed-length bit vectors.
+
+    Loss traces are per-receiver binary sequences over up to ~150,000
+    packets (Table 1), so a trace is stored as one bitset per receiver. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val assign : t -> int -> bool -> unit
+
+val count : t -> int
+(** Number of set bits. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val iter_set : t -> (int -> unit) -> unit
+(** Visit the indices of set bits in increasing order. *)
+
+val fold_runs : t -> init:'a -> f:('a -> bool -> int -> 'a) -> 'a
+(** Fold over maximal runs of equal bits: [f acc value run_length],
+    left to right. An empty bitset folds over nothing. *)
+
+val of_runs : int -> (bool * int) list -> t
+(** Rebuild from runs; inverse of {!fold_runs}.
+    @raise Invalid_argument if runs do not sum to the length. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets [dst := dst ∪ src].
+    @raise Invalid_argument on length mismatch. *)
+
+val complement : t -> t
+(** Fresh bitset with every bit flipped. *)

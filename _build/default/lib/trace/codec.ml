@@ -1,0 +1,102 @@
+let encode_runs bits =
+  let runs = List.rev (Bitset.fold_runs bits ~init:[] ~f:(fun acc v n -> (v, n) :: acc)) in
+  let runs = match runs with (true, _) :: _ -> (false, 0) :: runs | _ -> runs in
+  String.concat " " (List.map (fun (_, n) -> string_of_int n) runs)
+
+let decode_runs n_packets fields =
+  let _, runs =
+    List.fold_left
+      (fun (value, acc) field ->
+        let n =
+          match int_of_string_opt field with
+          | Some n when n >= 0 -> n
+          | _ -> failwith "Codec: bad run length"
+        in
+        (not value, (value, n) :: acc))
+      (false, []) fields
+  in
+  Bitset.of_runs n_packets (List.rev runs)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let tree = Trace.tree t in
+  Buffer.add_string buf "cesrm-trace v1\n";
+  Buffer.add_string buf (Printf.sprintf "name %s\n" (Trace.name t));
+  Buffer.add_string buf (Printf.sprintf "period %.6f\n" (Trace.period t));
+  Buffer.add_string buf (Printf.sprintf "packets %d\n" (Trace.n_packets t));
+  let parents =
+    List.init (Net.Tree.n_nodes tree) (fun v ->
+        string_of_int (if v = 0 then -1 else Net.Tree.parent tree v))
+  in
+  Buffer.add_string buf (Printf.sprintf "parents %s\n" (String.concat " " parents));
+  Array.iteri
+    (fun i node ->
+      Buffer.add_string buf
+        (Printf.sprintf "rcvr %d %s\n" node (encode_runs (Trace.loss_bits t ~rcvr:i))))
+    (Trace.receiver_nodes t);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let fields line = List.filter (fun f -> f <> "") (String.split_on_char ' ' line) in
+  let expect_kw kw line =
+    match fields line with
+    | k :: rest when k = kw -> rest
+    | _ -> failwith (Printf.sprintf "Codec: expected '%s' line" kw)
+  in
+  match lines with
+  | header :: rest when String.trim header = "cesrm-trace v1" -> (
+      match rest with
+      | name_l :: period_l :: packets_l :: parents_l :: body -> (
+          let name = String.concat " " (expect_kw "name" name_l) in
+          let period =
+            match expect_kw "period" period_l with
+            | [ p ] -> float_of_string p
+            | _ -> failwith "Codec: bad period"
+          in
+          let n_packets =
+            match expect_kw "packets" packets_l with
+            | [ p ] -> int_of_string p
+            | _ -> failwith "Codec: bad packets"
+          in
+          let parents = Array.of_list (List.map int_of_string (expect_kw "parents" parents_l)) in
+          let tree = Net.Tree.of_parents parents in
+          let receivers = Net.Tree.receivers tree in
+          let loss = Array.make (Array.length receivers) (Bitset.create 0) in
+          let rec read_body = function
+            | [] -> failwith "Codec: missing 'end'"
+            | [ last ] when String.trim last = "end" -> ()
+            | line :: rest -> (
+                match fields line with
+                | "rcvr" :: node_s :: runs ->
+                    let node = int_of_string node_s in
+                    let idx =
+                      match
+                        Array.to_list receivers |> List.mapi (fun i n -> (n, i))
+                        |> List.assoc_opt node
+                      with
+                      | Some i -> i
+                      | None -> failwith "Codec: rcvr id is not a leaf of the tree"
+                    in
+                    loss.(idx) <- decode_runs n_packets runs;
+                    read_body rest
+                | _ -> failwith "Codec: bad body line")
+          in
+          read_body body;
+          Trace.create ~name ~tree ~period ~n_packets ~loss)
+      | _ -> failwith "Codec: truncated header")
+  | _ -> failwith "Codec: bad magic"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,27 @@
+(** Text serialization of traces.
+
+    Format (line-oriented, version-tagged):
+    {v
+    cesrm-trace v1
+    name <string>
+    period <float seconds>
+    packets <int>
+    parents <p0> <p1> ... <pn-1>      (p0 = -1)
+    rcvr <node-id> <run> <run> ...    (one line per receiver)
+    end
+    v}
+
+    Loss bitmaps are run-length encoded as alternating run lengths,
+    the first run counting {e received} packets (a bitmap starting
+    with a loss begins with a [0] run). *)
+
+val to_string : Trace.t -> string
+
+val of_string : string -> Trace.t
+(** @raise Failure on malformed input. *)
+
+val save : Trace.t -> string -> unit
+(** Write to a file path. *)
+
+val load : string -> Trace.t
+(** Read from a file path. @raise Sys_error / Failure. *)

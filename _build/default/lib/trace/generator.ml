@@ -1,0 +1,130 @@
+type result = {
+  trace : Trace.t;
+  link_bad : Bitset.t array;
+  link_rates : float array;
+  link_bursts : float array;
+}
+
+let expected_losses tree ~rates ~n_packets =
+  let per_receiver node =
+    let rec survive v acc =
+      if v = 0 then acc else survive (Net.Tree.parent tree v) (acc *. (1. -. rates.(v)))
+    in
+    1. -. survive node 1.
+  in
+  Array.fold_left
+    (fun acc node -> acc +. per_receiver node)
+    0. (Net.Tree.receivers tree)
+  *. float_of_int n_packets
+
+(* A crude but stable string hash to derive per-row default seeds. *)
+let hash_name name =
+  let h = ref 1469598103934665603L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 1099511628211L)
+    name;
+  !h
+
+let rate_cap = 0.6
+
+(* Find the weight scale making the expected loss total hit the target.
+   Expected losses are monotone increasing in the scale, so bisect. *)
+let calibrate_scale tree ~weights ~n_packets ~target =
+  let rates_for s = Array.map (fun w -> Float.min rate_cap (s *. w)) weights in
+  let expected s = expected_losses tree ~rates:(rates_for s) ~n_packets in
+  let rec grow hi = if expected hi >= target || hi > 1e6 then hi else grow (hi *. 2.) in
+  let hi = grow 1. in
+  let rec bisect lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if expected mid < target then bisect mid hi (iters - 1) else bisect lo mid (iters - 1)
+    end
+  in
+  bisect 0. hi 60
+
+let simulate_links tree ~rng ~rates ~bursts ~n_packets =
+  let n = Net.Tree.n_nodes tree in
+  let link_bad = Array.make n (Bitset.create 0) in
+  for l = 1 to n - 1 do
+    let model = Gilbert.of_marginal ~loss_rate:rates.(l) ~mean_burst:bursts.(l) in
+    link_bad.(l) <- Gilbert.run model (Sim.Rng.split rng) n_packets
+  done;
+  link_bad
+
+let loss_matrix tree ~link_bad ~n_packets =
+  let receivers = Net.Tree.receivers tree in
+  Array.map
+    (fun node ->
+      let bits = Bitset.create n_packets in
+      (* A packet is lost by the receiver iff any link on its path from
+         the source was Bad at that step. *)
+      let rec mark v =
+        if v <> 0 then begin
+          Bitset.iter_set link_bad.(v) (fun i -> Bitset.set bits i);
+          mark (Net.Tree.parent tree v)
+        end
+      in
+      mark node;
+      bits)
+    receivers
+
+let realized_losses loss = Array.fold_left (fun acc b -> acc + Bitset.count b) 0 loss
+
+let synthesize ?seed ?n_packets (row : Meta.row) =
+  let seed = match seed with Some s -> s | None -> hash_name row.name in
+  let rng = Sim.Rng.create seed in
+  let n_packets = match n_packets with Some n -> n | None -> row.n_packets in
+  let target =
+    float_of_int row.n_losses *. float_of_int n_packets /. float_of_int row.n_packets
+  in
+  let tree = Topology_gen.generate ~rng ~n_receivers:row.n_receivers ~depth:row.tree_depth in
+  let n = Net.Tree.n_nodes tree in
+  (* Relative loss weights: every link lossy a little, a few "hot"
+     links lossy a lot. Yajnik et al. observe that most MBone loss
+     concentrates on a small number of links; the hot/background ratio
+     here makes hot links carry the bulk of the loss, which is the
+     locality CESRM's cache rides on. *)
+  let weights = Array.init n (fun l -> if l = 0 then 0. else Sim.Rng.log_uniform rng 0.01 0.12) in
+  (* Yajnik et al. find most MBone losses are seen by one or a few
+     receivers, with occasional backbone events seen by many. Hot links
+     are therefore drawn mostly from the edge (small receiver
+     subtrees), plus one or two interior links for the shared events. *)
+  let receivers_below l = List.length (Net.Tree.subtree_receivers tree l) in
+  let links_with pred =
+    Array.of_list (List.filter pred (Array.to_list (Net.Tree.links tree)))
+  in
+  let edge_pool = links_with (fun l -> receivers_below l <= 2) in
+  let interior_pool = links_with (fun l -> receivers_below l >= 3) in
+  let heat l = weights.(l) <- weights.(l) +. Sim.Rng.log_uniform rng 0.8 2.5 in
+  let n_edge_hot = max 2 (row.n_receivers / 2) in
+  for _ = 1 to n_edge_hot do
+    if Array.length edge_pool > 0 then heat (Sim.Rng.pick rng edge_pool)
+  done;
+  let n_interior_hot = 1 + (row.n_receivers / 10) in
+  for _ = 1 to n_interior_hot do
+    if Array.length interior_pool > 0 then begin
+      let l = Sim.Rng.pick rng interior_pool in
+      weights.(l) <- weights.(l) +. Sim.Rng.log_uniform rng 0.3 1.0
+    end
+  done;
+  let bursts = Array.init n (fun l -> if l = 0 then 1. else Sim.Rng.uniform rng 1.2 4.0) in
+  (* Calibrate, simulate, then correct the scale against the realized
+     count (burstiness adds variance) and resimulate, a few times. *)
+  let rec attempt iter scale_correction =
+    let scale = calibrate_scale tree ~weights ~n_packets ~target *. scale_correction in
+    let rates = Array.map (fun w -> Float.min rate_cap (scale *. w)) weights in
+    let link_bad = simulate_links tree ~rng ~rates ~bursts ~n_packets in
+    let loss = loss_matrix tree ~link_bad ~n_packets in
+    let realized = realized_losses loss in
+    let err = (float_of_int realized -. target) /. Float.max 1. target in
+    if Float.abs err <= 0.03 || iter >= 4 then (rates, link_bad, loss)
+    else attempt (iter + 1) (scale_correction *. (target /. Float.max 1. (float_of_int realized)))
+  in
+  let rates, link_bad, loss = attempt 1 1.0 in
+  let trace =
+    Trace.create ~name:row.name ~tree ~period:(float_of_int row.period_ms /. 1000.) ~n_packets
+      ~loss
+  in
+  { trace; link_bad; link_rates = rates; link_bursts = bursts }

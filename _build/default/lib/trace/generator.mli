@@ -1,0 +1,34 @@
+(** Synthetic trace generation calibrated to Table 1.
+
+    For each published trace row we draw a random tree of the published
+    receiver count and depth, attach an independent Gilbert loss
+    process to every link, and calibrate the per-link marginal loss
+    rates so that the expected (and, after iterative correction, the
+    realized) total number of receiver-loss events matches the
+    published count. A small set of "hot" interior links carries
+    elevated rates, reproducing the spatial concentration of loss that
+    Yajnik et al. report and that CESRM's cache exploits; the Gilbert
+    burstiness reproduces the temporal locality.
+
+    The generator returns, besides the receiver-observable trace, the
+    ground-truth per-link loss trajectories — these are used only to
+    validate the {!Inference} estimators, never to drive simulations
+    (the paper drives NS2 from inferred links; so do we). *)
+
+type result = {
+  trace : Trace.t;
+  link_bad : Bitset.t array;
+      (** ground truth: [link_bad.(l)] has bit [i] set iff link [l] was
+          in the Bad state for packet [i+1]; slot 0 is an empty set. *)
+  link_rates : float array;  (** configured marginal loss rate per link *)
+  link_bursts : float array;  (** configured mean burst length per link *)
+}
+
+val synthesize : ?seed:int64 -> ?n_packets:int -> Meta.row -> result
+(** Generate a synthetic equivalent of the given Table 1 row.
+    [n_packets] overrides the row's packet count (loss count target is
+    scaled proportionally) — used for fast test / bench runs. *)
+
+val expected_losses : Net.Tree.t -> rates:float array -> n_packets:int -> float
+(** Expected total receiver-loss events if each link [l] drops
+    independently with marginal [rates.(l)]. *)

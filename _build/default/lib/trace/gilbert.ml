@@ -1,0 +1,38 @@
+type t = { p_gb : float; p_bg : float }
+
+type state = Good | Bad
+
+let check_prob p = p >= 0. && p <= 1.
+
+let create ~p_good_to_bad ~p_bad_to_good =
+  if not (check_prob p_good_to_bad && check_prob p_bad_to_good) then
+    invalid_arg "Gilbert.create: probabilities must be in [0,1]";
+  { p_gb = p_good_to_bad; p_bg = p_bad_to_good }
+
+let of_marginal ~loss_rate ~mean_burst =
+  if loss_rate < 0. || loss_rate >= 1. then invalid_arg "Gilbert.of_marginal: loss_rate";
+  if mean_burst < 1. then invalid_arg "Gilbert.of_marginal: mean_burst >= 1 required";
+  (* Stationary P(Bad) = p_gb / (p_gb + p_bg); mean burst = 1 / p_bg. *)
+  let p_bg = 1. /. mean_burst in
+  let p_gb = loss_rate *. p_bg /. (1. -. loss_rate) in
+  create ~p_good_to_bad:(Float.min 1. p_gb) ~p_bad_to_good:p_bg
+
+let loss_rate t =
+  if t.p_gb = 0. then 0. else t.p_gb /. (t.p_gb +. t.p_bg)
+
+let mean_burst t = if t.p_bg = 0. then infinity else 1. /. t.p_bg
+
+let step t rng = function
+  | Good -> if Sim.Rng.bernoulli rng t.p_gb then Bad else Good
+  | Bad -> if Sim.Rng.bernoulli rng t.p_bg then Good else Bad
+
+let stationary_state t rng = if Sim.Rng.bernoulli rng (loss_rate t) then Bad else Good
+
+let run t rng n =
+  let bits = Bitset.create n in
+  let state = ref (stationary_state t rng) in
+  for i = 0 to n - 1 do
+    if !state = Bad then Bitset.set bits i;
+    state := step t rng !state
+  done;
+  bits

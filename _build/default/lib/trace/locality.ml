@@ -1,0 +1,89 @@
+type receiver_stats = { loss_rate : float; mean_burst : float; p_loss_given_loss : float }
+
+let receiver t ~rcvr =
+  let bits = Trace.loss_bits t ~rcvr in
+  let n = Bitset.length bits in
+  let losses = Bitset.count bits in
+  let loss_rate = if n = 0 then 0. else float_of_int losses /. float_of_int n in
+  let bursts = ref 0 in
+  let after_loss = ref 0 in
+  let loss_after_loss = ref 0 in
+  let prev = ref false in
+  for i = 0 to n - 1 do
+    let v = Bitset.get bits i in
+    if v && not !prev then incr bursts;
+    if !prev then begin
+      incr after_loss;
+      if v then incr loss_after_loss
+    end;
+    prev := v
+  done;
+  let mean_burst = if !bursts = 0 then 0. else float_of_int losses /. float_of_int !bursts in
+  let p_loss_given_loss =
+    if !after_loss = 0 then 0. else float_of_int !loss_after_loss /. float_of_int !after_loss
+  in
+  { loss_rate; mean_burst; p_loss_given_loss }
+
+type trace_stats = {
+  avg_loss_rate : float;
+  avg_burst : float;
+  avg_sharing : float;
+  repeat_pattern_fraction : float;
+  consecutive_same_for_receiver : float;
+}
+
+let trace t =
+  let nr = Trace.n_receivers t in
+  let per = List.init nr (fun r -> receiver t ~rcvr:r) in
+  let mean f = List.fold_left (fun acc s -> acc +. f s) 0. per /. float_of_int (max 1 nr) in
+  (* Walk lossy packets once, comparing each pattern to the previous. *)
+  let lossy = Trace.lossy_packets t in
+  let patterns = List.map (fun seq -> (seq, Trace.loss_pattern t ~seq)) lossy in
+  let total_sharing =
+    List.fold_left (fun acc (_, p) -> acc + List.length p) 0 patterns
+  in
+  let n_lossy = List.length patterns in
+  let repeats =
+    let rec count prev acc = function
+      | [] -> acc
+      | (_, p) :: rest -> count p (if p = prev && prev <> [] then acc + 1 else acc) rest
+    in
+    count [] 0 patterns
+  in
+  (* Per receiver: of its losses, how often does the global pattern
+     match the pattern of that receiver's previous loss? *)
+  let per_receiver_same r =
+    let prev = ref [] in
+    let matches = ref 0 and total = ref 0 in
+    List.iter
+      (fun (_, p) ->
+        if List.mem r p then begin
+          if !prev <> [] then begin
+            incr total;
+            if p = !prev then incr matches
+          end;
+          prev := p
+        end)
+      patterns;
+    if !total = 0 then None else Some (float_of_int !matches /. float_of_int !total)
+  in
+  let same_fracs = List.filter_map per_receiver_same (List.init nr Fun.id) in
+  {
+    avg_loss_rate = mean (fun s -> s.loss_rate);
+    avg_burst = mean (fun s -> s.mean_burst);
+    avg_sharing =
+      (if n_lossy = 0 then 0. else float_of_int total_sharing /. float_of_int n_lossy);
+    repeat_pattern_fraction =
+      (if n_lossy <= 1 then 0. else float_of_int repeats /. float_of_int (n_lossy - 1));
+    consecutive_same_for_receiver =
+      (match same_fracs with
+      | [] -> 0.
+      | fs -> List.fold_left ( +. ) 0. fs /. float_of_int (List.length fs));
+  }
+
+let pp_trace_stats ppf s =
+  Format.fprintf ppf
+    "loss %.2f%% burst %.2f sharing %.2f repeat-pattern %.1f%% same-for-receiver %.1f%%"
+    (100. *. s.avg_loss_rate) s.avg_burst s.avg_sharing
+    (100. *. s.repeat_pattern_fraction)
+    (100. *. s.consecutive_same_for_receiver)

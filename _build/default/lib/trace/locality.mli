@@ -1,0 +1,38 @@
+(** Loss-locality metrics.
+
+    CESRM's premise (paper Section 1) is that IP multicast losses are
+    not independent: they are bursty in time and concentrated in space
+    (shared upstream links), so the requestor/replier pair that fixed
+    the previous loss very likely fixes the next one. These metrics
+    quantify both kinds of locality on a trace and directly measure the
+    cache-relevance statistic: how often a receiver's consecutive
+    losses exhibit the same loss pattern. *)
+
+type receiver_stats = {
+  loss_rate : float;
+  mean_burst : float;  (** average run length of consecutive losses *)
+  p_loss_given_loss : float;
+      (** P(packet i+1 lost | packet i lost); >> loss_rate means
+          temporal locality *)
+}
+
+val receiver : Trace.t -> rcvr:int -> receiver_stats
+
+type trace_stats = {
+  avg_loss_rate : float;
+  avg_burst : float;
+  avg_sharing : float;
+      (** mean number of receivers sharing each lossy packet *)
+  repeat_pattern_fraction : float;
+      (** over consecutive lossy packets, the fraction whose
+          receiver-loss pattern is identical to the previous one —
+          the spatial-locality signal the cache rides on *)
+  consecutive_same_for_receiver : float;
+      (** averaged over receivers: fraction of a receiver's losses
+          whose global loss pattern matches that receiver's previous
+          loss's pattern *)
+}
+
+val trace : Trace.t -> trace_stats
+
+val pp_trace_stats : Format.formatter -> trace_stats -> unit

@@ -1,0 +1,44 @@
+type row = {
+  index : int;
+  name : string;
+  n_receivers : int;
+  tree_depth : int;
+  period_ms : int;
+  duration_s : int;
+  n_packets : int;
+  n_losses : int;
+}
+
+let row index name n_receivers tree_depth period_ms (h, m, s) n_packets n_losses =
+  { index; name; n_receivers; tree_depth; period_ms; duration_s = (h * 3600) + (m * 60) + s; n_packets; n_losses }
+
+let all =
+  [
+    row 1 "RFV960419" 12 6 80 (1, 0, 0) 45001 24086;
+    row 2 "RFV960508" 10 5 40 (1, 39, 19) 148970 55987;
+    row 3 "UCB960424" 15 7 40 (1, 2, 29) 93734 33506;
+    row 4 "WRN950919" 8 4 80 (0, 23, 31) 17637 10276;
+    row 5 "WRN951030" 10 4 80 (1, 16, 2) 57030 15879;
+    row 6 "WRN951101" 9 5 80 (0, 55, 40) 41751 18911;
+    row 7 "WRN951113" 12 5 80 (1, 1, 55) 46443 29686;
+    row 8 "WRN951114" 10 4 80 (0, 51, 23) 38539 11803;
+    row 9 "WRN951128" 9 4 80 (0, 59, 56) 44956 33040;
+    row 10 "WRN951204" 11 5 80 (1, 0, 32) 45404 16814;
+    row 11 "WRN951211" 11 4 80 (1, 36, 42) 72519 44649;
+    row 12 "WRN951214" 7 4 80 (0, 51, 38) 38724 20872;
+    row 13 "WRN951216" 8 3 80 (1, 6, 56) 50202 37833;
+    row 14 "WRN951218" 8 3 80 (1, 33, 20) 69994 43578;
+  ]
+
+let find name = List.find (fun r -> r.name = name) all
+
+let nth i = List.find (fun r -> r.index = i) all
+
+let featured =
+  List.map find [ "RFV960419"; "RFV960508"; "UCB960424"; "WRN951113"; "WRN951128"; "WRN951211" ]
+
+let loss_fraction r = float_of_int r.n_losses /. (float_of_int r.n_packets *. float_of_int r.n_receivers)
+
+let pp_row ppf r =
+  Format.fprintf ppf "%2d %-10s rcvrs %2d depth %d period %dms dur %ds pkts %6d losses %6d" r.index
+    r.name r.n_receivers r.tree_depth r.period_ms r.duration_s r.n_packets r.n_losses

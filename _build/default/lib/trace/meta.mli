@@ -1,0 +1,37 @@
+(** Table 1 of the paper: the 14 IP multicast transmission traces of
+    Yajnik et al. (GLOBECOM '96).
+
+    The original trace files are not redistributable and are
+    unavailable offline, so this repository regenerates synthetic
+    equivalents calibrated to these published characteristics (see
+    DESIGN.md §2). This module records the published rows. *)
+
+type row = {
+  index : int;  (** 1-based row number in Table 1 *)
+  name : string;  (** source & date, e.g. "RFV960419" *)
+  n_receivers : int;
+  tree_depth : int;
+  period_ms : int;  (** packet transmission period *)
+  duration_s : int;  (** transmission duration, seconds *)
+  n_packets : int;
+  n_losses : int;  (** total receiver-loss events *)
+}
+
+val all : row list
+(** The 14 rows, in table order. *)
+
+val find : string -> row
+(** Look up by name. @raise Not_found. *)
+
+val nth : int -> row
+(** Look up by 1-based index. @raise Not_found. *)
+
+val featured : row list
+(** The 6 traces Figures 1–4 plot: RFV960419, RFV960508, UCB960424,
+    WRN951113, WRN951128, WRN951211. *)
+
+val loss_fraction : row -> float
+(** [n_losses / (n_packets * n_receivers)] — average receiver loss
+    rate implied by the row. *)
+
+val pp_row : Format.formatter -> row -> unit

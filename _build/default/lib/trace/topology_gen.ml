@@ -1,0 +1,59 @@
+(* Build a parent vector incrementally:
+   1. a backbone chain of depth-1 routers guarantees reachability of
+      the target height;
+   2. one receiver under the deepest router pins the height exactly;
+   3. every other receiver attaches under a random router, sometimes
+      via a freshly created branch router, producing MBone-like trees
+      where interior fanout is small and receivers sit at many
+      depths. *)
+
+let generate ~rng ~n_receivers ~depth =
+  if depth < 1 then invalid_arg "Topology_gen.generate: depth >= 1 required";
+  if n_receivers < 1 then invalid_arg "Topology_gen.generate: n_receivers >= 1 required";
+  let parents = ref [ -1 ] (* node 0 = source, reversed order *) in
+  let n_nodes = ref 1 in
+  let depth_of = Hashtbl.create 32 in
+  Hashtbl.replace depth_of 0 0;
+  let add_node parent =
+    let id = !n_nodes in
+    parents := parent :: !parents;
+    incr n_nodes;
+    Hashtbl.replace depth_of id (1 + Hashtbl.find depth_of parent);
+    id
+  in
+  (* Backbone routers at depths 1 .. depth-1. *)
+  let backbone = Array.make depth 0 in
+  for d = 1 to depth - 1 do
+    backbone.(d) <- add_node backbone.(d - 1)
+  done;
+  let routers = ref (Array.to_list backbone) in
+  (* Receivers are tracked so we can renumber leaves later; here we
+     only need their parent choices. The first receiver pins height. *)
+  let receiver_parents = ref [ backbone.(depth - 1) ] in
+  for _ = 2 to n_receivers do
+    let router_arr = Array.of_list !routers in
+    (* Real MBone receivers sit at the network edge: most attach near
+       the bottom of the tree, at similar depths — which is what makes
+       SRM's deterministic suppression imperfect and its probabilistic
+       suppression necessary. *)
+    let deep = List.filter (fun r -> Hashtbl.find depth_of r >= depth - 2) !routers in
+    let base =
+      if deep <> [] && Sim.Rng.bernoulli rng 0.8 then Sim.Rng.pick rng (Array.of_list deep)
+      else Sim.Rng.pick rng router_arr
+    in
+    let parent =
+      (* With some probability, grow a new branch router below [base]
+         (if it would not exceed depth-1), else attach directly. *)
+      if Hashtbl.find depth_of base < depth - 1 && Sim.Rng.bernoulli rng 0.45 then begin
+        let r = add_node base in
+        routers := r :: !routers;
+        r
+      end
+      else base
+    in
+    receiver_parents := parent :: !receiver_parents
+  done;
+  (* Receivers get the highest ids so routers keep a dense prefix; the
+     id order inside each class is arbitrary. *)
+  List.iter (fun parent -> ignore (add_node parent)) (List.rev !receiver_parents);
+  Net.Tree.of_parents (Array.of_list (List.rev !parents))

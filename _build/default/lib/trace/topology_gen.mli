@@ -1,0 +1,14 @@
+(** Random multicast-tree topologies with prescribed shape.
+
+    Yajnik et al. publish, for each trace, the receiver count and the
+    multicast tree depth but not the tree itself. This generator draws
+    a random tree with exactly the requested number of receivers (all
+    of them leaves) and exactly the requested height, with a mix of
+    backbone routers and branching that resembles the published MBone
+    topologies (fanout mostly 1–3, receivers hanging at varied
+    depths). *)
+
+val generate : rng:Sim.Rng.t -> n_receivers:int -> depth:int -> Net.Tree.t
+(** @raise Invalid_argument if [depth < 1], [n_receivers < 1], or the
+    shape is infeasible (a height-[d] tree needs at least one receiver
+    at depth [d]). *)

@@ -1,0 +1,1 @@
+test/test_cesrm.ml: Alcotest Cesrm Float Gen Harness List Mtrace Net Option QCheck QCheck_alcotest Sim Srm Stats

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Cesrm Float Harness Inference Lazy List Lms Mtrace Net Printf QCheck QCheck_alcotest Sim Srm Stats String

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Float Gen Inference List Mtrace Net QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_lms.ml: Alcotest Array Harness Inference List Lms Mtrace Net Sim Stats String

@@ -1,0 +1,1 @@
+test/test_srm.ml: Alcotest Float Harness List Mtrace Net Result Sim Srm Stats

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Float Fun List Mtrace Net Printf QCheck QCheck_alcotest Sim Sys

@@ -1,0 +1,285 @@
+(* Tests for the link-loss inference pipeline: pattern algebra, the
+   Yajnik and MINC estimators, and max-likelihood loss attribution. *)
+
+let check = Alcotest.check
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* 0 - 1 - 3 (rcvr)
+       \ 4 (rcvr)
+     2 - 5 (rcvr)  *)
+let sample_tree () = Net.Tree.of_parents [| -1; 0; 0; 1; 1; 2 |]
+
+let make_trace ~tree ~patterns ~n_packets =
+  (* [patterns] maps 1-based seq -> receiver-index list. *)
+  let nr = Net.Tree.n_receivers tree in
+  let loss = Array.init nr (fun _ -> Mtrace.Bitset.create n_packets) in
+  List.iter
+    (fun (seq, rcvrs) -> List.iter (fun r -> Mtrace.Bitset.set loss.(r) (seq - 1)) rcvrs)
+    patterns;
+  Mtrace.Trace.create ~name:"synth" ~tree ~period:0.1 ~n_packets ~loss
+
+(* --- Pattern ------------------------------------------------------------ *)
+
+let test_pattern_maximal_fully_lost () =
+  let tree = sample_tree () in
+  let p = Inference.Pattern.create tree in
+  Inference.Pattern.load p ~lost_nodes:[ 3; 4 ];
+  check Alcotest.(list int) "subtree of 1" [ 1 ] (Inference.Pattern.maximal_fully_lost p);
+  check Alcotest.bool "1 fully lost" true (Inference.Pattern.is_fully_lost p 1);
+  check Alcotest.bool "0 not fully lost" false (Inference.Pattern.is_fully_lost p 0);
+  Inference.Pattern.load p ~lost_nodes:[ 3 ];
+  check Alcotest.(list int) "single leaf" [ 3 ] (Inference.Pattern.maximal_fully_lost p);
+  Inference.Pattern.load p ~lost_nodes:[ 3; 4; 5 ];
+  check Alcotest.(list int) "whole tree" [ 0 ] (Inference.Pattern.maximal_fully_lost p);
+  Inference.Pattern.load p ~lost_nodes:[ 3; 5 ];
+  (* Receiver 5 is the only receiver under router 2, so the chain node
+     2 — not the leaf — is the maximal fully-lost node. *)
+  check Alcotest.(list int) "two maximal regions" [ 2; 3 ]
+    (List.sort compare (Inference.Pattern.maximal_fully_lost p));
+  Inference.Pattern.load p ~lost_nodes:[];
+  check Alcotest.(list int) "empty pattern" [] (Inference.Pattern.maximal_fully_lost p)
+
+let test_pattern_load_rejects_non_receiver () =
+  let tree = sample_tree () in
+  let p = Inference.Pattern.create tree in
+  Alcotest.check_raises "router is not a receiver"
+    (Invalid_argument "Pattern.load: not a receiver") (fun () ->
+      Inference.Pattern.load p ~lost_nodes:[ 1 ])
+
+let test_pattern_reached_counts () =
+  let tree = sample_tree () in
+  (* 4 packets: packet 1 lost by {3,4}; packet 2 lost by {5};
+     packet 3 lost by everyone; packet 4 lost by nobody. *)
+  let trace =
+    make_trace ~tree ~n_packets:4 ~patterns:[ (1, [ 0; 1 ]); (2, [ 2 ]); (3, [ 0; 1; 2 ]) ]
+  in
+  let counts = Inference.Pattern.reached_counts tree trace in
+  check Alcotest.int "root always reached" 4 counts.(0);
+  check Alcotest.int "node 1 reached unless both below lost" 2 counts.(1);
+  check Alcotest.int "leaf 3" 2 counts.(3);
+  check Alcotest.int "leaf 5" 2 counts.(5);
+  check Alcotest.int "node 2 mirrors leaf 5" 2 counts.(2)
+
+(* --- Yajnik ------------------------------------------------------------- *)
+
+let test_yajnik_planted_single_link () =
+  let tree = sample_tree () in
+  (* Lose 20 of 100 packets on link 1 exactly (both 3 and 4 lose). *)
+  let patterns = List.init 20 (fun i -> (i + 1, [ 0; 1 ])) in
+  let trace = make_trace ~tree ~n_packets:100 ~patterns in
+  let rates = Inference.Yajnik.estimate trace in
+  check (Alcotest.float 1e-9) "link 1 rate" 0.2 rates.(1);
+  check (Alcotest.float 1e-9) "link 3 clean" 0. rates.(3);
+  check (Alcotest.float 1e-9) "link 2 clean" 0. rates.(2)
+
+let test_yajnik_conditional_rates () =
+  let tree = sample_tree () in
+  (* Link 1 drops packets 1-10; additionally leaf 3 drops 11-20.
+     Leaf 3's conditional rate is 10 / (100 - 10): packets dropped on
+     link 1 never reached node 1. *)
+  let patterns =
+    List.init 10 (fun i -> (i + 1, [ 0; 1 ])) @ List.init 10 (fun i -> (i + 11, [ 0 ]))
+  in
+  let trace = make_trace ~tree ~n_packets:100 ~patterns in
+  let rates = Inference.Yajnik.estimate trace in
+  check (Alcotest.float 1e-9) "link 1" 0.1 rates.(1);
+  check (Alcotest.float 1e-6) "leaf 3 conditional" (10. /. 90.) rates.(3)
+
+let test_yajnik_chain_convention () =
+  (* 0 - 1 - 2 - 3(rcvr): all loss lands on the topmost chain link 1. *)
+  let tree = Net.Tree.of_parents [| -1; 0; 1; 2 |] in
+  let patterns = List.init 25 (fun i -> (i + 1, [ 0 ])) in
+  let trace = make_trace ~tree ~n_packets:100 ~patterns in
+  let rates = Inference.Yajnik.estimate trace in
+  check (Alcotest.float 1e-9) "top chain link carries loss" 0.25 rates.(1);
+  check (Alcotest.float 1e-9) "middle clean" 0. rates.(2);
+  check (Alcotest.float 1e-9) "bottom clean" 0. rates.(3)
+
+(* --- MINC --------------------------------------------------------------- *)
+
+let test_minc_matches_yajnik_on_planted () =
+  let tree = sample_tree () in
+  let patterns =
+    List.init 10 (fun i -> (i + 1, [ 0; 1 ]))
+    @ List.init 8 (fun i -> ((2 * i) + 21, [ 2 ]))
+    @ List.init 5 (fun i -> ((3 * i) + 40, [ 0 ]))
+  in
+  let trace = make_trace ~tree ~n_packets:100 ~patterns in
+  let yaj = Inference.Yajnik.estimate trace in
+  let minc = Inference.Minc.estimate trace in
+  Array.iter
+    (fun l ->
+      if Float.abs (yaj.(l) -. minc.(l)) > 0.05 then
+        Alcotest.failf "link %d: yajnik %.4f vs minc %.4f" l yaj.(l) minc.(l))
+    (Net.Tree.links tree)
+
+let test_minc_on_generated_traces () =
+  (* The paper found both estimators "very similar" on real traces. *)
+  List.iter
+    (fun idx ->
+      let gen = Mtrace.Generator.synthesize ~n_packets:4000 (Mtrace.Meta.nth idx) in
+      let yaj = Inference.Yajnik.estimate gen.trace in
+      let minc = Inference.Minc.estimate gen.trace in
+      Array.iter
+        (fun l ->
+          if Float.abs (yaj.(l) -. minc.(l)) > 0.03 then
+            Alcotest.failf "trace %d link %d: yajnik %.4f vs minc %.4f" idx l yaj.(l) minc.(l))
+        (Net.Tree.links (Mtrace.Trace.tree gen.trace)))
+    [ 1; 7; 13 ]
+
+let test_minc_branching_recovers_planted_rates () =
+  (* Binary tree of height 2: independent per-link Bernoulli drops;
+     MINC should recover the planted rates within sampling noise. *)
+  let tree = Net.Tree.balanced ~fanout:2 ~depth:2 in
+  let n = Net.Tree.n_nodes tree in
+  let planted =
+    Array.init n (fun l -> if l = 0 then 0. else 0.02 +. (0.01 *. float_of_int l))
+  in
+  let rng = Sim.Rng.create 21L in
+  let n_packets = 60_000 in
+  let receivers = Net.Tree.receivers tree in
+  let loss = Array.map (fun _ -> Mtrace.Bitset.create n_packets) receivers in
+  for i = 0 to n_packets - 1 do
+    let dropped = Array.init n (fun l -> l > 0 && Sim.Rng.bernoulli rng planted.(l)) in
+    Array.iteri
+      (fun idx node ->
+        let lost = List.exists (fun l -> dropped.(l)) (Net.Tree.on_path_links tree 0 node) in
+        if lost then Mtrace.Bitset.set loss.(idx) i)
+      receivers
+  done;
+  let trace = Mtrace.Trace.create ~name:"planted" ~tree ~period:0.1 ~n_packets ~loss in
+  let minc = Inference.Minc.estimate trace in
+  Array.iter
+    (fun l ->
+      if Float.abs (minc.(l) -. planted.(l)) > 0.01 then
+        Alcotest.failf "link %d: planted %.4f minc %.4f" l planted.(l) minc.(l))
+    (Net.Tree.links tree)
+
+(* --- Attribution ---------------------------------------------------------- *)
+
+let uniform_rates tree r = Array.init (Net.Tree.n_nodes tree) (fun l -> if l = 0 then 0. else r)
+
+let test_attribution_singleton () =
+  let tree = sample_tree () in
+  let trace = make_trace ~tree ~n_packets:10 ~patterns:[ (5, [ 0 ]) ] in
+  let att = Inference.Attribution.infer ~rates:(uniform_rates tree 0.05) trace in
+  check Alcotest.(list int) "cut at the leaf's own link" [ 3 ]
+    (Inference.Attribution.cuts att ~seq:5);
+  check Alcotest.(list int) "no cuts for clean packet" []
+    (Inference.Attribution.cuts att ~seq:1);
+  check (Alcotest.float 1e-9) "clean posterior" 1.0 (Inference.Attribution.posterior att ~seq:1)
+
+let test_attribution_prefers_shared_link () =
+  let tree = sample_tree () in
+  let trace = make_trace ~tree ~n_packets:10 ~patterns:[ (2, [ 0; 1 ]) ] in
+  (* With equal link rates 0.05: one cut on link 1 beats two cuts on
+     links 3 and 4 (0.05 vs 0.05²). *)
+  let att = Inference.Attribution.infer ~rates:(uniform_rates tree 0.05) trace in
+  check Alcotest.(list int) "single shared cut" [ 1 ] (Inference.Attribution.cuts att ~seq:2);
+  check Alcotest.bool "posterior below 1 (alternatives exist)" true
+    (Inference.Attribution.posterior att ~seq:2 < 1.0)
+
+let test_attribution_prefers_leaf_combination_when_interior_clean () =
+  let tree = sample_tree () in
+  let trace = make_trace ~tree ~n_packets:10 ~patterns:[ (2, [ 0; 1 ]) ] in
+  let rates = uniform_rates tree 1e-8 in
+  rates.(3) <- 0.3;
+  rates.(4) <- 0.3;
+  let att = Inference.Attribution.infer ~rates trace in
+  check Alcotest.(list int) "two leaf cuts win" [ 3; 4 ]
+    (List.sort compare (Inference.Attribution.cuts att ~seq:2))
+
+let test_attribution_full_loss () =
+  let tree = sample_tree () in
+  let trace = make_trace ~tree ~n_packets:4 ~patterns:[ (1, [ 0; 1; 2 ]) ] in
+  let rates = uniform_rates tree 0.02 in
+  rates.(1) <- 0.4;
+  rates.(2) <- 0.4;
+  let att = Inference.Attribution.infer ~rates trace in
+  check Alcotest.(list int) "both root branches cut" [ 1; 2 ]
+    (List.sort compare (Inference.Attribution.cuts att ~seq:1))
+
+let test_attribution_responsible_link () =
+  let tree = sample_tree () in
+  let trace = make_trace ~tree ~n_packets:10 ~patterns:[ (2, [ 0; 1 ]); (3, [ 2 ]) ] in
+  let att = Inference.Attribution.infer ~rates:(uniform_rates tree 0.05) trace in
+  check Alcotest.(option int) "receiver 3's loss explained by link 1" (Some 1)
+    (Inference.Attribution.responsible_link att ~node:3 ~seq:2);
+  check Alcotest.(option int) "receiver 5 did not lose packet 2" None
+    (Inference.Attribution.responsible_link att ~node:5 ~seq:2);
+  (* With uniform rates, one cut on chain link 2 (p) beats the deeper
+     cut on link 5 ((1-p)·p), so 5's loss is blamed on link 2. *)
+  check Alcotest.(option int) "receiver 5's own loss" (Some 2)
+    (Inference.Attribution.responsible_link att ~node:5 ~seq:3)
+
+let test_attribution_memoizes () =
+  let tree = sample_tree () in
+  let patterns = List.init 50 (fun i -> (i + 1, [ 0; 1 ])) in
+  let trace = make_trace ~tree ~n_packets:50 ~patterns in
+  let att = Inference.Attribution.infer ~rates:(uniform_rates tree 0.05) trace in
+  check Alcotest.int "one distinct pattern" 1 (Inference.Attribution.distinct_patterns att)
+
+let test_attribution_accuracy_on_generated () =
+  (* The paper: >90% of selected combinations have posterior >95%. *)
+  let gen = Mtrace.Generator.synthesize ~n_packets:4000 (Mtrace.Meta.nth 7) in
+  let rates = Inference.Yajnik.estimate gen.trace in
+  let att = Inference.Attribution.infer ~rates gen.trace in
+  let a95, _ = Inference.Attribution.posterior_quantile_stats att in
+  check Alcotest.bool "posterior confidence" true (a95 > 0.9)
+
+let prop_attribution_covers_exactly =
+  (* The selected cut set must explain exactly the lost receivers:
+     every lost receiver below exactly one cut, no clean receiver below
+     any cut. *)
+  QCheck.Test.make ~name:"attribution: cuts cover exactly the loss pattern" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 3) (int_range 0 2))
+    (fun lost_indices ->
+      let tree = sample_tree () in
+      let lost = List.sort_uniq compare lost_indices in
+      let trace = make_trace ~tree ~n_packets:3 ~patterns:[ (2, lost) ] in
+      let att = Inference.Attribution.infer ~rates:(uniform_rates tree 0.07) trace in
+      let cuts = Inference.Attribution.cuts att ~seq:2 in
+      let receivers = Net.Tree.receivers tree in
+      Array.for_all
+        (fun node ->
+          let idx = Mtrace.Trace.receiver_index trace ~node in
+          let covered = List.filter (fun l -> Net.Tree.is_ancestor tree l node) cuts in
+          if List.mem idx lost then List.length covered = 1 else covered = [])
+        receivers)
+
+let () =
+  Alcotest.run "inference"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "maximal fully lost" `Quick test_pattern_maximal_fully_lost;
+          Alcotest.test_case "rejects non-receiver" `Quick test_pattern_load_rejects_non_receiver;
+          Alcotest.test_case "reached counts" `Quick test_pattern_reached_counts;
+        ] );
+      ( "yajnik",
+        [
+          Alcotest.test_case "planted single link" `Quick test_yajnik_planted_single_link;
+          Alcotest.test_case "conditional rates" `Quick test_yajnik_conditional_rates;
+          Alcotest.test_case "chain convention" `Quick test_yajnik_chain_convention;
+        ] );
+      ( "minc",
+        [
+          Alcotest.test_case "matches yajnik (planted)" `Quick test_minc_matches_yajnik_on_planted;
+          Alcotest.test_case "matches yajnik (generated)" `Quick test_minc_on_generated_traces;
+          Alcotest.test_case "recovers planted rates" `Slow
+            test_minc_branching_recovers_planted_rates;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "singleton" `Quick test_attribution_singleton;
+          Alcotest.test_case "prefers shared link" `Quick test_attribution_prefers_shared_link;
+          Alcotest.test_case "prefers leaf combination" `Quick
+            test_attribution_prefers_leaf_combination_when_interior_clean;
+          Alcotest.test_case "full loss" `Quick test_attribution_full_loss;
+          Alcotest.test_case "responsible link" `Quick test_attribution_responsible_link;
+          Alcotest.test_case "memoizes patterns" `Quick test_attribution_memoizes;
+          Alcotest.test_case "accuracy on generated" `Quick test_attribution_accuracy_on_generated;
+          qcheck prop_attribution_covers_exactly;
+        ] );
+    ]

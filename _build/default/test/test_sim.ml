@@ -1,0 +1,320 @@
+(* Tests for the simulation substrate: PRNG, heap, event engine. *)
+
+let check = Alcotest.check
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Rng ------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 42L and b = Sim.Rng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same seed, same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1L and b = Sim.Rng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.bits64 a <> Sim.Rng.bits64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !differs
+
+let test_rng_split_independent () =
+  let parent = Sim.Rng.create 7L in
+  let child = Sim.Rng.split parent in
+  let xs = List.init 50 (fun _ -> Sim.Rng.bits64 parent) in
+  let ys = List.init 50 (fun _ -> Sim.Rng.bits64 child) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Sim.Rng.create 3L in
+  ignore (Sim.Rng.bits64 a);
+  let b = Sim.Rng.copy a in
+  check Alcotest.int64 "copy resumes identically" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+
+let test_rng_uniform_mean () =
+  let rng = Sim.Rng.create 11L in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.uniform rng 2.0 4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "uniform(2,4) mean near 3" true (Float.abs (mean -. 3.0) < 0.03)
+
+let test_rng_exponential_mean () =
+  let rng = Sim.Rng.create 13L in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.exponential rng 0.5
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "exponential mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Sim.Rng.create 17L in
+  for _ = 1 to 100 do
+    check Alcotest.bool "p=0 never true" false (Sim.Rng.bernoulli rng 0.);
+    check Alcotest.bool "p=1 always true" true (Sim.Rng.bernoulli rng 1.0)
+  done
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"rng: float stays in [0,b)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, b) ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let x = Sim.Rng.float rng b in
+      x >= 0. && x < b)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng: int stays in [0,n)" ~count:500
+    QCheck.(pair small_int (int_range 1 100000))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let x = Sim.Rng.int rng n in
+      x >= 0 && x < n)
+
+let prop_rng_shuffle_multiset =
+  QCheck.Test.make ~name:"rng: shuffle preserves elements" ~count:200
+    QCheck.(pair small_int (list int))
+    (fun (seed, xs) ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let a = Array.of_list xs in
+      Sim.Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let test_rng_log_uniform_bounds () =
+  let rng = Sim.Rng.create 23L in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.log_uniform rng 0.01 10. in
+    check Alcotest.bool "in range" true (x >= 0.0099 && x <= 10.01)
+  done
+
+(* --- Heap ------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  check Alcotest.bool "is_empty" true (Sim.Heap.is_empty h);
+  check Alcotest.(option int) "peek none" None (Sim.Heap.peek h);
+  check Alcotest.(option int) "pop none" None (Sim.Heap.pop h);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Sim.Heap.pop_exn h))
+
+let test_heap_order () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.add h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  check Alcotest.(option int) "peek min" (Some 1) (Sim.Heap.peek h);
+  let drained = List.init 7 (fun _ -> Sim.Heap.pop_exn h) in
+  check Alcotest.(list int) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ] drained
+
+let test_heap_interleaved () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Sim.Heap.add h 4;
+  Sim.Heap.add h 2;
+  check Alcotest.int "pop 2" 2 (Sim.Heap.pop_exn h);
+  Sim.Heap.add h 1;
+  Sim.Heap.add h 3;
+  check Alcotest.int "pop 1" 1 (Sim.Heap.pop_exn h);
+  check Alcotest.int "pop 3" 3 (Sim.Heap.pop_exn h);
+  check Alcotest.int "pop 4" 4 (Sim.Heap.pop_exn h);
+  check Alcotest.int "length 0" 0 (Sim.Heap.length h)
+
+let test_heap_clear () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.add h) [ 1; 2; 3 ];
+  Sim.Heap.clear h;
+  check Alcotest.bool "cleared" true (Sim.Heap.is_empty h)
+
+let test_heap_duplicates () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.add h) [ 2; 2; 2; 1; 1 ];
+  check Alcotest.(list int) "dups kept" [ 1; 1; 2; 2; 2 ]
+    (List.init 5 (fun _ -> Sim.Heap.pop_exn h))
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap: drain is sorted" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.add h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Sim.Heap.pop_exn h) in
+      drained = List.sort compare xs)
+
+let prop_heap_to_sorted_list =
+  QCheck.Test.make ~name:"heap: to_sorted_list is non-destructive and sorted" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.add h) xs;
+      let sorted = Sim.Heap.to_sorted_list h in
+      sorted = List.sort compare xs && Sim.Heap.length h = List.length xs)
+
+(* --- Engine ----------------------------------------------------------- *)
+
+let test_engine_time_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Sim.Engine.now e) :: !log in
+  ignore (Sim.Engine.schedule e ~after:3.0 (note "c"));
+  ignore (Sim.Engine.schedule e ~after:1.0 (note "a"));
+  ignore (Sim.Engine.schedule e ~after:2.0 (note "b"));
+  Sim.Engine.run e;
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "events in order"
+    [ ("a", 1.0); ("b", 2.0); ("c", 3.0) ]
+    (List.rev !log)
+
+let test_engine_fifo_ties () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule e ~after:1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run e;
+  check Alcotest.(list int) "FIFO among equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let timer = Sim.Engine.schedule e ~after:1.0 (fun () -> fired := true) in
+  check Alcotest.bool "pending before" true (Sim.Engine.is_pending timer);
+  Sim.Engine.cancel timer;
+  check Alcotest.bool "not pending after" false (Sim.Engine.is_pending timer);
+  Sim.Engine.run e;
+  check Alcotest.bool "cancelled timer did not fire" false !fired
+
+let test_engine_cancel_idempotent () =
+  let e = Sim.Engine.create () in
+  let timer = Sim.Engine.schedule e ~after:1.0 (fun () -> ()) in
+  Sim.Engine.cancel timer;
+  Sim.Engine.cancel timer;
+  Sim.Engine.run e
+
+let test_engine_schedule_inside_callback () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~after:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.Engine.schedule e ~after:0.5 (fun () -> log := "inner" :: !log))));
+  Sim.Engine.run e;
+  check Alcotest.(list string) "nested scheduling" [ "outer"; "inner" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock advanced" 1.5 (Sim.Engine.now e)
+
+let test_engine_horizon () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  ignore (Sim.Engine.schedule e ~after:1.0 (fun () -> fired := 1 :: !fired));
+  ignore (Sim.Engine.schedule e ~after:2.0 (fun () -> fired := 2 :: !fired));
+  ignore (Sim.Engine.schedule e ~after:3.0 (fun () -> fired := 3 :: !fired));
+  Sim.Engine.run ~until:2.0 e;
+  check Alcotest.(list int) "events at or before horizon" [ 1; 2 ] (List.rev !fired);
+  Sim.Engine.run e;
+  check Alcotest.(list int) "remaining events run later" [ 1; 2; 3 ] (List.rev !fired)
+
+let test_engine_max_events () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore (Sim.Engine.schedule e ~after:1.0 (fun () -> incr count))
+  done;
+  Sim.Engine.run ~max_events:4 e;
+  check Alcotest.int "event budget respected" 4 !count
+
+let test_engine_negative_delay_clamped () =
+  let e = Sim.Engine.create () in
+  let at = ref (-1.) in
+  ignore (Sim.Engine.schedule e ~after:5.0 (fun () ->
+      ignore (Sim.Engine.schedule e ~after:(-3.0) (fun () -> at := Sim.Engine.now e))));
+  Sim.Engine.run e;
+  check (Alcotest.float 1e-9) "clamped to now" 5.0 !at
+
+let test_engine_schedule_at_past_clamped () =
+  let e = Sim.Engine.create () in
+  let at = ref (-1.) in
+  ignore (Sim.Engine.schedule e ~after:2.0 (fun () ->
+      ignore (Sim.Engine.schedule_at e ~at:1.0 (fun () -> at := Sim.Engine.now e))));
+  Sim.Engine.run e;
+  check (Alcotest.float 1e-9) "past events run now" 2.0 !at
+
+let test_engine_pending_events () =
+  let e = Sim.Engine.create () in
+  let t1 = Sim.Engine.schedule e ~after:1.0 (fun () -> ()) in
+  ignore (Sim.Engine.schedule e ~after:2.0 (fun () -> ()));
+  check Alcotest.int "two pending" 2 (Sim.Engine.pending_events e);
+  Sim.Engine.cancel t1;
+  check Alcotest.int "one pending after cancel" 1 (Sim.Engine.pending_events e)
+
+let test_engine_step () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore (Sim.Engine.schedule e ~after:1.0 (fun () -> incr count));
+  check Alcotest.bool "step runs one" true (Sim.Engine.step e);
+  check Alcotest.bool "step on empty is false" false (Sim.Engine.step e);
+  check Alcotest.int "ran once" 1 !count
+
+let test_engine_fire_time () =
+  let e = Sim.Engine.create () in
+  let t = Sim.Engine.schedule e ~after:2.5 (fun () -> ()) in
+  check (Alcotest.float 1e-9) "fire time" 2.5 (Sim.Engine.fire_time t)
+
+let prop_engine_random_schedule =
+  QCheck.Test.make ~name:"engine: arbitrary delays run in sorted order" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_range 0. 100.))
+    (fun delays ->
+      let e = Sim.Engine.create () in
+      let log = ref [] in
+      List.iter
+        (fun d -> ignore (Sim.Engine.schedule e ~after:d (fun () -> log := Sim.Engine.now e :: !log)))
+        delays;
+      Sim.Engine.run e;
+      let times = List.rev !log in
+      times = List.sort compare delays)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "log-uniform bounds" `Quick test_rng_log_uniform_bounds;
+          qcheck prop_rng_float_bounds;
+          qcheck prop_rng_int_bounds;
+          qcheck prop_rng_shuffle_multiset;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          qcheck prop_heap_sorted;
+          qcheck prop_heap_to_sorted_list;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel idempotent" `Quick test_engine_cancel_idempotent;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_schedule_inside_callback;
+          Alcotest.test_case "horizon" `Quick test_engine_horizon;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+          Alcotest.test_case "past schedule_at" `Quick test_engine_schedule_at_past_clamped;
+          Alcotest.test_case "pending count" `Quick test_engine_pending_events;
+          Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "fire time" `Quick test_engine_fire_time;
+          qcheck prop_engine_random_schedule;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Tests for the stats library: summaries, vectors, recovery records,
+   counters, table rendering. *)
+
+let check = Alcotest.check
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Vec --------------------------------------------------------------- *)
+
+let test_vec () =
+  let v = Stats.Vec.create () in
+  check Alcotest.int "empty" 0 (Stats.Vec.length v);
+  for i = 1 to 100 do
+    Stats.Vec.add v (float_of_int i)
+  done;
+  check Alcotest.int "length" 100 (Stats.Vec.length v);
+  check (Alcotest.float 1e-9) "get" 37. (Stats.Vec.get v 36);
+  check Alcotest.int "to_array" 100 (Array.length (Stats.Vec.to_array v));
+  Alcotest.check_raises "bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Stats.Vec.get v 100))
+
+(* --- Summary ------------------------------------------------------------ *)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  check Alcotest.int "count" 0 (Stats.Summary.count s);
+  check (Alcotest.float 1e-9) "mean 0" 0. (Stats.Summary.mean s);
+  check (Alcotest.float 1e-9) "variance 0" 0. (Stats.Summary.variance s)
+
+let test_summary_moments () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.Summary.mean s);
+  check (Alcotest.float 1e-6) "sample variance" (32. /. 7.) (Stats.Summary.variance s);
+  check (Alcotest.float 1e-9) "min" 2. (Stats.Summary.min s);
+  check (Alcotest.float 1e-9) "max" 9. (Stats.Summary.max s);
+  check (Alcotest.float 1e-9) "total" 40. (Stats.Summary.total s)
+
+let test_summary_percentile () =
+  let s = Stats.Summary.create () in
+  for i = 1 to 101 do
+    Stats.Summary.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "median" 51. (Stats.Summary.percentile s 0.5);
+  check (Alcotest.float 1e-9) "p0" 1. (Stats.Summary.percentile s 0.);
+  check (Alcotest.float 1e-9) "p100" 101. (Stats.Summary.percentile s 1.0);
+  let no_samples = Stats.Summary.create ~keep_samples:false () in
+  Stats.Summary.add no_samples 1.;
+  Alcotest.check_raises "no samples retained"
+    (Invalid_argument "Summary.percentile: samples not retained") (fun () ->
+      ignore (Stats.Summary.percentile no_samples 0.5))
+
+let test_summary_merge () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  List.iter (Stats.Summary.add a) [ 1.; 2.; 3. ];
+  List.iter (Stats.Summary.add b) [ 4.; 5. ];
+  let m = Stats.Summary.merge a b in
+  check Alcotest.int "count" 5 (Stats.Summary.count m);
+  check (Alcotest.float 1e-9) "mean" 3. (Stats.Summary.mean m);
+  (* moment-only merge *)
+  let c = Stats.Summary.create ~keep_samples:false () in
+  List.iter (Stats.Summary.add c) [ 4.; 5. ];
+  let m2 = Stats.Summary.merge a c in
+  check Alcotest.int "count moment merge" 5 (Stats.Summary.count m2);
+  check (Alcotest.float 1e-9) "mean moment merge" 3. (Stats.Summary.mean m2)
+
+let prop_summary_matches_naive =
+  QCheck.Test.make ~name:"summary: streaming mean/var match naive" ~count:300
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+      in
+      Float.abs (mean -. Stats.Summary.mean s) < 1e-6
+      && Float.abs (var -. Stats.Summary.variance s) < 1e-5)
+
+(* --- Recovery ------------------------------------------------------------ *)
+
+let rec_record ?(node = 1) ?(seq = 1) ?(det = 0.) ?(rec_ = 1.) ?(expedited = false) () =
+  {
+    Stats.Recovery.node;
+    src = 0;
+    seq;
+    detected_at = det;
+    recovered_at = rec_;
+    rounds = 1;
+    expedited;
+  }
+
+let test_recovery_collector () =
+  let c = Stats.Recovery.create () in
+  Stats.Recovery.add c (rec_record ~node:1 ~seq:1 ~det:0. ~rec_:2. ());
+  Stats.Recovery.add c (rec_record ~node:2 ~seq:1 ~det:0. ~rec_:4. ~expedited:true ());
+  Stats.Recovery.add c (rec_record ~node:1 ~seq:2 ~det:1. ~rec_:2. ());
+  check Alcotest.int "count" 3 (Stats.Recovery.count c);
+  check Alcotest.int "for_node" 2 (List.length (Stats.Recovery.for_node c 1));
+  let s = Stats.Recovery.latency_summary c in
+  check (Alcotest.float 1e-9) "mean latency" (7. /. 3.) (Stats.Summary.mean s);
+  let exp_only =
+    Stats.Recovery.latency_summary c ~filter:(fun r -> r.Stats.Recovery.expedited)
+  in
+  check Alcotest.int "filtered" 1 (Stats.Summary.count exp_only);
+  let norm =
+    Stats.Recovery.latency_summary c ~normalize:(fun _ -> 2.) ~filter:(fun r -> r.node = 1)
+  in
+  check (Alcotest.float 1e-9) "normalized" 0.75 (Stats.Summary.mean norm)
+
+let test_recovery_unrecovered () =
+  let c = Stats.Recovery.create () in
+  Stats.Recovery.add c (rec_record ~node:1 ());
+  let missing = Stats.Recovery.unrecovered c ~expected:[ (1, 3); (2, 1) ] in
+  check Alcotest.(list (pair int int)) "missing" [ (1, 2); (2, 1) ] missing
+
+(* --- Counters -------------------------------------------------------------- *)
+
+let test_counters () =
+  let c = Stats.Counters.create ~n_nodes:4 in
+  Stats.Counters.bump c ~node:2 Stats.Counters.Rqst;
+  Stats.Counters.bump c ~node:2 Stats.Counters.Rqst;
+  Stats.Counters.bump c ~node:3 Stats.Counters.Exp_repl;
+  check Alcotest.int "get" 2 (Stats.Counters.get c ~node:2 Stats.Counters.Rqst);
+  check Alcotest.int "other zero" 0 (Stats.Counters.get c ~node:1 Stats.Counters.Rqst);
+  check Alcotest.int "total" 2 (Stats.Counters.total c Stats.Counters.Rqst);
+  check Alcotest.int "erepl total" 1 (Stats.Counters.total c Stats.Counters.Exp_repl);
+  check Alcotest.int "five kinds" 5 (List.length Stats.Counters.all_kinds)
+
+(* --- Table ----------------------------------------------------------------- *)
+
+let test_table_render () =
+  let out =
+    Stats.Table.render ~header:[ "name"; "value" ] ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  check Alcotest.bool "contains header" true
+    (String.length out > 0
+    &&
+    let lines = String.split_on_char '\n' out in
+    List.exists (fun l -> String.length l >= 4 && String.sub l 0 4 = "name") lines);
+  (* all data rows aligned: the columns of 'value' line up *)
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "line count (header + sep + 2 rows + trailing)" 5 (List.length lines)
+
+let test_table_bar () =
+  check Alcotest.string "full bar" "##########" (Stats.Table.bar ~width:10 ~max_value:1. 1.);
+  check Alcotest.string "half bar" "#####" (Stats.Table.bar ~width:10 ~max_value:1. 0.5);
+  check Alcotest.string "clamped" "##########" (Stats.Table.bar ~width:10 ~max_value:1. 7.);
+  check Alcotest.string "zero" "" (Stats.Table.bar ~width:10 ~max_value:1. 0.)
+
+let test_table_bar_chart () =
+  let out =
+    Stats.Table.bar_chart ~title:"demo" ~labels:[ "a"; "b" ]
+      ~series:[ ("s1", [ 1.; 2. ]); ("s2", [ 2.; 1. ]) ]
+      ()
+  in
+  check Alcotest.bool "mentions series" true
+    (String.length out > 10
+    && String.split_on_char '\n' out
+       |> List.exists (fun l ->
+              String.length l > 2
+              && String.index_opt l '#' <> None))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ("vec", [ Alcotest.test_case "basic" `Quick test_vec ]);
+      ( "summary",
+        [
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "moments" `Quick test_summary_moments;
+          Alcotest.test_case "percentile" `Quick test_summary_percentile;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          qcheck prop_summary_matches_naive;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "collector" `Quick test_recovery_collector;
+          Alcotest.test_case "unrecovered" `Quick test_recovery_unrecovered;
+        ] );
+      ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "bar" `Quick test_table_bar;
+          Alcotest.test_case "bar chart" `Quick test_table_bar_chart;
+        ] );
+    ]

@@ -1,0 +1,415 @@
+(* Tests for the trace substrate: bitsets, Table 1 metadata, the
+   Gilbert model, topology generation, calibrated synthesis, the codec
+   and locality metrics. *)
+
+let check = Alcotest.check
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Bitset ----------------------------------------------------------- *)
+
+let test_bitset_basic () =
+  let b = Mtrace.Bitset.create 20 in
+  check Alcotest.int "length" 20 (Mtrace.Bitset.length b);
+  check Alcotest.int "empty count" 0 (Mtrace.Bitset.count b);
+  Mtrace.Bitset.set b 3;
+  Mtrace.Bitset.set b 19;
+  check Alcotest.bool "get set bit" true (Mtrace.Bitset.get b 3);
+  check Alcotest.bool "get clear bit" false (Mtrace.Bitset.get b 4);
+  check Alcotest.int "count" 2 (Mtrace.Bitset.count b);
+  Mtrace.Bitset.clear b 3;
+  check Alcotest.bool "cleared" false (Mtrace.Bitset.get b 3);
+  Mtrace.Bitset.assign b 5 true;
+  check Alcotest.bool "assign true" true (Mtrace.Bitset.get b 5)
+
+let test_bitset_bounds () =
+  let b = Mtrace.Bitset.create 8 in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Mtrace.Bitset.get b 8));
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Mtrace.Bitset.set b (-1))
+
+let test_bitset_iter_copy_equal () =
+  let b = Mtrace.Bitset.create 10 in
+  List.iter (Mtrace.Bitset.set b) [ 1; 4; 9 ];
+  let seen = ref [] in
+  Mtrace.Bitset.iter_set b (fun i -> seen := i :: !seen);
+  check Alcotest.(list int) "iter_set order" [ 1; 4; 9 ] (List.rev !seen);
+  let c = Mtrace.Bitset.copy b in
+  check Alcotest.bool "copy equal" true (Mtrace.Bitset.equal b c);
+  Mtrace.Bitset.set c 0;
+  check Alcotest.bool "copy independent" false (Mtrace.Bitset.equal b c)
+
+let test_bitset_union_complement () =
+  let a = Mtrace.Bitset.create 10 and b = Mtrace.Bitset.create 10 in
+  Mtrace.Bitset.set a 1;
+  Mtrace.Bitset.set b 2;
+  Mtrace.Bitset.union_into ~dst:a b;
+  check Alcotest.int "union count" 2 (Mtrace.Bitset.count a);
+  let c = Mtrace.Bitset.complement a in
+  check Alcotest.int "complement count" 8 (Mtrace.Bitset.count c);
+  check Alcotest.bool "complement flips" false (Mtrace.Bitset.get c 1)
+
+let test_bitset_of_runs_validation () =
+  Alcotest.check_raises "short runs" (Invalid_argument "Bitset.of_runs: runs do not cover length")
+    (fun () -> ignore (Mtrace.Bitset.of_runs 5 [ (false, 3) ]));
+  Alcotest.check_raises "overflow" (Invalid_argument "Bitset.of_runs: overflow") (fun () ->
+      ignore (Mtrace.Bitset.of_runs 5 [ (false, 3); (true, 9) ]))
+
+let prop_bitset_runs_roundtrip =
+  QCheck.Test.make ~name:"bitset: fold_runs/of_runs roundtrip" ~count:300
+    QCheck.(list bool)
+    (fun bits ->
+      let n = List.length bits in
+      let b = Mtrace.Bitset.create n in
+      List.iteri (fun i v -> if v then Mtrace.Bitset.set b i) bits;
+      let runs =
+        List.rev (Mtrace.Bitset.fold_runs b ~init:[] ~f:(fun acc v len -> (v, len) :: acc))
+      in
+      Mtrace.Bitset.equal b (Mtrace.Bitset.of_runs n runs))
+
+let prop_bitset_model_based =
+  (* Random op sequences agree with a bool-array model. *)
+  QCheck.Test.make ~name:"bitset: agrees with a bool-array model" ~count:300
+    QCheck.(pair (int_range 1 64) (list (pair (int_range 0 2) small_nat)))
+    (fun (n, ops) ->
+      let b = Mtrace.Bitset.create n in
+      let model = Array.make n false in
+      List.iter
+        (fun (op, raw) ->
+          let i = raw mod n in
+          match op with
+          | 0 ->
+              Mtrace.Bitset.set b i;
+              model.(i) <- true
+          | 1 ->
+              Mtrace.Bitset.clear b i;
+              model.(i) <- false
+          | _ ->
+              Mtrace.Bitset.assign b i (raw mod 2 = 0);
+              model.(i) <- raw mod 2 = 0)
+        ops;
+      Mtrace.Bitset.count b = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 model
+      && Array.for_all Fun.id (Array.init n (fun i -> Mtrace.Bitset.get b i = model.(i))))
+
+let prop_bitset_count_matches =
+  QCheck.Test.make ~name:"bitset: count = number of set bits" ~count:300
+    QCheck.(list bool)
+    (fun bits ->
+      let n = List.length bits in
+      let b = Mtrace.Bitset.create n in
+      List.iteri (fun i v -> if v then Mtrace.Bitset.set b i) bits;
+      Mtrace.Bitset.count b = List.length (List.filter Fun.id bits))
+
+(* --- Meta -------------------------------------------------------------- *)
+
+let test_meta_catalogue () =
+  check Alcotest.int "14 rows" 14 (List.length Mtrace.Meta.all);
+  check Alcotest.int "6 featured" 6 (List.length Mtrace.Meta.featured);
+  let r = Mtrace.Meta.find "UCB960424" in
+  check Alcotest.int "receivers" 15 r.n_receivers;
+  check Alcotest.int "depth" 7 r.tree_depth;
+  check Alcotest.int "packets" 93734 r.n_packets;
+  check Alcotest.int "by index" 3 (Mtrace.Meta.nth 3).index;
+  check Alcotest.bool "loss fraction sane" true
+    (List.for_all
+       (fun r ->
+         let f = Mtrace.Meta.loss_fraction r in
+         f > 0.005 && f < 0.2)
+       Mtrace.Meta.all)
+
+let test_meta_duration_consistency () =
+  (* duration ≈ packets × period for every row (within a couple %) *)
+  List.iter
+    (fun (r : Mtrace.Meta.row) ->
+      let implied = float_of_int r.n_packets *. (float_of_int r.period_ms /. 1000.) in
+      let err = Float.abs (implied -. float_of_int r.duration_s) /. float_of_int r.duration_s in
+      if err > 0.05 then
+        Alcotest.failf "%s: duration %ds vs implied %.0fs" r.name r.duration_s implied)
+    Mtrace.Meta.all
+
+(* --- Gilbert ------------------------------------------------------------ *)
+
+let test_gilbert_parameterization () =
+  let g = Mtrace.Gilbert.of_marginal ~loss_rate:0.1 ~mean_burst:2.5 in
+  check (Alcotest.float 1e-9) "loss rate recovered" 0.1 (Mtrace.Gilbert.loss_rate g);
+  check (Alcotest.float 1e-9) "burst recovered" 2.5 (Mtrace.Gilbert.mean_burst g)
+
+let test_gilbert_validation () =
+  Alcotest.check_raises "loss_rate >= 1"
+    (Invalid_argument "Gilbert.of_marginal: loss_rate") (fun () ->
+      ignore (Mtrace.Gilbert.of_marginal ~loss_rate:1.0 ~mean_burst:2.));
+  Alcotest.check_raises "burst < 1"
+    (Invalid_argument "Gilbert.of_marginal: mean_burst >= 1 required") (fun () ->
+      ignore (Mtrace.Gilbert.of_marginal ~loss_rate:0.1 ~mean_burst:0.5))
+
+let test_gilbert_zero_rate () =
+  let g = Mtrace.Gilbert.of_marginal ~loss_rate:0. ~mean_burst:2. in
+  let bits = Mtrace.Gilbert.run g (Sim.Rng.create 5L) 10_000 in
+  check Alcotest.int "no losses at rate 0" 0 (Mtrace.Bitset.count bits)
+
+let test_gilbert_empirical () =
+  let g = Mtrace.Gilbert.of_marginal ~loss_rate:0.08 ~mean_burst:3.0 in
+  let n = 200_000 in
+  let bits = Mtrace.Gilbert.run g (Sim.Rng.create 9L) n in
+  let rate = float_of_int (Mtrace.Bitset.count bits) /. float_of_int n in
+  check Alcotest.bool "empirical rate near 0.08" true (Float.abs (rate -. 0.08) < 0.01);
+  (* empirical mean burst *)
+  let bursts = ref 0 and losses = ref 0 and prev = ref false in
+  for i = 0 to n - 1 do
+    let v = Mtrace.Bitset.get bits i in
+    if v then incr losses;
+    if v && not !prev then incr bursts;
+    prev := v
+  done;
+  let burst = float_of_int !losses /. float_of_int (max 1 !bursts) in
+  check Alcotest.bool "empirical burst near 3" true (Float.abs (burst -. 3.0) < 0.3)
+
+(* --- Topology generator -------------------------------------------------- *)
+
+let test_topology_shape () =
+  let rng = Sim.Rng.create 3L in
+  List.iter
+    (fun (n_receivers, depth) ->
+      let t = Mtrace.Topology_gen.generate ~rng ~n_receivers ~depth in
+      check Alcotest.int
+        (Printf.sprintf "receivers(%d,%d)" n_receivers depth)
+        n_receivers (Net.Tree.n_receivers t);
+      check Alcotest.int (Printf.sprintf "height(%d,%d)" n_receivers depth) depth
+        (Net.Tree.height t))
+    [ (1, 1); (8, 3); (12, 6); (15, 7); (10, 4) ]
+
+let test_topology_validation () =
+  let rng = Sim.Rng.create 3L in
+  Alcotest.check_raises "depth 0"
+    (Invalid_argument "Topology_gen.generate: depth >= 1 required") (fun () ->
+      ignore (Mtrace.Topology_gen.generate ~rng ~n_receivers:3 ~depth:0));
+  Alcotest.check_raises "no receivers"
+    (Invalid_argument "Topology_gen.generate: n_receivers >= 1 required") (fun () ->
+      ignore (Mtrace.Topology_gen.generate ~rng ~n_receivers:0 ~depth:2))
+
+let prop_topology_receivers_at_leaves =
+  QCheck.Test.make ~name:"topology: all receivers are leaves at depth <= D" ~count:100
+    QCheck.(pair (int_range 1 20) (int_range 1 7))
+    (fun (n_receivers, depth) ->
+      let rng = Sim.Rng.create 11L in
+      let t = Mtrace.Topology_gen.generate ~rng ~n_receivers ~depth in
+      Array.for_all (fun r -> Net.Tree.depth t r <= depth) (Net.Tree.receivers t)
+      && Net.Tree.n_receivers t = n_receivers)
+
+(* --- Generator ------------------------------------------------------------ *)
+
+let test_generator_calibration () =
+  List.iter
+    (fun idx ->
+      let row = Mtrace.Meta.nth idx in
+      let n_packets = 5000 in
+      let gen = Mtrace.Generator.synthesize ~n_packets row in
+      let target =
+        float_of_int row.n_losses *. float_of_int n_packets /. float_of_int row.n_packets
+      in
+      let realized = float_of_int (Mtrace.Trace.total_losses gen.trace) in
+      let err = Float.abs (realized -. target) /. target in
+      if err > 0.25 then
+        Alcotest.failf "%s: realized %.0f vs target %.0f" row.name realized target)
+    [ 1; 4; 9; 13 ]
+
+let test_generator_ground_truth_consistency () =
+  let row = Mtrace.Meta.nth 4 in
+  let gen = Mtrace.Generator.synthesize ~n_packets:2000 row in
+  let trace = gen.trace in
+  let tree = Mtrace.Trace.tree trace in
+  (* A receiver loses packet i iff some link on its path was Bad. *)
+  Array.iteri
+    (fun idx node ->
+      for seq = 1 to Mtrace.Trace.n_packets trace do
+        let on_path_bad =
+          List.exists
+            (fun l -> Mtrace.Bitset.get gen.link_bad.(l) (seq - 1))
+            (Net.Tree.on_path_links tree 0 node)
+        in
+        if Mtrace.Trace.lost trace ~rcvr:idx ~seq <> on_path_bad then
+          Alcotest.failf "receiver %d seq %d inconsistent with ground truth" node seq
+      done)
+    (Mtrace.Trace.receiver_nodes trace)
+
+let test_generator_deterministic () =
+  let row = Mtrace.Meta.nth 1 in
+  let a = Mtrace.Generator.synthesize ~seed:5L ~n_packets:1000 row in
+  let b = Mtrace.Generator.synthesize ~seed:5L ~n_packets:1000 row in
+  check Alcotest.int "same seed, same losses" (Mtrace.Trace.total_losses a.trace)
+    (Mtrace.Trace.total_losses b.trace);
+  check Alcotest.bool "same trees" true
+    (Net.Tree.equal (Mtrace.Trace.tree a.trace) (Mtrace.Trace.tree b.trace))
+
+let test_generator_shape_matches_row () =
+  let row = Mtrace.Meta.nth 3 in
+  let gen = Mtrace.Generator.synthesize ~n_packets:500 row in
+  check Alcotest.int "receivers" row.n_receivers (Mtrace.Trace.n_receivers gen.trace);
+  check Alcotest.int "depth" row.tree_depth (Net.Tree.height (Mtrace.Trace.tree gen.trace));
+  check (Alcotest.float 1e-9) "period" 0.04 (Mtrace.Trace.period gen.trace)
+
+(* --- Trace ------------------------------------------------------------------ *)
+
+let tiny_trace () =
+  let tree = Net.Tree.star 3 in
+  let loss = Array.init 3 (fun i ->
+      let b = Mtrace.Bitset.create 10 in
+      if i = 0 then begin Mtrace.Bitset.set b 2; Mtrace.Bitset.set b 3 end;
+      if i = 1 then Mtrace.Bitset.set b 2;
+      b)
+  in
+  Mtrace.Trace.create ~name:"tiny" ~tree ~period:0.08 ~n_packets:10 ~loss
+
+let test_trace_accessors () =
+  let t = tiny_trace () in
+  check Alcotest.int "n_receivers" 3 (Mtrace.Trace.n_receivers t);
+  check Alcotest.bool "lost" true (Mtrace.Trace.lost t ~rcvr:0 ~seq:3);
+  check Alcotest.bool "not lost" false (Mtrace.Trace.lost t ~rcvr:2 ~seq:3);
+  check Alcotest.bool "lost_node" true (Mtrace.Trace.lost_node t ~node:1 ~seq:3);
+  check Alcotest.int "receiver_index" 1 (Mtrace.Trace.receiver_index t ~node:2);
+  check Alcotest.int "total" 3 (Mtrace.Trace.total_losses t);
+  check Alcotest.(list int) "pattern of 3" [ 0; 1 ] (Mtrace.Trace.loss_pattern t ~seq:3);
+  check Alcotest.(list int) "lossy packets" [ 3; 4 ] (Mtrace.Trace.lossy_packets t)
+
+let test_trace_validation () =
+  let tree = Net.Tree.star 2 in
+  let bad_count = [| Mtrace.Bitset.create 5 |] in
+  Alcotest.check_raises "bitset count"
+    (Invalid_argument "Trace.create: one loss bitset per receiver required") (fun () ->
+      ignore (Mtrace.Trace.create ~name:"x" ~tree ~period:0.1 ~n_packets:5 ~loss:bad_count));
+  let bad_len = [| Mtrace.Bitset.create 5; Mtrace.Bitset.create 4 |] in
+  Alcotest.check_raises "bitset length" (Invalid_argument "Trace.create: bitset length")
+    (fun () ->
+      ignore (Mtrace.Trace.create ~name:"x" ~tree ~period:0.1 ~n_packets:5 ~loss:bad_len))
+
+let test_trace_truncate () =
+  let t = tiny_trace () in
+  let t3 = Mtrace.Trace.truncate t 3 in
+  check Alcotest.int "packets" 3 (Mtrace.Trace.n_packets t3);
+  check Alcotest.int "losses clipped" 2 (Mtrace.Trace.total_losses t3);
+  check Alcotest.bool "truncate beyond is identity" true (Mtrace.Trace.truncate t 99 == t)
+
+(* --- Codec ------------------------------------------------------------------- *)
+
+let test_codec_roundtrip_tiny () =
+  let t = tiny_trace () in
+  let t' = Mtrace.Codec.of_string (Mtrace.Codec.to_string t) in
+  check Alcotest.string "name" (Mtrace.Trace.name t) (Mtrace.Trace.name t');
+  check Alcotest.int "packets" (Mtrace.Trace.n_packets t) (Mtrace.Trace.n_packets t');
+  check Alcotest.bool "trees" true
+    (Net.Tree.equal (Mtrace.Trace.tree t) (Mtrace.Trace.tree t'));
+  for r = 0 to 2 do
+    check Alcotest.bool "bits" true
+      (Mtrace.Bitset.equal (Mtrace.Trace.loss_bits t ~rcvr:r) (Mtrace.Trace.loss_bits t' ~rcvr:r))
+  done
+
+let test_codec_roundtrip_generated () =
+  let gen = Mtrace.Generator.synthesize ~n_packets:800 (Mtrace.Meta.nth 4) in
+  let t = gen.trace in
+  let t' = Mtrace.Codec.of_string (Mtrace.Codec.to_string t) in
+  check Alcotest.int "losses preserved" (Mtrace.Trace.total_losses t)
+    (Mtrace.Trace.total_losses t')
+
+let test_codec_rejects_garbage () =
+  let expect_fail s =
+    match Mtrace.Codec.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "should have raised"
+  in
+  expect_fail "";
+  expect_fail "not a trace";
+  expect_fail "cesrm-trace v1\nname x\nperiod nope\npackets 3\nparents -1 0\nend\n"
+
+let test_codec_file_io () =
+  let t = tiny_trace () in
+  let path = Filename.temp_file "cesrm" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Mtrace.Codec.save t path;
+      let t' = Mtrace.Codec.load path in
+      check Alcotest.int "losses" (Mtrace.Trace.total_losses t) (Mtrace.Trace.total_losses t'))
+
+(* --- Locality ------------------------------------------------------------------ *)
+
+let test_locality_receiver () =
+  (* loss bits for rcvr 0: 0011000011 -> 4 losses, 2 bursts of 2 *)
+  let tree = Net.Tree.star 2 in
+  let b0 = Mtrace.Bitset.of_runs 10 [ (false, 2); (true, 2); (false, 4); (true, 2) ] in
+  let loss = [| b0; Mtrace.Bitset.create 10 |] in
+  let t = Mtrace.Trace.create ~name:"loc" ~tree ~period:0.1 ~n_packets:10 ~loss in
+  let s = Mtrace.Locality.receiver t ~rcvr:0 in
+  check (Alcotest.float 1e-9) "loss rate" 0.4 s.loss_rate;
+  check (Alcotest.float 1e-9) "mean burst" 2.0 s.mean_burst;
+  (* after a loss (positions 2,3,8): next lost in 1 of 3 cases
+     (position 3 follows 2; position 4 follows 3 and is clear; nothing
+     follows 9) -> transitions measured at indices 3,4,9: lost at 3 and
+     9, clear at 4 -> 2/3 *)
+  check (Alcotest.float 1e-9) "p(loss|loss)" (2. /. 3.) s.p_loss_given_loss
+
+let test_locality_trace_stats () =
+  let gen = Mtrace.Generator.synthesize ~n_packets:3000 (Mtrace.Meta.nth 9) in
+  let s = Mtrace.Locality.trace gen.trace in
+  check Alcotest.bool "bursty" true (s.avg_burst > 1.2);
+  check Alcotest.bool "locality present" true (s.consecutive_same_for_receiver > 0.3);
+  check Alcotest.bool "sharing at least 1" true (s.avg_sharing >= 1.0)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "iter/copy/equal" `Quick test_bitset_iter_copy_equal;
+          Alcotest.test_case "union/complement" `Quick test_bitset_union_complement;
+          Alcotest.test_case "of_runs validation" `Quick test_bitset_of_runs_validation;
+          qcheck prop_bitset_runs_roundtrip;
+          qcheck prop_bitset_model_based;
+          qcheck prop_bitset_count_matches;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "catalogue" `Quick test_meta_catalogue;
+          Alcotest.test_case "durations" `Quick test_meta_duration_consistency;
+        ] );
+      ( "gilbert",
+        [
+          Alcotest.test_case "parameterization" `Quick test_gilbert_parameterization;
+          Alcotest.test_case "validation" `Quick test_gilbert_validation;
+          Alcotest.test_case "zero rate" `Quick test_gilbert_zero_rate;
+          Alcotest.test_case "empirical statistics" `Quick test_gilbert_empirical;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "shape" `Quick test_topology_shape;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+          qcheck prop_topology_receivers_at_leaves;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "calibration" `Quick test_generator_calibration;
+          Alcotest.test_case "ground-truth consistency" `Quick test_generator_ground_truth_consistency;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "shape matches row" `Quick test_generator_shape_matches_row;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "accessors" `Quick test_trace_accessors;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "truncate" `Quick test_trace_truncate;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip tiny" `Quick test_codec_roundtrip_tiny;
+          Alcotest.test_case "roundtrip generated" `Quick test_codec_roundtrip_generated;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "file io" `Quick test_codec_file_io;
+        ] );
+      ( "locality",
+        [
+          Alcotest.test_case "receiver stats" `Quick test_locality_receiver;
+          Alcotest.test_case "trace stats" `Quick test_locality_trace_stats;
+        ] );
+    ]
