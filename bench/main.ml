@@ -8,7 +8,12 @@
      dune exec bench/main.exe -- --full       (full Table 1 packet counts)
      dune exec bench/main.exe -- --packets N
      dune exec bench/main.exe -- --sections fig1,fig5b
-     dune exec bench/main.exe -- --no-bechamel *)
+     dune exec bench/main.exe -- --no-bechamel
+     dune exec bench/main.exe -- --json FILE  (machine-readable timings)
+
+   The extra section "smoke" (one SRM+CESRM pair on the smallest
+   trace) runs only when named explicitly; `dune runtest` uses it as a
+   hot-path regression canary. *)
 
 let sections_filter = ref None
 
@@ -17,6 +22,8 @@ let n_packets = ref (Some 6000)
 let with_bechamel = ref true
 
 let csv_dir = ref None
+
+let json_file = ref None
 
 let parse_args () =
   let rec go = function
@@ -36,6 +43,9 @@ let parse_args () =
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
         go rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv))
@@ -43,14 +53,52 @@ let parse_args () =
 let want name =
   match !sections_filter with None -> true | Some names -> List.mem name names
 
+let explicitly_wanted name =
+  match !sections_filter with None -> false | Some names -> List.mem name names
+
+(* Per-section wall times and Bechamel estimates, accumulated for the
+   --json report (newest-first; reversed on output). *)
+let section_times : (string * float) list ref = ref []
+
+let bechamel_estimates : (string * float) list ref = ref []
+
 let section name body =
   if want name then begin
     Printf.printf "================================================================\n";
     Printf.printf "== %s\n" name;
     Printf.printf "================================================================\n";
+    let t0 = Unix.gettimeofday () in
     body ();
+    section_times := (name, Unix.gettimeofday () -. t0) :: !section_times;
     print_newline ()
   end
+
+(* Timing JSON: enough structure for the BENCH_* perf trajectory
+   without pulling in a JSON library (names are [a-z0-9.:/-] only). *)
+let write_json ~file ~total_wall_s =
+  let buf = Buffer.create 1024 in
+  let entry fmt (name, v) = Printf.sprintf ("    {\"name\": %S, " ^^ fmt ^^ "}") name v in
+  let array field fmt items =
+    if items = [] then Buffer.add_string buf (Printf.sprintf "  %S: []" field)
+    else begin
+      Buffer.add_string buf (Printf.sprintf "  %S: [\n" field);
+      Buffer.add_string buf (String.concat ",\n" (List.map (entry fmt) (List.rev items)));
+      Buffer.add_string buf "\n  ]"
+    end
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"packets\": %s,\n"
+       (match !n_packets with None -> "null" | Some n -> string_of_int n));
+  Buffer.add_string buf (Printf.sprintf "  \"total_wall_s\": %.6f,\n" total_wall_s);
+  array "sections" "\"wall_s\": %.6f" !section_times;
+  Buffer.add_string buf ",\n";
+  array "bechamel" "\"ns_per_run\": %.3f" !bechamel_estimates;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(timings written to %s)\n" file
 
 (* ------------------------------------------------------------------ *)
 
@@ -191,7 +239,7 @@ let bechamel () =
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name result acc ->
         let ns =
@@ -200,14 +248,36 @@ let bechamel () =
         (name, ns) :: acc)
       results []
     |> List.sort compare
-    |> List.map (fun (name, ns) -> [ name; Printf.sprintf "%10.3f ms/run" (ns /. 1e6) ])
+  in
+  bechamel_estimates := List.rev_append estimates !bechamel_estimates;
+  let rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%10.3f ms/run" (ns /. 1e6) ]) estimates
   in
   print_string (Stats.Table.render ~header:[ "benchmark"; "time" ] ~rows)
+
+(* One SRM+CESRM pair on the smallest trace: a fast end-to-end pass
+   over the simulator hot path, used by the `dune runtest` smoke rule.
+   Opt-in only (never part of a default full run). *)
+let smoke () =
+  section "smoke" (fun () ->
+      let pair = Harness.Figures.run_pair ?n_packets:!n_packets (Mtrace.Meta.nth 4) in
+      Printf.printf
+        "trace %s: srm detected=%d unrecovered=%d, cesrm detected=%d unrecovered=%d audit=%d\n"
+        pair.Harness.Figures.row.Mtrace.Meta.name pair.srm.detected pair.srm.unrecovered
+        pair.cesrm.detected pair.cesrm.unrecovered
+        (pair.srm.audit_violations + pair.cesrm.audit_violations);
+      if pair.srm.unrecovered <> 0 || pair.cesrm.unrecovered <> 0 then
+        failwith "smoke: unrecovered losses";
+      if pair.srm.audit_violations <> 0 || pair.cesrm.audit_violations <> 0 then
+        failwith "smoke: audit violations")
 
 let () =
   parse_args ();
   let t0 = Unix.gettimeofday () in
+  if explicitly_wanted "smoke" then smoke ();
   reproduction ();
   ablations ();
   if !with_bechamel then section "bechamel" bechamel;
-  Printf.printf "total wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "total wall time: %.1f s\n" total;
+  match !json_file with None -> () | Some file -> write_json ~file ~total_wall_s:total

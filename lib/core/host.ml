@@ -13,16 +13,19 @@ type t = {
   network : Net.Network.t;
   self : int;
   config : config;
+  stride : int; (* Srm.Key packing stride: n_packets + 1 *)
   caches : (int, Cache.t) Hashtbl.t; (* per stream source (Section 3.1) *)
   counters : Stats.Counters.t;
-  exp_timers : (int * int, Sim.Engine.timer) Hashtbl.t;
-  pending_exp : (int * int, int) Hashtbl.t; (* (src, seq) -> replier we expedited to *)
+  exp_timers : (Srm.Key.t, Sim.Engine.timer) Hashtbl.t;
+  pending_exp : (Srm.Key.t, int) Hashtbl.t; (* packed (src, seq) -> replier we expedited to *)
   replier_stats : (int, int * int) Hashtbl.t; (* replier -> successes, attempts *)
   mutable exp_requests_sent : int;
   mutable exp_replies_sent : int;
 }
 
 let srm t = t.srm
+
+let key t ~src ~seq = Srm.Key.make ~stride:t.stride ~src ~seq
 
 let cache ?(src = 0) t =
   match Hashtbl.find_opt t.caches src with
@@ -48,25 +51,25 @@ let replier_score t ~replier =
   | _ -> 1.
 
 let note_expedited_outcome t ~src seq ~expedited =
-  match Hashtbl.find_opt t.pending_exp (src, seq) with
+  match Hashtbl.find_opt t.pending_exp (key t ~src ~seq) with
   | None -> ()
   | Some replier ->
-      Hashtbl.remove t.pending_exp (src, seq);
+      Hashtbl.remove t.pending_exp (key t ~src ~seq);
       let ok, total = Option.value ~default:(0, 0) (Hashtbl.find_opt t.replier_stats replier) in
       Hashtbl.replace t.replier_stats replier ((ok + if expedited then 1 else 0), total + 1)
 
 let cancel_expedited t ~src seq =
-  match Hashtbl.find_opt t.exp_timers (src, seq) with
+  match Hashtbl.find_opt t.exp_timers (key t ~src ~seq) with
   | Some timer ->
       Sim.Engine.cancel timer;
-      Hashtbl.remove t.exp_timers (src, seq)
+      Hashtbl.remove t.exp_timers (key t ~src ~seq)
   | None -> ()
 
 let send_expedited_request t ~src seq (pair : Cache.entry) =
-  Hashtbl.remove t.exp_timers (src, seq);
+  Hashtbl.remove t.exp_timers (key t ~src ~seq);
   if not (Srm.Host.has_packet ~src t.srm ~seq) then begin
     t.exp_requests_sent <- t.exp_requests_sent + 1;
-    Hashtbl.replace t.pending_exp (src, seq) pair.replier;
+    Hashtbl.replace t.pending_exp (key t ~src ~seq) pair.replier;
     Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Exp_rqst;
     Net.Network.unicast t.network ~from:t.self ~dst:pair.replier
       {
@@ -92,12 +95,12 @@ let maybe_expedite t ~src ~seq =
       ~score:(fun ~replier -> replier_score t ~replier)
       t.config.policy (cache ~src t)
   with
-  | Some pair when pair.requestor = t.self && not (Hashtbl.mem t.exp_timers (src, seq)) ->
+  | Some pair when pair.requestor = t.self && not (Hashtbl.mem t.exp_timers (key t ~src ~seq)) ->
       let timer =
         Sim.Engine.schedule (engine t) ~after:t.config.reorder_delay (fun () ->
             send_expedited_request t ~src seq pair)
       in
-      Hashtbl.replace t.exp_timers (src, seq) timer
+      Hashtbl.replace t.exp_timers (key t ~src ~seq) timer
   | _ -> ()
 
 (* Section 3.1: digest reply annotations for losses we suffered. *)
@@ -149,6 +152,7 @@ let create ~network ~self ~params ~config ~n_packets ~counters ~recoveries =
       network;
       self;
       config;
+      stride = n_packets + 1;
       caches = Hashtbl.create 4;
       counters;
       exp_timers = Hashtbl.create 16;

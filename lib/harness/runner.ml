@@ -55,18 +55,24 @@ let attribution_of_trace trace =
    estimated link rates. Session traffic is never dropped (Section 4.3
    presumes lossless session exchange). *)
 let make_drop ~attribution ~lossy_recovery ~lossy_sessions ~rates ~rng =
+  (* The predicate runs once per link crossing per data packet, so each
+     packet's cut set is kept as a per-seq bitset over link ids rather
+     than a list to scan. [rates] is sized n_nodes in both runner
+     configurations, which bounds every link id. *)
+  let n_links = Array.length rates in
   let cut_sets = Hashtbl.create 1024 in
   let cuts_of seq =
-    match Hashtbl.find_opt cut_sets seq with
-    | Some cuts -> cuts
-    | None ->
-        let cuts = Inference.Attribution.cuts attribution ~seq in
+    match Hashtbl.find cut_sets seq with
+    | cuts -> cuts
+    | exception Not_found ->
+        let cuts = Mtrace.Bitset.create n_links in
+        List.iter (Mtrace.Bitset.set cuts) (Inference.Attribution.cuts attribution ~seq);
         Hashtbl.replace cut_sets seq cuts;
         cuts
   in
   fun ~link ~down (p : Net.Packet.t) ->
     match p.payload with
-    | Net.Packet.Data { seq } -> down && List.mem link (cuts_of seq)
+    | Net.Packet.Data { seq } -> down && Mtrace.Bitset.get (cuts_of seq) link
     | Net.Packet.Session _ -> lossy_sessions && Sim.Rng.bernoulli rng rates.(link)
     | Net.Packet.Request _ | Net.Packet.Reply _ | Net.Packet.Exp_request _ ->
         lossy_recovery && Sim.Rng.bernoulli rng rates.(link)

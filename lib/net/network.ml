@@ -4,6 +4,8 @@ type t = {
   delays : float array; (* per link id; slot 0 unused *)
   bandwidth_bps : float;
   dist : float array array;
+  routes : Routes.t; (* precomputed traversal orders; see routes.mli *)
+  arrive : float array; (* scratch: per-node arrival time of the packet in flight *)
   mutable drop : link:int -> down:bool -> Packet.t -> bool;
   handlers : (Packet.t -> unit) option array;
   enabled : bool array; (* crashed / departed members are disabled *)
@@ -25,6 +27,8 @@ let create_heterogeneous ~engine ~tree ~delays ?(bandwidth_bps = 1.5e6) () =
     delays;
     bandwidth_bps;
     dist;
+    routes = Routes.create ~tree ~delays;
+    arrive = Array.make n 0.;
     drop = no_drop;
     handlers = Array.make n None;
     enabled = Array.make n true;
@@ -41,6 +45,8 @@ let create ~engine ~tree ?(link_delay = 0.020) ?bandwidth_bps () =
 let engine t = t.engine
 
 let tree t = t.tree
+
+let routes t = t.routes
 
 let cost t = t.cost
 
@@ -74,106 +80,139 @@ let deliver t ~node ~at packet =
              t.delivered <- t.delivered + 1;
              handler packet))
 
-(* Move [packet] across the edge [from -- to_], leaving [from] at time
-   [at]. Returns the arrival time, or [None] if the loss predicate
-   dropped it. Reserves the directed link for the serialization time,
-   giving FIFO links. *)
-let traverse t ~cast ~from ~to_ ~at packet =
-  let link = if Tree.parent t.tree to_ = from then to_ else from in
-  let down = link = to_ in
-  if t.drop ~link ~down packet then None
+(* Move [packet] across the link [link] from [from] to [to_], leaving
+   [from] at time [at]. Returns the arrival time, or NaN if the loss
+   predicate dropped it (a float sentinel rather than an option keeps
+   the per-crossing path allocation-free). [cat], [tx] and [fifo] are
+   per-packet constants hoisted out by the caller: the packet's cost
+   category, its serialization time, and whether it reserves links.
+
+   Size-0 control packets serialize instantly: they neither wait on
+   nor extend link reservations. Payload packets pay one serialization
+   time per hop. Only the source's paced data stream accumulates FIFO
+   reservations: it is the only same-link in-order flow, whereas reply
+   floods originate at many members whose crossing times are computed
+   at send time — letting them reserve both breaks causality and,
+   under reply implosion, builds unbounded queues the paper's
+   lossless-recovery model does not have (NS2 would drop, not queue,
+   that excess). *)
+let[@inline] traverse t ~cat ~cast ~link ~down ~from ~to_ ~at ~tx ~fifo packet =
+  if t.drop ~link ~down packet then Float.nan
   else begin
-    Cost.record_crossing t.cost (Cost.category_of packet) cast;
-    let tx = float_of_int (Packet.size_bits packet) /. t.bandwidth_bps in
-    (* Size-0 control packets serialize instantly: they neither wait on
-       nor extend link reservations. Payload packets pay one
-       serialization time per hop. Only the source's paced data stream
-       accumulates FIFO reservations: it is the only same-link in-order
-       flow, whereas reply floods originate at many members whose
-       crossing times are computed at send time — letting them reserve
-       both breaks causality and, under reply implosion, builds
-       unbounded queues the paper's lossless-recovery model does not
-       have (NS2 would drop, not queue, that excess). *)
-    if tx = 0. then Some (at +. t.delays.(link))
-    else begin
-      match packet.Packet.payload with
-      | Packet.Data _ ->
-          let start = Float.max at t.busy.(from).(to_) in
-          t.busy.(from).(to_) <- start +. tx;
-          Some (start +. tx +. t.delays.(link))
-      | _ -> Some (at +. tx +. t.delays.(link))
+    Cost.record_crossing t.cost cat cast;
+    if tx = 0. then at +. t.delays.(link)
+    else if fifo then begin
+      let start = Float.max at t.busy.(from).(to_) in
+      t.busy.(from).(to_) <- start +. tx;
+      start +. tx +. t.delays.(link)
     end
+    else at +. tx +. t.delays.(link)
   end
 
-(* Flood away from [prev], delivering at every visited node. *)
-let rec flood t ~cast ~prev ~node ~at packet =
-  deliver t ~node ~at packet;
-  let forward nb =
-    if nb <> prev then
-      match traverse t ~cast ~from:node ~to_:nb ~at packet with
-      | None -> ()
-      | Some at' -> flood t ~cast ~prev:node ~node:nb ~at:at' packet
-  in
-  List.iter forward (Tree.neighbors t.tree node)
+let tx_of t packet = float_of_int (Packet.size_bits packet) /. t.bandwidth_bps
+
+let is_fifo packet = match packet.Packet.payload with Packet.Data _ -> true | _ -> false
+
+(* Replay a precomputed DFS order: each entry crosses one link and
+   delivers at the entered node; a dropped crossing skips the entry's
+   whole subtree. [arrive] carries per-hop arrival times so the float
+   accumulation is hop-by-hop, exactly as the former recursive walk. *)
+let run_order t ~cat ~cast ~tx ~fifo order packet =
+  let nodes = order.Routes.nodes
+  and prevs = order.Routes.prevs
+  and links = order.Routes.links
+  and skips = order.Routes.skips in
+  let n = Array.length nodes in
+  let i = ref 0 in
+  while !i < n do
+    let node = nodes.(!i) and prev = prevs.(!i) and link = links.(!i) in
+    let at' =
+      traverse t ~cat ~cast ~link ~down:(link = node) ~from:prev ~to_:node
+        ~at:t.arrive.(prev) ~tx ~fifo packet
+    in
+    if Float.is_nan at' then i := !i + skips.(!i)
+    else begin
+      t.arrive.(node) <- at';
+      deliver t ~node ~at:at' packet;
+      incr i
+    end
+  done
 
 let multicast t ~from packet =
   if not t.enabled.(from) then ()
   else begin
-  tap t ~from packet;
-  Cost.record_send t.cost (Cost.category_of packet) Cost.Multicast;
-  let at = Sim.Engine.now t.engine in
-  let forward nb =
-    match traverse t ~cast:Cost.Multicast ~from ~to_:nb ~at packet with
-    | None -> ()
-    | Some at' -> flood t ~cast:Cost.Multicast ~prev:from ~node:nb ~at:at' packet
-  in
-  List.iter forward (Tree.neighbors t.tree from)
+    tap t ~from packet;
+    let cat = Cost.category_of packet in
+    Cost.record_send t.cost cat Cost.Multicast;
+    t.arrive.(from) <- Sim.Engine.now t.engine;
+    run_order t ~cat ~cast:Cost.Multicast ~tx:(tx_of t packet) ~fifo:(is_fifo packet)
+      (Routes.flood_order t.routes from)
+      packet
   end
+
+(* Walk a precomputed unicast path; delivery happens only if every hop
+   survives the loss predicate. Returns the arrival time at the path's
+   end, or NaN if any hop dropped. *)
+let walk_path t ~cat ~cast ~from ~at ~tx ~fifo path packet =
+  let hops = path.Routes.hops
+  and plinks = path.Routes.plinks
+  and pdowns = path.Routes.pdowns in
+  let n = Array.length hops in
+  let node = ref from and at = ref at and i = ref 0 in
+  while (not (Float.is_nan !at)) && !i < n do
+    let next = hops.(!i) in
+    let at' =
+      traverse t ~cat ~cast ~link:plinks.(!i) ~down:pdowns.(!i) ~from:!node ~to_:next
+        ~at:!at ~tx ~fifo packet
+    in
+    if not (Float.is_nan at') then node := next;
+    at := at';
+    incr i
+  done;
+  !at
 
 let unicast t ~from ~dst packet =
   if not t.enabled.(from) then ()
   else begin
-  tap t ~from packet;
-  Cost.record_send t.cost (Cost.category_of packet) Cost.Unicast;
-  let rec walk ~node ~at = function
-    | [] -> deliver t ~node ~at packet
-    | next :: rest -> (
-        match traverse t ~cast:Cost.Unicast ~from:node ~to_:next ~at packet with
-        | None -> ()
-        | Some at' -> walk ~node:next ~at:at' rest)
-  in
-  match Tree.path t.tree from dst with
-  | [] | [ _ ] -> () (* self-send: nothing to do *)
-  | _ :: hops -> walk ~node:from ~at:(Sim.Engine.now t.engine) hops
+    tap t ~from packet;
+    let cat = Cost.category_of packet in
+    Cost.record_send t.cost cat Cost.Unicast;
+    if from <> dst then begin
+      let path = Routes.path t.routes ~src:from ~dst in
+      let at =
+        walk_path t ~cat ~cast:Cost.Unicast ~from ~at:(Sim.Engine.now t.engine)
+          ~tx:(tx_of t packet) ~fifo:(is_fifo packet) path packet
+      in
+      if not (Float.is_nan at) then deliver t ~node:dst ~at packet
+    end
   end
 
-let rec flood_down t ~node ~at packet =
+let flood_down t ~cat ~node ~at packet =
   deliver t ~node ~at packet;
-  let forward child =
-    match traverse t ~cast:Cost.Subcast ~from:node ~to_:child ~at packet with
-    | None -> ()
-    | Some at' -> flood_down t ~node:child ~at:at' packet
-  in
-  List.iter forward (Tree.children t.tree node)
+  t.arrive.(node) <- at;
+  run_order t ~cat ~cast:Cost.Subcast ~tx:(tx_of t packet) ~fifo:(is_fifo packet)
+    (Routes.down_order t.routes node)
+    packet
 
 let subcast t ~at:root packet =
   tap t ~from:root packet;
-  Cost.record_send t.cost (Cost.category_of packet) Cost.Subcast;
-  flood_down t ~node:root ~at:(Sim.Engine.now t.engine) packet
+  let cat = Cost.category_of packet in
+  Cost.record_send t.cost cat Cost.Subcast;
+  flood_down t ~cat ~node:root ~at:(Sim.Engine.now t.engine) packet
 
 let relayed_subcast t ~from ~via packet =
   if not t.enabled.(from) then ()
   else begin
-  tap t ~from packet;
-  Cost.record_send t.cost (Cost.category_of packet) Cost.Subcast;
-  let rec climb ~node ~at = function
-    | [] -> flood_down t ~node ~at packet
-    | next :: rest -> (
-        match traverse t ~cast:Cost.Unicast ~from:node ~to_:next ~at packet with
-        | None -> ()
-        | Some at' -> climb ~node:next ~at:at' rest)
-  in
-  match Tree.path t.tree from via with
-  | [] | [ _ ] -> flood_down t ~node:via ~at:(Sim.Engine.now t.engine) packet
-  | _ :: hops -> climb ~node:from ~at:(Sim.Engine.now t.engine) hops
+    tap t ~from packet;
+    let cat = Cost.category_of packet in
+    Cost.record_send t.cost cat Cost.Subcast;
+    if from = via then flood_down t ~cat ~node:via ~at:(Sim.Engine.now t.engine) packet
+    else begin
+      let path = Routes.path t.routes ~src:from ~dst:via in
+      let at =
+        walk_path t ~cat ~cast:Cost.Unicast ~from ~at:(Sim.Engine.now t.engine)
+          ~tx:(tx_of t packet) ~fifo:(is_fifo packet) path packet
+      in
+      if not (Float.is_nan at) then flood_down t ~cat ~node:via ~at packet
+    end
   end

@@ -40,6 +40,10 @@ val engine : t -> Sim.Engine.t
 
 val tree : t -> Tree.t
 
+val routes : t -> Routes.t
+(** The precomputed routing state the delivery primitives replay; see
+    {!Routes}. *)
+
 val cost : t -> Cost.t
 
 val link_delay : t -> int -> float

@@ -1,0 +1,61 @@
+(** Precomputed routing state for a static multicast tree.
+
+    The tree topology and per-link propagation delays are immutable
+    after {!Network} construction, so every traversal the delivery
+    primitives need — neighbor sets, whole-tree flood orders, downward
+    subcast orders, and unicast paths — can be computed once and then
+    replayed allocation-free for every packet. This removes the
+    per-packet list construction ([Tree.neighbors], [Tree.path],
+    [Tree.on_path_links]) from the simulator's hot path.
+
+    Flood and subcast orders are DFS preorders stored as flat parallel
+    arrays. Each entry describes one directed link crossing; the
+    [skips] field gives the size of the subtree rooted at that entry so
+    a consumer can prune an entire subtree in O(1) when the crossing is
+    dropped. Orders and paths are memoized on first use and never
+    invalidated (the topology cannot change). *)
+
+type order = {
+  nodes : int array;  (** visited node per entry, DFS preorder (origin excluded) *)
+  prevs : int array;  (** the node each entry is entered from *)
+  links : int array;  (** link id crossed (= child endpoint of the edge) *)
+  skips : int array;  (** entries spanned by this entry's subtree, itself included *)
+  cum : float array;  (** cumulative propagation delay from the origin *)
+}
+
+type path = {
+  hops : int array;  (** node sequence from source to destination, source excluded *)
+  plinks : int array;  (** link id crossed at each hop *)
+  pdowns : bool array;  (** whether each hop moves away from the root *)
+}
+
+type t
+
+val create : tree:Tree.t -> delays:float array -> t
+(** Precompute neighbor/children arrays for [tree] with per-link
+    propagation [delays] (indexed by link id; slot 0 unused). *)
+
+val tree : t -> Tree.t
+
+val neighbors : t -> int -> int array
+(** Parent (if any) followed by children — array form of
+    {!Tree.neighbors}. *)
+
+val children : t -> int -> int array
+
+val subtree_size : t -> int -> int
+(** Nodes at or below the given node, itself included. *)
+
+val flood_order : t -> int -> order
+(** [flood_order t origin]: the whole-tree multicast DFS preorder away
+    from [origin], matching the traversal order of a recursive
+    neighbor walk. Memoized per origin. *)
+
+val down_order : t -> int -> order
+(** [down_order t root]: the children-only subcast DFS preorder below
+    [root] ([root] itself excluded). Memoized per root. *)
+
+val path : t -> src:int -> dst:int -> path
+(** The unicast walk from [src] to [dst] (via their LCA), matching
+    {!Tree.path}/{!Tree.on_path_links}. Memoized per pair.
+    [src = dst] yields empty arrays. *)

@@ -94,9 +94,11 @@ let is_ancestor t a v =
   let rec walk x = if x = a then true else if x = -1 then false else walk t.parent.(x) in
   walk v
 
+(* Accumulator-passing DFS: builds the preorder reversed in O(subtree)
+   and flips it once. *)
 let subtree_nodes t v =
-  let rec visit v acc = v :: List.concat_map (fun c -> visit c acc) t.children.(v) in
-  visit v []
+  let rec visit acc v = List.fold_left visit (v :: acc) t.children.(v) in
+  List.rev (visit [] v)
 
 let subtree_receivers t v =
   List.filter (fun x -> is_leaf t x && x <> 0) (List.sort compare (subtree_nodes t v))

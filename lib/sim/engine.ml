@@ -1,88 +1,234 @@
-type timer = {
-  time : float;
-  seq : int;
-  mutable action : (unit -> unit) option; (* None once fired or cancelled *)
-}
+(* The pending-event queue is a binary min-heap over *slot ids* — small
+   ints indexing parallel unboxed [times]/[seqs] arrays — rather than a
+   heap of timer records. Sift comparisons are primitive float/int
+   reads (no closure call, no polymorphic compare) and sift swaps store
+   immediate ints (no caml_modify write barrier), which together are
+   the bulk of the event core's cost on long traces. Slots are recycled
+   through a free stack; a handle keeps its slot's generation ([hseq])
+   so a stale cancel on a reused slot is a no-op. *)
 
 type t = {
   mutable clock : float;
   mutable next_seq : int;
-  queue : timer Heap.t;
   root_rng : Rng.t;
+  mutable live : int; (* pending (scheduled, not fired/cancelled) timers *)
+  (* Slot tables, indexed by slot id. [actions] holds the physical
+     sentinel [no_action] for cancelled / fired / free slots. *)
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable actions : (unit -> unit) array;
+  mutable free : int array; (* stack of recycled slot ids *)
+  mutable free_top : int;
+  mutable n_slots : int; (* slot high-water mark *)
+  (* The heap proper: [heap.(0 .. size-1)] are slot ids. *)
+  mutable heap : int array;
+  mutable size : int;
 }
 
-let compare_timer a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+and timer = { owner : t; slot : int; hseq : int; htime : float }
+
+let no_action () = ()
 
 let create ?(seed = 1L) () =
   {
     clock = 0.;
     next_seq = 0;
-    queue = Heap.create ~cmp:compare_timer;
     root_rng = Rng.create seed;
+    live = 0;
+    times = [||];
+    seqs = [||];
+    actions = [||];
+    free = [||];
+    free_top = 0;
+    n_slots = 0;
+    heap = [||];
+    size = 0;
   }
 
 let now t = t.clock
 
 let rng t = t.root_rng
 
+(* Heap order: (time, seq) lexicographic — FIFO among equal times.
+   Times are clamped real numbers, never NaN. *)
+let[@inline] earlier t a b =
+  let ta = t.times.(a) and tb = t.times.(b) in
+  if ta < tb then true else if ta > tb then false else t.seqs.(a) < t.seqs.(b)
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if earlier t t.heap.(i) t.heap.(p) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(p);
+      t.heap.(p) <- tmp;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let r = l + 1 in
+    let m = if r < t.size && earlier t t.heap.(r) t.heap.(l) then r else l in
+    if earlier t t.heap.(m) t.heap.(i) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(m);
+      t.heap.(m) <- tmp;
+      sift_down t m
+    end
+  end
+
+let grow_slots t =
+  let cap = Array.length t.times in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  let times' = Array.make cap' 0. and seqs' = Array.make cap' 0 in
+  let actions' = Array.make cap' no_action and free' = Array.make cap' 0 in
+  Array.blit t.times 0 times' 0 cap;
+  Array.blit t.seqs 0 seqs' 0 cap;
+  Array.blit t.actions 0 actions' 0 cap;
+  Array.blit t.free 0 free' 0 t.free_top;
+  t.times <- times';
+  t.seqs <- seqs';
+  t.actions <- actions';
+  t.free <- free'
+
+let alloc_slot t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.free.(t.free_top)
+  end
+  else begin
+    if t.n_slots = Array.length t.times then grow_slots t;
+    let s = t.n_slots in
+    t.n_slots <- t.n_slots + 1;
+    s
+  end
+
+let free_slot t s =
+  t.actions.(s) <- no_action;
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1
+
+let heap_push t s =
+  if t.size = Array.length t.heap then begin
+    let cap' = if t.size = 0 then 64 else 2 * t.size in
+    let heap' = Array.make cap' 0 in
+    Array.blit t.heap 0 heap' 0 t.size;
+    t.heap <- heap'
+  end;
+  t.heap.(t.size) <- s;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+(* Pop the root slot; the caller decides whether it is live. *)
+let heap_pop t =
+  let s = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  s
+
 let schedule_at t ~at f =
   let at = if at < t.clock then t.clock else at in
-  let timer = { time = at; seq = t.next_seq; action = Some f } in
+  let s = alloc_slot t in
+  t.times.(s) <- at;
+  t.seqs.(s) <- t.next_seq;
+  t.actions.(s) <- f;
+  let handle = { owner = t; slot = s; hseq = t.next_seq; htime = at } in
   t.next_seq <- t.next_seq + 1;
-  Heap.add t.queue timer;
-  timer
+  heap_push t s;
+  t.live <- t.live + 1;
+  handle
 
 let schedule t ~after f =
   let after = if after < 0. then 0. else after in
   schedule_at t ~at:(t.clock +. after) f
 
+let is_pending timer =
+  let t = timer.owner in
+  t.seqs.(timer.slot) = timer.hseq && t.actions.(timer.slot) != no_action
+
+(* SRM-style suppression cancels timers constantly, so tombstones can
+   outnumber live events by orders of magnitude over a long trace.
+   Rebuild the heap in place once dead entries exceed half the queue;
+   the O(n) rebuild amortizes against the cancellations that caused it
+   and keeps the heap (and its O(log n) operations) proportional to the
+   live event count. *)
+let compact_if_needed t =
+  if t.size > 64 && 2 * (t.size - t.live) > t.size then begin
+    let j = ref 0 in
+    for i = 0 to t.size - 1 do
+      let s = t.heap.(i) in
+      if t.actions.(s) != no_action then begin
+        t.heap.(!j) <- s;
+        incr j
+      end
+      else free_slot t s
+    done;
+    t.size <- !j;
+    (* Floyd heapify: O(n) rebuild of the heap invariant. *)
+    for i = (t.size / 2) - 1 downto 0 do
+      sift_down t i
+    done
+  end
+
 (* Cancellation leaves a tombstone in the heap; the run loop and the
-   counting functions skip dead timers. *)
-let cancel timer = timer.action <- None
+   compaction pass discard dead slots. *)
+let cancel timer =
+  let t = timer.owner in
+  if t.seqs.(timer.slot) = timer.hseq && t.actions.(timer.slot) != no_action then begin
+    t.actions.(timer.slot) <- no_action;
+    t.live <- t.live - 1;
+    compact_if_needed t
+  end
 
-let is_pending timer = timer.action <> None
+let fire_time timer = timer.htime
 
-let fire_time timer = timer.time
-
-let pending_events t =
-  List.length (List.filter is_pending (Heap.to_sorted_list t.queue))
+let pending_events t = t.live
 
 let step t =
   let rec next () =
-    match Heap.pop t.queue with
-    | None -> false
-    | Some timer -> (
-        match timer.action with
-        | None -> next ()
-        | Some f ->
-            timer.action <- None;
-            t.clock <- timer.time;
-            f ();
-            true)
+    if t.size = 0 then false
+    else begin
+      let s = heap_pop t in
+      let f = t.actions.(s) in
+      if f == no_action then begin
+        free_slot t s;
+        next ()
+      end
+      else begin
+        t.live <- t.live - 1;
+        t.clock <- t.times.(s);
+        free_slot t s;
+        f ();
+        true
+      end
+    end
   in
   next ()
 
 (* Discard leading tombstones so the horizon check sees a live event. *)
-let rec peek_live t =
-  match Heap.peek t.queue with
-  | None -> None
-  | Some timer ->
-      if is_pending timer then Some timer
-      else begin
-        ignore (Heap.pop t.queue);
-        peek_live t
-      end
+let rec drop_dead t =
+  t.size > 0
+  &&
+  let s = t.heap.(0) in
+  if t.actions.(s) == no_action then begin
+    ignore (heap_pop t);
+    free_slot t s;
+    drop_dead t
+  end
+  else true
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue () =
     !budget > 0
+    && drop_dead t
     &&
-    match peek_live t with
-    | None -> false
-    | Some timer -> ( match until with None -> true | Some horizon -> timer.time <= horizon)
+    match until with None -> true | Some horizon -> t.times.(t.heap.(0)) <= horizon
   in
   while continue () && step t do
     decr budget

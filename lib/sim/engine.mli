@@ -4,7 +4,9 @@
     closures scheduled at absolute or relative virtual times; [run]
     executes them in time order (FIFO among equal times). Timers are
     cancellable: cancellation is O(1) and leaves a tombstone that the
-    run loop discards.
+    run loop discards; when tombstones outgrow half the queue the heap
+    is compacted in place, so its size stays proportional to the live
+    event count no matter how aggressively timers are cancelled.
 
     The engine also owns the experiment's root {!Rng.t} so that a
     simulation is a deterministic function of its seed. *)
@@ -43,7 +45,9 @@ val fire_time : timer -> float
     fired). *)
 
 val pending_events : t -> int
-(** Number of live (non-cancelled) events still queued. *)
+(** Number of live (non-cancelled) events still queued. O(1): the
+    engine keeps a counter, incremented on schedule and decremented on
+    cancel/fire. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Execute events in order until the queue is empty, the clock would

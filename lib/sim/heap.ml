@@ -70,6 +70,28 @@ let clear t =
   t.data <- [||];
   t.size <- 0
 
+let filter t pred =
+  let old_size = t.size in
+  let j = ref 0 in
+  for i = 0 to old_size - 1 do
+    let x = t.data.(i) in
+    if pred x then begin
+      t.data.(!j) <- x;
+      incr j
+    end
+  done;
+  t.size <- !j;
+  (* Release references to the removed elements. *)
+  if t.size = 0 then t.data <- [||]
+  else
+    for i = t.size to old_size - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+  (* Floyd heapify: O(n) rebuild of the heap invariant. *)
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
 let to_sorted_list t =
   let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in
   let rec drain acc =

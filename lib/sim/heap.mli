@@ -26,5 +26,10 @@ val pop_exn : 'a t -> 'a
 
 val clear : 'a t -> unit
 
+val filter : 'a t -> ('a -> bool) -> unit
+(** Keep only the elements satisfying the predicate and restore the
+    heap invariant in place. O(n) — used to compact cancelled-timer
+    tombstones out of the event queue. *)
+
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructively list all elements in ascending order. O(n log n). *)

@@ -35,20 +35,24 @@ type t = {
   self : int;
   params : Params.t;
   n_packets : int; (* per-stream cap *)
+  stride : int; (* Key packing stride: n_packets + 1 *)
   rng : Sim.Rng.t;
   session : Session.t;
-  streams : (int, stream_state) Hashtbl.t;
-  requests : (int * int, request_state) Hashtbl.t;
-  replies : (int * int, Sim.Engine.timer) Hashtbl.t; (* scheduled reply *)
-  reply_abstain : (int * int, float) Hashtbl.t; (* -> horizon *)
-  detect_info : (int * int, float) Hashtbl.t; (* -> detection time *)
-  replied : (int * int, float) Hashtbl.t; (* -> when we sent a reply *)
+  streams : stream_state option array; (* indexed by source node id *)
+  (* Per-loss tables below are keyed by packed (src, seq) ints. *)
+  requests : (Key.t, request_state) Hashtbl.t;
+  replies : (Key.t, Sim.Engine.timer) Hashtbl.t; (* scheduled reply *)
+  reply_abstain : (Key.t, float) Hashtbl.t; (* -> horizon *)
+  detect_info : (Key.t, float) Hashtbl.t; (* -> detection time *)
+  replied : (Key.t, float) Hashtbl.t; (* -> when we sent a reply *)
   adaptive : Adaptive.t option;
   mutable n_detected : int;
   counters : Stats.Counters.t;
   recoveries : Stats.Recovery.t;
   hooks : hooks;
 }
+
+let key t ~src ~seq = Key.make ~stride:t.stride ~src ~seq
 
 let engine t = Net.Network.engine t.network
 
@@ -61,35 +65,39 @@ let session t = t.session
 let hooks t = t.hooks
 
 let stream t src =
-  match Hashtbl.find_opt t.streams src with
+  match t.streams.(src) with
   | Some s -> s
   | None ->
       let s = { received = Bytes.make t.n_packets '\000'; max_seq = 0 } in
-      Hashtbl.replace t.streams src s;
+      t.streams.(src) <- Some s;
       s
 
 let has_packet ?(src = 0) t ~seq =
   seq >= 1 && seq <= t.n_packets && Bytes.get (stream t src).received (seq - 1) = '\001'
 
-let suffered_loss ?(src = 0) t ~seq = Hashtbl.mem t.detect_info (src, seq)
+let suffered_loss ?(src = 0) t ~seq = Hashtbl.mem t.detect_info (key t ~src ~seq)
 
 let max_seq_seen ?(src = 0) t = (stream t src).max_seq
 
 let max_seqs t =
-  Hashtbl.fold
-    (fun src st acc -> if st.max_seq > 0 then (src, st.max_seq) :: acc else acc)
-    t.streams []
+  let acc = ref [] in
+  for src = Array.length t.streams - 1 downto 0 do
+    match t.streams.(src) with
+    | Some st when st.max_seq > 0 -> acc := (src, st.max_seq) :: !acc
+    | _ -> ()
+  done;
+  !acc
 
 let detected_losses t = t.n_detected
 
 let pending_requests t = Hashtbl.length t.requests
 
 let request_round ?(src = 0) t ~seq =
-  Option.map (fun (st : request_state) -> st.backoff) (Hashtbl.find_opt t.requests (src, seq))
+  Option.map (fun (st : request_state) -> st.backoff) (Hashtbl.find_opt t.requests (key t ~src ~seq))
 
 (* Paper Section 4.3 assumes distances are known before data flows; the
    1 s fallback only matters if a request fires inside the warm-up. *)
-let dist_to t peer = match Session.distance t.session peer with Some d -> d | None -> 1.0
+let dist_to t peer = Session.distance_or t.session peer ~default:1.0
 
 let dist_to_source ?(src = 0) t = dist_to t src
 
@@ -157,9 +165,9 @@ let back_off_request t ~src seq st =
   end
 
 let detect_loss ?(initial_backoff = 0) t ~src seq =
-  if not (has_packet ~src t ~seq || Hashtbl.mem t.requests (src, seq)) then begin
-    if not (Hashtbl.mem t.detect_info (src, seq)) then begin
-      Hashtbl.replace t.detect_info (src, seq) (now t);
+  if not (has_packet ~src t ~seq || Hashtbl.mem t.requests (key t ~src ~seq)) then begin
+    if not (Hashtbl.mem t.detect_info (key t ~src ~seq)) then begin
+      Hashtbl.replace t.detect_info (key t ~src ~seq) (now t);
       Log.debug (fun m -> m "t=%.4f host %d DETECT src %d seq %d" (now t) t.self src seq);
       t.n_detected <- t.n_detected + 1
     end;
@@ -172,7 +180,7 @@ let detect_loss ?(initial_backoff = 0) t ~src seq =
         first_sent = None;
       }
     in
-    Hashtbl.replace t.requests (src, seq) st;
+    Hashtbl.replace t.requests (key t ~src ~seq) st;
     arm_request t ~src seq st;
     t.hooks.on_loss_detected ~src ~seq
   end
@@ -192,7 +200,7 @@ let seq_exists t ~src m =
 (* --- obtaining packets -------------------------------------------- *)
 
 let record_recovery t ~src seq ~expedited ~rounds =
-  match Hashtbl.find_opt t.detect_info (src, seq) with
+  match Hashtbl.find_opt t.detect_info (key t ~src ~seq) with
   | None -> ()
   | Some detected_at ->
       Stats.Recovery.add t.recoveries
@@ -211,12 +219,12 @@ let obtain t ~src seq ~expedited =
     Bytes.set (stream t src).received (seq - 1) '\001';
     (* A pending request is now moot. *)
     let rounds =
-      match Hashtbl.find_opt t.requests (src, seq) with
+      match Hashtbl.find_opt t.requests (key t ~src ~seq) with
       | None -> 0
       | Some st ->
           (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
-          Hashtbl.remove t.requests (src, seq);
-          (match (t.adaptive, st.first_sent, Hashtbl.find_opt t.detect_info (src, seq)) with
+          Hashtbl.remove t.requests (key t ~src ~seq);
+          (match (t.adaptive, st.first_sent, Hashtbl.find_opt t.detect_info (key t ~src ~seq)) with
           | Some a, Some sent, Some detected ->
               let d = Float.max 1e-9 (dist_to_source ~src t) in
               Adaptive.note_request_cycle a ~dups:st.dup_requests
@@ -241,15 +249,15 @@ let note_sent ?(src = 0) t ~seq =
 (* --- replies ------------------------------------------------------- *)
 
 let reply_pending t ~src seq =
-  match Hashtbl.find_opt t.reply_abstain (src, seq) with
+  match Hashtbl.find_opt t.reply_abstain (key t ~src ~seq) with
   | Some horizon -> now t < horizon
   | None -> false
 
 let reply_blocked ?(src = 0) t ~seq =
-  Hashtbl.mem t.replies (src, seq) || reply_pending t ~src seq
+  Hashtbl.mem t.replies (key t ~src ~seq) || reply_pending t ~src seq
 
 let open_reply_abstinence t ~src seq ~requestor =
-  Hashtbl.replace t.reply_abstain (src, seq)
+  Hashtbl.replace t.reply_abstain (key t ~src ~seq)
     (now t +. (t.params.Params.d3 *. dist_to t requestor))
 
 let emit_reply ?transmit ?(delay_norm = 0.) t ~src ~seq ~requestor ~d_qs ~expedited
@@ -274,7 +282,7 @@ let emit_reply ?transmit ?(delay_norm = 0.) t ~src ~seq ~requestor ~d_qs ~expedi
   | None -> Net.Network.multicast t.network ~from:t.self packet);
   (match t.adaptive with
   | Some a ->
-      Hashtbl.replace t.replied (src, seq) (now t);
+      Hashtbl.replace t.replied (key t ~src ~seq) (now t);
       Adaptive.note_reply_cycle a ~dups:0 ~delay_in_d:delay_norm
   | None -> ());
   open_reply_abstinence t ~src seq ~requestor
@@ -297,14 +305,14 @@ let schedule_reply t ~src ~seq ~requestor ~d_qs =
   let delay_norm = if d <= 0. then 0. else delay /. d in
   let timer =
     Sim.Engine.schedule (engine t) ~after:delay (fun () ->
-        Hashtbl.remove t.replies (src, seq);
+        Hashtbl.remove t.replies (key t ~src ~seq);
         (* The abstinence may have opened while we waited (an expedited
            reply of ours, for instance). *)
         if (not (reply_pending t ~src seq)) && has_packet ~src t ~seq then
           emit_reply ~delay_norm t ~src ~seq ~requestor ~d_qs ~expedited:false
             ~turning_point:None)
   in
-  Hashtbl.replace t.replies (src, seq) timer
+  Hashtbl.replace t.replies (key t ~src ~seq) timer
 
 (* --- incoming PDUs -------------------------------------------------- *)
 
@@ -317,7 +325,7 @@ let handle_request t ~src ~seq ~requestor ~d_qs =
       if not (reply_blocked ~src t ~seq) then schedule_reply t ~src ~seq ~requestor ~d_qs
     end
     else
-      match Hashtbl.find_opt t.requests (src, seq) with
+      match Hashtbl.find_opt t.requests (key t ~src ~seq) with
       | Some st ->
           st.dup_requests <- st.dup_requests + 1;
           back_off_request t ~src seq st
@@ -332,14 +340,14 @@ let handle_reply t payload ~src ~seq ~requestor ~replier =
   if replier <> t.self then begin
     seq_exists t ~src seq;
     (* Suppression: cancel any scheduled reply for this packet. *)
-    (match Hashtbl.find_opt t.replies (src, seq) with
+    (match Hashtbl.find_opt t.replies (key t ~src ~seq) with
     | Some timer ->
         Sim.Engine.cancel timer;
-        Hashtbl.remove t.replies (src, seq)
+        Hashtbl.remove t.replies (key t ~src ~seq)
     | None -> ());
     (* Adaptive: a reply for something we also replied to recently is a
        duplicate our timers failed to suppress. *)
-    (match (t.adaptive, Hashtbl.find_opt t.replied (src, seq)) with
+    (match (t.adaptive, Hashtbl.find_opt t.replied (key t ~src ~seq)) with
     | Some a, Some _ -> Adaptive.note_reply_cycle a ~dups:1 ~delay_in_d:1.
     | _ -> ());
     open_reply_abstinence t ~src seq ~requestor;
@@ -385,9 +393,10 @@ let create ~network ~self ~params ~n_packets ~counters ~recoveries =
       self;
       params;
       n_packets;
+      stride = n_packets + 1;
       rng;
       session;
-      streams = Hashtbl.create 4;
+      streams = Array.make (Net.Tree.n_nodes (Net.Network.tree network)) None;
       requests = Hashtbl.create 64;
       replies = Hashtbl.create 64;
       reply_abstain = Hashtbl.create 64;

@@ -1,0 +1,7 @@
+type t = int
+
+let make ~stride ~src ~seq = (src * stride) + seq
+
+let src ~stride k = k / stride
+
+let seq ~stride k = k mod stride

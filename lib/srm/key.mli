@@ -1,0 +1,16 @@
+(** Packed [(src, seq)] hashtable keys.
+
+    The SRM host keys every per-loss table by (stream source, sequence
+    number). A tuple key boxes on every lookup; packing both into one
+    immediate int ([src * stride + seq], with [stride > max seq]) makes
+    hashing and equality allocation-free. *)
+
+type t = int
+
+val make : stride:int -> src:int -> seq:int -> t
+(** [stride] must exceed every sequence number used (hosts use
+    [n_packets + 1]). *)
+
+val src : stride:int -> t -> int
+
+val seq : stride:int -> t -> int

@@ -6,11 +6,17 @@ type t = {
   get_max_seqs : unit -> (int * int) list;
   on_max_seq : src:int -> int -> unit;
   on_send : unit -> unit;
-  dist : (int, float) Hashtbl.t;
-  last_heard : (int, float * float) Hashtbl.t; (* peer -> (their ts, our recv time) *)
+  (* The peer space is the static node-id space, so the estimate tables
+     are flat float arrays rather than hashtables of boxed floats: every
+     session delivery touches them, and [distance] is on the
+     request/reply scheduling hot path. NaN marks "no entry". *)
+  dist : float array;
+  lh_ts : float array; (* peer -> their last timestamp *)
+  lh_at : float array; (* peer -> our receive time; NaN = never heard *)
 }
 
 let create ~network ~self ~period ~rng ~get_max_seqs ~on_max_seq ~on_send =
+  let n = Net.Tree.n_nodes (Net.Network.tree network) in
   {
     network;
     self;
@@ -19,25 +25,32 @@ let create ~network ~self ~period ~rng ~get_max_seqs ~on_max_seq ~on_send =
     get_max_seqs;
     on_max_seq;
     on_send;
-    dist = Hashtbl.create 16;
-    last_heard = Hashtbl.create 16;
+    dist = Array.make n Float.nan;
+    lh_ts = Array.make n Float.nan;
+    lh_at = Array.make n Float.nan;
   }
 
 let engine t = Net.Network.engine t.network
 
 let send t =
   let now = Sim.Engine.now (engine t) in
-  let echoes =
-    Hashtbl.fold
-      (fun peer (ts, recv_at) acc ->
-        { Net.Packet.echo_member = peer; echo_ts = ts; echo_delay = now -. recv_at } :: acc)
-      t.last_heard []
-  in
+  (* Echo order within a session message is immaterial: receivers only
+     look up their own entry. *)
+  let echoes = ref [] in
+  for peer = Array.length t.lh_at - 1 downto 0 do
+    let recv_at = t.lh_at.(peer) in
+    if not (Float.is_nan recv_at) then
+      echoes :=
+        { Net.Packet.echo_member = peer; echo_ts = t.lh_ts.(peer); echo_delay = now -. recv_at }
+        :: !echoes
+  done;
   t.on_send ();
   Net.Network.multicast t.network ~from:t.self
     {
       Net.Packet.sender = t.self;
-      payload = Net.Packet.Session { origin = t.self; sent_at = now; max_seqs = t.get_max_seqs (); echoes };
+      payload =
+        Net.Packet.Session
+          { origin = t.self; sent_at = now; max_seqs = t.get_max_seqs (); echoes = !echoes };
     }
 
 let start ?jitter t ~until =
@@ -55,22 +68,34 @@ let on_packet t (p : Net.Packet.t) =
   match p.payload with
   | Net.Packet.Session { origin; sent_at; max_seqs; echoes } when origin <> t.self ->
       let now = Sim.Engine.now (engine t) in
-      Hashtbl.replace t.last_heard origin (sent_at, now);
+      t.lh_ts.(origin) <- sent_at;
+      t.lh_at.(origin) <- now;
       List.iter
         (fun { Net.Packet.echo_member; echo_ts; echo_delay } ->
           if echo_member = t.self then begin
             let rtt = now -. echo_ts -. echo_delay in
-            if rtt >= 0. then Hashtbl.replace t.dist origin (rtt /. 2.)
+            if rtt >= 0. then t.dist.(origin) <- rtt /. 2.
           end)
         echoes;
       List.iter (fun (src, m) -> if m > 0 then t.on_max_seq ~src m) max_seqs
   | _ -> ()
 
-let distance t peer = Hashtbl.find_opt t.dist peer
+let distance t peer =
+  let d = t.dist.(peer) in
+  if Float.is_nan d then None else Some d
+
+let distance_or t peer ~default =
+  let d = t.dist.(peer) in
+  if Float.is_nan d then default else d
 
 let distance_exn t peer =
-  match distance t peer with
-  | Some d -> d
-  | None -> failwith (Printf.sprintf "Session.distance_exn: no estimate for peer %d" peer)
+  let d = t.dist.(peer) in
+  if Float.is_nan d then failwith (Printf.sprintf "Session.distance_exn: no estimate for peer %d" peer)
+  else d
 
-let known_peers t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.dist [])
+let known_peers t =
+  let acc = ref [] in
+  for peer = Array.length t.dist - 1 downto 0 do
+    if not (Float.is_nan t.dist.(peer)) then acc := peer :: !acc
+  done;
+  !acc

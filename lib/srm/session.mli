@@ -38,6 +38,11 @@ val distance : t -> int -> float option
 (** Current one-way distance estimate to a peer, if any exchange has
     completed. *)
 
+val distance_or : t -> int -> default:float -> float
+(** [distance_or t peer ~default] is the estimate, or [default] when
+    none exists. Allocation-free variant of {!distance} for the
+    request/reply scheduling hot path. *)
+
 val distance_exn : t -> int -> float
 (** @raise Failure when no estimate exists yet — protocol logic should
     only need distances after the warm-up phase. *)

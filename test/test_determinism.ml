@@ -1,0 +1,96 @@
+(* Bit-identical determinism pins for the simulator.
+
+   The expected strings below were captured from the pre-route-cache,
+   pre-slot-heap implementation (the straightforward recursive tree
+   walks and the timer-record event heap). The route cache, the
+   allocation-free event core and the packed per-loss keys are pure
+   representation changes: same seeds must yield byte-identical
+   counters and recovery latencies. The latency sum is compared as a
+   %.17g string, so even a one-ULP float divergence (e.g. a changed
+   accumulation order) fails the test. *)
+
+let fingerprint (r : Harness.Runner.result) =
+  let total k = Stats.Counters.total r.counters k in
+  let lat_sum =
+    List.fold_left
+      (fun acc rec_ -> acc +. Stats.Recovery.latency rec_)
+      0.
+      (Stats.Recovery.records r.recoveries)
+  in
+  Printf.sprintf
+    "rqst=%d exp_rqst=%d repl=%d exp_repl=%d sess=%d detected=%d unrecovered=%d \
+     recoveries=%d exp_requests=%d exp_replies=%d lat_sum=%.17g"
+    (total Stats.Counters.Rqst) (total Stats.Counters.Exp_rqst) (total Stats.Counters.Repl)
+    (total Stats.Counters.Exp_repl) (total Stats.Counters.Sess) r.detected r.unrecovered
+    (Stats.Recovery.count r.recoveries) r.exp_requests r.exp_replies lat_sum
+
+(* One mid-size trace (15 receivers), n_packets = 400, default seed. *)
+let case = lazy (
+  let gen = Mtrace.Generator.synthesize ~n_packets:400 (Mtrace.Meta.nth 4) in
+  let att = Harness.Runner.attribution_of_trace gen.trace in
+  (gen.trace, att))
+
+let run ?setup protocol =
+  let trace, att = Lazy.force case in
+  Harness.Runner.run ?setup protocol trace att
+
+let lossy = { Harness.Runner.default_setup with lossy_recovery = true; lossy_sessions = true }
+
+let hetero = { Harness.Runner.default_setup with heterogeneous_delays = true }
+
+let check_fingerprint name expected result () =
+  Alcotest.(check string) name expected (fingerprint result)
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "srm" `Quick
+            (fun () ->
+              check_fingerprint "srm"
+                "rqst=67 exp_rqst=0 repl=388 exp_repl=0 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=31.387034181635496"
+                (run Harness.Runner.Srm_protocol) ());
+          Alcotest.test_case "cesrm" `Quick
+            (fun () ->
+              check_fingerprint "cesrm"
+                "rqst=17 exp_rqst=53 repl=80 exp_repl=47 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=53 exp_replies=47 lat_sum=16.652011164792821"
+                (run (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)) ());
+          Alcotest.test_case "cesrm router-assist" `Quick
+            (fun () ->
+              check_fingerprint "cesrm-ra"
+                "rqst=17 exp_rqst=53 repl=80 exp_repl=47 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=53 exp_replies=47 lat_sum=16.652011164792821"
+                (run
+                   (Harness.Runner.Cesrm_protocol
+                      { Cesrm.Host.default_config with router_assist = true }))
+                ());
+          Alcotest.test_case "lms" `Quick
+            (fun () ->
+              check_fingerprint "lms"
+                "rqst=0 exp_rqst=128 repl=0 exp_repl=88 sess=67 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=10.886180051596984"
+                (run Harness.Runner.Lms_protocol) ());
+          Alcotest.test_case "srm lossy recovery" `Quick
+            (fun () ->
+              check_fingerprint "srm-lossy"
+                "rqst=73 exp_rqst=0 repl=385 exp_repl=0 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=34.491788322981492"
+                (run ~setup:lossy Harness.Runner.Srm_protocol) ());
+          Alcotest.test_case "cesrm lossy recovery" `Quick
+            (fun () ->
+              check_fingerprint "cesrm-lossy"
+                "rqst=24 exp_rqst=53 repl=101 exp_repl=45 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=53 exp_replies=45 lat_sum=18.643002723450188"
+                (run ~setup:lossy (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config))
+                ());
+          Alcotest.test_case "srm heterogeneous delays" `Quick
+            (fun () ->
+              check_fingerprint "srm-hetero"
+                "rqst=64 exp_rqst=0 repl=166 exp_repl=0 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=33.230838444138875"
+                (run ~setup:hetero Harness.Runner.Srm_protocol) ());
+        ] );
+    ]

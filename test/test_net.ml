@@ -353,6 +353,124 @@ let test_network_heterogeneous () =
   let network = Net.Network.create_heterogeneous ~engine ~tree ~delays () in
   check (Alcotest.float 1e-9) "summed delays" 0.04 (Net.Network.dist network 0 2)
 
+(* --- Routes: precomputed orders agree with the Tree walks ------------- *)
+
+let routes_of parents =
+  let tree = Net.Tree.of_parents parents in
+  let delays =
+    Array.init (Net.Tree.n_nodes tree) (fun l ->
+        if l = 0 then 0. else 0.001 *. float_of_int (1 + (l mod 7)))
+  in
+  (tree, delays, Net.Routes.create ~tree ~delays)
+
+(* An order entry's subtree is the contiguous run [i .. i+skips-1]; it
+   must hold exactly the later entries whose tree path from [origin]
+   passes through this entry's node. *)
+let check_order ~what tree delays origin (o : Net.Routes.order) expected_nodes =
+  let n = Array.length o.nodes in
+  if List.sort compare (Array.to_list o.nodes) <> List.sort compare expected_nodes then
+    Alcotest.failf "%s: wrong node set from %d" what origin;
+  for i = 0 to n - 1 do
+    let node = o.nodes.(i) in
+    let path = Net.Tree.path tree origin node in
+    (match List.rev path with
+    | _ :: prev :: _ ->
+        if o.prevs.(i) <> prev then Alcotest.failf "%s: prev of %d" what node
+    | _ -> Alcotest.failf "%s: degenerate path to %d" what node);
+    let link = if Net.Tree.parent tree node = o.prevs.(i) then node else o.prevs.(i) in
+    if o.links.(i) <> link then Alcotest.failf "%s: link of %d" what node;
+    let d = Net.Tree.dist tree ~delay:(fun l -> delays.(l)) origin node in
+    if Float.abs (o.cum.(i) -. d) > 1e-9 then Alcotest.failf "%s: cum of %d" what node;
+    let in_subtree = ref 0 in
+    for j = i to n - 1 do
+      if List.mem node (Net.Tree.path tree origin o.nodes.(j)) then incr in_subtree
+    done;
+    if o.skips.(i) <> !in_subtree then Alcotest.failf "%s: skips of %d" what node
+  done
+
+let prop_routes_flood_order =
+  QCheck.Test.make ~name:"routes: flood orders replay the neighbor walk" ~count:60
+    arbitrary_tree (fun parents ->
+      let tree, delays, routes = routes_of parents in
+      let n = Net.Tree.n_nodes tree in
+      let all = List.init n Fun.id in
+      for origin = 0 to n - 1 do
+        check_order ~what:"flood" tree delays origin
+          (Net.Routes.flood_order routes origin)
+          (List.filter (fun v -> v <> origin) all)
+      done;
+      true)
+
+let prop_routes_down_order =
+  QCheck.Test.make ~name:"routes: down orders cover exactly the subtree" ~count:60
+    arbitrary_tree (fun parents ->
+      let tree, delays, routes = routes_of parents in
+      for root = 0 to Net.Tree.n_nodes tree - 1 do
+        let below = List.filter (fun v -> v <> root) (Net.Tree.subtree_nodes tree root) in
+        if Net.Routes.subtree_size routes root <> List.length below + 1 then
+          Alcotest.failf "subtree_size of %d" root;
+        check_order ~what:"down" tree delays root (Net.Routes.down_order routes root) below
+      done;
+      true)
+
+let prop_routes_path =
+  QCheck.Test.make ~name:"routes: paths agree with Tree.path/on_path_links" ~count:60
+    arbitrary_tree (fun parents ->
+      let tree, _, routes = routes_of parents in
+      let n = Net.Tree.n_nodes tree in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          let p = Net.Routes.path routes ~src ~dst in
+          if Array.to_list p.hops <> List.tl (Net.Tree.path tree src dst) then
+            Alcotest.failf "hops %d->%d" src dst;
+          if Array.to_list p.plinks <> Net.Tree.on_path_links tree src dst then
+            Alcotest.failf "plinks %d->%d" src dst;
+          Array.iteri
+            (fun i down ->
+              let prev = if i = 0 then src else p.hops.(i - 1) in
+              if down <> (Net.Tree.parent tree p.hops.(i) = prev) then
+                Alcotest.failf "pdowns %d->%d hop %d" src dst i)
+            p.pdowns
+        done
+      done;
+      true)
+
+let prop_routes_neighbors =
+  QCheck.Test.make ~name:"routes: neighbors/children mirror the tree lists" ~count:100
+    arbitrary_tree (fun parents ->
+      let tree, _, routes = routes_of parents in
+      let ok = ref true in
+      for v = 0 to Net.Tree.n_nodes tree - 1 do
+        if Array.to_list (Net.Routes.neighbors routes v) <> Net.Tree.neighbors tree v then
+          ok := false;
+        if Array.to_list (Net.Routes.children routes v) <> Net.Tree.children tree v then
+          ok := false
+      done;
+      !ok)
+
+let prop_subtree_nodes_preorder =
+  QCheck.Test.make ~name:"tree: subtree_nodes is the ancestor-filtered preorder" ~count:100
+    arbitrary_tree (fun parents ->
+      let tree = Net.Tree.of_parents parents in
+      let n = Net.Tree.n_nodes tree in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let nodes = Net.Tree.subtree_nodes tree v in
+        let members = List.filter (fun x -> Net.Tree.is_ancestor tree v x) (List.init n Fun.id) in
+        if List.sort compare nodes <> members then ok := false;
+        (* DFS preorder: every node appears after its parent (the root
+           of the subtree first). *)
+        (match nodes with hd :: _ when hd = v -> () | _ -> ok := false);
+        List.iteri
+          (fun i x ->
+            if x <> v then begin
+              let seen = List.filteri (fun j _ -> j < i) nodes in
+              if not (List.mem (Net.Tree.parent tree x) seen) then ok := false
+            end)
+          nodes
+      done;
+      !ok)
+
 let () =
   Alcotest.run "net"
     [
@@ -393,5 +511,13 @@ let () =
           Alcotest.test_case "multicast crossings" `Quick test_network_multicast_crossings;
           Alcotest.test_case "dist/rtt" `Quick test_network_dist_rtt;
           Alcotest.test_case "heterogeneous delays" `Quick test_network_heterogeneous;
+        ] );
+      ( "routes",
+        [
+          qcheck prop_routes_flood_order;
+          qcheck prop_routes_down_order;
+          qcheck prop_routes_path;
+          qcheck prop_routes_neighbors;
+          qcheck prop_subtree_nodes_preorder;
         ] );
     ]

@@ -151,6 +151,26 @@ let prop_heap_to_sorted_list =
       let sorted = Sim.Heap.to_sorted_list h in
       sorted = List.sort compare xs && Sim.Heap.length h = List.length xs)
 
+let test_heap_filter () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.add h) [ 7; 2; 9; 4; 1; 8; 6; 3; 5; 10 ];
+  Sim.Heap.filter h (fun x -> x mod 2 = 0);
+  check Alcotest.int "evens kept" 5 (Sim.Heap.length h);
+  check Alcotest.(list int) "drain sorted" [ 2; 4; 6; 8; 10 ]
+    (List.init 5 (fun _ -> Sim.Heap.pop_exn h));
+  Sim.Heap.filter h (fun _ -> true);
+  check Alcotest.bool "filter on empty" true (Sim.Heap.is_empty h)
+
+let prop_heap_filter_preserves_order =
+  QCheck.Test.make ~name:"heap: filter keeps exactly the matches, still sorted" ~count:300
+    QCheck.(pair (list int) int)
+    (fun (xs, pivot) ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.add h) xs;
+      Sim.Heap.filter h (fun x -> x < pivot);
+      let expected = List.sort compare (List.filter (fun x -> x < pivot) xs) in
+      List.init (Sim.Heap.length h) (fun _ -> Sim.Heap.pop_exn h) = expected)
+
 (* --- Engine ----------------------------------------------------------- *)
 
 let test_engine_time_order () =
@@ -261,6 +281,55 @@ let test_engine_fire_time () =
   let t = Sim.Engine.schedule e ~after:2.5 (fun () -> ()) in
   check (Alcotest.float 1e-9) "fire time" 2.5 (Sim.Engine.fire_time t)
 
+let test_engine_pending_events_lifecycle () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  let timers = List.init 10 (fun i -> Sim.Engine.schedule e ~after:(float_of_int i) (fun () -> incr fired)) in
+  check Alcotest.int "all pending" 10 (Sim.Engine.pending_events e);
+  let victim = List.nth timers 3 in
+  Sim.Engine.cancel victim;
+  Sim.Engine.cancel victim;
+  check Alcotest.int "double cancel counts once" 9 (Sim.Engine.pending_events e);
+  check Alcotest.bool "cancelled is not pending" false (Sim.Engine.is_pending victim);
+  ignore (Sim.Engine.step e);
+  check Alcotest.int "fire decrements" 8 (Sim.Engine.pending_events e);
+  Sim.Engine.cancel (List.hd timers);
+  check Alcotest.int "cancel after fire is a no-op" 8 (Sim.Engine.pending_events e);
+  Sim.Engine.run e;
+  check Alcotest.int "queue drained" 0 (Sim.Engine.pending_events e);
+  check Alcotest.int "nine fired" 9 !fired
+
+(* Mass cancellation triggers the in-place tombstone compaction; the
+   survivors must still fire, once each, in time order. *)
+let test_engine_compaction () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let timers =
+    Array.init 1000 (fun i ->
+        let at = float_of_int ((i * 7919) mod 1000) in
+        Sim.Engine.schedule_at e ~at (fun () -> log := at :: !log))
+  in
+  Array.iteri (fun i t -> if i mod 10 <> 0 then Sim.Engine.cancel t) timers;
+  check Alcotest.int "post-compaction pending" 100 (Sim.Engine.pending_events e);
+  Sim.Engine.run e;
+  let fired = List.rev !log in
+  check Alcotest.int "survivors fired" 100 (List.length fired);
+  check Alcotest.bool "in order" true (fired = List.sort compare fired)
+
+(* A fired timer's slot may be recycled by a later schedule; stale
+   handles must not affect the new occupant. *)
+let test_engine_slot_reuse_safe () =
+  let e = Sim.Engine.create () in
+  let stale = Sim.Engine.schedule e ~after:1.0 (fun () -> ()) in
+  Sim.Engine.run e;
+  let fired = ref false in
+  let fresh = Sim.Engine.schedule e ~after:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel stale;
+  check Alcotest.bool "stale handle reports not pending" false (Sim.Engine.is_pending stale);
+  check Alcotest.bool "fresh timer survives stale cancel" true (Sim.Engine.is_pending fresh);
+  Sim.Engine.run e;
+  check Alcotest.bool "fresh timer fired" true !fired
+
 let prop_engine_random_schedule =
   QCheck.Test.make ~name:"engine: arbitrary delays run in sorted order" ~count:100
     QCheck.(list_of_size Gen.(int_range 1 40) (float_range 0. 100.))
@@ -300,6 +369,8 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
           qcheck prop_heap_sorted;
           qcheck prop_heap_to_sorted_list;
+          Alcotest.test_case "filter" `Quick test_heap_filter;
+          qcheck prop_heap_filter_preserves_order;
         ] );
       ( "engine",
         [
@@ -313,6 +384,9 @@ let () =
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
           Alcotest.test_case "past schedule_at" `Quick test_engine_schedule_at_past_clamped;
           Alcotest.test_case "pending count" `Quick test_engine_pending_events;
+          Alcotest.test_case "pending lifecycle" `Quick test_engine_pending_events_lifecycle;
+          Alcotest.test_case "tombstone compaction" `Quick test_engine_compaction;
+          Alcotest.test_case "slot reuse safety" `Quick test_engine_slot_reuse_safe;
           Alcotest.test_case "step" `Quick test_engine_step;
           Alcotest.test_case "fire time" `Quick test_engine_fire_time;
           qcheck prop_engine_random_schedule;
