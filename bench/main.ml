@@ -10,6 +10,9 @@
      dune exec bench/main.exe -- --sections fig1,fig5b
      dune exec bench/main.exe -- --no-bechamel
      dune exec bench/main.exe -- --json FILE  (machine-readable timings)
+     dune exec bench/main.exe -- --baseline FILE  (diff timings against a
+                                               previous --json file; exits 1
+                                               on deltas beyond thresholds)
 
    The extra section "smoke" (one SRM+CESRM pair on the smallest
    trace) runs only when named explicitly; `dune runtest` uses it as a
@@ -24,6 +27,8 @@ let with_bechamel = ref true
 let csv_dir = ref None
 
 let json_file = ref None
+
+let baseline_file = ref None
 
 let parse_args () =
   let rec go = function
@@ -45,6 +50,9 @@ let parse_args () =
         go rest
     | "--json" :: file :: rest ->
         json_file := Some file;
+        go rest
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
         go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -73,32 +81,60 @@ let section name body =
     print_newline ()
   end
 
-(* Timing JSON: enough structure for the BENCH_* perf trajectory
-   without pulling in a JSON library (names are [a-z0-9.:/-] only). *)
-let write_json ~file ~total_wall_s =
-  let buf = Buffer.create 1024 in
-  let entry fmt (name, v) = Printf.sprintf ("    {\"name\": %S, " ^^ fmt ^^ "}") name v in
-  let array field fmt items =
-    if items = [] then Buffer.add_string buf (Printf.sprintf "  %S: []" field)
-    else begin
-      Buffer.add_string buf (Printf.sprintf "  %S: [\n" field);
-      Buffer.add_string buf (String.concat ",\n" (List.map (entry fmt) (List.rev items)));
-      Buffer.add_string buf "\n  ]"
-    end
+(* The timing report is self-describing: a meta object records the git
+   commit and the run parameters, so a stored --json file can later be
+   interpreted (and compared via --baseline / `cesrm diff`) without
+   knowing how it was produced. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then None else Some line
+  with _ -> None
+
+let json_doc ~total_wall_s =
+  let open Obs.Json in
+  let entry field (name, v) = Obj [ ("name", Str name); (field, Num v) ] in
+  let meta =
+    Obj
+      [
+        ("git_commit", match git_commit () with Some c -> Str c | None -> Null);
+        ("packets", (match !n_packets with None -> Null | Some n -> int n));
+        ( "sections_filter",
+          match !sections_filter with None -> Null | Some l -> Str (String.concat "," l) );
+        ("bechamel", Bool !with_bechamel);
+        ("argv", Str (String.concat " " (List.tl (Array.to_list Sys.argv))));
+      ]
   in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"packets\": %s,\n"
-       (match !n_packets with None -> "null" | Some n -> string_of_int n));
-  Buffer.add_string buf (Printf.sprintf "  \"total_wall_s\": %.6f,\n" total_wall_s);
-  array "sections" "\"wall_s\": %.6f" !section_times;
-  Buffer.add_string buf ",\n";
-  array "bechamel" "\"ns_per_run\": %.3f" !bechamel_estimates;
-  Buffer.add_string buf "\n}\n";
-  let oc = open_out file in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  Obj
+    [
+      ("meta", meta);
+      ("packets", (match !n_packets with None -> Null | Some n -> int n));
+      ("total_wall_s", Num total_wall_s);
+      ("sections", Arr (List.rev_map (entry "wall_s") !section_times));
+      ("bechamel", Arr (List.rev_map (entry "ns_per_run") !bechamel_estimates));
+    ]
+
+let write_json ~file doc =
+  Obs.Json.save ~pretty:true doc ~file;
   Printf.printf "(timings written to %s)\n" file
+
+(* Diff this run's timings against a stored --json file. Wall-clock
+   noise is real, so the thresholds are loose: 25% relative and 50 ms
+   absolute, enough to catch an injected slowdown but not scheduler
+   jitter. Returns the number of flagged metrics (exit status). *)
+let diff_against_baseline ~file doc =
+  match Obs.Json.parse_file file with
+  | Error msg ->
+      Printf.eprintf "baseline %s: %s\n" file msg;
+      1
+  | Ok base ->
+      let thresholds = { Obs.Diff.rel = 0.25; abs = 0.050 } in
+      let entries = Obs.Diff.diff ~thresholds ~base ~current:doc () in
+      Printf.printf "---- vs baseline %s ----\n" file;
+      print_string (Obs.Diff.render entries);
+      List.length (Obs.Diff.flagged entries)
 
 (* ------------------------------------------------------------------ *)
 
@@ -280,4 +316,8 @@ let () =
   if !with_bechamel then section "bechamel" bechamel;
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "total wall time: %.1f s\n" total;
-  match !json_file with None -> () | Some file -> write_json ~file ~total_wall_s:total
+  let doc = lazy (json_doc ~total_wall_s:total) in
+  Option.iter (fun file -> write_json ~file (Lazy.force doc)) !json_file;
+  match !baseline_file with
+  | None -> ()
+  | Some file -> if diff_against_baseline ~file (Lazy.force doc) > 0 then exit 1

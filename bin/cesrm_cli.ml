@@ -197,8 +197,23 @@ let print_result (res : Harness.Runner.result) =
   if res.audit_violations > 0 then
     Printf.printf "WARNING: %d protocol-audit violations\n" res.audit_violations
 
+let trace_out_arg =
+  let doc =
+    "Record the run's structured events (loss detections, request/reply sends, recoveries) \
+     and export them as Chrome trace-event JSON to $(docv); open it in Perfetto \
+     (ui.perfetto.dev) or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
+let metrics_arg =
+  let doc =
+    "Write the end-of-run metrics registry (engine/network/protocol counters and latency \
+     histograms) as JSON to $(docv); two such files feed `cesrm diff`."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
 let run_cmd =
-  let run verbose trace protocol policy router_assist lossy link_delay_ms =
+  let run verbose trace protocol policy router_assist lossy link_delay_ms trace_out metrics_out =
     setup_logs verbose;
     let att = Harness.Runner.attribution_of_trace trace in
     let setup = make_setup ~lossy ~link_delay_ms in
@@ -209,13 +224,37 @@ let run_cmd =
       | `Cesrm ->
           Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist }
     in
-    print_result (Harness.Runner.run ~setup proto trace att)
+    let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+    let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
+    print_result (Harness.Runner.run ~setup ?tracer ?registry proto trace att);
+    Option.iter
+      (fun file ->
+        let tr = Option.get tracer in
+        Obs.Trace.export_chrome tr ~file;
+        Printf.printf "(trace: %d events to %s%s)\n" (Obs.Trace.length tr) file
+          (if Obs.Trace.dropped tr > 0 then
+             Printf.sprintf "; ring wrapped, %d oldest dropped" (Obs.Trace.dropped tr)
+           else ""))
+      trace_out;
+    Option.iter
+      (fun file ->
+        let meta =
+          [
+            ("protocol", Obs.Json.Str (Harness.Runner.protocol_name proto));
+            ("trace", Obs.Json.Str (Mtrace.Trace.summary trace));
+            ("link_delay_ms", Obs.Json.Num link_delay_ms);
+            ("lossy_recovery", Obs.Json.Bool lossy);
+          ]
+        in
+        Obs.Report.save ~meta (Option.get registry) ~file;
+        Printf.printf "(metrics to %s)\n" file)
+      metrics_out
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Re-enact a trace under SRM or CESRM and report recovery statistics.")
     Term.(
       const run $ verbose_flag $ trace_term $ protocol_arg $ policy_arg $ router_assist_arg
-      $ lossy_arg $ link_delay_arg)
+      $ lossy_arg $ link_delay_arg $ trace_out_arg $ metrics_arg)
 
 let compare_cmd =
   let run verbose trace policy router_assist lossy link_delay_ms =
@@ -238,9 +277,50 @@ let compare_cmd =
       const run $ verbose_flag $ trace_term $ policy_arg $ router_assist_arg $ lossy_arg
       $ link_delay_arg)
 
+(* -- diff -------------------------------------------------------------- *)
+
+let diff_cmd =
+  let base_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASE" ~doc:"Baseline JSON file.")
+  in
+  let current_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc:"Current JSON file.")
+  in
+  let rel_arg =
+    let doc = "Relative threshold in percent: flag metrics whose delta exceeds $(docv)%% of the baseline." in
+    Arg.(value & opt float 10. & info [ "rel" ] ~doc ~docv:"PCT")
+  in
+  let abs_arg =
+    let doc = "Absolute threshold: deltas at or below $(docv) are never flagged (filters float noise)." in
+    Arg.(value & opt float 1e-9 & info [ "abs" ] ~doc ~docv:"V")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"List every compared metric, not only the flagged ones.")
+  in
+  let run base current rel abs all =
+    match (Obs.Json.parse_file base, Obs.Json.parse_file current) with
+    | Error msg, _ -> `Error (false, Printf.sprintf "%s: %s" base msg)
+    | _, Error msg -> `Error (false, Printf.sprintf "%s: %s" current msg)
+    | Ok b, Ok c ->
+        let thresholds = { Obs.Diff.rel = rel /. 100.; abs } in
+        let entries = Obs.Diff.diff ~thresholds ~base:b ~current:c () in
+        print_string (Obs.Diff.render ~only_flagged:(not all) entries);
+        if Obs.Diff.flagged entries <> [] then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two metric/bench JSON files (from `cesrm run --metrics` or `bench --json`) \
+          and flag deltas beyond thresholds. Exits 1 if any metric is flagged.")
+    Term.(ret (const run $ base_arg $ current_arg $ rel_arg $ abs_arg $ all_arg))
+
 (* -- main -------------------------------------------------------------- *)
 
 let () =
   let doc = "Caching-Enhanced Scalable Reliable Multicast — trace-driven simulation toolkit" in
   let info = Cmd.info "cesrm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; gen_trace_cmd; info_cmd; infer_cmd; run_cmd; compare_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; gen_trace_cmd; info_cmd; infer_cmd; run_cmd; compare_cmd; diff_cmd ]))

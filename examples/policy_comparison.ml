@@ -3,7 +3,14 @@
    at more sophisticated ones. This example compares all three shipped
    policies across a few traces.
 
-   Run with:  dune exec examples/policy_comparison.exe *)
+   Run with:  dune exec examples/policy_comparison.exe
+   (CESRM_EXAMPLE_PACKETS shortens the traces — the runtest smoke
+   rule uses it to keep the examples fast.) *)
+
+let n_packets =
+  match Sys.getenv_opt "CESRM_EXAMPLE_PACKETS" with
+  | Some s -> int_of_string s
+  | None -> 4000
 
 let avg_norm (res : Harness.Runner.result) =
   let s = Stats.Summary.create () in
@@ -20,7 +27,7 @@ let () =
     List.concat_map
       (fun name ->
         let row = Mtrace.Meta.find name in
-        let gen = Mtrace.Generator.synthesize ~n_packets:4000 row in
+        let gen = Mtrace.Generator.synthesize ~n_packets row in
         let trace = gen.Mtrace.Generator.trace in
         let att = Harness.Runner.attribution_of_trace trace in
         List.map

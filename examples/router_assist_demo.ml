@@ -3,7 +3,13 @@
    subtree below the turning-point router instead of the whole group.
    This example measures that exposure reduction.
 
-   Run with:  dune exec examples/router_assist_demo.exe *)
+   Run with:  dune exec examples/router_assist_demo.exe
+   (CESRM_EXAMPLE_PACKETS shortens the trace for the runtest smoke.) *)
+
+let n_packets =
+  match Sys.getenv_opt "CESRM_EXAMPLE_PACKETS" with
+  | Some s -> int_of_string s
+  | None -> 4000
 
 let run ~router_assist trace att =
   let config = { Cesrm.Host.default_config with router_assist } in
@@ -11,7 +17,7 @@ let run ~router_assist trace att =
 
 let () =
   let row = Mtrace.Meta.find "UCB960424" in
-  let gen = Mtrace.Generator.synthesize ~n_packets:4000 row in
+  let gen = Mtrace.Generator.synthesize ~n_packets row in
   let trace = gen.Mtrace.Generator.trace in
   let att = Harness.Runner.attribution_of_trace trace in
   let plain = run ~router_assist:false trace att in

@@ -6,7 +6,13 @@
    time — where CESRM's latency advantage turns directly into playback
    quality.
 
-   Run with:  dune exec examples/streaming_playout.exe [TRACE] *)
+   Run with:  dune exec examples/streaming_playout.exe [TRACE]
+   (CESRM_EXAMPLE_PACKETS shortens the trace for the runtest smoke.) *)
+
+let n_packets =
+  match Sys.getenv_opt "CESRM_EXAMPLE_PACKETS" with
+  | Some s -> int_of_string s
+  | None -> 5000
 
 let deadline_grid = [ 0.1; 0.2; 0.3; 0.5; 0.8; 1.2; 2.0 ]
 
@@ -24,7 +30,7 @@ let in_time_fraction (res : Harness.Runner.result) deadline =
 let () =
   let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "WRN951128" in
   let row = Mtrace.Meta.find name in
-  let gen = Mtrace.Generator.synthesize ~n_packets:5000 row in
+  let gen = Mtrace.Generator.synthesize ~n_packets row in
   let trace = gen.Mtrace.Generator.trace in
   let att = Harness.Runner.attribution_of_trace trace in
   let srm = Harness.Runner.run Harness.Runner.Srm_protocol trace att in

@@ -172,3 +172,21 @@ let create ~network ~self ~params ~config ~n_packets ~counters ~recoveries =
   t
 
 let start t ~session_until = Srm.Host.start t.srm ~session_until
+
+let publish_metrics t registry =
+  Srm.Host.publish_metrics t.srm registry;
+  Obs.Registry.incr ~by:t.exp_requests_sent registry "cesrm/exp_requests_sent";
+  Obs.Registry.incr ~by:t.exp_replies_sent registry "cesrm/exp_replies_sent";
+  Obs.Registry.incr ~by:(Hashtbl.length t.pending_exp) registry
+    "cesrm/exp_outstanding_at_end";
+  Hashtbl.iter
+    (fun _ c ->
+      Obs.Registry.incr registry "cesrm/caches";
+      Obs.Registry.incr ~by:(Cache.size c) registry "cesrm/cache_entries")
+    t.caches;
+  Hashtbl.iter
+    (fun _ (ok, total) ->
+      if total > 0 then
+        Obs.Registry.observe registry "cesrm/replier_success_rate"
+          (float_of_int ok /. float_of_int total))
+    t.replier_stats

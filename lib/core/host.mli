@@ -61,3 +61,8 @@ val on_packet : t -> Net.Packet.t -> unit
 val expedited_requests_sent : t -> int
 
 val expedited_replies_sent : t -> int
+
+val publish_metrics : t -> Obs.Registry.t -> unit
+(** Accumulate this member's SRM metrics plus the expedited-recovery
+    state (["cesrm/"] prefix: requests/replies sent, cache occupancy,
+    observed per-replier success rates) into the registry. *)

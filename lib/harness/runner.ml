@@ -77,7 +77,7 @@ let make_drop ~attribution ~lossy_recovery ~lossy_sessions ~rates ~rng =
     | Net.Packet.Request _ | Net.Packet.Reply _ | Net.Packet.Exp_request _ ->
         lossy_recovery && Sim.Rng.bernoulli rng rates.(link)
 
-let run ?(setup = default_setup) protocol trace attribution =
+let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
   let tree = Mtrace.Trace.tree trace in
   let n_packets = Mtrace.Trace.n_packets trace in
   let period = Mtrace.Trace.period trace in
@@ -117,9 +117,31 @@ let run ?(setup = default_setup) protocol trace attribution =
       ~max_exp_per_loss:(match protocol with Lms_protocol -> 64 | _ -> 1)
       network
   in
-  let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected =
+  (* Tracing piggybacks on the packet tap (composed after the
+     auditor's) and, per member, on the SRM hooks — attached only when
+     a tracer was passed, so the untraced run is the seed code path. *)
+  let stride = n_packets + 1 in
+  Option.iter (fun tr -> Instrument.attach_network ~trace:tr ~stride network) tracer;
+  let trace_host srm_host =
+    Option.iter (fun tr -> Instrument.attach_srm_host ~trace:tr ~stride srm_host) tracer
+  in
+  let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected ~publish =
     let horizon = setup.warmup +. (float_of_int n_packets *. period) +. setup.tail +. 240. in
     Sim.Engine.run ~until:horizon engine;
+    let rtt_to_source =
+      Array.to_list
+        (Array.map (fun node -> (node, Net.Network.rtt network 0 node)) (Net.Tree.receivers tree))
+    in
+    Option.iter
+      (fun reg ->
+        Sim.Engine.publish_metrics engine reg;
+        Net.Network.publish_metrics network reg;
+        publish reg;
+        Obs.Registry.incr ~by:(Stats.Recovery.count recoveries) reg "recovery/recovered";
+        Instrument.attach_recovery_hists reg
+          ~rtt_of:(fun node -> List.assoc_opt node rtt_to_source)
+          recoveries)
+      registry;
     let recovered = Stats.Recovery.count recoveries in
     {
       trace;
@@ -128,9 +150,7 @@ let run ?(setup = default_setup) protocol trace attribution =
       counters;
       recoveries;
       cost = Net.Network.cost network;
-      rtt_to_source =
-        Array.to_list
-          (Array.map (fun node -> (node, Net.Network.rtt network 0 node)) (Net.Tree.receivers tree));
+      rtt_to_source;
       exp_requests;
       exp_replies;
       unrecovered = detected () - recovered;
@@ -141,16 +161,23 @@ let run ?(setup = default_setup) protocol trace attribution =
   match protocol with
   | Srm_protocol ->
       let proto = Srm.Proto.deploy ~network ~params:setup.params ~n_packets ~period in
+      List.iter (fun (_, h) -> trace_host h) (Srm.Proto.members proto);
       Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup ~tail:setup.tail;
       let detected () =
         List.fold_left (fun acc (_, h) -> acc + Srm.Host.detected_losses h) 0 (Srm.Proto.members proto)
       in
+      let publish reg =
+        List.iter (fun (_, h) -> Srm.Host.publish_metrics h reg) (Srm.Proto.members proto)
+      in
       finish ~counters:(Srm.Proto.counters proto) ~recoveries:(Srm.Proto.recoveries proto)
-        ~exp_requests:0 ~exp_replies:0 ~detected
+        ~exp_requests:0 ~exp_replies:0 ~detected ~publish
   | Cesrm_protocol config ->
       let proto =
         Cesrm.Proto.deploy ~config ~network ~params:setup.params ~n_packets ~period ()
       in
+      (* After deploy: the CESRM hosts have installed their own hooks,
+         which the tracer chains onto rather than replaces. *)
+      List.iter (fun (_, h) -> trace_host (Cesrm.Host.srm h)) (Cesrm.Proto.members proto);
       Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
         ~tail:setup.tail;
       let detected () =
@@ -158,9 +185,12 @@ let run ?(setup = default_setup) protocol trace attribution =
           (fun acc (_, h) -> acc + Srm.Host.detected_losses (Cesrm.Host.srm h))
           0 (Cesrm.Proto.members proto)
       in
+      let publish reg =
+        List.iter (fun (_, h) -> Cesrm.Host.publish_metrics h reg) (Cesrm.Proto.members proto)
+      in
       let result =
         finish ~counters:(Cesrm.Proto.counters proto) ~recoveries:(Cesrm.Proto.recoveries proto)
-          ~exp_requests:0 ~exp_replies:0 ~detected
+          ~exp_requests:0 ~exp_replies:0 ~detected ~publish
       in
       {
         result with
@@ -170,9 +200,13 @@ let run ?(setup = default_setup) protocol trace attribution =
   | Lms_protocol ->
       let proto = Lms.Proto.deploy ~network ~n_packets ~period () in
       Lms.Proto.start proto ~warmup:setup.warmup ~tail:setup.tail;
+      let publish reg =
+        List.iter (fun (_, h) -> Lms.Host.publish_metrics h reg) (Lms.Proto.members proto)
+      in
       finish ~counters:(Lms.Proto.counters proto) ~recoveries:(Lms.Proto.recoveries proto)
         ~exp_requests:0 ~exp_replies:0
         ~detected:(fun () -> Lms.Proto.detected proto)
+        ~publish
 
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in

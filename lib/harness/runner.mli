@@ -56,7 +56,19 @@ type result = {
 }
 
 val run :
-  ?setup:setup -> protocol -> Mtrace.Trace.t -> Inference.Attribution.t -> result
+  ?setup:setup ->
+  ?tracer:Obs.Trace.t ->
+  ?registry:Obs.Registry.t ->
+  protocol ->
+  Mtrace.Trace.t ->
+  Inference.Attribution.t ->
+  result
+(** With [tracer], structured events are recorded through the hosts'
+    hooks and the network tap (see {!Instrument}) — purely
+    observational, the run's outcome is bit-identical. With [registry],
+    end-of-run metrics from the engine, the network and every member
+    host are published into it, plus ["recovery/"] latency histograms
+    (RTT-normalized, split expedited vs fallback). *)
 
 val attribution_of_trace : Mtrace.Trace.t -> Inference.Attribution.t
 (** The paper's Section 4.2 pipeline: Yajnik link-rate estimation, then

@@ -157,6 +157,14 @@ let note_sent ?(src = 0) t ~seq =
     if seq > stream.max_seq then stream.max_seq <- seq
   end
 
+let publish_metrics t registry =
+  Obs.Registry.incr ~by:t.n_detected registry "lms/losses_detected";
+  Obs.Registry.incr ~by:(Hashtbl.length t.retries) registry "lms/retries_open_at_end";
+  Hashtbl.iter
+    (fun _ (st : retry_state) ->
+      Obs.Registry.observe registry "lms/retry_attempts" (float_of_int st.attempt))
+    t.retries
+
 (* --- replier side ----------------------------------------------------- *)
 
 let answer t ~src ~seq ~requestor ~turning_point ~ttl =

@@ -40,3 +40,7 @@ val max_seq : ?src:int -> t -> int
 val max_seqs : t -> (int * int) list
 
 val self : t -> int
+
+val publish_metrics : t -> Obs.Registry.t -> unit
+(** Accumulate this member's detection and retry state into the
+    group-wide ["lms/"] metrics (pull-based; call once per member). *)

@@ -60,7 +60,33 @@ let set_drop t f = t.drop <- f
 
 let set_tap t f = t.tap <- Some f
 
+(* Compose with any installed tap so several passive observers (the
+   protocol auditor, the Obs tracer) can coexist; the earlier tap runs
+   first. *)
+let add_tap t f =
+  match t.tap with
+  | None -> t.tap <- Some f
+  | Some g ->
+      t.tap <-
+        Some
+          (fun ~from packet ->
+            g ~from packet;
+            f ~from packet)
+
 let tap t ~from packet = match t.tap with None -> () | Some f -> f ~from packet
+
+let publish_metrics t registry =
+  Obs.Registry.incr ~by:t.delivered registry "net/packets_delivered";
+  Obs.Registry.incr ~by:(Cost.retransmission_overhead t.cost) registry
+    "net/retransmission_crossings";
+  Obs.Registry.incr ~by:(Cost.control_overhead t.cost ~multicast:true) registry
+    "net/control_crossings_mc";
+  Obs.Registry.incr ~by:(Cost.control_overhead t.cost ~multicast:false) registry
+    "net/control_crossings_uc";
+  Obs.Registry.incr ~by:(Cost.total_crossings t.cost Cost.Data) registry
+    "net/data_crossings";
+  Obs.Registry.incr ~by:(Cost.total_crossings t.cost Cost.Session) registry
+    "net/session_crossings"
 
 let on_receive t v f = t.handlers.(v) <- Some f
 

@@ -84,6 +84,15 @@ val set_tap : t -> (from:int -> Packet.t -> unit) -> unit
     cast mode), before delivery is computed. Used by the protocol
     auditor; has no effect on behaviour. *)
 
+val add_tap : t -> (from:int -> Packet.t -> unit) -> unit
+(** Like {!set_tap} but composes with any tap already installed (which
+    keeps running, first). Lets the auditor and the {!Obs} tracer
+    observe the same run. *)
+
+val publish_metrics : t -> Obs.Registry.t -> unit
+(** Snapshot delivery and link-crossing totals into the registry under
+    the ["net/"] prefix (pull-based; see {!Obs.Registry}). *)
+
 val set_enabled : t -> int -> bool -> unit
 (** Crash or revive a member: a disabled node receives no deliveries
     and its own transmissions are silently discarded, so a crashed

@@ -1,0 +1,66 @@
+type value = Counter of int | Gauge of float | Histogram of Hist.t
+
+type cell = Counter_cell of int ref | Gauge_cell of float ref | Hist_cell of Hist.t
+
+type t = { cells : (string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 64 }
+
+let kind_error name = invalid_arg (Printf.sprintf "Obs.Registry: %s is registered with another type" name)
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Counter_cell r) -> r
+  | Some _ -> kind_error name
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.cells name (Counter_cell r);
+      r
+
+let gauge_ref t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Gauge_cell r) -> r
+  | Some _ -> kind_error name
+  | None ->
+      let r = ref 0. in
+      Hashtbl.replace t.cells name (Gauge_cell r);
+      r
+
+let hist t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Hist_cell h) -> h
+  | Some _ -> kind_error name
+  | None ->
+      let h = Hist.create () in
+      Hashtbl.replace t.cells name (Hist_cell h);
+      h
+
+let incr ?(by = 1) t name =
+  let r = counter_ref t name in
+  r := !r + by
+
+let set_gauge t name v = gauge_ref t name := v
+
+let add_gauge t name v =
+  let r = gauge_ref t name in
+  r := !r +. v
+
+let observe t name v = Hist.add (hist t name) v
+
+let counter_value t name =
+  match Hashtbl.find_opt t.cells name with Some (Counter_cell r) -> Some !r | _ -> None
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.cells name with Some (Gauge_cell r) -> Some !r | _ -> None
+
+let iter t f =
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.cells [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.cells name with
+      | Counter_cell r -> f name (Counter !r)
+      | Gauge_cell r -> f name (Gauge !r)
+      | Hist_cell h -> f name (Histogram h))
+    (List.sort String.compare names)
+
+let is_empty t = Hashtbl.length t.cells = 0

@@ -1,0 +1,44 @@
+(** A named metrics registry.
+
+    The registry is the rendezvous between the subsystems that own
+    numbers (the engine, the network, the protocol hosts) and the
+    report/diff pipeline that consumes them. Metrics are created on
+    first use; names are free-form, with "/" conventionally separating
+    the subsystem prefix from the metric (e.g. ["sim/events_fired"],
+    ["recovery/latency_rtt"]).
+
+    Publishing is pull-based: a subsystem exposes a [publish_metrics]
+    that snapshots its internal (already maintained) counters into the
+    registry at end of run, so the running hot path pays nothing for
+    the registry's existence. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter (created at 0). *)
+
+val set_gauge : t -> string -> float -> unit
+
+val add_gauge : t -> string -> float -> unit
+(** Accumulate into a gauge (created at 0) — used when several hosts
+    publish into one metric. *)
+
+val observe : t -> string -> float -> unit
+(** Record into a histogram (created with {!Hist}'s defaults). *)
+
+val hist : t -> string -> Hist.t
+(** The named histogram, created empty if absent — for bulk recording
+    without the name lookup per observation. *)
+
+val counter_value : t -> string -> int option
+
+val gauge_value : t -> string -> float option
+
+type value = Counter of int | Gauge of float | Histogram of Hist.t
+
+val iter : t -> (string -> value -> unit) -> unit
+(** In ascending name order. *)
+
+val is_empty : t -> bool

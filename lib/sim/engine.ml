@@ -23,6 +23,13 @@ type t = {
   (* The heap proper: [heap.(0 .. size-1)] are slot ids. *)
   mutable heap : int array;
   mutable size : int;
+  (* Lifetime statistics, published via [publish_metrics]: plain int
+     stores on paths that already write the adjacent fields, so they
+     cost nothing measurable. *)
+  mutable n_fired : int;
+  mutable n_cancelled : int;
+  mutable n_compactions : int;
+  mutable max_heap_size : int;
 }
 
 and timer = { owner : t; slot : int; hseq : int; htime : float }
@@ -43,6 +50,10 @@ let create ?(seed = 1L) () =
     n_slots = 0;
     heap = [||];
     size = 0;
+    n_fired = 0;
+    n_cancelled = 0;
+    n_compactions = 0;
+    max_heap_size = 0;
   }
 
 let now t = t.clock
@@ -119,6 +130,7 @@ let heap_push t s =
   end;
   t.heap.(t.size) <- s;
   t.size <- t.size + 1;
+  if t.size > t.max_heap_size then t.max_heap_size <- t.size;
   sift_up t (t.size - 1)
 
 (* Pop the root slot; the caller decides whether it is live. *)
@@ -169,6 +181,7 @@ let compact_if_needed t =
       else free_slot t s
     done;
     t.size <- !j;
+    t.n_compactions <- t.n_compactions + 1;
     (* Floyd heapify: O(n) rebuild of the heap invariant. *)
     for i = (t.size / 2) - 1 downto 0 do
       sift_down t i
@@ -182,6 +195,7 @@ let cancel timer =
   if t.seqs.(timer.slot) = timer.hseq && t.actions.(timer.slot) != no_action then begin
     t.actions.(timer.slot) <- no_action;
     t.live <- t.live - 1;
+    t.n_cancelled <- t.n_cancelled + 1;
     compact_if_needed t
   end
 
@@ -201,6 +215,7 @@ let step t =
       end
       else begin
         t.live <- t.live - 1;
+        t.n_fired <- t.n_fired + 1;
         t.clock <- t.times.(s);
         free_slot t s;
         f ();
@@ -233,3 +248,18 @@ let run ?until ?max_events t =
   while continue () && step t do
     decr budget
   done
+
+let events_fired t = t.n_fired
+
+let events_cancelled t = t.n_cancelled
+
+(* End-of-run snapshot of the engine's lifetime statistics; pull-based,
+   so a run without a registry attached pays nothing beyond the int
+   stores above. *)
+let publish_metrics t registry =
+  Obs.Registry.incr ~by:t.n_fired registry "sim/events_fired";
+  Obs.Registry.incr ~by:t.n_cancelled registry "sim/events_cancelled";
+  Obs.Registry.incr ~by:t.n_compactions registry "sim/heap_compactions";
+  Obs.Registry.set_gauge registry "sim/heap_max_size" (float_of_int t.max_heap_size);
+  Obs.Registry.set_gauge registry "sim/slots_high_water" (float_of_int t.n_slots);
+  Obs.Registry.set_gauge registry "sim/clock_end" t.clock

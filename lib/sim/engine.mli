@@ -56,3 +56,14 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 
 val step : t -> bool
 (** Execute the single next live event. Returns [false] if none. *)
+
+val events_fired : t -> int
+(** Events executed over the engine's lifetime. *)
+
+val events_cancelled : t -> int
+
+val publish_metrics : t -> Obs.Registry.t -> unit
+(** Snapshot the engine's lifetime statistics (events fired/cancelled,
+    heap compactions, heap and slot high-water marks, final clock) into
+    the registry under the ["sim/"] prefix. Pull-based: call it once at
+    end of run; the running engine maintains only plain int counters. *)

@@ -54,6 +54,8 @@ type t = {
 
 let key t ~src ~seq = Key.make ~stride:t.stride ~src ~seq
 
+let network t = t.network
+
 let engine t = Net.Network.engine t.network
 
 let now t = Sim.Engine.now (engine t)
@@ -374,6 +376,19 @@ let on_packet t (p : Net.Packet.t) =
   | Net.Packet.Exp_request _ -> ()
 
 let start t ~session_until = Session.start t.session ~until:session_until
+
+(* Accumulating publish: every member adds its share into the same
+   group-wide metric names (see Obs.Registry). *)
+let publish_metrics t registry =
+  Obs.Registry.incr ~by:t.n_detected registry "srm/losses_detected";
+  Obs.Registry.incr ~by:(Hashtbl.length t.requests) registry "srm/requests_open_at_end";
+  Obs.Registry.incr ~by:(Hashtbl.length t.replies) registry "srm/replies_scheduled_at_end";
+  Obs.Registry.incr ~by:(List.length (Session.known_peers t.session)) registry
+    "srm/session_peer_links";
+  Hashtbl.iter
+    (fun _ (st : request_state) ->
+      Obs.Registry.observe registry "srm/open_request_rounds" (float_of_int st.backoff))
+    t.requests
 
 let create ~network ~self ~params ~n_packets ~counters ~recoveries =
   let rng = Sim.Rng.split (Sim.Engine.rng (Net.Network.engine network)) in

@@ -44,6 +44,8 @@ val create :
     registered with the network — the owner dispatches via {!on_packet}
     (this lets CESRM intercept its own PDUs first). *)
 
+val network : t -> Net.Network.t
+
 val hooks : t -> hooks
 
 val self : t -> int
@@ -52,6 +54,11 @@ val session : t -> Session.t
 
 val start : t -> session_until:float -> unit
 (** Start session-message emission (with random phase). *)
+
+val publish_metrics : t -> Obs.Registry.t -> unit
+(** Accumulate this member's loss-detection and request/reply state
+    into the group-wide ["srm/"] metrics (pull-based; each member adds
+    its share, so call it once per member at end of run). *)
 
 val on_packet : t -> Net.Packet.t -> unit
 (** Main dispatch for Data / Request / Reply / Session. Expedited PDUs

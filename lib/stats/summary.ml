@@ -6,6 +6,10 @@ type t = {
   mutable maxv : float;
   mutable total : float;
   samples : Vec.t option;
+  mutable sketch : Obs.Hist.t option;
+      (* log-bucketed backing when samples are not retained, so
+         percentiles degrade to bounded-error approximations instead of
+         raising; [samples = None] iff [sketch = Some _] *)
 }
 
 let create ?(keep_samples = true) () =
@@ -17,6 +21,7 @@ let create ?(keep_samples = true) () =
     maxv = neg_infinity;
     total = 0.;
     samples = (if keep_samples then Some (Vec.create ()) else None);
+    sketch = (if keep_samples then None else Some (Obs.Hist.create ()));
   }
 
 let add t x =
@@ -27,6 +32,7 @@ let add t x =
   if x < t.minv then t.minv <- x;
   if x > t.maxv then t.maxv <- x;
   t.total <- t.total +. x;
+  (match t.sketch with None -> () | Some h -> Obs.Hist.add h x);
   match t.samples with None -> () | Some d -> Vec.add d x
 
 let count t = t.n
@@ -44,17 +50,20 @@ let max t = t.maxv
 let total t = t.total
 
 let percentile t q =
-  match t.samples with
-  | None -> invalid_arg "Summary.percentile: samples not retained"
-  | Some d ->
-      if t.n = 0 then invalid_arg "Summary.percentile: empty"
-      else if q < 0. || q > 1. then invalid_arg "Summary.percentile: q in [0,1]"
-      else begin
+  if Float.is_nan q then invalid_arg "Summary.percentile: q is NaN"
+  else if q < 0. || q > 1. then invalid_arg "Summary.percentile: q in [0,1]"
+  else if t.n = 0 then Float.nan
+  else
+    match (t.samples, t.sketch) with
+    | Some d, _ ->
+        (* Exact nearest-rank over the retained samples; duplicates are
+           just adjacent equal ranks, q = 0 / 1 are the extremes. *)
         let a = Vec.to_array d in
         Array.sort Float.compare a;
         let rank = int_of_float (Float.round (q *. float_of_int (t.n - 1))) in
         a.(rank)
-      end
+    | None, Some h -> Obs.Hist.quantile h q
+    | None, None -> invalid_arg "Summary.percentile: samples not retained"
 
 let merge a b =
   let keep = a.samples <> None && b.samples <> None in
@@ -64,7 +73,7 @@ let merge a b =
     | Some d -> Vec.iter (fun x -> add t x) d
     | None ->
         (* Moment-only merge: replay is impossible, so merge moments
-           directly (Chan et al. parallel update). *)
+           directly (Chan et al. parallel update) and the sketches. *)
         let n1 = float_of_int t.n and n2 = float_of_int s.n in
         if s.n > 0 then begin
           let delta = s.mean -. t.mean in
@@ -74,7 +83,10 @@ let merge a b =
           t.n <- t.n + s.n;
           t.total <- t.total +. s.total;
           if s.minv < t.minv then t.minv <- s.minv;
-          if s.maxv > t.maxv then t.maxv <- s.maxv
+          if s.maxv > t.maxv then t.maxv <- s.maxv;
+          match (t.sketch, s.sketch) with
+          | Some th, Some sh -> t.sketch <- Some (Obs.Hist.merge th sh)
+          | _ -> ()
         end
   in
   absorb a;

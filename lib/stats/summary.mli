@@ -5,8 +5,9 @@ type t
 
 val create : ?keep_samples:bool -> unit -> t
 (** With [keep_samples] (default true) every observation is retained so
-    percentiles are exact; disable for very long streams where only
-    moments are needed. *)
+    percentiles are exact; disable for very long streams — moments stay
+    exact and percentiles fall back to a log-bucketed {!Obs.Hist}
+    sketch (bounded relative error, see its docs). *)
 
 val add : t -> float -> unit
 
@@ -29,9 +30,12 @@ val max : t -> float
 val total : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t 0.5] is the median (nearest-rank). Requires retained
-    samples and a non-empty summary.
-    @raise Invalid_argument otherwise. *)
+(** [percentile t 0.5] is the median — exact nearest-rank over retained
+    samples, sketch-approximated otherwise. [q = 0] and [q = 1] are the
+    extremes; a single-sample summary returns that sample for every
+    [q]; duplicates are handled like any adjacent equal ranks. Returns
+    [nan] when the summary is empty.
+    @raise Invalid_argument if [q] is NaN or outside [0, 1]. *)
 
 val merge : t -> t -> t
 (** Combine two summaries (samples concatenated if both retained). *)

@@ -44,11 +44,43 @@ let test_summary_percentile () =
   check (Alcotest.float 1e-9) "median" 51. (Stats.Summary.percentile s 0.5);
   check (Alcotest.float 1e-9) "p0" 1. (Stats.Summary.percentile s 0.);
   check (Alcotest.float 1e-9) "p100" 101. (Stats.Summary.percentile s 1.0);
+  (* Without retained samples, percentiles come from the histogram
+     sketch: bounded relative error, exact at the extremes. *)
   let no_samples = Stats.Summary.create ~keep_samples:false () in
-  Stats.Summary.add no_samples 1.;
-  Alcotest.check_raises "no samples retained"
-    (Invalid_argument "Summary.percentile: samples not retained") (fun () ->
-      ignore (Stats.Summary.percentile no_samples 0.5))
+  for i = 1 to 101 do
+    Stats.Summary.add no_samples (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "sketch p0 exact" 1. (Stats.Summary.percentile no_samples 0.);
+  check (Alcotest.float 1e-9) "sketch p100 exact" 101.
+    (Stats.Summary.percentile no_samples 1.0);
+  let approx = Stats.Summary.percentile no_samples 0.5 in
+  Alcotest.(check bool) "sketch median within bound" true (Float.abs (approx -. 51.) <= 51. /. 16.)
+
+let test_summary_percentile_edges () =
+  (* Boundary behaviour pinned: empty -> nan, NaN q / out-of-range q ->
+     Invalid_argument, single sample -> that sample for every q,
+     duplicate-heavy input -> the duplicated value. *)
+  let empty = Stats.Summary.create () in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.Summary.percentile empty 0.5));
+  let one = Stats.Summary.create () in
+  Stats.Summary.add one 7.25;
+  List.iter
+    (fun q -> check (Alcotest.float 1e-9) "single sample" 7.25 (Stats.Summary.percentile one q))
+    [ 0.; 0.25; 0.5; 0.99; 1. ];
+  let dups = Stats.Summary.create () in
+  for _ = 1 to 98 do
+    Stats.Summary.add dups 3.
+  done;
+  Stats.Summary.add dups 1.;
+  Stats.Summary.add dups 9.;
+  check (Alcotest.float 1e-9) "duplicate-heavy median" 3. (Stats.Summary.percentile dups 0.5);
+  check (Alcotest.float 1e-9) "duplicate-heavy p05" 3. (Stats.Summary.percentile dups 0.05);
+  check (Alcotest.float 1e-9) "duplicate-heavy p0" 1. (Stats.Summary.percentile dups 0.);
+  check (Alcotest.float 1e-9) "duplicate-heavy p100" 9. (Stats.Summary.percentile dups 1.);
+  Alcotest.check_raises "nan q" (Invalid_argument "Summary.percentile: q is NaN") (fun () ->
+      ignore (Stats.Summary.percentile dups Float.nan));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Summary.percentile: q in [0,1]")
+    (fun () -> ignore (Stats.Summary.percentile dups 1.5))
 
 let test_summary_merge () =
   let a = Stats.Summary.create () and b = Stats.Summary.create () in
@@ -171,6 +203,7 @@ let () =
           Alcotest.test_case "empty" `Quick test_summary_empty;
           Alcotest.test_case "moments" `Quick test_summary_moments;
           Alcotest.test_case "percentile" `Quick test_summary_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_summary_percentile_edges;
           Alcotest.test_case "merge" `Quick test_summary_merge;
           qcheck prop_summary_matches_naive;
         ] );
