@@ -8,6 +8,9 @@
      dune exec bench/main.exe -- --full       (full Table 1 packet counts)
      dune exec bench/main.exe -- --packets N
      dune exec bench/main.exe -- --sections fig1,fig5b
+     dune exec bench/main.exe -- --jobs 8     (shard the per-trace pair
+                                               runs across 8 forked
+                                               workers; results identical)
      dune exec bench/main.exe -- --no-bechamel
      dune exec bench/main.exe -- --json FILE  (machine-readable timings)
      dune exec bench/main.exe -- --baseline FILE  (diff timings against a
@@ -29,6 +32,8 @@ let csv_dir = ref None
 let json_file = ref None
 
 let baseline_file = ref None
+
+let jobs = ref 1
 
 let parse_args () =
   let rec go = function
@@ -53,6 +58,9 @@ let parse_args () =
         go rest
     | "--baseline" :: file :: rest ->
         baseline_file := Some file;
+        go rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_of_string n;
         go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -104,6 +112,9 @@ let json_doc ~total_wall_s =
         ( "sections_filter",
           match !sections_filter with None -> Null | Some l -> Str (String.concat "," l) );
         ("bechamel", Bool !with_bechamel);
+        (* A string, not a number: job count affects wall time, never
+           results, and must not be flagged by --baseline diffs. *)
+        ("jobs", Str (string_of_int !jobs));
         ("argv", Str (String.concat " " (List.tl (Array.to_list Sys.argv))));
       ]
   in
@@ -138,21 +149,42 @@ let diff_against_baseline ~file doc =
 
 (* ------------------------------------------------------------------ *)
 
-let featured_pairs =
-  lazy
-    (List.map (fun row -> Harness.Figures.run_pair ?n_packets:!n_packets row) Mtrace.Meta.featured)
+(* Running the per-trace SRM+CESRM pairs is the bench's dominant cost;
+   with --jobs > 1 the rows are sharded across Exp.Pool's forked
+   workers (each pair marshalled back whole), which scales the matrix
+   with the core count while every downstream figure stays a pure
+   extraction over the same in-order pair list. *)
+let run_pairs rows =
+  if !jobs > 1 && Exp.Pool.available && List.length rows > 1 then begin
+    let rows = Array.of_list rows in
+    Array.to_list
+      (Exp.Pool.marshal_map ~jobs:!jobs
+         (fun i -> Harness.Figures.run_pair ?n_packets:!n_packets rows.(i))
+         (Array.length rows))
+  end
+  else List.map (fun row -> Harness.Figures.run_pair ?n_packets:!n_packets row) rows
+
+let featured_pairs = lazy (run_pairs Mtrace.Meta.featured)
 
 let all_pairs =
   lazy
-    (List.map
+    (let featured = Lazy.force featured_pairs in
+     let find_featured row =
+       List.find_opt
+         (fun p -> p.Harness.Figures.row.Mtrace.Meta.name = row.Mtrace.Meta.name)
+         featured
+     in
+     let rest =
+       run_pairs (List.filter (fun row -> find_featured row = None) Mtrace.Meta.all)
+     in
+     List.map
        (fun row ->
-         match
-           List.find_opt
-             (fun p -> p.Harness.Figures.row.Mtrace.Meta.name = row.Mtrace.Meta.name)
-             (Lazy.force featured_pairs)
-         with
+         match find_featured row with
          | Some p -> p
-         | None -> Harness.Figures.run_pair ?n_packets:!n_packets row)
+         | None ->
+             List.find
+               (fun p -> p.Harness.Figures.row.Mtrace.Meta.name = row.Mtrace.Meta.name)
+               rest)
        Mtrace.Meta.all)
 
 let reproduction () =

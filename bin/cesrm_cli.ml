@@ -315,6 +315,196 @@ let diff_cmd =
           and flag deltas beyond thresholds. Exits 1 if any metric is flagged.")
     Term.(ret (const run $ base_arg $ current_arg $ rel_arg $ abs_arg $ all_arg))
 
+(* -- sweep ------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let spec_file =
+    let doc = "Load the experiment spec from a JSON file (written by --print-spec or by hand); \
+               the axis flags below are then ignored." in
+    Arg.(value & opt (some file) None & info [ "spec" ] ~doc ~docv:"FILE")
+  in
+  let traces_arg =
+    let doc = "Traces axis: $(b,all), $(b,featured), or a comma-separated list of Table 1 names." in
+    Arg.(value & opt string "featured" & info [ "traces" ] ~doc ~docv:"LIST")
+  in
+  let protocols_arg =
+    let doc =
+      "Protocols axis, comma-separated: $(b,srm), $(b,lms), or $(b,cesrm)[:policy][+ra] \
+       (e.g. cesrm:most-frequent+ra)."
+    in
+    Arg.(value & opt string "srm,cesrm" & info [ "protocols" ] ~doc ~docv:"LIST")
+  in
+  let seeds_arg =
+    let doc = "Seeds axis: run each trace × protocol under $(docv) derived seeds." in
+    Arg.(value & opt int 1 & info [ "seeds" ] ~doc ~docv:"N")
+  in
+  let base_seed_arg =
+    let doc = "Base seed every shard seed is derived from." in
+    Arg.(value & opt int64 42L & info [ "base-seed" ] ~doc ~docv:"SEED")
+  in
+  let name_arg =
+    let doc = "Spec label, recorded in the artifact." in
+    Arg.(value & opt string "sweep" & info [ "name" ] ~doc ~docv:"NAME")
+  in
+  let jobs_arg =
+    let doc = "Worker processes (default: online CPU count; 1 = serial in-process)." in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  in
+  let timeout_arg =
+    let doc = "Per-shard wall-clock timeout in seconds (default: none); an overrunning \
+               worker is killed and its shard retried." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~doc ~docv:"SEC")
+  in
+  let retries_arg =
+    let doc = "Extra attempts for a crashed / timed-out / raising shard." in
+    Arg.(value & opt int 1 & info [ "retries" ] ~doc ~docv:"K")
+  in
+  let out_arg =
+    let doc = "Write the aggregated artifact JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let print_spec_arg =
+    Arg.(value & flag & info [ "print-spec" ] ~doc:"Print the expanded spec JSON and exit (pipe \
+                                                   to a file to edit and reuse with --spec).")
+  in
+  let baseline_arg =
+    let doc = "Diff the artifact against a stored sweep artifact with the `diff` machinery; \
+               exit 1 on flagged deltas." in
+    Arg.(value & opt (some file) None & info [ "baseline" ] ~doc ~docv:"FILE")
+  in
+  let rel_arg =
+    let doc = "Baseline-diff relative threshold, percent." in
+    Arg.(value & opt float 10. & info [ "rel" ] ~doc ~docv:"PCT")
+  in
+  let abs_arg =
+    let doc = "Baseline-diff absolute threshold." in
+    Arg.(value & opt float 1e-9 & info [ "abs" ] ~doc ~docv:"V")
+  in
+  let build_spec ~spec_file ~name ~traces ~protocols ~seeds ~base_seed ~packets ~link_delay_ms
+      ~lossy =
+    match spec_file with
+    | Some file -> (
+        match Obs.Json.parse_file file with
+        | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+        | Ok json -> Exp.Spec.of_json json)
+    | None ->
+        let trace_names =
+          match traces with
+          | "all" -> List.map (fun r -> r.Mtrace.Meta.name) Mtrace.Meta.all
+          | "featured" -> List.map (fun r -> r.Mtrace.Meta.name) Mtrace.Meta.featured
+          | list -> String.split_on_char ',' list
+        in
+        let rec parse_protocols = function
+          | [] -> Ok []
+          | p :: rest ->
+              Result.bind (Exp.Spec.protocol_of_name p) (fun spec ->
+                  Result.map (fun tl -> spec :: tl) (parse_protocols rest))
+        in
+        Result.bind (parse_protocols (String.split_on_char ',' protocols)) (fun protocols ->
+            Exp.Spec.validate
+              {
+                Exp.Spec.name;
+                traces = trace_names;
+                protocols;
+                base_seed;
+                n_seeds = seeds;
+                n_packets = packets;
+                link_delay_ms;
+                lossy_recovery = lossy;
+              })
+  in
+  let summary_table artifact =
+    let open Obs.Json in
+    let num j name = match Option.bind (member name j) to_float with Some x -> x | None -> 0. in
+    let cells = match member "cells" artifact with Some (Arr cs) -> cs | _ -> [] in
+    let rows =
+      List.map
+        (fun c ->
+          let str name = match member name c with Some (Str s) -> s | _ -> "?" in
+          let exp_rq = num c "exp_requests" in
+          [
+            str "name";
+            Printf.sprintf "%.0f" (num c "detected");
+            Printf.sprintf "%.0f" (num c "unrecovered");
+            (if exp_rq = 0. then "-"
+             else Printf.sprintf "%.1f%%" (100. *. num c "exp_replies" /. exp_rq));
+            Printf.sprintf "%.0f" (num c "audit_violations");
+          ])
+        cells
+    in
+    Stats.Table.render ~header:[ "cell"; "detected"; "unrecov"; "exp ok"; "audit" ] ~rows
+  in
+  let run verbose spec_file name traces protocols seeds base_seed packets link_delay_ms lossy
+      jobs timeout retries out print_spec baseline rel abs =
+    setup_logs verbose;
+    match
+      build_spec ~spec_file ~name ~traces ~protocols ~seeds ~base_seed ~packets ~link_delay_ms
+        ~lossy
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+        if print_spec then begin
+          print_endline (Obs.Json.to_string ~pretty:true (Exp.Spec.to_json spec));
+          `Ok ()
+        end
+        else begin
+          let n = Array.length (Exp.Spec.cells spec) in
+          let jobs = match jobs with Some j -> j | None -> Exp.Pool.default_jobs () in
+          Printf.printf "sweep %s: %d shard(s) over %d worker(s)%s\n%!" spec.Exp.Spec.name n
+            (min jobs n)
+            (if jobs > 1 && not Exp.Pool.available then " (fork unavailable: serial)" else "");
+          let t0 = Unix.gettimeofday () in
+          match
+            Exp.Sweep.run ~jobs ?timeout ~retries
+              ~on_result:(fun ~index:_ ~done_ ~total ->
+                Printf.printf "\r  %d/%d shards%!" done_ total)
+              spec
+          with
+          | exception Failure msg -> `Error (false, msg)
+          | artifact ->
+              Printf.printf "\r  %d/%d shards, %.1f s\n" n n (Unix.gettimeofday () -. t0);
+              print_string (summary_table artifact);
+              let totals = Obs.Json.member "totals" artifact in
+              Option.iter
+                (fun t ->
+                  let num name =
+                    match Option.bind (Obs.Json.member name t) Obs.Json.to_float with
+                    | Some x -> x
+                    | None -> 0.
+                  in
+                  Printf.printf "totals: detected %.0f, unrecovered %.0f, audit violations %.0f\n"
+                    (num "detected") (num "unrecovered") (num "audit_violations"))
+                totals;
+              Option.iter
+                (fun file ->
+                  Obs.Json.save ~pretty:true artifact ~file;
+                  Printf.printf "(artifact to %s)\n" file)
+                out;
+              (match baseline with
+              | None -> `Ok ()
+              | Some file -> (
+                  match Obs.Json.parse_file file with
+                  | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+                  | Ok base ->
+                      let thresholds = { Obs.Diff.rel = rel /. 100.; abs } in
+                      let entries = Obs.Diff.diff ~thresholds ~base ~current:artifact () in
+                      Printf.printf "---- vs baseline %s ----\n" file;
+                      print_string (Obs.Diff.render entries);
+                      if Obs.Diff.flagged entries <> [] then exit 1;
+                      `Ok ()))
+        end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a trace × protocol × seed experiment matrix across forked workers and aggregate \
+          the shards into one artifact (byte-identical to a serial run of the same spec).")
+    Term.(
+      ret
+        (const run $ verbose_flag $ spec_file $ name_arg $ traces_arg $ protocols_arg $ seeds_arg
+        $ base_seed_arg $ packets $ link_delay_arg $ lossy_arg $ jobs_arg $ timeout_arg
+        $ retries_arg $ out_arg $ print_spec_arg $ baseline_arg $ rel_arg $ abs_arg))
+
 (* -- main -------------------------------------------------------------- *)
 
 let () =
@@ -323,4 +513,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; gen_trace_cmd; info_cmd; infer_cmd; run_cmd; compare_cmd; diff_cmd ]))
+          [ list_cmd; gen_trace_cmd; info_cmd; infer_cmd; run_cmd; compare_cmd; diff_cmd; sweep_cmd ]))

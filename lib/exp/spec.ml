@@ -1,0 +1,191 @@
+type protocol_spec =
+  | Srm
+  | Cesrm of { policy : Cesrm.Policy.t; router_assist : bool }
+  | Lms
+
+let protocol_name = function
+  | Srm -> "srm"
+  | Lms -> "lms"
+  | Cesrm { policy; router_assist } ->
+      Printf.sprintf "cesrm:%s%s" (Cesrm.Policy.name policy)
+        (if router_assist then "+ra" else "")
+
+let protocol_of_name s =
+  match s with
+  | "srm" -> Ok Srm
+  | "lms" -> Ok Lms
+  | _ when s = "cesrm" || String.length s > 6 && String.sub s 0 6 = "cesrm:" ->
+      let rest = if s = "cesrm" then "" else String.sub s 6 (String.length s - 6) in
+      let rest, router_assist =
+        match String.length rest with
+        | n when n >= 3 && String.sub rest (n - 3) 3 = "+ra" -> (String.sub rest 0 (n - 3), true)
+        | _ -> (rest, false)
+      in
+      if rest = "" then
+        Ok (Cesrm { policy = Cesrm.Host.default_config.Cesrm.Host.policy; router_assist })
+      else begin
+        match Cesrm.Policy.of_name rest with
+        | Some policy -> Ok (Cesrm { policy; router_assist })
+        | None -> Error (Printf.sprintf "unknown CESRM policy %S" rest)
+      end
+  | _ -> Error (Printf.sprintf "unknown protocol %S (expected srm, cesrm[:policy][+ra] or lms)" s)
+
+let runner_protocol = function
+  | Srm -> Harness.Runner.Srm_protocol
+  | Lms -> Harness.Runner.Lms_protocol
+  | Cesrm { policy; router_assist } ->
+      Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist }
+
+type t = {
+  name : string;
+  traces : string list;
+  protocols : protocol_spec list;
+  base_seed : int64;
+  n_seeds : int;
+  n_packets : int option;
+  link_delay_ms : float;
+  lossy_recovery : bool;
+}
+
+let default =
+  {
+    name = "featured";
+    traces = List.map (fun r -> r.Mtrace.Meta.name) Mtrace.Meta.featured;
+    protocols =
+      [
+        Srm;
+        Cesrm
+          {
+            policy = Cesrm.Host.default_config.Cesrm.Host.policy;
+            router_assist = Cesrm.Host.default_config.Cesrm.Host.router_assist;
+          };
+      ];
+    base_seed = 42L;
+    n_seeds = 1;
+    n_packets = None;
+    link_delay_ms = 20.;
+    lossy_recovery = false;
+  }
+
+let validate t =
+  let unknown =
+    List.filter
+      (fun n -> not (List.exists (fun r -> r.Mtrace.Meta.name = n) Mtrace.Meta.all))
+      t.traces
+  in
+  if t.traces = [] then Error "spec has no traces"
+  else if unknown <> [] then
+    Error (Printf.sprintf "unknown trace(s): %s" (String.concat ", " unknown))
+  else if t.protocols = [] then Error "spec has no protocols"
+  else if t.n_seeds <= 0 then Error "n_seeds must be positive"
+  else if (match t.n_packets with Some n -> n <= 0 | None -> false) then
+    Error "n_packets must be positive"
+  else if not (t.link_delay_ms > 0.) then Error "link_delay_ms must be positive"
+  else Ok t
+
+type cell = {
+  index : int;
+  trace : string;
+  protocol : protocol_spec;
+  seed_index : int;
+  seed : int64;
+}
+
+let cells t =
+  let traces = Array.of_list t.traces and protocols = Array.of_list t.protocols in
+  let n_groups = Array.length traces * t.n_seeds in
+  Array.init (n_groups * Array.length protocols) (fun index ->
+      let group = index / Array.length protocols in
+      let protocol = protocols.(index mod Array.length protocols) in
+      {
+        index;
+        trace = traces.(group / t.n_seeds);
+        protocol;
+        seed_index = group mod t.n_seeds;
+        seed = Sim.Rng.substream t.base_seed group;
+      })
+
+let cell_label c = Printf.sprintf "%s/%s/s%d" c.trace (protocol_name c.protocol) c.seed_index
+
+let to_json t =
+  let open Obs.Json in
+  Obj
+    [
+      ("name", Str t.name);
+      ("traces", Arr (List.map (fun n -> Str n) t.traces));
+      ("protocols", Arr (List.map (fun p -> Str (protocol_name p)) t.protocols));
+      ("base_seed", Str (Int64.to_string t.base_seed));
+      ("n_seeds", int t.n_seeds);
+      ("n_packets", (match t.n_packets with None -> Null | Some n -> int n));
+      ("link_delay_ms", Num t.link_delay_ms);
+      ("lossy_recovery", Bool t.lossy_recovery);
+    ]
+
+let of_json json =
+  let open Obs.Json in
+  let ( let* ) = Result.bind in
+  let str_list field =
+    match member field json with
+    | Some (Arr items) ->
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match item with
+            | Str s -> Ok (s :: acc)
+            | _ -> Error (Printf.sprintf "%s: expected an array of strings" field))
+          items (Ok [])
+    | _ -> Error (Printf.sprintf "%s: expected an array of strings" field)
+  in
+  let* name =
+    match member "name" json with
+    | Some (Str s) -> Ok s
+    | None -> Ok "sweep"
+    | Some _ -> Error "name: expected a string"
+  in
+  let* traces = str_list "traces" in
+  let* protocol_names = str_list "protocols" in
+  let* protocols =
+    List.fold_right
+      (fun n acc ->
+        let* acc = acc in
+        let* p = protocol_of_name n in
+        Ok (p :: acc))
+      protocol_names (Ok [])
+  in
+  let* base_seed =
+    match member "base_seed" json with
+    | Some (Str s) -> (
+        match Int64.of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "base_seed: %S is not an int64" s))
+    | Some (Num x) when Float.is_integer x -> Ok (Int64.of_float x)
+    | None -> Ok 42L
+    | Some _ -> Error "base_seed: expected a decimal string"
+  in
+  let int_field field ~default =
+    match member field json with
+    | Some (Num x) when Float.is_integer x -> Ok (int_of_float x)
+    | None -> Ok default
+    | Some _ -> Error (Printf.sprintf "%s: expected an integer" field)
+  in
+  let* n_seeds = int_field "n_seeds" ~default:1 in
+  let* n_packets =
+    match member "n_packets" json with
+    | Some (Num x) when Float.is_integer x -> Ok (Some (int_of_float x))
+    | Some Null | None -> Ok None
+    | Some _ -> Error "n_packets: expected an integer or null"
+  in
+  let* link_delay_ms =
+    match member "link_delay_ms" json with
+    | Some (Num x) -> Ok x
+    | None -> Ok 20.
+    | Some _ -> Error "link_delay_ms: expected a number"
+  in
+  let* lossy_recovery =
+    match member "lossy_recovery" json with
+    | Some (Bool b) -> Ok b
+    | None -> Ok false
+    | Some _ -> Error "lossy_recovery: expected a boolean"
+  in
+  validate
+    { name; traces; protocols; base_seed; n_seeds; n_packets; link_delay_ms; lossy_recovery }

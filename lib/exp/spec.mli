@@ -1,0 +1,69 @@
+(** Declarative experiment descriptions.
+
+    A spec names the axes of a sweep — Table 1 traces × protocol
+    variants × seeds — plus the shared run parameters; {!cells} expands
+    the cartesian product into an ordered shard list. Every cell's
+    generator/run seed is derived deterministically from the spec's
+    base seed with {!Sim.Rng.substream}, keyed by (trace, seed index)
+    but {e not} by protocol, so the protocol variants of one cell group
+    re-enact the identical synthesized trace — the property the paper's
+    SRM-vs-CESRM comparison rests on.
+
+    Specs serialize to/from {!Obs.Json}, so a sweep is reproducible
+    from its artifact alone. *)
+
+type protocol_spec =
+  | Srm
+  | Cesrm of { policy : Cesrm.Policy.t; router_assist : bool }
+  | Lms
+
+val protocol_name : protocol_spec -> string
+(** ["srm"], ["lms"], or ["cesrm:<policy>"] with a ["+ra"] suffix when
+    router assist is on (e.g. ["cesrm:most-recent+ra"]). *)
+
+val protocol_of_name : string -> (protocol_spec, string) result
+(** Inverse of {!protocol_name}; bare ["cesrm"] means the default
+    policy without router assist. *)
+
+val runner_protocol : protocol_spec -> Harness.Runner.protocol
+
+type t = {
+  name : string;  (** free-form label, recorded in the artifact *)
+  traces : string list;  (** Table 1 trace names *)
+  protocols : protocol_spec list;
+  base_seed : int64;
+  n_seeds : int;  (** seeds axis: seed indices 0 .. n_seeds-1 *)
+  n_packets : int option;  (** per-trace truncation; [None] = full row *)
+  link_delay_ms : float;
+  lossy_recovery : bool;
+}
+
+val default : t
+(** The featured 6 traces × (SRM, default CESRM) × 1 seed, full packet
+    counts, 20 ms links, lossless recovery, base seed 42. *)
+
+val validate : t -> (t, string) result
+(** Reject unknown trace names, empty axes, and non-positive
+    parameters. *)
+
+type cell = {
+  index : int;  (** position in {!cells} — the shard id *)
+  trace : string;
+  protocol : protocol_spec;
+  seed_index : int;
+  seed : int64;  (** derived; shared by all protocols of a cell group *)
+}
+
+val cells : t -> cell array
+(** Cartesian expansion, trace-major then seed then protocol, so the
+    protocol variants sharing a synthesized trace are adjacent. *)
+
+val cell_label : cell -> string
+(** ["<trace>/<protocol>/s<seed_index>"] — unique within a spec, used
+    as the ["name"] key {!Obs.Diff} aligns artifact rows by. *)
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Parse and {!validate}. Seeds are encoded as decimal strings (JSON
+    numbers are doubles and cannot carry an int64). *)

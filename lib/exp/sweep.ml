@@ -1,0 +1,15 @@
+let run ?jobs ?timeout ?retries ?on_result ?meta spec =
+  let cells = Spec.cells spec in
+  let agg = Agg.create spec in
+  let results =
+    Pool.map ?jobs ?timeout ?retries ?on_result
+      (fun i -> Shard.run_string spec cells.(i))
+      (Array.length cells)
+  in
+  Array.iteri
+    (fun index s ->
+      match Agg.add_string agg ~index s with
+      | Ok () -> ()
+      | Error msg -> failwith (Printf.sprintf "Sweep.run: shard %d: %s" index msg))
+    results;
+  Agg.finalize ?meta agg

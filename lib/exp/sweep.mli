@@ -1,0 +1,21 @@
+(** One-call sweep: expand a spec, run its shards through the pool,
+    aggregate.
+
+    [run spec] is the composition the `cesrm sweep` subcommand and the
+    tests share: {!Spec.cells} → {!Pool.map} over {!Shard.run_string} →
+    {!Agg}. The returned artifact is byte-identical for any [jobs]
+    value (including the serial fallback), because shards are pure
+    functions of their index and {!Agg.finalize} merges in index
+    order. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?on_result:(index:int -> done_:int -> total:int -> unit) ->
+  ?meta:(string * Obs.Json.t) list ->
+  Spec.t ->
+  Obs.Json.t
+(** @raise Failure when a shard fails beyond its retry budget (see
+    {!Pool.map}). [meta] extends the artifact's meta object and must
+    stay run-independent to preserve byte-identity. *)

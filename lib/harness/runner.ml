@@ -208,6 +208,12 @@ let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
         ~detected:(fun () -> Lms.Proto.detected proto)
         ~publish
 
+let run_leg ?(setup = default_setup) ?registry ?n_packets ~seed protocol row =
+  let generated = Mtrace.Generator.synthesize ~seed ?n_packets row in
+  let trace = generated.Mtrace.Generator.trace in
+  let attribution = attribution_of_trace trace in
+  run ~setup:{ setup with seed } ?registry protocol trace attribution
+
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in
   Stats.Recovery.latency_summary result.recoveries

@@ -70,6 +70,21 @@ val run :
     host are published into it, plus ["recovery/"] latency histograms
     (RTT-normalized, split expedited vs fallback). *)
 
+val run_leg :
+  ?setup:setup ->
+  ?registry:Obs.Registry.t ->
+  ?n_packets:int ->
+  seed:int64 ->
+  protocol ->
+  Mtrace.Meta.row ->
+  result
+(** One self-contained experiment leg: synthesize the Table 1 row's
+    trace with [seed] (optionally truncated to [n_packets]), attribute
+    its losses, and run [protocol] on it with [setup] reseeded to the
+    same [seed] — so a leg is a pure function of
+    [(row, protocol, setup, n_packets, seed)], the unit a sweep shard
+    executes. *)
+
 val attribution_of_trace : Mtrace.Trace.t -> Inference.Attribution.t
 (** The paper's Section 4.2 pipeline: Yajnik link-rate estimation, then
     maximum-likelihood attribution of each loss. *)

@@ -149,6 +149,78 @@ let clear t =
   t.minv <- infinity;
   t.maxv <- neg_infinity
 
+(* The JSON form carries both derived summary fields (for humans and
+   Diff) and the exact state — sparse (index, count) bucket pairs plus
+   min/max/sum/nan — so [of_json] reconstructs a histogram that merges
+   and quantiles identically to the original. Finite floats round-trip
+   exactly through Json's shortest-round-trip printer; the empty
+   histogram's infinite min/max are encoded as null. *)
+let to_json t =
+  let finite_or_null v = if Float.is_finite v then Json.Num v else Json.Null in
+  let buckets =
+    Array.to_list t.counts
+    |> List.mapi (fun idx c -> (idx, c))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.map (fun (idx, c) -> Json.Arr [ Json.int idx; Json.int c ])
+  in
+  Json.Obj
+    [
+      ("sub_buckets", Json.int t.sub);
+      ("count", Json.int t.n);
+      ("nan_count", Json.int t.nans);
+      ("sum", Json.Num t.sum);
+      ("min", finite_or_null t.minv);
+      ("max", finite_or_null t.maxv);
+      ("mean", Json.Num (mean t));
+      ("p50", finite_or_null (p50 t));
+      ("p90", finite_or_null (p90 t));
+      ("p99", finite_or_null (p99 t));
+      ("p999", finite_or_null (p999 t));
+      ("buckets", Json.Arr buckets);
+    ]
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let num field ~default =
+    match Json.member field json with
+    | Some (Json.Num x) -> Ok x
+    | Some Json.Null | None -> Ok default
+    | Some _ -> Error (Printf.sprintf "Hist.of_json: %s is not a number" field)
+  in
+  let* sub = num "sub_buckets" ~default:16. in
+  let* n = num "count" ~default:0. in
+  let* nans = num "nan_count" ~default:0. in
+  let* sum = num "sum" ~default:0. in
+  let* minv = num "min" ~default:infinity in
+  let* maxv = num "max" ~default:neg_infinity in
+  let t = create ~sub_buckets:(int_of_float sub) () in
+  if t.sub <> int_of_float sub then
+    Error (Printf.sprintf "Hist.of_json: invalid sub_buckets %g" sub)
+  else begin
+    t.n <- int_of_float n;
+    t.nans <- int_of_float nans;
+    t.sum <- sum;
+    t.minv <- minv;
+    t.maxv <- maxv;
+    match Json.member "buckets" json with
+    | Some (Json.Arr items) ->
+        let rec fill = function
+          | [] -> Ok t
+          | Json.Arr [ Json.Num idx; Json.Num c ] :: rest ->
+              let idx = int_of_float idx in
+              if idx < 0 || idx >= Array.length t.counts then
+                Error (Printf.sprintf "Hist.of_json: bucket index %d out of range" idx)
+              else begin
+                t.counts.(idx) <- int_of_float c;
+                fill rest
+              end
+          | _ -> Error "Hist.of_json: malformed bucket entry"
+        in
+        fill items
+    | None -> Ok t
+    | Some _ -> Error "Hist.of_json: buckets is not an array"
+  end
+
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g p999=%.4g max=%.4g" t.n
     (mean t) (p50 t) (p90 t) (p99 t) (p999 t) t.maxv

@@ -18,6 +18,16 @@ let bits64 t =
 
 let split t = create (bits64 t)
 
+(* The i-th substream seed is what the i-th [split] of a generator
+   seeded with [base] would be created from — a pure function of
+   (base, i), so shard seeds do not depend on which shards a worker
+   happens to execute, or in what order. *)
+let substream base i =
+  if i < 0 then invalid_arg "Rng.substream: negative index";
+  let r = create base in
+  let rec go k = if k = 0 then bits64 r else (ignore (bits64 r); go (k - 1)) in
+  go i
+
 (* Top 53 bits give a uniform float in [0,1). *)
 let unit_float t =
   let x = Int64.shift_right_logical (bits64 t) 11 in

@@ -21,6 +21,13 @@ val split : t -> t
 (** [split t] derives a new independent generator from [t], advancing
     [t]. Use one split per host / per experiment leg. *)
 
+val substream : int64 -> int -> int64
+(** [substream base i] is the seed the [i]-th (0-based) {!split} of a
+    generator created from [base] would start from — a pure function of
+    [(base, i)], used to derive per-shard experiment seeds that are
+    independent of shard scheduling order.
+    @raise Invalid_argument on a negative [i]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

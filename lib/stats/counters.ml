@@ -20,3 +20,9 @@ let bump t ~node kind = t.(node).(kind_index kind) <- t.(node).(kind_index kind)
 let get t ~node kind = t.(node).(kind_index kind)
 
 let total t kind = Array.fold_left (fun acc row -> acc + row.(kind_index kind)) 0 t
+
+let n_nodes t = Array.length t
+
+let merge a b =
+  if Array.length a <> Array.length b then invalid_arg "Counters.merge: n_nodes mismatch";
+  Array.init (Array.length a) (fun node -> Array.map2 ( + ) a.(node) b.(node))

@@ -18,6 +18,13 @@ val get : t -> node:int -> kind -> int
 
 val total : t -> kind -> int
 
+val n_nodes : t -> int
+
+val merge : t -> t -> t
+(** Fresh per-node, per-kind sums of both inputs — aggregation across
+    same-topology runs (e.g. the seeds axis of a sweep).
+    @raise Invalid_argument on mismatched node counts. *)
+
 val all_kinds : kind list
 
 val kind_name : kind -> string

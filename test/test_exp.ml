@@ -1,0 +1,284 @@
+(* The experiment-orchestration subsystem: spec expansion and JSON
+   round-trips, scheduling-independent seed derivation, the fork pool's
+   retry/timeout machinery, and the invariant the whole design rests
+   on — a parallel sweep aggregates to the same bytes as a serial run
+   of the same spec. *)
+
+let check = Alcotest.check
+
+(* -- Spec ------------------------------------------------------------ *)
+
+let small_spec =
+  {
+    Exp.Spec.name = "test";
+    traces = [ (Mtrace.Meta.nth 4).Mtrace.Meta.name ];
+    protocols =
+      [
+        Exp.Spec.Srm;
+        Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_recent; router_assist = false };
+      ];
+    base_seed = 7L;
+    n_seeds = 2;
+    n_packets = Some 250;
+    link_delay_ms = 20.;
+    lossy_recovery = false;
+  }
+
+let test_spec_roundtrip () =
+  let rt spec =
+    match Exp.Spec.of_json (Exp.Spec.to_json spec) with
+    | Ok spec' -> spec'
+    | Error msg -> Alcotest.fail msg
+  in
+  let same spec =
+    check Alcotest.string "json round-trip"
+      (Obs.Json.to_string (Exp.Spec.to_json spec))
+      (Obs.Json.to_string (Exp.Spec.to_json (rt spec)))
+  in
+  same Exp.Spec.default;
+  same small_spec;
+  same
+    {
+      small_spec with
+      protocols =
+        [
+          Exp.Spec.Lms;
+          Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_frequent; router_assist = true };
+        ];
+      base_seed = Int64.min_int;
+      n_packets = None;
+      lossy_recovery = true;
+    };
+  (* parse also accepts a text round-trip through the strict parser *)
+  match Obs.Json.parse (Obs.Json.to_string ~pretty:true (Exp.Spec.to_json small_spec)) with
+  | Error msg -> Alcotest.fail msg
+  | Ok json -> (
+      match Exp.Spec.of_json json with
+      | Ok spec' ->
+          check Alcotest.string "text round-trip"
+            (Obs.Json.to_string (Exp.Spec.to_json small_spec))
+            (Obs.Json.to_string (Exp.Spec.to_json spec'))
+      | Error msg -> Alcotest.fail msg)
+
+let test_spec_errors () =
+  let expect_error mutate =
+    match Exp.Spec.of_json (mutate (Exp.Spec.to_json small_spec)) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "validation accepted a bad spec"
+  in
+  let set field value = function
+    | Obs.Json.Obj fields ->
+        Obs.Json.Obj (List.map (fun (k, v) -> (k, if k = field then value else v)) fields)
+    | other -> other
+  in
+  expect_error (set "traces" (Obs.Json.Arr [ Obs.Json.Str "NOSUCH" ]));
+  expect_error (set "traces" (Obs.Json.Arr []));
+  expect_error (set "protocols" (Obs.Json.Arr [ Obs.Json.Str "tcp" ]));
+  expect_error (set "protocols" (Obs.Json.Arr [ Obs.Json.Str "cesrm:nopolicy" ]));
+  expect_error (set "base_seed" (Obs.Json.Str "not-a-seed"));
+  expect_error (set "n_seeds" (Obs.Json.int 0));
+  expect_error (set "link_delay_ms" (Obs.Json.int 0))
+
+let test_protocol_names () =
+  List.iter
+    (fun p ->
+      match Exp.Spec.protocol_of_name (Exp.Spec.protocol_name p) with
+      | Ok p' ->
+          check Alcotest.string "protocol name round-trip" (Exp.Spec.protocol_name p)
+            (Exp.Spec.protocol_name p')
+      | Error msg -> Alcotest.fail msg)
+    (Exp.Spec.Srm :: Exp.Spec.Lms
+    :: List.concat_map
+         (fun policy ->
+           [
+             Exp.Spec.Cesrm { policy; router_assist = false };
+             Exp.Spec.Cesrm { policy; router_assist = true };
+           ])
+         Cesrm.Policy.all);
+  match Exp.Spec.protocol_of_name "cesrm" with
+  | Ok (Exp.Spec.Cesrm { router_assist = false; _ }) -> ()
+  | _ -> Alcotest.fail "bare cesrm should mean the default policy"
+
+let test_cells_and_seeds () =
+  let cells = Exp.Spec.cells small_spec in
+  check Alcotest.int "1 trace x 2 protocols x 2 seeds" 4 (Array.length cells);
+  (* expansion order is trace-major, then seed, then protocol *)
+  Array.iteri (fun i c -> check Alcotest.int "index = position" i c.Exp.Spec.index) cells;
+  (* protocol variants of a cell group replay the identical trace seed *)
+  check Alcotest.bool "srm/cesrm share seed (s0)" true
+    (cells.(0).Exp.Spec.seed = cells.(1).Exp.Spec.seed);
+  check Alcotest.bool "srm/cesrm share seed (s1)" true
+    (cells.(2).Exp.Spec.seed = cells.(3).Exp.Spec.seed);
+  check Alcotest.bool "seed axis varies the seed" true
+    (cells.(0).Exp.Spec.seed <> cells.(2).Exp.Spec.seed);
+  (* derivation is a pure function: re-expansion is identical *)
+  let cells' = Exp.Spec.cells small_spec in
+  Array.iteri
+    (fun i c -> check Alcotest.bool "stable seeds" true (c.Exp.Spec.seed = cells'.(i).Exp.Spec.seed))
+    cells;
+  (* and matches Sim.Rng.substream by group index *)
+  check Alcotest.bool "substream 0" true
+    (cells.(0).Exp.Spec.seed = Sim.Rng.substream small_spec.Exp.Spec.base_seed 0);
+  check Alcotest.bool "substream 1" true
+    (cells.(2).Exp.Spec.seed = Sim.Rng.substream small_spec.Exp.Spec.base_seed 1)
+
+let test_substream () =
+  (* substream i is the seed of the i-th split of a base generator,
+     independent of enumeration order *)
+  let base = 12345L in
+  let enumerated =
+    let r = Sim.Rng.create base in
+    Array.init 5 (fun _ -> Sim.Rng.bits64 r)
+  in
+  Array.iteri
+    (fun i expected ->
+      check Alcotest.bool "matches split chain" true (Sim.Rng.substream base i = expected))
+    enumerated;
+  check Alcotest.bool "order independence" true
+    (Sim.Rng.substream base 3 = enumerated.(3));
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.substream: negative index")
+    (fun () -> ignore (Sim.Rng.substream base (-1)))
+
+(* -- Pool ------------------------------------------------------------ *)
+
+let test_pool_serial () =
+  let order = ref [] in
+  let results =
+    Exp.Pool.map ~jobs:1
+      ~on_result:(fun ~index ~done_:_ ~total:_ -> order := index :: !order)
+      (fun i -> string_of_int (i * i))
+      5
+  in
+  check (Alcotest.array Alcotest.string) "serial results" [| "0"; "1"; "4"; "9"; "16" |] results;
+  check (Alcotest.list Alcotest.int) "serial order" [ 4; 3; 2; 1; 0 ] !order
+
+let test_pool_parallel_matches_serial () =
+  if not Exp.Pool.available then ()
+  else begin
+    let f i = Printf.sprintf "shard-%d:%d" i (i * 7) in
+    check
+      (Alcotest.array Alcotest.string)
+      "parallel = serial" (Exp.Pool.map ~jobs:1 f 9) (Exp.Pool.map ~jobs:3 f 9)
+  end
+
+let test_pool_crash_retry () =
+  if not Exp.Pool.available then ()
+  else begin
+    (* Shard 1's first attempt kills its worker process; the retry (in
+       a respawned or surviving worker) sees the flag file and
+       succeeds. *)
+    let flag = Filename.temp_file "cesrm-pool" ".flag" in
+    Sys.remove flag;
+    let f i =
+      if i = 1 && not (Sys.file_exists flag) then begin
+        close_out (open_out flag);
+        Unix._exit 1
+      end
+      else Printf.sprintf "ok-%d" i
+    in
+    let results = Exp.Pool.map ~jobs:2 ~retries:1 f 4 in
+    if Sys.file_exists flag then Sys.remove flag;
+    check
+      (Alcotest.array Alcotest.string)
+      "crashed shard retried" [| "ok-0"; "ok-1"; "ok-2"; "ok-3" |] results
+  end
+
+let test_pool_timeout_retry () =
+  if not Exp.Pool.available then ()
+  else begin
+    (* Shard 0's first attempt hangs past the timeout (the parent
+       SIGKILLs the worker); the retry returns promptly. *)
+    let flag = Filename.temp_file "cesrm-pool" ".flag" in
+    Sys.remove flag;
+    let f i =
+      if i = 0 && not (Sys.file_exists flag) then begin
+        close_out (open_out flag);
+        Unix.sleepf 30.
+      end;
+      Printf.sprintf "ok-%d" i
+    in
+    let results = Exp.Pool.map ~jobs:2 ~timeout:0.5 ~retries:1 f 3 in
+    if Sys.file_exists flag then Sys.remove flag;
+    check
+      (Alcotest.array Alcotest.string)
+      "hung shard killed and retried" [| "ok-0"; "ok-1"; "ok-2" |] results
+  end
+
+let test_pool_retry_exhaustion () =
+  if not Exp.Pool.available then ()
+  else begin
+    let f i = if i = 2 then failwith "always broken" else string_of_int i in
+    match Exp.Pool.map ~jobs:2 ~retries:1 f 4 with
+    | _ -> Alcotest.fail "expected Failure"
+    | exception Failure msg ->
+        let contains ~sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "names the shard" true (contains ~sub:"shard 2" msg)
+  end
+
+let test_pool_marshal_map () =
+  let f i = (i, float_of_int i /. 2., Printf.sprintf "s%d" i) in
+  let serial = Exp.Pool.marshal_map ~jobs:1 f 6 in
+  let parallel = Exp.Pool.marshal_map ~jobs:3 f 6 in
+  check Alcotest.bool "marshal round-trip" true (serial = parallel)
+
+(* -- Sweep: serial vs parallel byte-identity ------------------------- *)
+
+let test_sweep_identity () =
+  let serial = Obs.Json.to_string (Exp.Sweep.run ~jobs:1 small_spec) in
+  (* Fast sanity on the artifact shape before the expensive identity *)
+  (match Obs.Json.parse serial with
+  | Error msg -> Alcotest.fail msg
+  | Ok artifact -> (
+      (match Obs.Json.member "cells" artifact with
+      | Some (Obs.Json.Arr cells) -> check Alcotest.int "4 cell rows" 4 (List.length cells)
+      | _ -> Alcotest.fail "no cells array");
+      match Option.bind (Obs.Json.member "totals" artifact) (Obs.Json.member "unrecovered") with
+      | Some (Obs.Json.Num 0.) -> ()
+      | _ -> Alcotest.fail "expected totals/unrecovered = 0"));
+  if Exp.Pool.available then begin
+    let parallel = Obs.Json.to_string (Exp.Sweep.run ~jobs:3 small_spec) in
+    check Alcotest.string "serial and parallel artifacts byte-identical" serial parallel
+  end
+
+let test_agg_missing () =
+  let agg = Exp.Agg.create small_spec in
+  check (Alcotest.list Alcotest.int) "all missing" [ 0; 1; 2; 3 ] (Exp.Agg.missing agg);
+  (match Exp.Agg.finalize agg with
+  | _ -> Alcotest.fail "finalize with missing shards should fail"
+  | exception Failure _ -> ());
+  Alcotest.check_raises "out of range" (Invalid_argument "Agg.add: shard index 9 out of range")
+    (fun () -> Exp.Agg.add agg ~index:9 Obs.Json.Null);
+  match Exp.Agg.add_string agg ~index:0 "{not json" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted malformed shard JSON"
+
+let () =
+  Alcotest.run "exp"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "validation errors" `Quick test_spec_errors;
+          Alcotest.test_case "protocol names" `Quick test_protocol_names;
+          Alcotest.test_case "cells and derived seeds" `Quick test_cells_and_seeds;
+          Alcotest.test_case "rng substream" `Quick test_substream;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "serial fallback" `Quick test_pool_serial;
+          Alcotest.test_case "parallel matches serial" `Quick test_pool_parallel_matches_serial;
+          Alcotest.test_case "crash retry" `Quick test_pool_crash_retry;
+          Alcotest.test_case "timeout retry" `Quick test_pool_timeout_retry;
+          Alcotest.test_case "retry exhaustion" `Quick test_pool_retry_exhaustion;
+          Alcotest.test_case "marshal map" `Quick test_pool_marshal_map;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "serial = parallel (bytes)" `Slow test_sweep_identity;
+          Alcotest.test_case "agg missing shards" `Quick test_agg_missing;
+        ] );
+    ]

@@ -88,6 +88,74 @@ let prop_hist_merge_commutes =
            (fun q -> Obs.Hist.quantile ab q = Obs.Hist.quantile ba q)
            [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ])
 
+(* The aggregation correctness backbone (lib/exp merges per-shard
+   histograms): merge must form a commutative monoid with the empty
+   histogram as identity, and the JSON transport form must reconstruct
+   a histogram that is indistinguishable from the original. *)
+
+let mk_hist vs =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) vs;
+  h
+
+let hist_json h = Obs.Json.to_string (Obs.Hist.to_json h)
+
+let prop_hist_merge_identity =
+  QCheck.Test.make ~name:"hist merge identity (empty)" ~count:200 pos_values (fun xs ->
+      let h = mk_hist xs in
+      hist_json (Obs.Hist.merge h (Obs.Hist.create ())) = hist_json h
+      && hist_json (Obs.Hist.merge (Obs.Hist.create ()) h) = hist_json h)
+
+let prop_hist_merge_assoc =
+  QCheck.Test.make ~name:"hist merge associates" ~count:200
+    QCheck.(triple pos_values pos_values pos_values)
+    (fun (xs, ys, zs) ->
+      let a = mk_hist xs and b = mk_hist ys and c = mk_hist zs in
+      let l = Obs.Hist.merge (Obs.Hist.merge a b) c
+      and r = Obs.Hist.merge a (Obs.Hist.merge b c) in
+      (* Bucket counts, extrema and quantiles are exactly associative;
+         the running sum is float addition, associative only up to
+         rounding. *)
+      Obs.Hist.count l = Obs.Hist.count r
+      && Obs.Hist.min l = Obs.Hist.min r
+      && Obs.Hist.max l = Obs.Hist.max r
+      && Float.abs (Obs.Hist.sum l -. Obs.Hist.sum r) <= 1e-9 *. Float.abs (Obs.Hist.sum l)
+      && List.for_all
+           (fun q -> Obs.Hist.quantile l q = Obs.Hist.quantile r q)
+           [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ])
+
+let prop_hist_json_roundtrip =
+  QCheck.Test.make ~name:"hist json round-trip is exact" ~count:200 pos_values (fun xs ->
+      let h = mk_hist xs in
+      match Obs.Hist.of_json (Obs.Hist.to_json h) with
+      | Error _ -> false
+      | Ok h' -> hist_json h' = hist_json h)
+
+let prop_hist_json_merge =
+  QCheck.Test.make ~name:"hist merge through json transport" ~count:200
+    QCheck.(pair pos_values pos_values)
+    (fun (xs, ys) ->
+      let a = mk_hist xs and b = mk_hist ys in
+      let via_json =
+        match (Obs.Hist.of_json (Obs.Hist.to_json a), Obs.Hist.of_json (Obs.Hist.to_json b)) with
+        | Ok a', Ok b' -> hist_json (Obs.Hist.merge a' b')
+        | _ -> "parse failure"
+      in
+      via_json = hist_json (Obs.Hist.merge a b))
+
+let test_hist_json_empty_and_errors () =
+  (match Obs.Hist.of_json (Obs.Hist.to_json (Obs.Hist.create ())) with
+  | Ok h ->
+      check Alcotest.int "empty count" 0 (Obs.Hist.count h);
+      Alcotest.(check bool) "empty min is +inf" true (Obs.Hist.min h = infinity)
+  | Error msg -> Alcotest.fail msg);
+  (match Obs.Hist.of_json (Obs.Json.Obj [ ("sub_buckets", Obs.Json.Str "x") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a malformed sub_buckets");
+  match Obs.Hist.of_json (Obs.Json.Obj [ ("buckets", Obs.Json.Arr [ Obs.Json.Num 1. ]) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a malformed bucket entry"
+
 let test_hist_merge_mismatch () =
   let a = Obs.Hist.create ~sub_buckets:8 () and b = Obs.Hist.create ~sub_buckets:32 () in
   Alcotest.check_raises "sub_buckets mismatch"
@@ -314,6 +382,11 @@ let () =
           qcheck prop_hist_error_bound;
           qcheck prop_hist_monotone;
           qcheck prop_hist_merge_commutes;
+          qcheck prop_hist_merge_identity;
+          qcheck prop_hist_merge_assoc;
+          qcheck prop_hist_json_roundtrip;
+          qcheck prop_hist_json_merge;
+          Alcotest.test_case "json empty and errors" `Quick test_hist_json_empty_and_errors;
         ] );
       ( "json",
         [

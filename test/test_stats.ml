@@ -160,6 +160,22 @@ let test_counters () =
   check Alcotest.int "erepl total" 1 (Stats.Counters.total c Stats.Counters.Exp_repl);
   check Alcotest.int "five kinds" 5 (List.length Stats.Counters.all_kinds)
 
+let test_counters_merge () =
+  let a = Stats.Counters.create ~n_nodes:3 and b = Stats.Counters.create ~n_nodes:3 in
+  Stats.Counters.bump a ~node:1 Stats.Counters.Rqst;
+  Stats.Counters.bump a ~node:2 Stats.Counters.Sess;
+  Stats.Counters.bump b ~node:1 Stats.Counters.Rqst;
+  Stats.Counters.bump b ~node:1 Stats.Counters.Repl;
+  let m = Stats.Counters.merge a b in
+  check Alcotest.int "per-node sum" 2 (Stats.Counters.get m ~node:1 Stats.Counters.Rqst);
+  check Alcotest.int "one-sided" 1 (Stats.Counters.get m ~node:1 Stats.Counters.Repl);
+  check Alcotest.int "sess kept" 1 (Stats.Counters.total m Stats.Counters.Sess);
+  check Alcotest.int "n_nodes" 3 (Stats.Counters.n_nodes m);
+  (* inputs untouched *)
+  check Alcotest.int "a unchanged" 1 (Stats.Counters.total a Stats.Counters.Rqst);
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Counters.merge: n_nodes mismatch")
+    (fun () -> ignore (Stats.Counters.merge a (Stats.Counters.create ~n_nodes:2)))
+
 (* --- Table ----------------------------------------------------------------- *)
 
 let test_table_render () =
@@ -212,7 +228,11 @@ let () =
           Alcotest.test_case "collector" `Quick test_recovery_collector;
           Alcotest.test_case "unrecovered" `Quick test_recovery_unrecovered;
         ] );
-      ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]);
+      ( "counters",
+        [
+          Alcotest.test_case "basic" `Quick test_counters;
+          Alcotest.test_case "merge" `Quick test_counters_merge;
+        ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
