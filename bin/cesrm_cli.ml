@@ -197,6 +197,36 @@ let print_result (res : Harness.Runner.result) =
   if res.audit_violations > 0 then
     Printf.printf "WARNING: %d protocol-audit violations\n" res.audit_violations
 
+let faults_arg =
+  let doc =
+    "Fault plan to run under: a canned name ($(b,partition-heal), $(b,link-flap), \
+     $(b,crash-replier), $(b,jitter-reorder), $(b,dup-burst)) instantiated against the \
+     trace's tree, or a plan JSON file (see `Fault.Plan`). The run is checked by the \
+     protocol-invariant oracle; violations are reported and exit with status 1."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~doc ~docv:"PLAN")
+
+let resolve_fault_plan ~trace name =
+  let tree = Mtrace.Trace.tree trace in
+  let warmup = Harness.Runner.default_setup.Harness.Runner.warmup in
+  let duration = float_of_int (Mtrace.Trace.n_packets trace) *. Mtrace.Trace.period trace in
+  match Fault.Plan.canned ~tree ~warmup ~duration name with
+  | Some plan -> Ok plan
+  | None ->
+      if Sys.file_exists name then
+        Result.bind (Fault.Plan.load name) (Fault.Plan.validate ~tree)
+      else
+        Error
+          (Printf.sprintf "--faults: %S is neither a canned plan (%s) nor a file" name
+             (String.concat ", " Fault.Plan.canned_names))
+
+let print_oracle (res : Harness.Runner.result) =
+  Option.iter
+    (fun o ->
+      Format.printf "%a@." Fault.Oracle.pp o;
+      if not (Fault.Oracle.clean o) then exit 1)
+    res.oracle
+
 let trace_out_arg =
   let doc =
     "Record the run's structured events (loss detections, request/reply sends, recoveries) \
@@ -213,7 +243,8 @@ let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
 
 let run_cmd =
-  let run verbose trace protocol policy router_assist lossy link_delay_ms trace_out metrics_out =
+  let run verbose trace protocol policy router_assist lossy link_delay_ms faults trace_out
+      metrics_out =
     setup_logs verbose;
     let att = Harness.Runner.attribution_of_trace trace in
     let setup = make_setup ~lossy ~link_delay_ms in
@@ -224,58 +255,89 @@ let run_cmd =
       | `Cesrm ->
           Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist }
     in
-    let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
-    let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
-    print_result (Harness.Runner.run ~setup ?tracer ?registry proto trace att);
-    Option.iter
-      (fun file ->
-        let tr = Option.get tracer in
-        Obs.Trace.export_chrome tr ~file;
-        Printf.printf "(trace: %d events to %s%s)\n" (Obs.Trace.length tr) file
-          (if Obs.Trace.dropped tr > 0 then
-             Printf.sprintf "; ring wrapped, %d oldest dropped" (Obs.Trace.dropped tr)
-           else ""))
-      trace_out;
-    Option.iter
-      (fun file ->
-        let meta =
-          [
-            ("protocol", Obs.Json.Str (Harness.Runner.protocol_name proto));
-            ("trace", Obs.Json.Str (Mtrace.Trace.summary trace));
-            ("link_delay_ms", Obs.Json.Num link_delay_ms);
-            ("lossy_recovery", Obs.Json.Bool lossy);
-          ]
-        in
-        Obs.Report.save ~meta (Option.get registry) ~file;
-        Printf.printf "(metrics to %s)\n" file)
-      metrics_out
+    match
+      match faults with
+      | None -> Ok None
+      | Some name -> Result.map Option.some (resolve_fault_plan ~trace name)
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok fault_plan ->
+        let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+        let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
+        let res = Harness.Runner.run ~setup ?tracer ?registry ?fault_plan proto trace att in
+        print_result res;
+        Option.iter
+          (fun (plan : Fault.Plan.t) ->
+            Printf.printf "faults: plan %s (%d event(s))\n" plan.Fault.Plan.name
+              (Fault.Plan.n_events plan))
+          fault_plan;
+        Option.iter
+          (fun file ->
+            let tr = Option.get tracer in
+            Obs.Trace.export_chrome tr ~file;
+            Printf.printf "(trace: %d events to %s%s)\n" (Obs.Trace.length tr) file
+              (if Obs.Trace.dropped tr > 0 then
+                 Printf.sprintf "; ring wrapped, %d oldest dropped" (Obs.Trace.dropped tr)
+               else ""))
+          trace_out;
+        Option.iter
+          (fun file ->
+            let meta =
+              [
+                ("protocol", Obs.Json.Str (Harness.Runner.protocol_name proto));
+                ("trace", Obs.Json.Str (Mtrace.Trace.summary trace));
+                ("link_delay_ms", Obs.Json.Num link_delay_ms);
+                ("lossy_recovery", Obs.Json.Bool lossy);
+              ]
+            in
+            Obs.Report.save ~meta (Option.get registry) ~file;
+            Printf.printf "(metrics to %s)\n" file)
+          metrics_out;
+        print_oracle res;
+        `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Re-enact a trace under SRM or CESRM and report recovery statistics.")
     Term.(
-      const run $ verbose_flag $ trace_term $ protocol_arg $ policy_arg $ router_assist_arg
-      $ lossy_arg $ link_delay_arg $ trace_out_arg $ metrics_arg)
+      ret
+        (const run $ verbose_flag $ trace_term $ protocol_arg $ policy_arg $ router_assist_arg
+        $ lossy_arg $ link_delay_arg $ faults_arg $ trace_out_arg $ metrics_arg))
 
 let compare_cmd =
-  let run verbose trace policy router_assist lossy link_delay_ms =
+  let run verbose trace policy router_assist lossy link_delay_ms faults =
     setup_logs verbose;
     let att = Harness.Runner.attribution_of_trace trace in
     let setup = make_setup ~lossy ~link_delay_ms in
-    let srm = Harness.Runner.run ~setup Harness.Runner.Srm_protocol trace att in
-    let cesrm =
-      Harness.Runner.run ~setup
-        (Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist })
-        trace att
-    in
-    print_result srm;
-    print_newline ();
-    print_result cesrm
+    match
+      match faults with
+      | None -> Ok None
+      | Some name -> Result.map Option.some (resolve_fault_plan ~trace name)
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok fault_plan ->
+        let srm = Harness.Runner.run ~setup ?fault_plan Harness.Runner.Srm_protocol trace att in
+        let cesrm =
+          Harness.Runner.run ~setup ?fault_plan
+            (Harness.Runner.Cesrm_protocol
+               { Cesrm.Host.default_config with policy; router_assist })
+            trace att
+        in
+        print_result srm;
+        print_newline ();
+        print_result cesrm;
+        print_oracle srm;
+        print_oracle cesrm;
+        `Ok ()
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Run both protocols on the same trace and print both reports.")
+    (Cmd.info "compare"
+       ~doc:
+         "Run both protocols on the same trace (optionally under the same fault plan) and print \
+          both reports.")
     Term.(
-      const run $ verbose_flag $ trace_term $ policy_arg $ router_assist_arg $ lossy_arg
-      $ link_delay_arg)
+      ret
+        (const run $ verbose_flag $ trace_term $ policy_arg $ router_assist_arg $ lossy_arg
+        $ link_delay_arg $ faults_arg))
 
 (* -- diff -------------------------------------------------------------- *)
 
@@ -380,8 +442,16 @@ let sweep_cmd =
     let doc = "Baseline-diff absolute threshold." in
     Arg.(value & opt float 1e-9 & info [ "abs" ] ~doc ~docv:"V")
   in
+  let faults_axis_arg =
+    let doc =
+      "Faults axis, comma-separated: canned fault-plan names and/or $(b,none) for the unfaulted \
+       baseline (e.g. none,partition-heal). Each entry multiplies the cell matrix; fault \
+       variants of a cell replay the identical synthesized trace."
+    in
+    Arg.(value & opt string "" & info [ "faults" ] ~doc ~docv:"LIST")
+  in
   let build_spec ~spec_file ~name ~traces ~protocols ~seeds ~base_seed ~packets ~link_delay_ms
-      ~lossy =
+      ~lossy ~faults =
     match spec_file with
     | Some file -> (
         match Obs.Json.parse_file file with
@@ -411,6 +481,7 @@ let sweep_cmd =
                 n_packets = packets;
                 link_delay_ms;
                 lossy_recovery = lossy;
+                faults = (match faults with "" -> [] | l -> String.split_on_char ',' l);
               })
   in
   let summary_table artifact =
@@ -429,17 +500,20 @@ let sweep_cmd =
             (if exp_rq = 0. then "-"
              else Printf.sprintf "%.1f%%" (100. *. num c "exp_replies" /. exp_rq));
             Printf.sprintf "%.0f" (num c "audit_violations");
+            Printf.sprintf "%.0f" (num c "oracle_violations");
           ])
         cells
     in
-    Stats.Table.render ~header:[ "cell"; "detected"; "unrecov"; "exp ok"; "audit" ] ~rows
+    Stats.Table.render
+      ~header:[ "cell"; "detected"; "unrecov"; "exp ok"; "audit"; "oracle" ]
+      ~rows
   in
   let run verbose spec_file name traces protocols seeds base_seed packets link_delay_ms lossy
-      jobs timeout retries out print_spec baseline rel abs =
+      faults jobs timeout retries out print_spec baseline rel abs =
     setup_logs verbose;
     match
       build_spec ~spec_file ~name ~traces ~protocols ~seeds ~base_seed ~packets ~link_delay_ms
-        ~lossy
+        ~lossy ~faults
     with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
@@ -472,8 +546,11 @@ let sweep_cmd =
                     | Some x -> x
                     | None -> 0.
                   in
-                  Printf.printf "totals: detected %.0f, unrecovered %.0f, audit violations %.0f\n"
-                    (num "detected") (num "unrecovered") (num "audit_violations"))
+                  Printf.printf
+                    "totals: detected %.0f, unrecovered %.0f, audit violations %.0f, oracle \
+                     violations %.0f\n"
+                    (num "detected") (num "unrecovered") (num "audit_violations")
+                    (num "oracle_violations"))
                 totals;
               Option.iter
                 (fun file ->
@@ -502,8 +579,8 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ verbose_flag $ spec_file $ name_arg $ traces_arg $ protocols_arg $ seeds_arg
-        $ base_seed_arg $ packets $ link_delay_arg $ lossy_arg $ jobs_arg $ timeout_arg
-        $ retries_arg $ out_arg $ print_spec_arg $ baseline_arg $ rel_arg $ abs_arg))
+        $ base_seed_arg $ packets $ link_delay_arg $ lossy_arg $ faults_axis_arg $ jobs_arg
+        $ timeout_arg $ retries_arg $ out_arg $ print_spec_arg $ baseline_arg $ rel_arg $ abs_arg))
 
 (* -- main -------------------------------------------------------------- *)
 

@@ -27,6 +27,8 @@ let find t ~seq = List.find_opt (fun e -> e.seq = seq) t.entries
 
 let clear t = t.entries <- []
 
+let expire_replier t ~replier = t.entries <- List.filter (fun e -> e.replier <> replier) t.entries
+
 let note_reply t e =
   match find t ~seq:e.seq with
   | Some existing ->
@@ -50,8 +52,8 @@ let note_reply t e =
         `Inserted
       end
 
-let most_frequent t =
-  match t.entries with
+let most_frequent_of entries =
+  match entries with
   | [] -> None
   | es ->
       (* Count (requestor, replier) pair occurrences; entries are most
@@ -75,3 +77,5 @@ let most_frequent t =
           None es
       in
       Option.map snd best
+
+let most_frequent t = most_frequent_of t.entries

@@ -45,6 +45,17 @@ val most_frequent : t -> entry option
 (** The pair (requestor, replier) occurring most often, represented by
     its most recent tuple; ties break toward the more recent pair. *)
 
+val most_frequent_of : entry list -> entry option
+(** {!most_frequent} over an explicit (most-recent-first) entry list —
+    lets {!Policy} apply it to a filtered view of the cache. *)
+
 val find : t -> seq:int -> entry option
 
 val clear : t -> unit
+
+val expire_replier : t -> replier:int -> unit
+(** Drop every tuple naming [replier]. Retry back-off's last resort
+    (Section 3's graceful-degradation story): a replier that keeps
+    failing to answer expedited requests — crashed, partitioned — must
+    stop being chosen, and with it gone from the cache the next
+    SRM-recovered loss repopulates fresh pairs. *)

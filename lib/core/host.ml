@@ -3,10 +3,17 @@ type config = {
   policy : Policy.t;
   reorder_delay : float;
   router_assist : bool;
+  replier_failure_limit : int option;
 }
 
 let default_config =
-  { cache_capacity = 16; policy = Policy.Most_recent; reorder_delay = 0.; router_assist = false }
+  {
+    cache_capacity = 16;
+    policy = Policy.Most_recent;
+    reorder_delay = 0.;
+    router_assist = false;
+    replier_failure_limit = None;
+  }
 
 type t = {
   srm : Srm.Host.t;
@@ -19,6 +26,8 @@ type t = {
   exp_timers : (Srm.Key.t, Sim.Engine.timer) Hashtbl.t;
   pending_exp : (Srm.Key.t, int) Hashtbl.t; (* packed (src, seq) -> replier we expedited to *)
   replier_stats : (int, int * int) Hashtbl.t; (* replier -> successes, attempts *)
+  consec_failures : (int, int) Hashtbl.t; (* replier -> consecutive expedited failures *)
+  dead_repliers : (int, unit) Hashtbl.t; (* presumed dead until a reply revives them *)
   mutable exp_requests_sent : int;
   mutable exp_replies_sent : int;
 }
@@ -50,13 +59,54 @@ let replier_score t ~replier =
   | Some (ok, total) when total > 0 -> float_of_int ok /. float_of_int total
   | _ -> 1.
 
+(* Fresh evidence a replier is alive and answering: forget any presumed
+   death and the consecutive-failure streak. *)
+let revive_replier t ~replier =
+  Hashtbl.remove t.dead_repliers replier;
+  Hashtbl.remove t.consec_failures replier
+
+let replier_dead t ~replier = Hashtbl.mem t.dead_repliers replier
+
+(* Retry back-off (the missing piece the fault oracle flushed out):
+   after [replier_failure_limit] consecutive expedited recoveries that a
+   replier failed to serve — the packet arrived the SRM way instead —
+   presume the replier dead, purge it from every cache, and exclude it
+   from policy selection until one of its replies is heard again. *)
+let note_replier_failure t ~replier =
+  match t.config.replier_failure_limit with
+  | None -> ()
+  | Some limit ->
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.consec_failures replier) in
+      Hashtbl.replace t.consec_failures replier n;
+      if n >= limit && not (replier_dead t ~replier) then begin
+        Hashtbl.replace t.dead_repliers replier ();
+        Hashtbl.iter (fun _ c -> Cache.expire_replier c ~replier) t.caches
+      end
+
+(* The other half of the retry bound: attempts still in flight count
+   against the failure budget too, so a host cannot hammer an
+   unresponsive replier with fresh expedited requests while none of the
+   earlier ones has resolved (during an outage no outcome arrives at
+   all, which is exactly when the hammering would happen). *)
+let outstanding_to t ~replier =
+  Hashtbl.fold (fun _ r acc -> if r = replier then acc + 1 else acc) t.pending_exp 0
+
+let attempt_budget_ok t ~replier =
+  match t.config.replier_failure_limit with
+  | None -> true
+  | Some limit ->
+      let failed = Option.value ~default:0 (Hashtbl.find_opt t.consec_failures replier) in
+      failed + outstanding_to t ~replier < limit
+
 let note_expedited_outcome t ~src seq ~expedited =
   match Hashtbl.find_opt t.pending_exp (key t ~src ~seq) with
   | None -> ()
   | Some replier ->
       Hashtbl.remove t.pending_exp (key t ~src ~seq);
       let ok, total = Option.value ~default:(0, 0) (Hashtbl.find_opt t.replier_stats replier) in
-      Hashtbl.replace t.replier_stats replier ((ok + if expedited then 1 else 0), total + 1)
+      Hashtbl.replace t.replier_stats replier ((ok + if expedited then 1 else 0), total + 1);
+      if expedited then Hashtbl.remove t.consec_failures replier
+      else note_replier_failure t ~replier
 
 let cancel_expedited t ~src seq =
   match Hashtbl.find_opt t.exp_timers (key t ~src ~seq) with
@@ -67,7 +117,10 @@ let cancel_expedited t ~src seq =
 
 let send_expedited_request t ~src seq (pair : Cache.entry) =
   Hashtbl.remove t.exp_timers (key t ~src ~seq);
-  if not (Srm.Host.has_packet ~src t.srm ~seq) then begin
+  if
+    (not (Srm.Host.has_packet ~src t.srm ~seq))
+    && attempt_budget_ok t ~replier:pair.replier
+  then begin
     t.exp_requests_sent <- t.exp_requests_sent + 1;
     Hashtbl.replace t.pending_exp (key t ~src ~seq) pair.replier;
     Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Exp_rqst;
@@ -93,6 +146,7 @@ let maybe_expedite t ~src ~seq =
   match
     Policy.choose
       ~score:(fun ~replier -> replier_score t ~replier)
+      ~exclude:(fun ~replier -> replier_dead t ~replier)
       t.config.policy (cache ~src t)
   with
   | Some pair when pair.requestor = t.self && not (Hashtbl.mem t.exp_timers (key t ~src ~seq)) ->
@@ -107,6 +161,7 @@ let maybe_expedite t ~src ~seq =
 let digest_reply t payload =
   match payload with
   | Net.Packet.Reply { src; seq; requestor; d_qs; replier; d_rq; expedited = _; turning_point } ->
+      revive_replier t ~replier;
       if Srm.Host.suffered_loss ~src t.srm ~seq then begin
         let turning_point =
           if not t.config.router_assist then None
@@ -138,6 +193,18 @@ let handle_expedited_request t ~src ~seq ~requestor ~d_qs ~turning_point =
   in
   if sent then t.exp_replies_sent <- t.exp_replies_sent + 1
 
+(* Crash support: all of CESRM's state is soft — caches, outstanding
+   expedited recoveries, replier bookkeeping — so a restarting host
+   comes back with none of it. *)
+let reset_caches t =
+  Hashtbl.iter (fun _ c -> Cache.clear c) t.caches;
+  Hashtbl.iter (fun _ timer -> Sim.Engine.cancel timer) t.exp_timers;
+  Hashtbl.reset t.exp_timers;
+  Hashtbl.reset t.pending_exp;
+  Hashtbl.reset t.replier_stats;
+  Hashtbl.reset t.consec_failures;
+  Hashtbl.reset t.dead_repliers
+
 let on_packet t (p : Net.Packet.t) =
   match p.payload with
   | Net.Packet.Exp_request { src; seq; requestor; d_qs; replier; turning_point } ->
@@ -158,6 +225,8 @@ let create ~network ~self ~params ~config ~n_packets ~counters ~recoveries =
       exp_timers = Hashtbl.create 16;
       pending_exp = Hashtbl.create 16;
       replier_stats = Hashtbl.create 8;
+      consec_failures = Hashtbl.create 8;
+      dead_repliers = Hashtbl.create 8;
       exp_requests_sent = 0;
       exp_replies_sent = 0;
     }

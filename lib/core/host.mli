@@ -25,11 +25,19 @@ type config = {
   policy : Policy.t;
   reorder_delay : float;
   router_assist : bool;
+  replier_failure_limit : int option;
+      (** retry back-off (robustness extension, off by default): after
+          this many {e consecutive} expedited recoveries a replier
+          failed to serve, presume it dead — purge it from every cache
+          and exclude it from policy selection until one of its replies
+          is heard again. [None] = never presume death (paper-faithful:
+          the paper's evaluation has no failing repliers). *)
 }
 
 val default_config : config
 (** Capacity 16, most-recent policy, zero reorder delay (the paper's
-    simulation setting — no reordering occurs), no router assist. *)
+    simulation setting — no reordering occurs), no router assist, no
+    replier failure limit. *)
 
 type t
 
@@ -61,6 +69,27 @@ val on_packet : t -> Net.Packet.t -> unit
 val expedited_requests_sent : t -> int
 
 val expedited_replies_sent : t -> int
+
+val replier_dead : t -> replier:int -> bool
+(** Whether retry back-off currently presumes [replier] dead. *)
+
+val note_replier_failure : t -> replier:int -> unit
+(** Charge one consecutive expedited failure to [replier]. With
+    [replier_failure_limit = Some k], the k-th consecutive failure
+    presumes the replier dead: it is purged from every cache and
+    excluded from policy selection until revived. No-op without a
+    limit. (Called internally when an expedited recovery resolves the
+    SRM way; exposed for driving the accounting directly in tests.) *)
+
+val revive_replier : t -> replier:int -> unit
+(** Fresh evidence [replier] is alive (any reply heard from it):
+    forget its presumed death and failure streak. *)
+
+val reset_caches : t -> unit
+(** Model this host crashing: every cache is emptied and all expedited
+    bookkeeping (outstanding recoveries, replier scores, presumed
+    deaths) is dropped — CESRM state is soft state. Pair with
+    {!Srm.Host.restart_recovery} on the underlying SRM host. *)
 
 val publish_metrics : t -> Obs.Registry.t -> unit
 (** Accumulate this member's SRM metrics plus the expedited-recovery

@@ -14,24 +14,30 @@ let take n xs =
   let rec go n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: go (n - 1) rest in
   go n xs
 
-let choose ?(score = fun ~replier:_ -> 1.) policy cache =
+let choose ?(score = fun ~replier:_ -> 1.) ?(exclude = fun ~replier:_ -> false) policy cache =
+  (* Every policy works over the cache minus excluded repliers (dead
+     ones, per retry back-off); the default exclusion is empty, so the
+     view is then the cache itself. *)
+  let entries =
+    List.filter (fun (e : Cache.entry) -> not (exclude ~replier:e.replier)) (Cache.entries cache)
+  in
+  let most_recent = match entries with [] -> None | e :: _ -> Some e in
   match policy with
-  | Most_recent -> Cache.most_recent cache
-  | Most_frequent -> Cache.most_frequent cache
+  | Most_recent -> most_recent
+  | Most_frequent -> Cache.most_frequent_of entries
   | Success_biased -> (
       (* Most recent entry whose replier has been answering; when every
          known replier disappoints, fall back to plain recency so the
          SRM fallback can repopulate the cache. *)
       match
-        List.find_opt (fun (e : Cache.entry) -> score ~replier:e.replier >= 0.5)
-          (Cache.entries cache)
+        List.find_opt (fun (e : Cache.entry) -> score ~replier:e.replier >= 0.5) entries
       with
       | Some e -> Some e
-      | None -> Cache.most_recent cache)
+      | None -> most_recent)
   | Frequency_weighted_recent -> (
       (* Most-frequent over a recency window of 8, so stale pairs age
          out faster than with plain most-frequent. *)
-      match Cache.entries cache with
+      match entries with
       | [] -> None
       | recent -> (
           let window = take 8 recent in

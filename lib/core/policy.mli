@@ -26,8 +26,15 @@ val name : t -> string
 
 val of_name : string -> t option
 
-val choose : ?score:(replier:int -> float) -> t -> Cache.t -> Cache.entry option
+val choose :
+  ?score:(replier:int -> float) ->
+  ?exclude:(replier:int -> bool) ->
+  t ->
+  Cache.t ->
+  Cache.entry option
 (** The pair to use for the next expedited recovery, if the cache
     offers one. [score] reports the observed per-replier expedited
     success rate in [0, 1] (default: optimistic 1) and is only
-    consulted by [Success_biased]. *)
+    consulted by [Success_biased]. [exclude] removes entries naming a
+    replier from consideration under every policy (default: none) —
+    retry back-off uses it to stop unicasting repliers presumed dead. *)

@@ -91,6 +91,7 @@ let finalize ?(meta = []) t =
         ("recovered", Obs.Json.int (sum_field "recovered" cells));
         ("unrecovered", Obs.Json.int (sum_field "unrecovered" cells));
         ("audit_violations", Obs.Json.int (sum_field "audit_violations" cells));
+        ("oracle_violations", Obs.Json.int (sum_field "oracle_violations" cells));
         ("exp_requests", Obs.Json.int exp_requests);
         ("exp_replies", Obs.Json.int exp_replies);
         ( "exp_success_pct",

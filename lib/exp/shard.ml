@@ -12,8 +12,10 @@ let run (spec : Spec.t) (cell : Spec.cell) =
     }
   in
   let registry = Obs.Registry.create () in
+  let fault = match cell.Spec.fault with Some f when f <> "none" -> Some f | _ -> None in
   let res =
-    Harness.Runner.run_leg ~setup ~registry ?n_packets:spec.Spec.n_packets ~seed:cell.Spec.seed
+    Harness.Runner.run_leg ~setup ~registry ?n_packets:spec.Spec.n_packets ?fault
+      ~seed:cell.Spec.seed
       (Spec.runner_protocol cell.Spec.protocol)
       row
   in
@@ -71,10 +73,16 @@ let run (spec : Spec.t) (cell : Spec.cell) =
       ("protocol", Str (Spec.protocol_name cell.Spec.protocol));
       ("seed_index", int cell.Spec.seed_index);
       ("seed", Str (Int64.to_string cell.Spec.seed));
+      ("fault", (match cell.Spec.fault with None -> Null | Some f -> Str f));
       ("detected", int res.detected);
       ("recovered", int (Stats.Recovery.count res.recoveries));
       ("unrecovered", int res.unrecovered);
       ("audit_violations", int res.audit_violations);
+      ("oracle_violations", int res.oracle_violations);
+      ( "oracle",
+        match res.oracle with
+        | Some o when not (Fault.Oracle.clean o) -> Fault.Oracle.to_json o
+        | _ -> Null );
       ("exp_requests", int res.exp_requests);
       ("exp_replies", int res.exp_replies);
       ("counters", counters);

@@ -45,6 +45,7 @@ type t = {
   n_packets : int option;
   link_delay_ms : float;
   lossy_recovery : bool;
+  faults : string list;
 }
 
 let default =
@@ -65,7 +66,10 @@ let default =
     n_packets = None;
     link_delay_ms = 20.;
     lossy_recovery = false;
+    faults = [];
   }
+
+let fault_names = "none" :: Fault.Plan.canned_names
 
 let validate t =
   let unknown =
@@ -81,7 +85,15 @@ let validate t =
   else if (match t.n_packets with Some n -> n <= 0 | None -> false) then
     Error "n_packets must be positive"
   else if not (t.link_delay_ms > 0.) then Error "link_delay_ms must be positive"
-  else Ok t
+  else begin
+    match List.filter (fun f -> not (List.mem f fault_names)) t.faults with
+    | [] -> Ok t
+    | unknown ->
+        Error
+          (Printf.sprintf "unknown fault plan(s): %s (expected %s)"
+             (String.concat ", " unknown)
+             (String.concat ", " fault_names))
+  end
 
 type cell = {
   index : int;
@@ -89,23 +101,41 @@ type cell = {
   protocol : protocol_spec;
   seed_index : int;
   seed : int64;
+  fault : string option;
 }
 
 let cells t =
   let traces = Array.of_list t.traces and protocols = Array.of_list t.protocols in
-  let n_groups = Array.length traces * t.n_seeds in
+  let faults = Array.of_list t.faults in
+  (* The faults axis is innermost-but-one (protocols stay innermost);
+     with no axis the enumeration, labels and derived seeds reduce
+     exactly to the pre-faults scheme. Seeds are derived per
+     (trace, seed_index) — NOT per fault — so every fault variant of a
+     cell replays the identical trace and schedule, which is what makes
+     cross-fault (and SRM-vs-CESRM-under-faults) comparisons paired. *)
+  let n_faults = max 1 (Array.length faults) in
+  let n_groups = Array.length traces * t.n_seeds * n_faults in
   Array.init (n_groups * Array.length protocols) (fun index ->
       let group = index / Array.length protocols in
       let protocol = protocols.(index mod Array.length protocols) in
+      let trace_index = group / (t.n_seeds * n_faults) in
+      let rem = group mod (t.n_seeds * n_faults) in
+      let seed_index = rem / n_faults in
+      let fault =
+        if Array.length faults = 0 then None else Some faults.(rem mod n_faults)
+      in
       {
         index;
-        trace = traces.(group / t.n_seeds);
+        trace = traces.(trace_index);
         protocol;
-        seed_index = group mod t.n_seeds;
-        seed = Sim.Rng.substream t.base_seed group;
+        seed_index;
+        seed = Sim.Rng.substream t.base_seed ((trace_index * t.n_seeds) + seed_index);
+        fault;
       })
 
-let cell_label c = Printf.sprintf "%s/%s/s%d" c.trace (protocol_name c.protocol) c.seed_index
+let cell_label c =
+  Printf.sprintf "%s/%s/s%d%s" c.trace (protocol_name c.protocol) c.seed_index
+    (match c.fault with None -> "" | Some f -> "/" ^ f)
 
 let to_json t =
   let open Obs.Json in
@@ -119,6 +149,7 @@ let to_json t =
       ("n_packets", (match t.n_packets with None -> Null | Some n -> int n));
       ("link_delay_ms", Num t.link_delay_ms);
       ("lossy_recovery", Bool t.lossy_recovery);
+      ("faults", Arr (List.map (fun f -> Str f) t.faults));
     ]
 
 let of_json json =
@@ -187,5 +218,16 @@ let of_json json =
     | None -> Ok false
     | Some _ -> Error "lossy_recovery: expected a boolean"
   in
+  let* faults = match member "faults" json with None -> Ok [] | Some _ -> str_list "faults" in
   validate
-    { name; traces; protocols; base_seed; n_seeds; n_packets; link_delay_ms; lossy_recovery }
+    {
+      name;
+      traces;
+      protocols;
+      base_seed;
+      n_seeds;
+      n_packets;
+      link_delay_ms;
+      lossy_recovery;
+      faults;
+    }

@@ -36,15 +36,24 @@ type t = {
   n_packets : int option;  (** per-trace truncation; [None] = full row *)
   link_delay_ms : float;
   lossy_recovery : bool;
+  faults : string list;
+      (** optional faults axis: canned {!Fault.Plan} names and/or
+          ["none"] for the unfaulted baseline; [[]] = no axis (the
+          pre-faults enumeration, bit for bit) *)
 }
 
 val default : t
 (** The featured 6 traces × (SRM, default CESRM) × 1 seed, full packet
-    counts, 20 ms links, lossless recovery, base seed 42. *)
+    counts, 20 ms links, lossless recovery, base seed 42, no faults
+    axis. *)
+
+val fault_names : string list
+(** The admissible faults-axis entries: ["none"] plus
+    {!Fault.Plan.canned_names}. *)
 
 val validate : t -> (t, string) result
-(** Reject unknown trace names, empty axes, and non-positive
-    parameters. *)
+(** Reject unknown trace names, empty axes, non-positive parameters,
+    and unknown fault-plan names. *)
 
 type cell = {
   index : int;  (** position in {!cells} — the shard id *)
@@ -52,15 +61,22 @@ type cell = {
   protocol : protocol_spec;
   seed_index : int;
   seed : int64;  (** derived; shared by all protocols of a cell group *)
+  fault : string option;
+      (** the faults-axis slot ([Some "none"] = explicit baseline);
+          [None] iff the spec has no faults axis *)
 }
 
 val cells : t -> cell array
-(** Cartesian expansion, trace-major then seed then protocol, so the
-    protocol variants sharing a synthesized trace are adjacent. *)
+(** Cartesian expansion, trace-major then seed then fault then
+    protocol, so the protocol variants sharing a synthesized trace and
+    fault schedule are adjacent. Seeds are keyed by (trace, seed index)
+    only — every fault variant replays the identical trace, making
+    cross-fault comparisons paired too. *)
 
 val cell_label : cell -> string
-(** ["<trace>/<protocol>/s<seed_index>"] — unique within a spec, used
-    as the ["name"] key {!Obs.Diff} aligns artifact rows by. *)
+(** ["<trace>/<protocol>/s<seed_index>[/<fault>]"] — unique within a
+    spec, used as the ["name"] key {!Obs.Diff} aligns artifact rows
+    by. *)
 
 val to_json : t -> Obs.Json.t
 

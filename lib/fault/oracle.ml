@@ -1,0 +1,181 @@
+type config = {
+  max_expedited_retry : int;
+  max_requests_per_loss : int;
+  max_replies_per_loss : int;
+}
+
+let default_config = { max_expedited_retry = 12; max_requests_per_loss = 200; max_replies_per_loss = 16 }
+
+type violation = { at : float; node : int; invariant : string; detail : string }
+
+type t = {
+  config : config;
+  network : Net.Network.t;
+  (* (node, src, seq) -> detection time, removed on first obtain *)
+  pending : (int * int * int, float) Hashtbl.t;
+  (* (node, src, seq) -> how many times the member obtained it *)
+  obtained : (int * int * int, int) Hashtbl.t;
+  (* (requestor, replier) -> consecutive expedited requests unanswered *)
+  exp_streak : (int * int, int) Hashtbl.t;
+  (* (node, src, seq) -> requests this member sent for the loss *)
+  requests : (int * int * int, int) Hashtbl.t;
+  (* (replier, src, seq) -> replies this member sent for the loss *)
+  replies : (int * int * int, int) Hashtbl.t;
+  (* bounded invariants report once per offending key *)
+  latched : (string * int * int, unit) Hashtbl.t;
+  mutable violations_rev : violation list;
+  mutable n_violations : int;
+  mutable finalized : bool;
+}
+
+let create ?(config = default_config) ~network () =
+  let t =
+    {
+      config;
+      network;
+      pending = Hashtbl.create 256;
+      obtained = Hashtbl.create 1024;
+      exp_streak = Hashtbl.create 32;
+      requests = Hashtbl.create 256;
+      replies = Hashtbl.create 256;
+      latched = Hashtbl.create 32;
+      violations_rev = [];
+      n_violations = 0;
+      finalized = false;
+    }
+  in
+  let now () = Sim.Engine.now (Net.Network.engine network) in
+  let violate ~node ~invariant detail =
+    t.violations_rev <- { at = now (); node; invariant; detail } :: t.violations_rev;
+    t.n_violations <- t.n_violations + 1
+  in
+  (* Bounded invariants latch per (invariant, offending key) so a
+     broken loop reports once, not once per packet. *)
+  let latch_once ~invariant ~a ~b f =
+    if not (Hashtbl.mem t.latched (invariant, a, b)) then begin
+      Hashtbl.replace t.latched (invariant, a, b) ();
+      f ()
+    end
+  in
+  Net.Network.add_tap network (fun ~from:_ (p : Net.Packet.t) ->
+      match p.payload with
+      | Net.Packet.Exp_request { requestor; replier; src; seq; _ } ->
+          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.exp_streak (requestor, replier)) in
+          Hashtbl.replace t.exp_streak (requestor, replier) n;
+          if n > config.max_expedited_retry then
+            latch_once ~invariant:"expedited-retry" ~a:requestor ~b:replier (fun () ->
+                violate ~node:requestor ~invariant:"expedited-retry"
+                  (Printf.sprintf
+                     "%d consecutive expedited requests to replier %d without hearing from it \
+                      (last for src %d seq %d)"
+                     n replier src seq))
+      | Net.Packet.Reply { requestor = _; replier; src; seq; expedited = _; _ } ->
+          (* Any reply from [replier] is evidence it is alive; the
+             retry bound targets hammering a *silent* replier. A live
+             replier can legitimately draw more expedited requests than
+             the bound without answering any (post-heal it may lack the
+             very packets it is asked for, while its other replies keep
+             it cached), so every streak aimed at it resets here. *)
+          let stale =
+            Hashtbl.fold
+              (fun ((_, rp) as k) _ acc -> if rp = replier then k :: acc else acc)
+              t.exp_streak []
+          in
+          List.iter (Hashtbl.remove t.exp_streak) stale;
+          let key = (replier, src, seq) in
+          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.replies key) in
+          Hashtbl.replace t.replies key n;
+          if n > config.max_replies_per_loss then
+            latch_once ~invariant:"reply-suppression" ~a:replier ~b:((src * 1_000_000) + seq)
+              (fun () ->
+                violate ~node:replier ~invariant:"reply-suppression"
+                  (Printf.sprintf "%d replies for src %d seq %d" n src seq))
+      | Net.Packet.Request { requestor; src; seq; _ } ->
+          let key = (requestor, src, seq) in
+          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.requests key) in
+          Hashtbl.replace t.requests key n;
+          if n > config.max_requests_per_loss then
+            latch_once ~invariant:"request-suppression" ~a:requestor
+              ~b:((src * 1_000_000) + seq) (fun () ->
+                violate ~node:requestor ~invariant:"request-suppression"
+                  (Printf.sprintf "%d requests for src %d seq %d" n src seq))
+      | Net.Packet.Data _ | Net.Packet.Session _ -> ());
+  t
+
+let now t = Sim.Engine.now (Net.Network.engine t.network)
+
+let violate t ~at ~node ~invariant detail =
+  t.violations_rev <- { at; node; invariant; detail } :: t.violations_rev;
+  t.n_violations <- t.n_violations + 1
+
+let attach_host t host =
+  let hooks = Srm.Host.hooks host in
+  let node = Srm.Host.self host in
+  let prev_detect = hooks.Srm.Host.on_loss_detected in
+  hooks.Srm.Host.on_loss_detected <-
+    (fun ~src ~seq ->
+      if not (Hashtbl.mem t.obtained (node, src, seq)) then
+        Hashtbl.replace t.pending (node, src, seq) (now t);
+      prev_detect ~src ~seq);
+  let prev_obtained = hooks.Srm.Host.on_packet_obtained in
+  hooks.Srm.Host.on_packet_obtained <-
+    (fun ~src ~seq ~expedited ->
+      Hashtbl.remove t.pending (node, src, seq);
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.obtained (node, src, seq)) in
+      Hashtbl.replace t.obtained (node, src, seq) n;
+      if n = 2 then
+        violate t ~at:(now t) ~node ~invariant:"duplicate-delivery"
+          (Printf.sprintf "src %d seq %d delivered to the application again" src seq);
+      prev_obtained ~src ~seq ~expedited)
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    let still_missing = ref [] in
+    Hashtbl.iter
+      (fun (node, src, seq) detected_at ->
+        if Net.Network.is_enabled t.network node then
+          still_missing := (node, src, seq, detected_at) :: !still_missing)
+      t.pending;
+    List.iter
+      (fun (node, src, seq, detected_at) ->
+        violate t ~at:(now t) ~node ~invariant:"liveness"
+          (Printf.sprintf "src %d seq %d detected lost at t=%.3f, never repaired" src seq
+             detected_at))
+      (List.sort compare !still_missing)
+  end
+
+let violations t = List.rev t.violations_rev
+
+let n_violations t = t.n_violations
+
+let clean t = t.n_violations = 0
+
+let to_json t =
+  let open Obs.Json in
+  Obj
+    [
+      ( "violations",
+        Arr
+          (List.map
+             (fun v ->
+               Obj
+                 [
+                   ("at", Num v.at);
+                   ("node", int v.node);
+                   ("invariant", Str v.invariant);
+                   ("detail", Str v.detail);
+                 ])
+             (violations t)) );
+      ("count", int t.n_violations);
+    ]
+
+let pp ppf t =
+  if clean t then Format.fprintf ppf "oracle: clean"
+  else begin
+    Format.fprintf ppf "oracle: %d violation(s)" t.n_violations;
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "@.  t=%.3f node %d [%s] %s" v.at v.node v.invariant v.detail)
+      (violations t)
+  end

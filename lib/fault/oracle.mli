@@ -1,0 +1,79 @@
+(** Online protocol-invariant checker for faulted runs.
+
+    The oracle taps the same observation seams the tracer uses — the
+    per-member SRM hooks and the network packet tap — and checks, as
+    the run unfolds plus once at the end, the invariants that define
+    {e graceful degradation} for SRM/CESRM under faults:
+
+    - {b eventual-recovery liveness}: every loss detected by a member
+      that is alive at the end of the run has been repaired by then;
+    - {b no duplicate delivery}: a member obtains each (src, seq) at
+      most once — recovery may duplicate packets on the wire, never to
+      the application;
+    - {b bounded expedited retry}: CESRM may keep unicasting a cached
+      replier only so many consecutive times without {e anything}
+      being heard back from it — past the bound it must have fallen
+      back to SRM and moved off the silent (dead) replier. Any reply
+      from the replier resets the bound: a live replier may
+      legitimately draw many expedited requests it cannot answer
+      (post-heal it can lack the very packets it is asked for, while
+      its other replies keep it cached);
+    - {b suppression sanity}: per loss, one member sends at most a
+      bounded number of requests and of replies — timers, abstinence
+      and back-off must keep working under churn.
+
+    Violations are recorded as structured events, exported as JSON and
+    counted into {!Stats.Counters} (kind [Oracle]) by the runner. A run
+    with no violations is {!clean}. *)
+
+type config = {
+  max_expedited_retry : int;
+      (** consecutive expedited requests to one replier without any
+          reply heard from it before the retry is deemed unbounded *)
+  max_requests_per_loss : int;  (** per (member, src, seq) *)
+  max_replies_per_loss : int;  (** per (replier, src, seq) *)
+}
+
+val default_config : config
+(** Retry bound 12, requests 200, replies 16 — generous enough that
+    only genuinely broken suppression trips them. *)
+
+type violation = {
+  at : float;  (** sim time the violation was established *)
+  node : int;  (** the member charged with it *)
+  invariant : string;
+      (** ["liveness"], ["duplicate-delivery"], ["expedited-retry"],
+          ["request-suppression"] or ["reply-suppression"] *)
+  detail : string;
+}
+
+type t
+
+val create : ?config:config -> network:Net.Network.t -> unit -> t
+(** Installs a (composing) packet tap on the network; per-member hooks
+    are added with {!attach_host}. *)
+
+val attach_host : t -> Srm.Host.t -> unit
+(** Wrap the member's hooks (composing with whatever is installed —
+    CESRM's own hooks keep running). Call once per member, after the
+    protocol deployed. *)
+
+val finalize : t -> unit
+(** Evaluate end-of-run invariants (liveness). Idempotent; call after
+    [Sim.Engine.run] returns. Members disabled (crashed) at the end are
+    exempt from liveness. *)
+
+val violations : t -> violation list
+(** Chronological. Implies {!finalize} has run for end-of-run checks
+    only if it was called. *)
+
+val n_violations : t -> int
+
+val clean : t -> bool
+
+val to_json : t -> Obs.Json.t
+(** [{"violations": [{"at", "node", "invariant", "detail"}, ...],
+    "count": n}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per violation, for CLI output. *)

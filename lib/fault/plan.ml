@@ -1,0 +1,278 @@
+type event =
+  | Link_down of { link : int; from_ : float; until : float }
+  | Link_jitter of { link : int; from_ : float; until : float; max_jitter : float }
+  | Link_dup of { link : int; from_ : float; until : float }
+  | Crash of { node : int; at : float; restart_at : float option }
+  | Partition of { root : int; from_ : float; until : float }
+
+type t = { name : string; events : event list }
+
+let make ?(name = "anonymous") events = { name; events }
+
+let n_events t = List.length t.events
+
+(* --- validation ---------------------------------------------------- *)
+
+let check_window ~what ~from_ ~until =
+  if not (from_ >= 0. && from_ < until) then
+    Error (Printf.sprintf "%s: window [%g, %g) is not ordered with non-negative start" what from_ until)
+  else Ok ()
+
+let check_link ~tree ~what link =
+  if link >= 1 && link < Net.Tree.n_nodes tree then Ok ()
+  else Error (Printf.sprintf "%s: %d does not name a tree link" what link)
+
+let validate_event ~tree = function
+  | Link_down { link; from_; until } ->
+      let ( let* ) = Result.bind in
+      let* () = check_link ~tree ~what:"link_down" link in
+      check_window ~what:"link_down" ~from_ ~until
+  | Link_jitter { link; from_; until; max_jitter } ->
+      let ( let* ) = Result.bind in
+      let* () = check_link ~tree ~what:"link_jitter" link in
+      let* () = check_window ~what:"link_jitter" ~from_ ~until in
+      if max_jitter > 0. then Ok () else Error "link_jitter: max_jitter must be positive"
+  | Link_dup { link; from_; until } ->
+      let ( let* ) = Result.bind in
+      let* () = check_link ~tree ~what:"link_dup" link in
+      check_window ~what:"link_dup" ~from_ ~until
+  | Crash { node; at; restart_at } ->
+      if not (node >= 1 && node < Net.Tree.n_nodes tree && Net.Tree.is_leaf tree node) then
+        Error (Printf.sprintf "crash: node %d is not a receiver (routers cannot crash)" node)
+      else if at < 0. then Error "crash: time must be non-negative"
+      else begin
+        match restart_at with
+        | Some r when r <= at -> Error "crash: restart_at must be after at"
+        | _ -> Ok ()
+      end
+  | Partition { root; from_; until } ->
+      let ( let* ) = Result.bind in
+      let* () = check_link ~tree ~what:"partition" root in
+      check_window ~what:"partition" ~from_ ~until
+
+let validate ~tree t =
+  let rec go = function
+    | [] -> Ok t
+    | e :: rest -> ( match validate_event ~tree e with Ok () -> go rest | Error _ as err -> err)
+  in
+  match go t.events with
+  | Ok _ as ok -> ok
+  | Error msg -> Error (Printf.sprintf "plan %S: %s" t.name msg)
+
+(* --- compilation ---------------------------------------------------- *)
+
+let compile ~network ?(on_crash = fun ~node:_ -> ()) ?(on_restart = fun ~node:_ -> ()) t =
+  (match validate ~tree:(Net.Network.tree network) t with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Fault.Plan.compile: %s" msg));
+  let engine = Net.Network.engine network in
+  List.iter
+    (fun event ->
+      match event with
+      | Link_down { link; from_; until } -> Net.Network.add_link_down network ~link ~from_ ~until
+      | Link_jitter { link; from_; until; max_jitter } ->
+          Net.Network.add_link_jitter network ~link ~from_ ~until ~max_jitter
+      | Link_dup { link; from_; until } -> Net.Network.add_link_dup network ~link ~from_ ~until
+      | Partition { root; from_; until } ->
+          (* A subtree partition is an outage of the link above its
+             root: nothing crosses in either direction, so the subtree
+             recovers among itself (SRM local recovery) until heal. *)
+          Net.Network.add_link_down network ~link:root ~from_ ~until
+      | Crash { node; at; restart_at } ->
+          ignore
+            (Sim.Engine.schedule_at engine ~at (fun () ->
+                 Net.Network.set_enabled network node false;
+                 on_crash ~node));
+          Option.iter
+            (fun at ->
+              ignore
+                (Sim.Engine.schedule_at engine ~at (fun () ->
+                     Net.Network.set_enabled network node true;
+                     on_restart ~node)))
+            restart_at)
+    t.events
+
+(* --- serialization -------------------------------------------------- *)
+
+let event_to_json event =
+  let open Obs.Json in
+  match event with
+  | Link_down { link; from_; until } ->
+      Obj [ ("kind", Str "link_down"); ("link", int link); ("from", Num from_); ("until", Num until) ]
+  | Link_jitter { link; from_; until; max_jitter } ->
+      Obj
+        [
+          ("kind", Str "link_jitter");
+          ("link", int link);
+          ("from", Num from_);
+          ("until", Num until);
+          ("max_jitter", Num max_jitter);
+        ]
+  | Link_dup { link; from_; until } ->
+      Obj [ ("kind", Str "link_dup"); ("link", int link); ("from", Num from_); ("until", Num until) ]
+  | Crash { node; at; restart_at } ->
+      Obj
+        [
+          ("kind", Str "crash");
+          ("node", int node);
+          ("at", Num at);
+          ("restart_at", (match restart_at with None -> Null | Some r -> Num r));
+        ]
+  | Partition { root; from_; until } ->
+      Obj
+        [ ("kind", Str "partition"); ("root", int root); ("from", Num from_); ("until", Num until) ]
+
+let to_json t =
+  let open Obs.Json in
+  Obj [ ("name", Str t.name); ("events", Arr (List.map event_to_json t.events)) ]
+
+let event_of_json json =
+  let open Obs.Json in
+  let ( let* ) = Result.bind in
+  let num field =
+    match member field json with
+    | Some (Num x) -> Ok x
+    | _ -> Error (Printf.sprintf "event %s: expected a number" field)
+  in
+  let int_field field =
+    let* x = num field in
+    if Float.is_integer x then Ok (int_of_float x)
+    else Error (Printf.sprintf "event %s: expected an integer" field)
+  in
+  match member "kind" json with
+  | Some (Str "link_down") ->
+      let* link = int_field "link" in
+      let* from_ = num "from" in
+      let* until = num "until" in
+      Ok (Link_down { link; from_; until })
+  | Some (Str "link_jitter") ->
+      let* link = int_field "link" in
+      let* from_ = num "from" in
+      let* until = num "until" in
+      let* max_jitter = num "max_jitter" in
+      Ok (Link_jitter { link; from_; until; max_jitter })
+  | Some (Str "link_dup") ->
+      let* link = int_field "link" in
+      let* from_ = num "from" in
+      let* until = num "until" in
+      Ok (Link_dup { link; from_; until })
+  | Some (Str "crash") ->
+      let* node = int_field "node" in
+      let* at = num "at" in
+      let* restart_at =
+        match member "restart_at" json with
+        | Some Null | None -> Ok None
+        | Some (Num r) -> Ok (Some r)
+        | Some _ -> Error "event restart_at: expected a number or null"
+      in
+      Ok (Crash { node; at; restart_at })
+  | Some (Str "partition") ->
+      let* root = int_field "root" in
+      let* from_ = num "from" in
+      let* until = num "until" in
+      Ok (Partition { root; from_; until })
+  | Some (Str kind) -> Error (Printf.sprintf "unknown fault event kind %S" kind)
+  | _ -> Error "event: missing kind"
+
+let of_json json =
+  let open Obs.Json in
+  let ( let* ) = Result.bind in
+  let* name =
+    match member "name" json with
+    | Some (Str s) -> Ok s
+    | None -> Ok "anonymous"
+    | Some _ -> Error "name: expected a string"
+  in
+  let* events =
+    match member "events" json with
+    | Some (Arr items) ->
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            let* e = event_of_json item in
+            Ok (e :: acc))
+          items (Ok [])
+    | _ -> Error "events: expected an array"
+  in
+  Ok { name; events }
+
+let save t ~file = Obs.Json.save ~pretty:true (to_json t) ~file
+
+let load file =
+  match Obs.Json.parse_file file with
+  | Error _ as err -> err
+  | Ok json -> of_json json
+
+(* --- canned plans ---------------------------------------------------- *)
+
+let canned_names = [ "partition-heal"; "link-flap"; "crash-replier"; "jitter-reorder"; "dup-burst" ]
+
+(* Deterministic topology probes: the deepest receiver (the natural
+   requestor — longest source path), the shallowest receiver (the
+   natural replier — closest to the source), and the root child whose
+   subtree is largest (the heaviest branch to partition). Ties break
+   toward smaller ids. *)
+let deepest_receiver tree =
+  Array.fold_left
+    (fun best r -> if Net.Tree.depth tree r > Net.Tree.depth tree best then r else best)
+    (Net.Tree.receivers tree).(0) (Net.Tree.receivers tree)
+
+let shallowest_receiver tree =
+  Array.fold_left
+    (fun best r -> if Net.Tree.depth tree r < Net.Tree.depth tree best then r else best)
+    (Net.Tree.receivers tree).(0) (Net.Tree.receivers tree)
+
+let heaviest_branch tree =
+  match Net.Tree.children tree 0 with
+  | [] -> invalid_arg "Fault.Plan.canned: root has no children"
+  | first :: _ as cs ->
+      List.fold_left
+        (fun best c ->
+          if
+            List.length (Net.Tree.subtree_nodes tree c)
+            > List.length (Net.Tree.subtree_nodes tree best)
+          then c
+          else best)
+        first cs
+
+let canned ~tree ~warmup ~duration name =
+  let w = warmup and d = duration in
+  let at f = w +. (f *. d) in
+  match name with
+  | "partition-heal" ->
+      Some
+        (make ~name
+           [ Partition { root = heaviest_branch tree; from_ = at 0.25; until = at 0.5 } ])
+  | "link-flap" ->
+      let link = deepest_receiver tree in
+      Some
+        (make ~name
+           [
+             Link_down { link; from_ = at 0.2; until = at 0.25 };
+             Link_down { link; from_ = at 0.4; until = at 0.45 };
+             Link_down { link; from_ = at 0.6; until = at 0.65 };
+           ])
+  | "crash-replier" ->
+      Some
+        (make ~name
+           [
+             Crash
+               { node = shallowest_receiver tree; at = at 0.3; restart_at = Some (at 0.6) };
+           ])
+  | "jitter-reorder" ->
+      Some
+        (make ~name
+           [
+             Link_jitter
+               { link = deepest_receiver tree; from_ = at 0.2; until = at 0.8; max_jitter = 0.05 };
+             Link_jitter
+               { link = heaviest_branch tree; from_ = at 0.3; until = at 0.7; max_jitter = 0.02 };
+           ])
+  | "dup-burst" ->
+      Some
+        (make ~name
+           [
+             Link_dup { link = deepest_receiver tree; from_ = at 0.3; until = at 0.6 };
+             Link_dup { link = heaviest_branch tree; from_ = at 0.3; until = at 0.6 };
+           ])
+  | _ -> None

@@ -1,0 +1,86 @@
+(** Declarative, deterministic fault plans.
+
+    A plan is a named list of timed fault events against a run's
+    topology: link outages, per-link delay jitter (which reorders) and
+    duplication windows, host crash/restart with soft-state loss, and
+    partition/heal of whole subtrees. Times are absolute sim seconds —
+    the same plan on the same seed replays identically, so faulted runs
+    stay pure functions of (trace, seed, plan).
+
+    {!compile} lowers a plan onto a concrete run: window events install
+    {!Net.Network} perturbation windows (checked against link {e
+    crossing} times, so packets already in flight when an outage opens
+    are swallowed by it), and crash/restart events become
+    {!Sim.Engine} timers that toggle {!Net.Network.set_enabled} and
+    invoke the caller's soft-state-loss callbacks. *)
+
+type event =
+  | Link_down of { link : int; from_ : float; until : float }
+      (** every crossing of [link] (either direction) inside
+          [\[from_, until)] is dropped *)
+  | Link_jitter of { link : int; from_ : float; until : float; max_jitter : float }
+      (** crossings arrive up to [max_jitter] seconds late (uniform);
+          enough jitter reorders packets on the link *)
+  | Link_dup of { link : int; from_ : float; until : float }
+      (** crossings deliver a duplicate copy one extra propagation
+          delay later *)
+  | Crash of { node : int; at : float; restart_at : float option }
+      (** the member on [node] crashes at [at] — receives nothing,
+          transmits nothing, and loses all soft state (caches, session
+          estimates, scheduled timers) — and, when [restart_at] is
+          given, comes back up then *)
+  | Partition of { root : int; from_ : float; until : float }
+      (** the whole subtree under (and including) [root] is cut off
+          from the rest of the tree for the window, then heals *)
+
+type t = { name : string; events : event list }
+
+val make : ?name:string -> event list -> t
+(** Default name ["anonymous"]. *)
+
+val n_events : t -> int
+
+val validate : tree:Net.Tree.t -> t -> (t, string) result
+(** Well-formedness against a topology: link ids name tree links,
+    crashed nodes are receivers (routers cannot crash), windows are
+    ordered with non-negative start, jitter positive, restarts after
+    crashes. *)
+
+val compile :
+  network:Net.Network.t ->
+  ?on_crash:(node:int -> unit) ->
+  ?on_restart:(node:int -> unit) ->
+  t ->
+  unit
+(** Install the plan onto a network and its engine. Call before
+    [Sim.Engine.run]; events are compiled in list order (determinism).
+    [on_crash]/[on_restart] fire from the crash timers {e after} the
+    node's enabled flag is flipped — the runner uses them to drop the
+    member's soft protocol state.
+    @raise Invalid_argument if the plan does not validate against the
+    network's tree. *)
+
+(** {2 Serialization} *)
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+
+val save : t -> file:string -> unit
+
+val load : string -> (t, string) result
+(** Parse a plan from a JSON file. *)
+
+(** {2 Canned plans}
+
+    Deterministic plans derived from a topology and the run's data
+    phase: [warmup] is when data starts flowing and [duration] how long
+    it flows (so all fault windows land inside the data phase, with the
+    recovery tail left clean for repair). *)
+
+val canned_names : string list
+(** ["partition-heal"; "link-flap"; "crash-replier"; "jitter-reorder";
+    ["dup-burst"]]. *)
+
+val canned : tree:Net.Tree.t -> warmup:float -> duration:float -> string -> t option
+(** [None] for an unknown name. *)

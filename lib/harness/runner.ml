@@ -45,6 +45,8 @@ type result = {
   unrecovered : int;
   detected : int;
   audit_violations : int;  (* protocol-invariant violations; 0 expected *)
+  oracle_violations : int;  (* fault-oracle violations; 0 without a fault plan *)
+  oracle : Fault.Oracle.t option;  (* present iff a fault plan was run *)
 }
 
 let attribution_of_trace trace =
@@ -77,7 +79,31 @@ let make_drop ~attribution ~lossy_recovery ~lossy_sessions ~rates ~rng =
     | Net.Packet.Request _ | Net.Packet.Reply _ | Net.Packet.Exp_request _ ->
         lossy_recovery && Sim.Rng.bernoulli rng rates.(link)
 
-let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
+let run ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace attribution =
+  (* A fault plan switches on the robustness extensions unless the
+     caller pinned them: session-driven request re-arm (bounds
+     post-heal recovery latency by the session period instead of the
+     2^k back-off) and CESRM's replier retry back-off. Unfaulted runs
+     keep the paper-faithful defaults bit-for-bit. *)
+  let setup =
+    match fault_plan with
+    | Some _ when setup.params.Srm.Params.rearm_backoff = None ->
+        {
+          setup with
+          params =
+            {
+              setup.params with
+              Srm.Params.rearm_backoff = Some setup.params.Srm.Params.session_period;
+            };
+        }
+    | _ -> setup
+  in
+  let protocol =
+    match (protocol, fault_plan) with
+    | Cesrm_protocol config, Some _ when config.Cesrm.Host.replier_failure_limit = None ->
+        Cesrm_protocol { config with Cesrm.Host.replier_failure_limit = Some 8 }
+    | _ -> protocol
+  in
   let tree = Mtrace.Trace.tree trace in
   let n_packets = Mtrace.Trace.n_packets trace in
   let period = Mtrace.Trace.period trace in
@@ -122,12 +148,27 @@ let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
      a tracer was passed, so the untraced run is the seed code path. *)
   let stride = n_packets + 1 in
   Option.iter (fun tr -> Instrument.attach_network ~trace:tr ~stride network) tracer;
+  (* The fault oracle's network tap composes after the auditor's and
+     the tracer's; its per-member hook wrappers are added as each
+     protocol arm deploys (after CESRM installed its own hooks). *)
+  let oracle = Option.map (fun _ -> Fault.Oracle.create ~network ()) fault_plan in
   let trace_host srm_host =
-    Option.iter (fun tr -> Instrument.attach_srm_host ~trace:tr ~stride srm_host) tracer
+    Option.iter (fun tr -> Instrument.attach_srm_host ~trace:tr ~stride srm_host) tracer;
+    Option.iter (fun o -> Fault.Oracle.attach_host o srm_host) oracle
+  in
+  let compile_faults ~on_restart =
+    Option.iter (fun plan -> Fault.Plan.compile ~network ~on_restart plan) fault_plan
   in
   let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected ~publish =
     let horizon = setup.warmup +. (float_of_int n_packets *. period) +. setup.tail +. 240. in
     Sim.Engine.run ~until:horizon engine;
+    Option.iter
+      (fun o ->
+        Fault.Oracle.finalize o;
+        List.iter
+          (fun v -> Stats.Counters.bump counters ~node:v.Fault.Oracle.node Stats.Counters.Oracle)
+          (Fault.Oracle.violations o))
+      oracle;
     let rtt_to_source =
       Array.to_list
         (Array.map (fun node -> (node, Net.Network.rtt network 0 node)) (Net.Tree.receivers tree))
@@ -138,6 +179,9 @@ let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
         Net.Network.publish_metrics network reg;
         publish reg;
         Obs.Registry.incr ~by:(Stats.Recovery.count recoveries) reg "recovery/recovered";
+        Option.iter
+          (fun o -> Obs.Registry.incr ~by:(Fault.Oracle.n_violations o) reg "fault/oracle_violations")
+          oracle;
         Instrument.attach_recovery_hists reg
           ~rtt_of:(fun node -> List.assoc_opt node rtt_to_source)
           recoveries)
@@ -156,12 +200,16 @@ let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
       unrecovered = detected () - recovered;
       detected = detected ();
       audit_violations = List.length (Audit.violations audit);
+      oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
+      oracle;
     }
   in
   match protocol with
   | Srm_protocol ->
       let proto = Srm.Proto.deploy ~network ~params:setup.params ~n_packets ~period in
       List.iter (fun (_, h) -> trace_host h) (Srm.Proto.members proto);
+      compile_faults ~on_restart:(fun ~node ->
+          Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
       Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup ~tail:setup.tail;
       let detected () =
         List.fold_left (fun acc (_, h) -> acc + Srm.Host.detected_losses h) 0 (Srm.Proto.members proto)
@@ -178,6 +226,12 @@ let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
       (* After deploy: the CESRM hosts have installed their own hooks,
          which the tracer chains onto rather than replaces. *)
       List.iter (fun (_, h) -> trace_host (Cesrm.Host.srm h)) (Cesrm.Proto.members proto);
+      compile_faults ~on_restart:(fun ~node ->
+          Option.iter
+            (fun h ->
+              Cesrm.Host.reset_caches h;
+              Srm.Host.restart_recovery (Cesrm.Host.srm h))
+            (List.assoc_opt node (Cesrm.Proto.members proto)));
       Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
         ~tail:setup.tail;
       let detected () =
@@ -199,6 +253,10 @@ let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
       }
   | Lms_protocol ->
       let proto = Lms.Proto.deploy ~network ~n_packets ~period () in
+      (* LMS hosts carry no SRM soft state; crashes just toggle the
+         enabled flag, and the oracle checks network-level invariants
+         only. *)
+      compile_faults ~on_restart:(fun ~node:_ -> ());
       Lms.Proto.start proto ~warmup:setup.warmup ~tail:setup.tail;
       let publish reg =
         List.iter (fun (_, h) -> Lms.Host.publish_metrics h reg) (Lms.Proto.members proto)
@@ -208,11 +266,21 @@ let run ?(setup = default_setup) ?tracer ?registry protocol trace attribution =
         ~detected:(fun () -> Lms.Proto.detected proto)
         ~publish
 
-let run_leg ?(setup = default_setup) ?registry ?n_packets ~seed protocol row =
+let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ~seed protocol row =
   let generated = Mtrace.Generator.synthesize ~seed ?n_packets row in
   let trace = generated.Mtrace.Generator.trace in
   let attribution = attribution_of_trace trace in
-  run ~setup:{ setup with seed } ?registry protocol trace attribution
+  let fault_plan =
+    Option.map
+      (fun name ->
+        let tree = Mtrace.Trace.tree trace in
+        let duration = float_of_int (Mtrace.Trace.n_packets trace) *. Mtrace.Trace.period trace in
+        match Fault.Plan.canned ~tree ~warmup:setup.warmup ~duration name with
+        | Some plan -> plan
+        | None -> invalid_arg (Printf.sprintf "Runner.run_leg: unknown canned fault plan %S" name))
+      fault
+  in
+  run ~setup:{ setup with seed } ?registry ?fault_plan protocol trace attribution
 
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in

@@ -53,12 +53,18 @@ type result = {
   detected : int;  (** losses detected across receivers *)
   audit_violations : int;
       (** protocol-invariant violations found by {!Audit} (0 expected) *)
+  oracle_violations : int;
+      (** {!Fault.Oracle} violations (0 without a fault plan, and 0
+          expected with one — a non-clean oracle means the protocol
+          failed to degrade gracefully) *)
+  oracle : Fault.Oracle.t option;  (** present iff a fault plan was run *)
 }
 
 val run :
   ?setup:setup ->
   ?tracer:Obs.Trace.t ->
   ?registry:Obs.Registry.t ->
+  ?fault_plan:Fault.Plan.t ->
   protocol ->
   Mtrace.Trace.t ->
   Inference.Attribution.t ->
@@ -68,12 +74,26 @@ val run :
     observational, the run's outcome is bit-identical. With [registry],
     end-of-run metrics from the engine, the network and every member
     host are published into it, plus ["recovery/"] latency histograms
-    (RTT-normalized, split expedited vs fallback). *)
+    (RTT-normalized, split expedited vs fallback).
+
+    With [fault_plan], the plan is compiled onto the network and engine
+    before the run, a {!Fault.Oracle} checks the graceful-degradation
+    invariants (violations land in the result, the registry under
+    ["fault/"], and {!Stats.Counters} kind [Oracle]), and host restarts
+    drop soft state ({!Srm.Host.restart_recovery}, CESRM cache reset).
+    Unless the caller pinned them, a fault plan also switches on the
+    robustness extensions: [Srm.Params.rearm_backoff] (set to the
+    session period) and CESRM's [replier_failure_limit] (set to 8) —
+    without them SRM's 2^k back-off and CESRM's static pair caches make
+    post-heal recovery pathologically slow, which is exactly what the
+    oracle would report. Faulted runs remain deterministic: same trace,
+    seed and plan ⇒ identical results. *)
 
 val run_leg :
   ?setup:setup ->
   ?registry:Obs.Registry.t ->
   ?n_packets:int ->
+  ?fault:string ->
   seed:int64 ->
   protocol ->
   Mtrace.Meta.row ->
@@ -82,8 +102,10 @@ val run_leg :
     trace with [seed] (optionally truncated to [n_packets]), attribute
     its losses, and run [protocol] on it with [setup] reseeded to the
     same [seed] — so a leg is a pure function of
-    [(row, protocol, setup, n_packets, seed)], the unit a sweep shard
-    executes. *)
+    [(row, protocol, setup, n_packets, seed, fault)], the unit a sweep
+    shard executes. [fault] names a {!Fault.Plan.canned} plan,
+    instantiated against the synthesized trace's tree and data phase.
+    @raise Invalid_argument on an unknown canned name. *)
 
 val attribution_of_trace : Mtrace.Trace.t -> Inference.Attribution.t
 (** The paper's Section 4.2 pipeline: Yajnik link-rate estimation, then

@@ -1,3 +1,17 @@
+(* Fault-injection perturbation state (see {!add_link_down} etc. in the
+   interface). Windows are consulted against the *crossing* time of each
+   packet, not the send time: a link that goes down after a flood was
+   computed still swallows the crossings scheduled to happen inside the
+   outage — the mid-flight case a naive "check now at send" misses. *)
+type window = { w_from : float; w_until : float; w_mag : float }
+
+type perturb = {
+  downs : window list array; (* per link id *)
+  jitters : window list array; (* w_mag = max extra delay, seconds *)
+  dups : window list array;
+  prng : Sim.Rng.t; (* jitter sampling; split off the engine rng on install *)
+}
+
 type t = {
   engine : Sim.Engine.t;
   tree : Tree.t;
@@ -13,6 +27,7 @@ type t = {
   cost : Cost.t;
   mutable delivered : int;
   mutable tap : (from:int -> Packet.t -> unit) option;
+  mutable perturb : perturb option; (* None = the unfaulted fast path *)
 }
 
 let no_drop ~link:_ ~down:_ _ = false
@@ -36,6 +51,7 @@ let create_heterogeneous ~engine ~tree ~delays ?(bandwidth_bps = 1.5e6) () =
     cost = Cost.create ();
     delivered = 0;
     tap = None;
+    perturb = None;
   }
 
 let create ~engine ~tree ?(link_delay = 0.020) ?bandwidth_bps () =
@@ -96,6 +112,62 @@ let set_enabled t v flag = t.enabled.(v) <- flag
 
 let is_enabled t v = t.enabled.(v)
 
+(* -- perturbation layer (fault injection) --------------------------- *)
+
+let perturbed t = t.perturb <> None
+
+let get_perturb t =
+  match t.perturb with
+  | Some p -> p
+  | None ->
+      let n = Tree.n_nodes t.tree in
+      let p =
+        {
+          downs = Array.make n [];
+          jitters = Array.make n [];
+          dups = Array.make n [];
+          prng = Sim.Rng.split (Sim.Engine.rng t.engine);
+        }
+      in
+      t.perturb <- Some p;
+      p
+
+let check_link t link =
+  if link < 1 || link >= Tree.n_nodes t.tree then
+    invalid_arg (Printf.sprintf "Network: link %d out of range" link)
+
+let check_window ~from_ ~until =
+  if not (from_ >= 0. && until > from_) then
+    invalid_arg "Network: perturbation window must satisfy 0 <= from < until"
+
+let add_window arr link w = arr.(link) <- arr.(link) @ [ w ]
+
+let add_link_down t ~link ~from_ ~until =
+  check_link t link;
+  check_window ~from_ ~until;
+  add_window (get_perturb t).downs link { w_from = from_; w_until = until; w_mag = 0. }
+
+let add_link_jitter t ~link ~from_ ~until ~max_jitter =
+  check_link t link;
+  check_window ~from_ ~until;
+  if max_jitter <= 0. then invalid_arg "Network.add_link_jitter: max_jitter must be positive";
+  add_window (get_perturb t).jitters link { w_from = from_; w_until = until; w_mag = max_jitter }
+
+let add_link_dup t ~link ~from_ ~until =
+  check_link t link;
+  check_window ~from_ ~until;
+  add_window (get_perturb t).dups link { w_from = from_; w_until = until; w_mag = 0. }
+
+let rec window_at windows at =
+  match windows with
+  | [] -> None
+  | w :: rest -> if at >= w.w_from && at < w.w_until then Some w else window_at rest at
+
+let link_is_down t ~link ~at =
+  match t.perturb with
+  | None -> false
+  | Some p -> window_at p.downs.(link) at <> None
+
 let deliver t ~node ~at packet =
   match t.handlers.(node) with
   | None -> ()
@@ -103,8 +175,14 @@ let deliver t ~node ~at packet =
   | Some handler ->
       ignore
         (Sim.Engine.schedule_at t.engine ~at (fun () ->
-             t.delivered <- t.delivered + 1;
-             handler packet))
+             (* Re-checked at fire time: a host that crashes while the
+                packet is in flight must not process it on arrival (the
+                schedule-time check above only covers hosts already down
+                at send time). *)
+             if t.enabled.(node) then begin
+               t.delivered <- t.delivered + 1;
+               handler packet
+             end))
 
 (* Move [packet] across the link [link] from [from] to [to_], leaving
    [from] at time [at]. Returns the arrival time, or NaN if the loss
@@ -124,16 +202,47 @@ let deliver t ~node ~at packet =
    that excess). *)
 let[@inline] traverse t ~cat ~cast ~link ~down ~from ~to_ ~at ~tx ~fifo packet =
   if t.drop ~link ~down packet then Float.nan
-  else begin
-    Cost.record_crossing t.cost cat cast;
-    if tx = 0. then at +. t.delays.(link)
-    else if fifo then begin
-      let start = Float.max at t.busy.(from).(to_) in
-      t.busy.(from).(to_) <- start +. tx;
-      start +. tx +. t.delays.(link)
-    end
-    else at +. tx +. t.delays.(link)
-  end
+  else
+    match t.perturb with
+    | None ->
+        Cost.record_crossing t.cost cat cast;
+        if tx = 0. then at +. t.delays.(link)
+        else if fifo then begin
+          let start = Float.max at t.busy.(from).(to_) in
+          t.busy.(from).(to_) <- start +. tx;
+          start +. tx +. t.delays.(link)
+        end
+        else at +. tx +. t.delays.(link)
+    | Some p ->
+        (* Perturbed path. Outage windows are matched against the time
+           the packet starts crossing this link, so a link that fails
+           after the flood was computed still swallows the crossings
+           falling inside the outage. *)
+        if window_at p.downs.(link) at <> None then Float.nan
+        else begin
+          Cost.record_crossing t.cost cat cast;
+          let arrival =
+            if tx = 0. then at +. t.delays.(link)
+            else if fifo then begin
+              let start = Float.max at t.busy.(from).(to_) in
+              t.busy.(from).(to_) <- start +. tx;
+              start +. tx +. t.delays.(link)
+            end
+            else at +. tx +. t.delays.(link)
+          in
+          let arrival =
+            match window_at p.jitters.(link) at with
+            | Some w when w.w_mag > 0. -> arrival +. Sim.Rng.float p.prng w.w_mag
+            | _ -> arrival
+          in
+          (* Duplication: a second copy of the packet arrives at the
+             link's child-side endpoint one extra propagation delay
+             later (a last-hop duplicate; it is not re-forwarded). *)
+          (match window_at p.dups.(link) at with
+          | Some _ -> deliver t ~node:to_ ~at:(arrival +. t.delays.(link)) packet
+          | None -> ());
+          arrival
+        end
 
 let tx_of t packet = float_of_int (Packet.size_bits packet) /. t.bandwidth_bps
 

@@ -96,8 +96,41 @@ val publish_metrics : t -> Obs.Registry.t -> unit
 val set_enabled : t -> int -> bool -> unit
 (** Crash or revive a member: a disabled node receives no deliveries
     and its own transmissions are silently discarded, so a crashed
-    host's lingering timers cannot reach the network. Routers cannot
-    be disabled (forwarding is topology, not host, behaviour). *)
+    host's lingering timers cannot reach the network. The enabled flag
+    is re-checked when a queued delivery fires, so a host that crashes
+    while a packet is in flight does not process it on arrival. Routers
+    cannot be disabled (forwarding is topology, not host, behaviour). *)
+
+(** {2 Perturbation layer (fault injection)}
+
+    Timed windows compiled from a {e fault plan} (see [lib/fault]).
+    Windows are matched against the time a packet {e starts crossing}
+    the link — not the send time of the flood — so an outage beginning
+    after a packet was sent still swallows the crossings scheduled to
+    happen inside it (the mid-flight case). A network with no windows
+    installed runs the original unperturbed code path; installing the
+    first window splits one generator off the engine RNG (for jitter
+    sampling), so unfaulted runs remain bit-identical to the seed. *)
+
+val perturbed : t -> bool
+
+val add_link_down : t -> link:int -> from_:float -> until:float -> unit
+(** The link drops every crossing (both directions) whose crossing time
+    falls in [\[from_, until)].
+    @raise Invalid_argument on a bad link id or window. *)
+
+val add_link_jitter : t -> link:int -> from_:float -> until:float -> max_jitter:float -> unit
+(** Crossings starting inside the window arrive up to [max_jitter]
+    seconds late (uniform); jitter beyond the inter-packet gap reorders
+    packets on the link. *)
+
+val add_link_dup : t -> link:int -> from_:float -> until:float -> unit
+(** Crossings starting inside the window deliver a second copy of the
+    packet at the entered node one extra propagation delay later (a
+    last-hop duplicate; the copy is not re-forwarded). *)
+
+val link_is_down : t -> link:int -> at:float -> bool
+(** Whether an installed outage window covers time [at]. *)
 
 val is_enabled : t -> int -> bool
 

@@ -10,6 +10,12 @@ type request_state = {
   mutable first_sent : float option; (* when our own first request fired *)
 }
 
+(* Test-only protocol mutations: each one breaks a different invariant
+   the fault oracle asserts, proving the checker can actually fail. *)
+type mutation =
+  | Suppress_replies (* schedule replies normally but never transmit *)
+  | Double_deliver (* fire on_packet_obtained twice per packet *)
+
 type hooks = {
   mutable on_loss_detected : src:int -> seq:int -> unit;
   mutable on_reply_observed : Net.Packet.payload -> unit;
@@ -50,6 +56,7 @@ type t = {
   counters : Stats.Counters.t;
   recoveries : Stats.Recovery.t;
   hooks : hooks;
+  mutable mutations : mutation list;
 }
 
 let key t ~src ~seq = Key.make ~stride:t.stride ~src ~seq
@@ -65,6 +72,10 @@ let self t = t.self
 let session t = t.session
 
 let hooks t = t.hooks
+
+let inject_mutation t m = if not (List.mem m t.mutations) then t.mutations <- m :: t.mutations
+
+let mutated t m = List.mem m t.mutations
 
 let stream t src =
   match t.streams.(src) with
@@ -155,6 +166,48 @@ and fire_request t ~src seq st =
     else st.timer <- None
   end
 
+(* Session-driven re-arm (Params.rearm_backoff): session evidence says
+   packets up to [upto] of [src]'s stream exist, yet some of our pending
+   requests for them have their next round more than [window] seconds
+   out — exponential back-off pushed them there during an outage.
+   Restart those from round 0, and revive exhausted requests (all
+   max_rounds fired, timer gone). *)
+let rearm_stale t ~src ~upto ~window =
+  Hashtbl.iter
+    (fun k (st : request_state) ->
+      if Key.src ~stride:t.stride k = src && Key.seq ~stride:t.stride k <= upto then begin
+        let stale =
+          match st.timer with
+          | None -> true
+          | Some timer -> Sim.Engine.fire_time timer -. now t > window
+        in
+        if stale then begin
+          (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
+          st.backoff <- 0;
+          st.abstain_until <- neg_infinity;
+          arm_request t ~src (Key.seq ~stride:t.stride k) st
+        end
+      end)
+    t.requests
+
+(* Host restart after a crash: soft state is gone. Distance estimates,
+   scheduled replies, and abstinence horizons are dropped; reception
+   state (the application already has those packets) and the set of
+   known losses survive, with every pending request restarted from
+   round 0 so recovery does not inherit a pre-crash back-off exponent. *)
+let restart_recovery t =
+  Session.reset t.session;
+  Hashtbl.iter (fun _ timer -> Sim.Engine.cancel timer) t.replies;
+  Hashtbl.reset t.replies;
+  Hashtbl.reset t.reply_abstain;
+  Hashtbl.iter
+    (fun k (st : request_state) ->
+      (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
+      st.backoff <- 0;
+      st.abstain_until <- neg_infinity;
+      arm_request t ~src:(Key.src ~stride:t.stride k) (Key.seq ~stride:t.stride k) st)
+    t.requests
+
 (* A request for [seq] was overheard while ours is pending: push ours to
    the next round unless inside the back-off abstinence period. *)
 let back_off_request t ~src seq st =
@@ -238,7 +291,8 @@ let obtain t ~src seq ~expedited =
       Log.debug (fun m -> m "t=%.4f host %d RECOVERED src %d seq %d" (now t) t.self src seq);
       record_recovery t ~src seq ~expedited ~rounds
     end;
-    t.hooks.on_packet_obtained ~src ~seq ~expedited
+    t.hooks.on_packet_obtained ~src ~seq ~expedited;
+    if mutated t Double_deliver then t.hooks.on_packet_obtained ~src ~seq ~expedited
   end
 
 let note_sent ?(src = 0) t ~seq =
@@ -279,9 +333,10 @@ let emit_reply ?transmit ?(delay_norm = 0.) t ~src ~seq ~requestor ~d_qs ~expedi
           { src; seq; requestor; d_qs; replier = t.self; d_rq; expedited; turning_point };
     }
   in
-  (match transmit with
-  | Some send -> send packet
-  | None -> Net.Network.multicast t.network ~from:t.self packet);
+  (if not (mutated t Suppress_replies) then
+     match transmit with
+     | Some send -> send packet
+     | None -> Net.Network.multicast t.network ~from:t.self packet);
   (match t.adaptive with
   | Some a ->
       Hashtbl.replace t.replied (key t ~src ~seq) (now t);
@@ -422,6 +477,7 @@ let create ~network ~self ~params ~n_packets ~counters ~recoveries =
       counters;
       recoveries;
       hooks = no_hooks ();
+      mutations = [];
     }
   in
   get_max_seqs_cell := (fun () -> max_seqs t);
@@ -434,6 +490,9 @@ let create ~network ~self ~params ~n_packets ~counters ~recoveries =
      declaring a gap a loss. *)
   on_max_seq_cell :=
     (fun ~src m ->
+      (match params.Params.rearm_backoff with
+      | Some window -> rearm_stale t ~src ~upto:m ~window
+      | None -> ());
       if m > (stream t src).max_seq then begin
         let grace = dist_to_source ~src t +. 0.05 in
         ignore

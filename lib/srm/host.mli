@@ -15,6 +15,16 @@
 
 type t
 
+type mutation =
+  | Suppress_replies
+      (** schedule and count replies normally but never put them on the
+          wire — every recovery the host would have served stalls *)
+  | Double_deliver
+      (** fire [on_packet_obtained] twice per obtained packet *)
+(** Test-only protocol mutations ({!inject_mutation}). Each breaks a
+    different invariant the fault oracle asserts, so injecting one must
+    make the oracle report violations — the oracle's self-test. *)
+
 type hooks = {
   mutable on_loss_detected : src:int -> seq:int -> unit;
       (** fired once per loss, right after the SRM request is first
@@ -112,3 +122,13 @@ val detected_losses : t -> int
 (** Across all streams. *)
 
 val pending_requests : t -> int
+
+val restart_recovery : t -> unit
+(** Model a crashed host coming back up: session distance estimates,
+    scheduled replies, and reply-abstinence horizons are dropped (soft
+    state is gone), while reception state and known losses survive;
+    every pending request restarts from round 0 rather than inheriting
+    a pre-crash back-off exponent. *)
+
+val inject_mutation : t -> mutation -> unit
+(** Test-only: switch a {!mutation} on for the rest of the run. *)

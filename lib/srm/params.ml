@@ -8,6 +8,7 @@ type t = {
   session_period : float;
   max_rounds : int;
   adaptive : bool;
+  rearm_backoff : float option;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     session_period = 1.;
     max_rounds = 40;
     adaptive = false;
+    rearm_backoff = None;
   }
 
 let validate t =
@@ -28,6 +30,8 @@ let validate t =
     Error "scheduling weights must be non-negative"
   else if t.session_period <= 0. then Error "session period must be positive"
   else if t.max_rounds <= 0 then Error "max_rounds must be positive"
+  else if (match t.rearm_backoff with Some w -> w <= 0. | None -> false) then
+    Error "rearm_backoff must be positive when set"
   else Ok t
 
 let pp ppf t =

@@ -18,11 +18,21 @@ type t = {
   adaptive : bool;
       (** adjust C1/C2 and D1/D2 dynamically per host ({!Adaptive});
           the values above are then the starting point *)
+  rearm_backoff : float option;
+      (** robustness extension for fault scenarios (not in the paper,
+          default [None] = off): on session evidence that a loss still
+          persists, a pending request timer more than this many seconds
+          away — exponential back-off pushed it out during an outage —
+          is cancelled and rescheduled from round 0, and an exhausted
+          request (all [max_rounds] fired) is re-armed. Keeps recovery
+          latency bounded by the session period after a partition
+          heals, instead of by [2^k] back-off. *)
 }
 
 val default : t
 (** The paper's Section 4.3 settings: C1 = C2 = 2, C3 = 1.5,
-    D1 = D2 = 1, D3 = 1.5, session period 1 s. *)
+    D1 = D2 = 1, D3 = 1.5, session period 1 s; [rearm_backoff = None]
+    (paper-faithful: no session-driven re-arming). *)
 
 val validate : t -> (t, string) result
 (** Reject negative weights, non-positive session period, and a

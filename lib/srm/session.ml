@@ -93,6 +93,11 @@ let distance_exn t peer =
   if Float.is_nan d then failwith (Printf.sprintf "Session.distance_exn: no estimate for peer %d" peer)
   else d
 
+let reset t =
+  Array.fill t.dist 0 (Array.length t.dist) Float.nan;
+  Array.fill t.lh_ts 0 (Array.length t.lh_ts) Float.nan;
+  Array.fill t.lh_at 0 (Array.length t.lh_at) Float.nan
+
 let known_peers t =
   let acc = ref [] in
   for peer = Array.length t.dist - 1 downto 0 do

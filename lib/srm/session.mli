@@ -48,3 +48,8 @@ val distance_exn : t -> int -> float
     only need distances after the warm-up phase. *)
 
 val known_peers : t -> int list
+
+val reset : t -> unit
+(** Forget all distance estimates and last-heard state, as a crashed
+    host restarting with empty soft state would. Periodic transmission,
+    if started, continues. *)

@@ -1,8 +1,14 @@
-type kind = Rqst | Exp_rqst | Repl | Exp_repl | Sess
+type kind = Rqst | Exp_rqst | Repl | Exp_repl | Sess | Oracle
 
-let kind_index = function Rqst -> 0 | Exp_rqst -> 1 | Repl -> 2 | Exp_repl -> 3 | Sess -> 4
+let kind_index = function
+  | Rqst -> 0
+  | Exp_rqst -> 1
+  | Repl -> 2
+  | Exp_repl -> 3
+  | Sess -> 4
+  | Oracle -> 5
 
-let all_kinds = [ Rqst; Exp_rqst; Repl; Exp_repl; Sess ]
+let all_kinds = [ Rqst; Exp_rqst; Repl; Exp_repl; Sess; Oracle ]
 
 let kind_name = function
   | Rqst -> "RQST"
@@ -10,10 +16,11 @@ let kind_name = function
   | Repl -> "REPL"
   | Exp_repl -> "EREPL"
   | Sess -> "SESS"
+  | Oracle -> "ORACLE"
 
 type t = int array array
 
-let create ~n_nodes = Array.make_matrix n_nodes 5 0
+let create ~n_nodes = Array.make_matrix n_nodes (List.length all_kinds) 0
 
 let bump t ~node kind = t.(node).(kind_index kind) <- t.(node).(kind_index kind) + 1
 

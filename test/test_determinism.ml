@@ -41,6 +41,18 @@ let hetero = { Harness.Runner.default_setup with heterogeneous_delays = true }
 let check_fingerprint name expected result () =
   Alcotest.(check string) name expected (fingerprint result)
 
+(* Faulted runs are pure functions of (row, seed, plan) too: the same
+   canned plan on the same synthesized trace must fingerprint
+   identically — across repeat runs and against the pinned strings. *)
+let run_faulted fault protocol =
+  Harness.Runner.run_leg ~n_packets:400 ~fault ~seed:42L protocol (Mtrace.Meta.nth 4)
+
+let check_faulted name expected fault protocol () =
+  let res = run_faulted fault protocol in
+  Alcotest.(check int) (name ^ " oracle clean") 0 res.oracle_violations;
+  Alcotest.(check string) name expected (fingerprint res);
+  Alcotest.(check string) (name ^ " replay") expected (fingerprint (run_faulted fault protocol))
+
 let () =
   Alcotest.run "determinism"
     [
@@ -92,5 +104,24 @@ let () =
                 "rqst=64 exp_rqst=0 repl=166 exp_repl=0 sess=603 detected=88 unrecovered=0 \
                  recoveries=88 exp_requests=0 exp_replies=0 lat_sum=33.230838444138875"
                 (run ~setup:hetero Harness.Runner.Srm_protocol) ());
+        ] );
+      ( "faulted golden",
+        [
+          Alcotest.test_case "srm partition-heal" `Quick
+            (check_faulted "srm-partition"
+               "rqst=322 exp_rqst=0 repl=886 exp_repl=0 sess=603 detected=1059 unrecovered=0 \
+                recoveries=1059 exp_requests=0 exp_replies=0 lat_sum=329.25729603690792"
+               "partition-heal" Harness.Runner.Srm_protocol);
+          Alcotest.test_case "cesrm partition-heal" `Quick
+            (check_faulted "cesrm-partition"
+               "rqst=189 exp_rqst=149 repl=323 exp_repl=118 sess=603 detected=1059 \
+                unrecovered=0 recoveries=1059 exp_requests=149 exp_replies=118 \
+                lat_sum=277.72710768259549"
+               "partition-heal" (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config));
+          Alcotest.test_case "srm crash-replier" `Quick
+            (check_faulted "srm-crash"
+               "rqst=370 exp_rqst=0 repl=1509 exp_repl=0 sess=603 detected=438 unrecovered=0 \
+                recoveries=438 exp_requests=0 exp_replies=0 lat_sum=227.88344189037659"
+               "crash-replier" Harness.Runner.Srm_protocol);
         ] );
     ]

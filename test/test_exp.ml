@@ -22,6 +22,7 @@ let small_spec =
     n_packets = Some 250;
     link_delay_ms = 20.;
     lossy_recovery = false;
+    faults = [];
   }
 
 let test_spec_roundtrip () =
@@ -49,6 +50,7 @@ let test_spec_roundtrip () =
       n_packets = None;
       lossy_recovery = true;
     };
+  same { small_spec with faults = [ "none"; "partition-heal"; "link-flap" ] };
   (* parse also accepts a text round-trip through the strict parser *)
   match Obs.Json.parse (Obs.Json.to_string ~pretty:true (Exp.Spec.to_json small_spec)) with
   | Error msg -> Alcotest.fail msg
@@ -77,7 +79,8 @@ let test_spec_errors () =
   expect_error (set "protocols" (Obs.Json.Arr [ Obs.Json.Str "cesrm:nopolicy" ]));
   expect_error (set "base_seed" (Obs.Json.Str "not-a-seed"));
   expect_error (set "n_seeds" (Obs.Json.int 0));
-  expect_error (set "link_delay_ms" (Obs.Json.int 0))
+  expect_error (set "link_delay_ms" (Obs.Json.int 0));
+  expect_error (set "faults" (Obs.Json.Arr [ Obs.Json.Str "nosuch-plan" ]))
 
 let test_protocol_names () =
   List.iter
@@ -121,6 +124,33 @@ let test_cells_and_seeds () =
     (cells.(0).Exp.Spec.seed = Sim.Rng.substream small_spec.Exp.Spec.base_seed 0);
   check Alcotest.bool "substream 1" true
     (cells.(2).Exp.Spec.seed = Sim.Rng.substream small_spec.Exp.Spec.base_seed 1)
+
+let test_cells_with_faults () =
+  let spec = { small_spec with n_seeds = 1; faults = [ "none"; "link-flap" ] } in
+  let cells = Exp.Spec.cells spec in
+  check Alcotest.int "1 trace x 2 faults x 2 protocols" 4 (Array.length cells);
+  (* protocols stay innermost; the faults axis is next *)
+  check
+    (Alcotest.list (Alcotest.option Alcotest.string))
+    "fault slots"
+    [ Some "none"; Some "none"; Some "link-flap"; Some "link-flap" ]
+    (List.map (fun c -> c.Exp.Spec.fault) (Array.to_list cells));
+  (* the seed is keyed by (trace, seed index) only: every fault variant
+     replays the identical synthesized trace *)
+  Array.iter
+    (fun c -> check Alcotest.bool "shared seed" true (c.Exp.Spec.seed = cells.(0).Exp.Spec.seed))
+    cells;
+  let trace_name = (Mtrace.Meta.nth 4).Mtrace.Meta.name in
+  check Alcotest.string "label carries the fault" (trace_name ^ "/srm/s0/link-flap")
+    (Exp.Spec.cell_label cells.(2));
+  (* no faults axis: cells and labels reduce to the pre-faults scheme *)
+  let plain = Exp.Spec.cells { spec with faults = [] } in
+  check Alcotest.int "no axis = 2 cells" 2 (Array.length plain);
+  check (Alcotest.option Alcotest.string) "no fault slot" None plain.(0).Exp.Spec.fault;
+  check Alcotest.string "no label suffix" (trace_name ^ "/srm/s0")
+    (Exp.Spec.cell_label plain.(0));
+  check Alcotest.bool "same seed as the none variant" true
+    (plain.(0).Exp.Spec.seed = cells.(0).Exp.Spec.seed)
 
 let test_substream () =
   (* substream i is the seed of the i-th split of a base generator,
@@ -244,6 +274,27 @@ let test_sweep_identity () =
     check Alcotest.string "serial and parallel artifacts byte-identical" serial parallel
   end
 
+let test_sweep_identity_faulted () =
+  (* The byte-identity must also hold when a faults axis multiplies the
+     matrix: fault plans, the oracle and its JSON all replay exactly. *)
+  let spec = { small_spec with n_seeds = 1; faults = [ "none"; "partition-heal" ] } in
+  let serial = Obs.Json.to_string (Exp.Sweep.run ~jobs:1 spec) in
+  (match Obs.Json.parse serial with
+  | Error msg -> Alcotest.fail msg
+  | Ok artifact -> (
+      (match Obs.Json.member "cells" artifact with
+      | Some (Obs.Json.Arr cells) -> check Alcotest.int "4 cell rows" 4 (List.length cells)
+      | _ -> Alcotest.fail "no cells array");
+      match
+        Option.bind (Obs.Json.member "totals" artifact) (Obs.Json.member "oracle_violations")
+      with
+      | Some (Obs.Json.Num 0.) -> ()
+      | _ -> Alcotest.fail "expected totals/oracle_violations = 0"));
+  if Exp.Pool.available then begin
+    let parallel = Obs.Json.to_string (Exp.Sweep.run ~jobs:3 spec) in
+    check Alcotest.string "faulted sweep byte-identical serial vs parallel" serial parallel
+  end
+
 let test_agg_missing () =
   let agg = Exp.Agg.create small_spec in
   check (Alcotest.list Alcotest.int) "all missing" [ 0; 1; 2; 3 ] (Exp.Agg.missing agg);
@@ -265,6 +316,7 @@ let () =
           Alcotest.test_case "validation errors" `Quick test_spec_errors;
           Alcotest.test_case "protocol names" `Quick test_protocol_names;
           Alcotest.test_case "cells and derived seeds" `Quick test_cells_and_seeds;
+          Alcotest.test_case "cells with a faults axis" `Quick test_cells_with_faults;
           Alcotest.test_case "rng substream" `Quick test_substream;
         ] );
       ( "pool",
@@ -279,6 +331,8 @@ let () =
       ( "sweep",
         [
           Alcotest.test_case "serial = parallel (bytes)" `Slow test_sweep_identity;
+          Alcotest.test_case "faulted serial = parallel (bytes)" `Slow
+            test_sweep_identity_faulted;
           Alcotest.test_case "agg missing shards" `Quick test_agg_missing;
         ] );
     ]

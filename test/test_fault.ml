@@ -1,0 +1,477 @@
+(* The fault-injection subsystem: plan DSL round-trips and validation,
+   canned plans leaving the protocol-invariant oracle clean for both
+   protocols, mutation self-tests proving the oracle rejects a broken
+   protocol, retry back-off / cache expiry for presumed-dead repliers,
+   and a model-based battery: random bounded fault plans must preserve
+   liveness, and a failing plan must minimize to its one bad event. *)
+
+let check = Alcotest.check
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* 0 - 1 - 3 (rcvr)
+       \ 4 (rcvr)
+     2 - 5 (rcvr)  *)
+let sample_tree () = Net.Tree.of_parents [| -1; 0; 0; 1; 1; 2 |]
+
+(* --- Plan DSL --------------------------------------------------------- *)
+
+let kitchen_sink =
+  Fault.Plan.make ~name:"kitchen-sink"
+    [
+      Fault.Plan.Link_down { link = 3; from_ = 5.5; until = 6.0 };
+      Fault.Plan.Link_jitter { link = 1; from_ = 5.0; until = 7.0; max_jitter = 0.03 };
+      Fault.Plan.Link_dup { link = 5; from_ = 5.2; until = 5.4 };
+      Fault.Plan.Crash { node = 4; at = 5.6; restart_at = Some 6.2 };
+      Fault.Plan.Partition { root = 2; from_ = 6.0; until = 6.5 };
+    ]
+
+let plan_string p = Obs.Json.to_string (Fault.Plan.to_json p)
+
+let test_plan_json_roundtrip () =
+  match Fault.Plan.of_json (Fault.Plan.to_json kitchen_sink) with
+  | Error msg -> Alcotest.fail msg
+  | Ok plan' ->
+      check Alcotest.string "json round-trip" (plan_string kitchen_sink) (plan_string plan');
+      check Alcotest.string "name survives" "kitchen-sink" plan'.Fault.Plan.name;
+      check Alcotest.int "all five event kinds" 5 (Fault.Plan.n_events plan');
+      (* a crash without restart round-trips its null *)
+      let down = Fault.Plan.make [ Fault.Plan.Crash { node = 3; at = 1.0; restart_at = None } ] in
+      match Fault.Plan.of_json (Fault.Plan.to_json down) with
+      | Ok down' -> check Alcotest.string "restart_at = null" (plan_string down) (plan_string down')
+      | Error msg -> Alcotest.fail msg
+
+let test_plan_save_load () =
+  let file = Filename.temp_file "cesrm-fault" ".json" in
+  Fault.Plan.save kitchen_sink ~file;
+  let loaded = Fault.Plan.load file in
+  Sys.remove file;
+  match loaded with
+  | Error msg -> Alcotest.fail msg
+  | Ok plan' -> check Alcotest.string "file round-trip" (plan_string kitchen_sink) (plan_string plan')
+
+let test_plan_validation () =
+  let tree = sample_tree () in
+  let expect_invalid name events =
+    match Fault.Plan.validate ~tree (Fault.Plan.make events) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should be rejected" name
+  in
+  (match Fault.Plan.validate ~tree kitchen_sink with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "kitchen sink should validate: %s" msg);
+  expect_invalid "link 0" [ Fault.Plan.Link_down { link = 0; from_ = 1.; until = 2. } ];
+  expect_invalid "link out of range" [ Fault.Plan.Link_down { link = 9; from_ = 1.; until = 2. } ];
+  expect_invalid "negative from" [ Fault.Plan.Link_down { link = 1; from_ = -1.; until = 2. } ];
+  expect_invalid "empty window" [ Fault.Plan.Link_down { link = 1; from_ = 2.; until = 2. } ];
+  expect_invalid "non-positive jitter"
+    [ Fault.Plan.Link_jitter { link = 1; from_ = 1.; until = 2.; max_jitter = 0. } ];
+  expect_invalid "crash of a router" [ Fault.Plan.Crash { node = 1; at = 1.; restart_at = None } ];
+  expect_invalid "crash of the source" [ Fault.Plan.Crash { node = 0; at = 1.; restart_at = None } ];
+  expect_invalid "restart before crash"
+    [ Fault.Plan.Crash { node = 3; at = 2.; restart_at = Some 1. } ];
+  expect_invalid "partition at the root"
+    [ Fault.Plan.Partition { root = 0; from_ = 1.; until = 2. } ]
+
+let test_plan_compile_rejects_invalid () =
+  let tree = sample_tree () in
+  let engine = Sim.Engine.create ~seed:1L () in
+  let network = Net.Network.create ~engine ~tree ~link_delay:0.02 () in
+  let bad = Fault.Plan.make [ Fault.Plan.Link_down { link = 42; from_ = 1.; until = 2. } ] in
+  match Fault.Plan.compile ~network bad with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "compile should reject an invalid plan"
+
+let test_canned_plans () =
+  let tree = sample_tree () in
+  check Alcotest.int "five canned plans" 5 (List.length Fault.Plan.canned_names);
+  List.iter
+    (fun name ->
+      match Fault.Plan.canned ~tree ~warmup:5. ~duration:10. name with
+      | None -> Alcotest.failf "canned %s missing" name
+      | Some plan -> (
+          check Alcotest.string "canned plan is named" name plan.Fault.Plan.name;
+          check Alcotest.bool "canned plan has events" true (Fault.Plan.n_events plan > 0);
+          match Fault.Plan.validate ~tree plan with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "canned %s invalid: %s" name msg))
+    Fault.Plan.canned_names;
+  check Alcotest.bool "unknown canned name" true
+    (Fault.Plan.canned ~tree ~warmup:5. ~duration:10. "nosuch" = None)
+
+(* --- Canned plans leave the oracle clean (both protocols) ------------- *)
+
+let test_canned_clean_oracle () =
+  let row = Mtrace.Meta.nth 4 in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun proto ->
+          let res = Harness.Runner.run_leg ~n_packets:600 ~fault ~seed:11L proto row in
+          let label = fault ^ "/" ^ Harness.Runner.protocol_name proto in
+          check Alcotest.bool "oracle attached" true (res.oracle <> None);
+          check Alcotest.int (label ^ " oracle clean") 0 res.oracle_violations;
+          check Alcotest.int (label ^ " everything recovered") 0 res.unrecovered;
+          check Alcotest.int (label ^ " oracle counter agrees") res.oracle_violations
+            (Stats.Counters.total res.counters Stats.Counters.Oracle))
+        [ Harness.Runner.Srm_protocol; Harness.Runner.Cesrm_protocol Cesrm.Host.default_config ])
+    Fault.Plan.canned_names
+
+let test_unknown_fault_name () =
+  match Harness.Runner.run_leg ~n_packets:50 ~fault:"nosuch" ~seed:1L Harness.Runner.Srm_protocol
+          (Mtrace.Meta.nth 4)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown canned fault name should raise"
+
+(* --- Mutation self-tests: the oracle must reject a broken protocol ---- *)
+
+(* Deploy plain SRM on the sample tree, dropping data packet [seq] on
+   link [l] for each (seq, l) in [drops], with [mutation] injected into
+   every member, and return the finalized oracle. *)
+let run_mutated ?mutation ?(drops = [ (5, 3) ]) () =
+  let engine = Sim.Engine.create ~seed:7L () in
+  let network = Net.Network.create ~engine ~tree:(sample_tree ()) ~link_delay:0.02 () in
+  Net.Network.set_drop network (fun ~link ~down (p : Net.Packet.t) ->
+      match p.payload with
+      | Net.Packet.Data { seq } -> down && List.mem (seq, link) drops
+      | _ -> false);
+  let oracle = Fault.Oracle.create ~network () in
+  let proto = Srm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:10 ~period:0.05 in
+  List.iter
+    (fun (_, h) ->
+      Fault.Oracle.attach_host oracle h;
+      Option.iter (Srm.Host.inject_mutation h) mutation)
+    (Srm.Proto.members proto);
+  Srm.Proto.start proto ~warmup:5.0 ~tail:15.0;
+  Sim.Engine.run ~until:120.0 engine;
+  Fault.Oracle.finalize oracle;
+  oracle
+
+let has_invariant oracle inv =
+  List.exists (fun v -> v.Fault.Oracle.invariant = inv) (Fault.Oracle.violations oracle)
+
+let test_oracle_baseline_clean () =
+  let oracle = run_mutated () in
+  check Alcotest.bool "unmutated run is clean" true (Fault.Oracle.clean oracle);
+  check Alcotest.int "no violations" 0 (Fault.Oracle.n_violations oracle)
+
+let test_oracle_rejects_suppressed_replies () =
+  (* No member ever puts a reply on the wire, so the dropped packet is
+     never repaired: the liveness invariant must fire for the loser. *)
+  let oracle = run_mutated ~mutation:Srm.Host.Suppress_replies () in
+  check Alcotest.bool "not clean" false (Fault.Oracle.clean oracle);
+  check Alcotest.bool "liveness violated" true (has_invariant oracle "liveness");
+  check Alcotest.bool "the loser is charged" true
+    (List.exists (fun v -> v.Fault.Oracle.node = 3) (Fault.Oracle.violations oracle))
+
+let test_oracle_rejects_double_delivery () =
+  let oracle = run_mutated ~mutation:Srm.Host.Double_deliver () in
+  check Alcotest.bool "not clean" false (Fault.Oracle.clean oracle);
+  check Alcotest.bool "duplicate delivery caught" true
+    (has_invariant oracle "duplicate-delivery")
+
+let test_oracle_json_and_pp () =
+  let oracle = run_mutated ~mutation:Srm.Host.Suppress_replies () in
+  (match Fault.Oracle.to_json oracle with
+  | Obs.Json.Obj fields -> (
+      (match List.assoc_opt "count" fields with
+      | Some (Obs.Json.Num n) ->
+          check Alcotest.int "count field" (Fault.Oracle.n_violations oracle) (int_of_float n)
+      | _ -> Alcotest.fail "no count field");
+      match List.assoc_opt "violations" fields with
+      | Some (Obs.Json.Arr vs) ->
+          check Alcotest.int "one row per violation" (Fault.Oracle.n_violations oracle)
+            (List.length vs)
+      | _ -> Alcotest.fail "no violations array")
+  | _ -> Alcotest.fail "oracle json is not an object");
+  let rendered = Format.asprintf "%a" Fault.Oracle.pp oracle in
+  check Alcotest.bool "pp names the invariant" true
+    (let sub = "liveness" in
+     let n = String.length sub and m = String.length rendered in
+     let rec go i = i + n <= m && (String.sub rendered i n = sub || go (i + 1)) in
+     go 0)
+
+(* The expedited-retry bound targets a *silent* replier: driving raw
+   packets past the oracle's tap, an unanswered hammer must trip it,
+   while any reply heard from the replier must reset the streak (a
+   live replier may legitimately draw many expedited requests it
+   cannot answer — post-heal it can lack the very packets asked for). *)
+let drive_oracle sends =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let network = Net.Network.create ~engine ~tree:(sample_tree ()) ~link_delay:0.02 () in
+  let oracle = Fault.Oracle.create ~network () in
+  List.iteri
+    (fun i payload ->
+      ignore
+        (Sim.Engine.schedule engine ~after:(0.1 *. float_of_int (i + 1)) (fun () ->
+             Net.Network.unicast network ~from:3 ~dst:5 { Net.Packet.sender = 3; payload })))
+    sends;
+  Sim.Engine.run engine;
+  Fault.Oracle.finalize oracle;
+  oracle
+
+let exp_req seq =
+  Net.Packet.Exp_request
+    { src = 0; seq; requestor = 3; d_qs = 0.1; replier = 5; turning_point = None }
+
+let plain_reply seq =
+  Net.Packet.Reply
+    {
+      src = 0;
+      seq;
+      requestor = 4;
+      d_qs = 0.1;
+      replier = 5;
+      d_rq = 0.05;
+      expedited = false;
+      turning_point = None;
+    }
+
+let test_oracle_retry_bound_silent_replier () =
+  let oracle = drive_oracle (List.init 13 exp_req) in
+  check Alcotest.bool "silent replier hammered past the bound" true
+    (has_invariant oracle "expedited-retry")
+
+let test_oracle_retry_reset_on_reply () =
+  let oracle =
+    drive_oracle (List.init 12 exp_req @ [ plain_reply 100 ] @ List.init 12 (fun i -> exp_req (12 + i)))
+  in
+  check Alcotest.bool "any reply from the replier resets the streak" true
+    (Fault.Oracle.clean oracle)
+
+(* --- Retry back-off: presumed-dead repliers and cache expiry ---------- *)
+
+let cache_entry ~seq ~replier =
+  { Cesrm.Cache.seq; requestor = 3; d_qs = 0.1; replier; d_rq = 0.05; turning_point = None }
+
+let test_cache_expire_replier () =
+  let c = Cesrm.Cache.create ~capacity:8 in
+  ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:1 ~replier:2));
+  ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:2 ~replier:4));
+  ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:3 ~replier:2));
+  Cesrm.Cache.expire_replier c ~replier:2;
+  check Alcotest.int "only the other replier's entry left" 1 (Cesrm.Cache.size c);
+  check Alcotest.(option int) "survivor" (Some 4)
+    (Option.map (fun (e : Cesrm.Cache.entry) -> e.replier) (Cesrm.Cache.most_recent c))
+
+let test_policy_exclude () =
+  let c = Cesrm.Cache.create ~capacity:8 in
+  ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:1 ~replier:2));
+  ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:2 ~replier:4));
+  let exclude ~replier = replier = 4 in
+  List.iter
+    (fun policy ->
+      match Cesrm.Policy.choose ~exclude policy c with
+      | Some e ->
+          check Alcotest.int
+            (Cesrm.Policy.name policy ^ " avoids the excluded replier")
+            2 e.Cesrm.Cache.replier
+      | None -> Alcotest.failf "%s found no pair" (Cesrm.Policy.name policy))
+    Cesrm.Policy.all;
+  check Alcotest.bool "all excluded -> no pair" true
+    (Cesrm.Policy.choose ~exclude:(fun ~replier:_ -> true) Cesrm.Policy.Most_recent c = None)
+
+let test_replier_failure_limit () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let network = Net.Network.create ~engine ~tree:(sample_tree ()) ~link_delay:0.02 () in
+  let config = { Cesrm.Host.default_config with replier_failure_limit = Some 2 } in
+  let proto =
+    Cesrm.Proto.deploy ~config ~network ~params:Srm.Params.default ~n_packets:5 ~period:0.05 ()
+  in
+  let h = Cesrm.Proto.host proto 3 in
+  ignore (Cesrm.Cache.note_reply (Cesrm.Host.cache h) (cache_entry ~seq:1 ~replier:5));
+  check Alcotest.bool "alive before any failure" false (Cesrm.Host.replier_dead h ~replier:5);
+  Cesrm.Host.note_replier_failure h ~replier:5;
+  check Alcotest.bool "one failure is under the limit" false
+    (Cesrm.Host.replier_dead h ~replier:5);
+  Cesrm.Host.note_replier_failure h ~replier:5;
+  check Alcotest.bool "limit reached: presumed dead" true (Cesrm.Host.replier_dead h ~replier:5);
+  check Alcotest.int "its cache entries expired" 0 (Cesrm.Cache.size (Cesrm.Host.cache h));
+  Cesrm.Host.revive_replier h ~replier:5;
+  check Alcotest.bool "a heard reply revives it" false (Cesrm.Host.replier_dead h ~replier:5)
+
+(* --- Model-based battery: random bounded plans preserve liveness ------ *)
+
+(* Run [plan] over a small synthetic group (30 packets, 50 ms period,
+   data phase 5.0..6.5 s, session until ~21.5 s) and report whether the
+   oracle stayed clean. The robustness extensions are on, as under
+   [Harness.Runner.run ?fault_plan]. *)
+let run_plan ?(protocol = `Srm) plan =
+  let tree = sample_tree () in
+  let engine = Sim.Engine.create ~seed:5L () in
+  let network = Net.Network.create ~engine ~tree ~link_delay:0.02 () in
+  let params =
+    { Srm.Params.default with rearm_backoff = Some Srm.Params.default.Srm.Params.session_period }
+  in
+  let oracle = Fault.Oracle.create ~network () in
+  (match protocol with
+  | `Srm ->
+      let proto = Srm.Proto.deploy ~network ~params ~n_packets:30 ~period:0.05 in
+      let on_restart ~node =
+        Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto))
+      in
+      Fault.Plan.compile ~network ~on_restart plan;
+      List.iter (fun (_, h) -> Fault.Oracle.attach_host oracle h) (Srm.Proto.members proto);
+      Srm.Proto.start proto ~warmup:5.0 ~tail:15.0
+  | `Cesrm ->
+      let config = { Cesrm.Host.default_config with replier_failure_limit = Some 4 } in
+      let proto =
+        Cesrm.Proto.deploy ~config ~network ~params ~n_packets:30 ~period:0.05 ()
+      in
+      let on_restart ~node =
+        Option.iter
+          (fun h ->
+            Cesrm.Host.reset_caches h;
+            Srm.Host.restart_recovery (Cesrm.Host.srm h))
+          (List.assoc_opt node (Cesrm.Proto.members proto))
+      in
+      Fault.Plan.compile ~network ~on_restart plan;
+      List.iter
+        (fun (_, h) -> Fault.Oracle.attach_host oracle (Cesrm.Host.srm h))
+        (Cesrm.Proto.members proto);
+      Cesrm.Proto.start proto ~warmup:5.0 ~tail:15.0);
+  Sim.Engine.run ~until:120.0 engine;
+  Fault.Oracle.finalize oracle;
+  Fault.Oracle.clean oracle
+
+(* Bounded events on the sample tree: every window lies inside
+   [5.0, 8.6), well before the session ends (~21.5 s), and every crash
+   restarts — no fault may isolate anyone past the end of the run. *)
+let gen_event =
+  QCheck.Gen.(
+    int_range 0 4 >>= fun kind ->
+    int_range 1 5 >>= fun link ->
+    int_range 0 25 >>= fun a ->
+    int_range 1 10 >>= fun len ->
+    let from_ = 5.0 +. (0.1 *. float_of_int a) in
+    let until = from_ +. (0.1 *. float_of_int len) in
+    match kind with
+    | 0 -> return (Fault.Plan.Link_down { link; from_; until })
+    | 1 -> return (Fault.Plan.Link_jitter { link; from_; until; max_jitter = 0.03 })
+    | 2 -> return (Fault.Plan.Link_dup { link; from_; until })
+    | 3 ->
+        (* the no-restart crash probes the oracle's liveness exemption
+           for members still down at the end of the run *)
+        let node = [| 3; 4; 5 |].(link mod 3) in
+        let restart_at = if len > 2 then Some until else None in
+        return (Fault.Plan.Crash { node; at = from_; restart_at })
+    | _ -> return (Fault.Plan.Partition { root = link; from_; until }))
+
+let print_events events = Obs.Json.to_string (Fault.Plan.to_json (Fault.Plan.make events))
+
+let arbitrary_plan =
+  QCheck.make ~print:print_events
+    ~shrink:QCheck.Shrink.(list ?shrink:None)
+    QCheck.Gen.(list_size (int_range 0 4) gen_event)
+
+let prop_bounded_plans_liveness_srm =
+  QCheck.Test.make ~name:"fault: bounded random plans keep SRM live and clean" ~count:30
+    arbitrary_plan (fun events -> run_plan ~protocol:`Srm (Fault.Plan.make events))
+
+let prop_bounded_plans_liveness_cesrm =
+  QCheck.Test.make ~name:"fault: bounded random plans keep CESRM live and clean" ~count:15
+    arbitrary_plan (fun events -> run_plan ~protocol:`Cesrm (Fault.Plan.make events))
+
+(* A failing plan must shrink to a minimal one: greedy single-event
+   removal to fixpoint, the same minimization QCheck's list shrinker
+   performs, applied deterministically.
+
+   Note a leaf cut off forever never even *detects* its losses (no
+   later packet arrives to reveal the gap), so one unbounded outage
+   alone cannot violate liveness. The genuinely minimal failing plan
+   here is a pair: a short outage that creates detected losses, plus an
+   unbounded outage that swallows every repair — neither fails alone. *)
+(* Regression: the sweep cell UCB960424/cesrm/s0/partition-heal at this
+   derived seed. Post-heal, a cached replier is alive (its ordinary
+   replies keep it cached and keep reviving it) but lacks the packets
+   it is asked for, so it draws expedited requests past the retry
+   bound without an expedited reply — which is graceful degradation,
+   not hammering a dead replier, and the oracle must accept it. *)
+let test_post_heal_alive_replier () =
+  let res =
+    Harness.Runner.run_leg ~n_packets:300 ~fault:"partition-heal" ~seed:5139283748462763858L
+      (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+      (Mtrace.Meta.find "UCB960424")
+  in
+  check Alcotest.int "oracle clean" 0 res.Harness.Runner.oracle_violations;
+  check Alcotest.int "all recovered" 0 res.Harness.Runner.unrecovered
+
+let test_minimal_failing_plan () =
+  let fails events = not (run_plan ~protocol:`Srm (Fault.Plan.make events)) in
+  (* drops data seqs 1..5 on node 3's uplink; seq 6 arrives and reveals
+     the gap at ~5.3 s *)
+  let detect = Fault.Plan.Link_down { link = 3; from_ = 5.0; until = 5.25 } in
+  (* from 5.35 s on, nothing crosses that link again: the detected
+     losses can never be repaired, yet node 3 stays up *)
+  let starve = Fault.Plan.Link_down { link = 3; from_ = 5.35; until = 1e9 } in
+  let initial =
+    [
+      Fault.Plan.Link_jitter { link = 1; from_ = 5.0; until = 6.0; max_jitter = 0.03 };
+      detect;
+      Fault.Plan.Link_dup { link = 5; from_ = 5.2; until = 5.6 };
+      starve;
+      Fault.Plan.Link_down { link = 5; from_ = 5.4; until = 5.8 };
+    ]
+  in
+  check Alcotest.bool "detected-then-starved losses violate liveness" true (fails initial);
+  check Alcotest.bool "neither bad event fails alone" false
+    (fails [ detect ] || fails [ starve ]);
+  let rec minimize events =
+    let without i = List.filteri (fun j _ -> j <> i) events in
+    let rec try_drop i =
+      if i >= List.length events then None
+      else if fails (without i) then Some (without i)
+      else try_drop (i + 1)
+    in
+    match try_drop 0 with Some smaller -> minimize smaller | None -> events
+  in
+  match minimize initial with
+  | [ a; b ] ->
+      check Alcotest.bool "minimal plan is exactly the detect/starve pair" true
+        (a = detect && b = starve)
+  | events ->
+      Alcotest.failf "minimization stalled at %d events: %s" (List.length events)
+        (print_events events)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_plan_json_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_plan_save_load;
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "compile rejects invalid" `Quick test_plan_compile_rejects_invalid;
+          Alcotest.test_case "canned plans" `Quick test_canned_plans;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "baseline clean" `Quick test_oracle_baseline_clean;
+          Alcotest.test_case "rejects suppressed replies" `Quick
+            test_oracle_rejects_suppressed_replies;
+          Alcotest.test_case "rejects double delivery" `Quick test_oracle_rejects_double_delivery;
+          Alcotest.test_case "json and pp" `Quick test_oracle_json_and_pp;
+          Alcotest.test_case "retry bound trips on a silent replier" `Quick
+            test_oracle_retry_bound_silent_replier;
+          Alcotest.test_case "retry bound resets on any reply" `Quick
+            test_oracle_retry_reset_on_reply;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "cache expiry" `Quick test_cache_expire_replier;
+          Alcotest.test_case "policy exclusion" `Quick test_policy_exclude;
+          Alcotest.test_case "replier failure limit" `Quick test_replier_failure_limit;
+        ] );
+      ( "battery",
+        [
+          qcheck prop_bounded_plans_liveness_srm;
+          qcheck prop_bounded_plans_liveness_cesrm;
+          Alcotest.test_case "minimal failing plan" `Quick test_minimal_failing_plan;
+          Alcotest.test_case "post-heal alive-but-behind replier" `Quick
+            test_post_heal_alive_replier;
+          Alcotest.test_case "canned plans clean for both protocols" `Slow
+            test_canned_clean_oracle;
+          Alcotest.test_case "unknown fault name" `Quick test_unknown_fault_name;
+        ] );
+    ]

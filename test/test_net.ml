@@ -353,6 +353,128 @@ let test_network_heterogeneous () =
   let network = Net.Network.create_heterogeneous ~engine ~tree ~delays () in
   check (Alcotest.float 1e-9) "summed delays" 0.04 (Net.Network.dist network 0 2)
 
+(* --- Perturbation layer (fault injection) ----------------------------- *)
+
+let test_perturb_mid_flight_down () =
+  (* A packet already computed/queued when the outage opens must still
+     be swallowed: windows match the link *crossing* time, not the send
+     time. Sent at 1.0, the flood reaches link 3 at 1.02 — inside the
+     [1.01, 2.0) outage — so node 3 alone misses it. *)
+  let engine, network = make_network () in
+  let got = ref [] in
+  List.iter
+    (fun v -> Net.Network.on_receive network v (fun _ -> got := v :: !got))
+    [ 0; 3; 4; 5 ];
+  Net.Network.add_link_down network ~link:3 ~from_:1.01 ~until:2.0;
+  check Alcotest.bool "perturbed" true (Net.Network.perturbed network);
+  check Alcotest.bool "down inside window" true (Net.Network.link_is_down network ~link:3 ~at:1.5);
+  check Alcotest.bool "up before window" false (Net.Network.link_is_down network ~link:3 ~at:1.0);
+  ignore
+    (Sim.Engine.schedule_at engine ~at:1.0 (fun () ->
+         Net.Network.multicast network ~from:0 session_packet));
+  Sim.Engine.run engine;
+  check Alcotest.(list int) "node 3 alone misses" [ 4; 5 ] (List.sort compare !got);
+  (* After the window closes the link carries traffic again. *)
+  got := [];
+  ignore
+    (Sim.Engine.schedule_at engine ~at:2.5 (fun () ->
+         Net.Network.multicast network ~from:0 session_packet));
+  Sim.Engine.run engine;
+  check Alcotest.(list int) "healed" [ 3; 4; 5 ] (List.sort compare !got)
+
+let test_perturb_window_boundaries () =
+  (* [from, until): a crossing starting exactly at `from` is dropped,
+     one starting exactly at `until` goes through. *)
+  let engine, network = make_network ~tree:(Net.Tree.line 2) () in
+  let arrivals = ref [] in
+  Net.Network.on_receive network 1 (fun _ -> arrivals := Sim.Engine.now engine :: !arrivals);
+  Net.Network.add_link_down network ~link:1 ~from_:1.0 ~until:2.0;
+  List.iter
+    (fun at ->
+      ignore
+        (Sim.Engine.schedule_at engine ~at (fun () ->
+             Net.Network.multicast network ~from:0 session_packet)))
+    [ 0.5; 1.0; 1.999; 2.0 ];
+  Sim.Engine.run engine;
+  check
+    Alcotest.(list (float 1e-9))
+    "only the crossings outside [from, until) arrive" [ 0.52; 2.02 ] (List.rev !arrivals)
+
+let test_perturb_invalid_windows () =
+  let _, network = make_network () in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.failf "%s should be rejected" name
+  in
+  expect_invalid "negative from" (fun () ->
+      Net.Network.add_link_down network ~link:1 ~from_:(-1.) ~until:2.);
+  expect_invalid "empty window" (fun () ->
+      Net.Network.add_link_down network ~link:1 ~from_:2. ~until:2.);
+  expect_invalid "link 0" (fun () -> Net.Network.add_link_down network ~link:0 ~from_:0. ~until:1.);
+  expect_invalid "link out of range" (fun () ->
+      Net.Network.add_link_down network ~link:99 ~from_:0. ~until:1.);
+  expect_invalid "non-positive jitter" (fun () ->
+      Net.Network.add_link_jitter network ~link:1 ~from_:0. ~until:1. ~max_jitter:0.)
+
+let test_perturb_crash_in_flight () =
+  (* A receiver that crashes while a packet is in flight (here: before
+     its first packet ever arrives) must not process it on arrival —
+     deliver() re-checks the enabled flag at fire time. *)
+  let engine, network = make_network () in
+  let got = ref 0 in
+  Net.Network.on_receive network 3 (fun _ -> incr got);
+  ignore
+    (Sim.Engine.schedule_at engine ~at:0.0 (fun () ->
+         Net.Network.multicast network ~from:0 session_packet));
+  (* packet arrives at node 3 at t = 0.04; the crash at 0.01 beats it *)
+  ignore (Sim.Engine.schedule_at engine ~at:0.01 (fun () -> Net.Network.set_enabled network 3 false));
+  ignore (Sim.Engine.schedule_at engine ~at:1.0 (fun () -> Net.Network.set_enabled network 3 true));
+  ignore
+    (Sim.Engine.schedule_at engine ~at:1.5 (fun () ->
+         Net.Network.multicast network ~from:0 session_packet));
+  Sim.Engine.run engine;
+  check Alcotest.int "only the post-restart packet lands" 1 !got;
+  check Alcotest.bool "re-enabled" true (Net.Network.is_enabled network 3)
+
+let test_perturb_jitter () =
+  let run () =
+    let engine = Sim.Engine.create ~seed:99L () in
+    let network = Net.Network.create ~engine ~tree:(Net.Tree.line 2) ~link_delay:0.02 () in
+    let arrival = ref Float.nan in
+    Net.Network.on_receive network 1 (fun _ -> arrival := Sim.Engine.now engine);
+    Net.Network.add_link_jitter network ~link:1 ~from_:0. ~until:10. ~max_jitter:0.05;
+    ignore
+      (Sim.Engine.schedule_at engine ~at:1.0 (fun () ->
+           Net.Network.multicast network ~from:0 session_packet));
+    Sim.Engine.run engine;
+    !arrival
+  in
+  let a = run () in
+  check Alcotest.bool "delayed at least the link delay" true (a >= 1.02);
+  check Alcotest.bool "bounded by max_jitter" true (a <= 1.02 +. 0.05 +. 1e-9);
+  (* jitter draws come from a split of the engine RNG: same seed, same
+     jitter — faulted runs stay pure functions of (seed, plan) *)
+  check (Alcotest.float 1e-12) "deterministic under the seed" a (run ())
+
+let test_perturb_dup () =
+  let engine, network = make_network ~tree:(Net.Tree.line 2) () in
+  let arrivals = ref [] in
+  Net.Network.on_receive network 1 (fun _ -> arrivals := Sim.Engine.now engine :: !arrivals);
+  Net.Network.add_link_dup network ~link:1 ~from_:0. ~until:2.;
+  List.iter
+    (fun at ->
+      ignore
+        (Sim.Engine.schedule_at engine ~at (fun () ->
+             Net.Network.multicast network ~from:0 session_packet)))
+    [ 1.0; 3.0 ];
+  Sim.Engine.run engine;
+  (* in-window crossing delivers twice (copy one link delay later);
+     out-of-window crossing delivers once *)
+  check
+    Alcotest.(list (float 1e-9))
+    "duplicate one delay later, then clean" [ 1.02; 1.04; 3.02 ] (List.rev !arrivals)
+
 (* --- Routes: precomputed orders agree with the Tree walks ------------- *)
 
 let routes_of parents =
@@ -511,6 +633,15 @@ let () =
           Alcotest.test_case "multicast crossings" `Quick test_network_multicast_crossings;
           Alcotest.test_case "dist/rtt" `Quick test_network_dist_rtt;
           Alcotest.test_case "heterogeneous delays" `Quick test_network_heterogeneous;
+        ] );
+      ( "perturb",
+        [
+          Alcotest.test_case "mid-flight link down" `Quick test_perturb_mid_flight_down;
+          Alcotest.test_case "window boundaries" `Quick test_perturb_window_boundaries;
+          Alcotest.test_case "invalid windows" `Quick test_perturb_invalid_windows;
+          Alcotest.test_case "crash in flight" `Quick test_perturb_crash_in_flight;
+          Alcotest.test_case "jitter bounded and deterministic" `Quick test_perturb_jitter;
+          Alcotest.test_case "duplication" `Quick test_perturb_dup;
         ] );
       ( "routes",
         [
