@@ -16,10 +16,24 @@
      dune exec bench/main.exe -- --baseline FILE  (diff timings against a
                                                previous --json file; exits 1
                                                on deltas beyond thresholds)
+     dune exec bench/main.exe -- --scale smoke|full  (synthetic scale
+                                               scenarios instead of the trace
+                                               reproduction; see below)
 
    The extra section "smoke" (one SRM+CESRM pair on the smallest
    trace) runs only when named explicitly; `dune runtest` uses it as a
-   hot-path regression canary. *)
+   hot-path regression canary.
+
+   --scale replaces the reproduction entirely: it runs SRM+CESRM legs
+   over synthetic Mtrace.Scale scenarios (256–10 000 receivers) and
+   emits one self-describing JSON document per run. The "smoke"
+   profile (all three tree families at 256 receivers) keeps every
+   machine-dependent field (wall, allocation) as a JSON string so its
+   --json output can be committed as a baseline and diffed bytewise-
+   deterministically in CI; the "full" profile (families at 256/1024
+   plus bounded-fanout at 4096 and 10 000) records wall and allocation
+   as numbers — the scaling measurement. Scale rows pin their own
+   packet count (200), so --packets is ignored here. *)
 
 let sections_filter = ref None
 
@@ -34,6 +48,8 @@ let json_file = ref None
 let baseline_file = ref None
 
 let jobs = ref 1
+
+let scale_profile = ref None
 
 let parse_args () =
   let rec go = function
@@ -61,6 +77,11 @@ let parse_args () =
         go rest
     | "--jobs" :: n :: rest ->
         jobs := int_of_string n;
+        go rest
+    | "--scale" :: p :: rest ->
+        if p <> "smoke" && p <> "full" then
+          failwith ("unknown --scale profile: " ^ p ^ " (expected smoke or full)");
+        scale_profile := Some p;
         go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -101,23 +122,26 @@ let git_commit () =
     if line = "" then None else Some line
   with _ -> None
 
+let meta_json () =
+  let open Obs.Json in
+  Obj
+    [
+      ("git_commit", match git_commit () with Some c -> Str c | None -> Null);
+      ("packets", (match !n_packets with None -> Null | Some n -> int n));
+      ( "sections_filter",
+        match !sections_filter with None -> Null | Some l -> Str (String.concat "," l) );
+      ("bechamel", Bool !with_bechamel);
+      (* A string, not a number: job count affects wall time, never
+         results, and must not be flagged by --baseline diffs. *)
+      ("jobs", Str (string_of_int !jobs));
+      ("scale_profile", match !scale_profile with None -> Null | Some p -> Str p);
+      ("argv", Str (String.concat " " (List.tl (Array.to_list Sys.argv))));
+    ]
+
 let json_doc ~total_wall_s =
   let open Obs.Json in
   let entry field (name, v) = Obj [ ("name", Str name); (field, Num v) ] in
-  let meta =
-    Obj
-      [
-        ("git_commit", match git_commit () with Some c -> Str c | None -> Null);
-        ("packets", (match !n_packets with None -> Null | Some n -> int n));
-        ( "sections_filter",
-          match !sections_filter with None -> Null | Some l -> Str (String.concat "," l) );
-        ("bechamel", Bool !with_bechamel);
-        (* A string, not a number: job count affects wall time, never
-           results, and must not be flagged by --baseline diffs. *)
-        ("jobs", Str (string_of_int !jobs));
-        ("argv", Str (String.concat " " (List.tl (Array.to_list Sys.argv))));
-      ]
-  in
+  let meta = meta_json () in
   Obj
     [
       ("meta", meta);
@@ -339,17 +363,143 @@ let smoke () =
       if pair.srm.audit_violations <> 0 || pair.cesrm.audit_violations <> 0 then
         failwith "smoke: audit violations")
 
-let () =
-  parse_args ();
+(* --- Scale profiles (--scale smoke|full) --------------------------- *)
+
+(* The smoke grid is every tree family at the smallest standard size —
+   seconds of wall, enough to catch a scale-path regression in either
+   protocol. The full grid adds the 1024-receiver row of each family
+   and walks bounded-fanout (the paper-like random topology) up to
+   10 000 receivers; star-of-stars and deep-chain are tree-shape
+   extremes, so one large size each would measure the same hot path
+   again at much higher cost. *)
+let scale_scenarios = function
+  | "smoke" -> [ "SCALE-bf-256"; "SCALE-ss-256"; "SCALE-dc-256" ]
+  | _ ->
+      [
+        "SCALE-bf-256";
+        "SCALE-ss-256";
+        "SCALE-dc-256";
+        "SCALE-bf-1024";
+        "SCALE-ss-1024";
+        "SCALE-dc-1024";
+        "SCALE-bf-4096";
+        "SCALE-bf-10000";
+      ]
+
+let scale_family_name row =
+  match Mtrace.Scale.family_of_name row.Mtrace.Meta.name with
+  | Some (Mtrace.Scale.Bounded_fanout _) -> "bounded-fanout"
+  | Some (Mtrace.Scale.Star_of_stars _) -> "star-of-stars"
+  | Some Mtrace.Scale.Deep_chain -> "deep-chain"
+  | None -> "trace"
+
+(* One protocol leg on one scale row, reduced to the JSON the report
+   keeps. Simulation counters are deterministic (fixed seed, pure
+   OCaml), so they are numbers the --baseline diff compares exactly;
+   wall and allocation depend on the machine, so the smoke profile
+   stores them as strings (the "jobs" convention above) and only the
+   full profile — whose output is a measurement, not a regression
+   gate — keeps them numeric. *)
+let scale_leg ~machine_nums name protocol row =
   let t0 = Unix.gettimeofday () in
-  if explicitly_wanted "smoke" then smoke ();
-  reproduction ();
-  ablations ();
-  if !with_bechamel then section "bechamel" bechamel;
+  let alloc0 = Gc.allocated_bytes () in
+  let r = Harness.Runner.run_leg ~seed:42L protocol row in
+  let wall = Unix.gettimeofday () -. t0 in
+  let alloc_mb = (Gc.allocated_bytes () -. alloc0) /. 1e6 in
+  let total k = Stats.Counters.total r.Harness.Runner.counters k in
+  let latency = Stats.Recovery.latency_summary r.Harness.Runner.recoveries in
+  Printf.printf
+    "%-16s %-6s wall %7.2f s  alloc %8.0f MB  detected %6d  unrecovered %d  mc-req %4d \
+     uc-req %4d  repl %5d  exp-repl %4d\n\
+     %!"
+    row.Mtrace.Meta.name name wall alloc_mb r.detected r.unrecovered
+    (total Stats.Counters.Rqst) (total Stats.Counters.Exp_rqst) (total Stats.Counters.Repl)
+    (total Stats.Counters.Exp_repl);
+  if r.Harness.Runner.unrecovered <> 0 then failwith ("scale: unrecovered losses in " ^ name);
+  if r.Harness.Runner.audit_violations <> 0 then
+    failwith ("scale: audit violations in " ^ name);
+  let open Obs.Json in
+  let machine v fmt = if machine_nums then Num v else Str (Printf.sprintf fmt v) in
+  Obj
+    [
+      ("name", Str name);
+      ("detected", int r.detected);
+      ("unrecovered", int r.unrecovered);
+      ("audit_violations", int r.audit_violations);
+      ("mc_requests", int (total Stats.Counters.Rqst));
+      ("uc_requests", int (total Stats.Counters.Exp_rqst));
+      ("replies", int (total Stats.Counters.Repl));
+      ("expedited_replies", int (total Stats.Counters.Exp_repl));
+      ("sessions", int (total Stats.Counters.Sess));
+      ("retransmission_crossings", int (Net.Cost.retransmission_overhead r.cost));
+      ("control_crossings_mc", int (Net.Cost.control_overhead r.cost ~multicast:true));
+      ("control_crossings_uc", int (Net.Cost.control_overhead r.cost ~multicast:false));
+      ("recovery_latency_mean_s", Num (Stats.Summary.mean latency));
+      ("wall_s", machine wall "%.2f");
+      ("alloc_mb", machine alloc_mb "%.0f");
+    ]
+
+let run_scale profile =
+  let machine_nums = profile = "full" in
+  let open Obs.Json in
+  List.map
+    (fun scenario ->
+      let row = Mtrace.Scale.find scenario in
+      let srm = scale_leg ~machine_nums "srm" Harness.Runner.Srm_protocol row in
+      let cesrm =
+        scale_leg ~machine_nums "cesrm"
+          (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+          row
+      in
+      let legs = [ srm; cesrm ] in
+      Obj
+        [
+          ("name", Str scenario);
+          ("family", Str (scale_family_name row));
+          ("n_receivers", int row.Mtrace.Meta.n_receivers);
+          ("n_packets", int row.Mtrace.Meta.n_packets);
+          ("n_losses", int row.Mtrace.Meta.n_losses);
+          ("legs", Arr legs);
+        ])
+    (scale_scenarios profile)
+
+let scale_json_doc ~profile ~scenarios ~total_wall_s =
+  let open Obs.Json in
+  Obj
+    [
+      ("meta", meta_json ());
+      ( "total_wall_s",
+        if profile = "full" then Num total_wall_s
+        else Str (Printf.sprintf "%.2f" total_wall_s) );
+      ("scale", Arr scenarios);
+    ]
+
+let scale_main profile =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "== scale (%s) ==\n%!" profile;
+  let scenarios = run_scale profile in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "total wall time: %.1f s\n" total;
-  let doc = lazy (json_doc ~total_wall_s:total) in
-  Option.iter (fun file -> write_json ~file (Lazy.force doc)) !json_file;
+  let doc = scale_json_doc ~profile ~scenarios ~total_wall_s:total in
+  Option.iter (fun file -> write_json ~file doc) !json_file;
   match !baseline_file with
   | None -> ()
-  | Some file -> if diff_against_baseline ~file (Lazy.force doc) > 0 then exit 1
+  | Some file -> if diff_against_baseline ~file doc > 0 then exit 1
+
+let () =
+  parse_args ();
+  match !scale_profile with
+  | Some profile -> scale_main profile
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      if explicitly_wanted "smoke" then smoke ();
+      reproduction ();
+      ablations ();
+      if !with_bechamel then section "bechamel" bechamel;
+      let total = Unix.gettimeofday () -. t0 in
+      Printf.printf "total wall time: %.1f s\n" total;
+      let doc = lazy (json_doc ~total_wall_s:total) in
+      Option.iter (fun file -> write_json ~file (Lazy.force doc)) !json_file;
+      (match !baseline_file with
+      | None -> ()
+      | Some file -> if diff_against_baseline ~file (Lazy.force doc) > 0 then exit 1)

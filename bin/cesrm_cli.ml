@@ -29,22 +29,42 @@ let seed =
   let doc = "Generator seed (default: derived from the trace name)." in
   Arg.(value & opt (some int64) None & info [ "seed" ] ~doc ~docv:"SEED")
 
+(* Trace names resolve through [Mtrace.Scale.find]: the 14 published
+   rows by name, plus synthetic SCALE-<family>-<n> scenarios. Scale
+   scenarios also carry the generator's ground-truth link states so
+   [run]/[compare] can skip the attribution pass (quadratic-ish in
+   receivers, pointless when the generator's own Gilbert chains are in
+   hand). *)
 let load_trace ~name ~file ~packets ~seed =
   match (name, file) with
   | None, None -> Error "one of --trace or --file is required"
   | Some _, Some _ -> Error "--trace and --file are mutually exclusive"
-  | None, Some path -> Ok (Mtrace.Codec.load path)
+  | None, Some path -> Ok (Mtrace.Codec.load path, None)
   | Some n, None -> (
-      match List.find_opt (fun r -> r.Mtrace.Meta.name = n) Mtrace.Meta.all with
+      match (try Some (Mtrace.Scale.find n) with Not_found -> None) with
       | None -> Error (Printf.sprintf "unknown trace %s" n)
       | Some row ->
           let gen = Mtrace.Generator.synthesize ?seed ?n_packets:packets row in
-          Ok gen.Mtrace.Generator.trace)
+          let ground_truth =
+            if Mtrace.Scale.family_of_name n <> None then
+              Some gen.Mtrace.Generator.link_bad
+            else None
+          in
+          Ok (gen.Mtrace.Generator.trace, ground_truth))
 
 let trace_term =
   let combine name file packets seed =
     match load_trace ~name ~file ~packets ~seed with
-    | Ok t -> `Ok t
+    | Ok (t, _) -> `Ok t
+    | Error msg -> `Error (false, msg)
+  in
+  Term.(ret (const combine $ trace_name $ trace_file $ packets $ seed))
+
+(* Variant keeping the ground-truth link states for run/compare. *)
+let trace_model_term =
+  let combine name file packets seed =
+    match load_trace ~name ~file ~packets ~seed with
+    | Ok (t, ground) -> `Ok (t, ground)
     | Error msg -> `Error (false, msg)
   in
   Term.(ret (const combine $ trace_name $ trace_file $ packets $ seed))
@@ -52,11 +72,23 @@ let trace_term =
 (* -- list ------------------------------------------------------------ *)
 
 let list_cmd =
-  let run () =
-    List.iter (fun r -> Format.printf "%a@." Mtrace.Meta.pp_row r) Mtrace.Meta.all
+  let scale_flag =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Also list the standard synthetic scale scenarios (SCALE-<family>-<n>; any size in \
+             [8, 100000] is accepted by --trace, this lists the standard grid).")
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the 14 published trace rows (Table 1).")
-    Term.(const run $ const ())
+  let run scale =
+    List.iter (fun r -> Format.printf "%a@." Mtrace.Meta.pp_row r) Mtrace.Meta.all;
+    if scale then
+      List.iter (fun r -> Format.printf "%a@." Mtrace.Meta.pp_row r) Mtrace.Scale.catalog
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List the 14 published trace rows (Table 1) and, with --scale, the scale scenarios.")
+    Term.(const run $ scale_flag)
 
 (* -- gen-trace -------------------------------------------------------- *)
 
@@ -69,7 +101,7 @@ let gen_trace_cmd =
     match name with
     | None -> `Error (false, "--trace is required")
     | Some n -> (
-        match List.find_opt (fun r -> r.Mtrace.Meta.name = n) Mtrace.Meta.all with
+        match (try Some (Mtrace.Scale.find n) with Not_found -> None) with
         | None -> `Error (false, Printf.sprintf "unknown trace %s" n)
         | Some row ->
             let gen = Mtrace.Generator.synthesize ?seed ?n_packets:packets row in
@@ -162,8 +194,18 @@ let link_delay_arg =
 let make_setup ~lossy ~link_delay_ms =
   { Harness.Runner.default_setup with lossy_recovery = lossy; link_delay = link_delay_ms /. 1000. }
 
+(* Per-receiver rows are capped: a 10 000-receiver scale run would
+   otherwise print 10 000 table lines (and pay an O(n) lookup each). *)
+let max_receiver_rows = 32
+
 let print_result (res : Harness.Runner.result) =
   let name = Harness.Runner.protocol_name res.protocol in
+  let shown, hidden =
+    let all = res.rtt_to_source in
+    let n = List.length all in
+    if n <= max_receiver_rows then (all, 0)
+    else (List.filteri (fun i _ -> i < max_receiver_rows) all, n - max_receiver_rows)
+  in
   let rows =
     List.map
       (fun (node, rtt) ->
@@ -175,11 +217,12 @@ let print_result (res : Harness.Runner.result) =
           (if Stats.Summary.count s = 0 then "-"
            else Printf.sprintf "%.2f" (Stats.Summary.mean s));
         ])
-      res.rtt_to_source
+      shown
   in
   Printf.printf "%s on %s\n" name (Mtrace.Trace.summary res.trace);
   print_string
     (Stats.Table.render ~header:[ "receiver"; "rtt(ms)"; "recoveries"; "avg rec (RTT)" ] ~rows);
+  if hidden > 0 then Printf.printf "... (%d more receivers not shown)\n" hidden;
   Printf.printf "detected %d, unrecovered %d\n" res.detected res.unrecovered;
   Printf.printf "requests: mc %d uc %d | replies: %d expedited %d | sessions %d\n"
     (Stats.Counters.total res.counters Stats.Counters.Rqst)
@@ -243,11 +286,15 @@ let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
 
 let run_cmd =
-  let run verbose trace protocol policy router_assist lossy link_delay_ms faults trace_out
-      metrics_out =
+  let run verbose (trace, ground) protocol policy router_assist lossy link_delay_ms faults
+      trace_out metrics_out =
     setup_logs verbose;
-    let att = Harness.Runner.attribution_of_trace trace in
-    let setup = make_setup ~lossy ~link_delay_ms in
+    let loss_model =
+      match ground with
+      | Some link_bad -> Harness.Runner.Ground_truth link_bad
+      | None -> Harness.Runner.Attributed (Harness.Runner.attribution_of_trace trace)
+    in
+    let setup = Harness.Runner.tune_for_trace trace (make_setup ~lossy ~link_delay_ms) in
     let proto =
       match protocol with
       | `Srm -> Harness.Runner.Srm_protocol
@@ -264,7 +311,9 @@ let run_cmd =
     | Ok fault_plan ->
         let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
         let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
-        let res = Harness.Runner.run ~setup ?tracer ?registry ?fault_plan proto trace att in
+        let res =
+          Harness.Runner.run_model ~setup ?tracer ?registry ?fault_plan proto trace loss_model
+        in
         print_result res;
         Option.iter
           (fun (plan : Fault.Plan.t) ->
@@ -300,14 +349,19 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Re-enact a trace under SRM or CESRM and report recovery statistics.")
     Term.(
       ret
-        (const run $ verbose_flag $ trace_term $ protocol_arg $ policy_arg $ router_assist_arg
-        $ lossy_arg $ link_delay_arg $ faults_arg $ trace_out_arg $ metrics_arg))
+        (const run $ verbose_flag $ trace_model_term $ protocol_arg $ policy_arg
+        $ router_assist_arg $ lossy_arg $ link_delay_arg $ faults_arg $ trace_out_arg
+        $ metrics_arg))
 
 let compare_cmd =
-  let run verbose trace policy router_assist lossy link_delay_ms faults =
+  let run verbose (trace, ground) policy router_assist lossy link_delay_ms faults =
     setup_logs verbose;
-    let att = Harness.Runner.attribution_of_trace trace in
-    let setup = make_setup ~lossy ~link_delay_ms in
+    let loss_model =
+      match ground with
+      | Some link_bad -> Harness.Runner.Ground_truth link_bad
+      | None -> Harness.Runner.Attributed (Harness.Runner.attribution_of_trace trace)
+    in
+    let setup = Harness.Runner.tune_for_trace trace (make_setup ~lossy ~link_delay_ms) in
     match
       match faults with
       | None -> Ok None
@@ -315,12 +369,14 @@ let compare_cmd =
     with
     | Error msg -> `Error (false, msg)
     | Ok fault_plan ->
-        let srm = Harness.Runner.run ~setup ?fault_plan Harness.Runner.Srm_protocol trace att in
+        let srm =
+          Harness.Runner.run_model ~setup ?fault_plan Harness.Runner.Srm_protocol trace loss_model
+        in
         let cesrm =
-          Harness.Runner.run ~setup ?fault_plan
+          Harness.Runner.run_model ~setup ?fault_plan
             (Harness.Runner.Cesrm_protocol
                { Cesrm.Host.default_config with policy; router_assist })
-            trace att
+            trace loss_model
         in
         print_result srm;
         print_newline ();
@@ -336,7 +392,7 @@ let compare_cmd =
           both reports.")
     Term.(
       ret
-        (const run $ verbose_flag $ trace_term $ policy_arg $ router_assist_arg $ lossy_arg
+        (const run $ verbose_flag $ trace_model_term $ policy_arg $ router_assist_arg $ lossy_arg
         $ link_delay_arg $ faults_arg))
 
 (* -- diff -------------------------------------------------------------- *)

@@ -3,7 +3,7 @@ let hist_names =
 
 let run (spec : Spec.t) (cell : Spec.cell) =
   let open Obs.Json in
-  let row = Mtrace.Meta.find cell.Spec.trace in
+  let row = Mtrace.Scale.find cell.Spec.trace in
   let setup =
     {
       Harness.Runner.default_setup with

@@ -74,7 +74,9 @@ let fault_names = "none" :: Fault.Plan.canned_names
 let validate t =
   let unknown =
     List.filter
-      (fun n -> not (List.exists (fun r -> r.Mtrace.Meta.name = n) Mtrace.Meta.all))
+      (fun n ->
+        Mtrace.Scale.parse n = None
+        && not (List.exists (fun r -> r.Mtrace.Meta.name = n) Mtrace.Meta.all))
       t.traces
   in
   if t.traces = [] then Error "spec has no traces"

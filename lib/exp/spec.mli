@@ -29,7 +29,9 @@ val runner_protocol : protocol_spec -> Harness.Runner.protocol
 
 type t = {
   name : string;  (** free-form label, recorded in the artifact *)
-  traces : string list;  (** Table 1 trace names *)
+  traces : string list;
+      (** Table 1 trace names, plus [SCALE-<family>-<n>] synthetic
+          scale scenarios ({!Mtrace.Scale}) *)
   protocols : protocol_spec list;
   base_seed : int64;
   n_seeds : int;  (** seeds axis: seed indices 0 .. n_seeds-1 *)

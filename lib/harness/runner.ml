@@ -52,34 +52,54 @@ type result = {
 let attribution_of_trace trace =
   Inference.Attribution.infer ~rates:(Inference.Yajnik.estimate trace) trace
 
+type loss_model =
+  | Attributed of Inference.Attribution.t
+  | Ground_truth of Mtrace.Bitset.t array
+
 (* Loss injection: drop an original data packet on exactly the links
-   the attribution blames for it; optionally drop recovery packets per
+   the loss model names for it; optionally drop recovery packets per
    estimated link rates. Session traffic is never dropped (Section 4.3
-   presumes lossless session exchange). *)
-let make_drop ~attribution ~lossy_recovery ~lossy_sessions ~rates ~rng =
-  (* The predicate runs once per link crossing per data packet, so each
-     packet's cut set is kept as a per-seq bitset over link ids rather
-     than a list to scan. [rates] is sized n_nodes in both runner
-     configurations, which bounds every link id. *)
-  let n_links = Array.length rates in
-  let cut_sets = Hashtbl.create 1024 in
-  let cuts_of seq =
-    match Hashtbl.find cut_sets seq with
-    | cuts -> cuts
-    | exception Not_found ->
-        let cuts = Mtrace.Bitset.create n_links in
-        List.iter (Mtrace.Bitset.set cuts) (Inference.Attribution.cuts attribution ~seq);
-        Hashtbl.replace cut_sets seq cuts;
-        cuts
+   presumes lossless session exchange).
+
+   [Attributed] replays the paper's Section 4.2 pipeline: each data
+   packet is cut on the links maximum-likelihood attribution blames.
+   [Ground_truth] skips inference and drops packet [seq] on link [l]
+   iff the generator's Gilbert chain had [l] Bad at step [seq - 1] —
+   the same indexing [Trace.lost] reads, so the losses receivers
+   observe are exactly the trace. Attribution is quadratic-ish in
+   receivers and pointless when the generator's own link states are in
+   hand, which is what the synthetic scale scenarios use. *)
+let make_drop ~loss_model ~lossy_recovery ~lossy_sessions ~rates ~rng =
+  let data_cut =
+    match loss_model with
+    | Ground_truth link_bad ->
+        fun ~link ~seq -> Mtrace.Bitset.get link_bad.(link) (seq - 1)
+    | Attributed attribution ->
+        (* The predicate runs once per link crossing per data packet, so
+           each packet's cut set is kept as a per-seq bitset over link
+           ids rather than a list to scan. [rates] is sized n_nodes in
+           both runner configurations, which bounds every link id. *)
+        let n_links = Array.length rates in
+        let cut_sets = Hashtbl.create 1024 in
+        let cuts_of seq =
+          match Hashtbl.find cut_sets seq with
+          | cuts -> cuts
+          | exception Not_found ->
+              let cuts = Mtrace.Bitset.create n_links in
+              List.iter (Mtrace.Bitset.set cuts) (Inference.Attribution.cuts attribution ~seq);
+              Hashtbl.replace cut_sets seq cuts;
+              cuts
+        in
+        fun ~link ~seq -> Mtrace.Bitset.get (cuts_of seq) link
   in
   fun ~link ~down (p : Net.Packet.t) ->
     match p.payload with
-    | Net.Packet.Data { seq } -> down && Mtrace.Bitset.get (cuts_of seq) link
+    | Net.Packet.Data { seq } -> down && data_cut ~link ~seq
     | Net.Packet.Session _ -> lossy_sessions && Sim.Rng.bernoulli rng rates.(link)
     | Net.Packet.Request _ | Net.Packet.Reply _ | Net.Packet.Exp_request _ ->
         lossy_recovery && Sim.Rng.bernoulli rng rates.(link)
 
-let run ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace attribution =
+let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace loss_model =
   (* A fault plan switches on the robustness extensions unless the
      caller pinned them: session-driven request re-arm (bounds
      post-heal recovery latency by the session period instead of the
@@ -132,7 +152,7 @@ let run ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace at
   in
   let drop_rng = Sim.Rng.split (Sim.Engine.rng engine) in
   Net.Network.set_drop network
-    (make_drop ~attribution ~lossy_recovery:setup.lossy_recovery
+    (make_drop ~loss_model ~lossy_recovery:setup.lossy_recovery
        ~lossy_sessions:setup.lossy_sessions ~rates ~rng:drop_rng);
   (* Every run is audited against the global protocol invariants; LMS
      retries legitimately repeat expedited requests, so its bound is
@@ -169,9 +189,25 @@ let run ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace at
           (fun v -> Stats.Counters.bump counters ~node:v.Fault.Oracle.node Stats.Counters.Oracle)
           (Fault.Oracle.violations o))
       oracle;
+    (* Source-to-node RTTs in one top-down pass. Accumulating parent
+       distance plus own link delay adds the delays in the same order
+       [Net.Network.rtt network 0 node] does, so the values are
+       bit-identical to the former per-receiver calls — without the
+       per-node path walk (quadratic on deep trees). *)
+    let rtts = Array.make (Net.Tree.n_nodes tree) 0. in
+    let rec fill_rtts v d =
+      List.iter
+        (fun c ->
+          let dc = d +. Net.Network.link_delay network c in
+          rtts.(c) <- 2. *. dc;
+          fill_rtts c dc)
+        (Net.Tree.children tree v)
+    in
+    fill_rtts 0 0.;
+    let is_receiver node = node <> 0 && Net.Tree.is_leaf tree node in
     let rtt_to_source =
       Array.to_list
-        (Array.map (fun node -> (node, Net.Network.rtt network 0 node)) (Net.Tree.receivers tree))
+        (Array.map (fun node -> (node, rtts.(node))) (Net.Tree.receivers tree))
     in
     Option.iter
       (fun reg ->
@@ -183,7 +219,7 @@ let run ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace at
           (fun o -> Obs.Registry.incr ~by:(Fault.Oracle.n_violations o) reg "fault/oracle_violations")
           oracle;
         Instrument.attach_recovery_hists reg
-          ~rtt_of:(fun node -> List.assoc_opt node rtt_to_source)
+          ~rtt_of:(fun node -> if is_receiver node then Some rtts.(node) else None)
           recoveries)
       registry;
     let recovered = Stats.Recovery.count recoveries in
@@ -266,10 +302,71 @@ let run ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace at
         ~detected:(fun () -> Lms.Proto.detected proto)
         ~publish
 
+let run ?setup ?tracer ?registry ?fault_plan protocol trace attribution =
+  run_model ?setup ?tracer ?registry ?fault_plan protocol trace (Attributed attribution)
+
+(* Harness tuning for the synthetic scale scenarios. Classic SRM
+   settings assume a ~10–50 member group; at 10^3–10^4 members the
+   session machinery is quadratic in aggregate (n messages of n
+   deliveries per period, n^2 echo state) and the default-distance
+   timers collapse into reply implosion. Scale runs therefore model
+   the converged steady state the paper's Section 4.3 assumes: true
+   tree distances ([oracle_distances]), session ticks from the source
+   only ([session_sources_only] — its max-seq advertisements are what
+   tail-loss detection needs), and a capped echo table should sessions
+   be re-enabled by hand. Deep chains additionally shrink the per-link
+   delay so the source-to-leaf path stays within the recovery timers'
+   reach. Caller-pinned option values win. *)
+let scale_setup ~family ~n_members setup =
+  let session_echo_limit =
+    match setup.params.Srm.Params.session_echo_limit with
+    | Some _ as pinned -> pinned
+    | None -> Some 32
+  in
+  (* Probabilistic-suppression windows widen as log2(n): with fixed C2
+     and D2 the number of same-event requests and replies that fire
+     before the first one propagates grows linearly with the group —
+     reply implosion, and each un-suppressed reply is an O(n)-delivery
+     flood. Log-widening is the static version of what the paper's
+     adaptive timers converge to in large groups; the price is
+     recovery latency growing with the window. *)
+  let spread =
+    Float.max 1. (3. *. Float.log (float_of_int (max 2 n_members)) /. Float.log 2.)
+  in
+  let params =
+    {
+      setup.params with
+      Srm.Params.session_echo_limit;
+      oracle_distances = true;
+      session_sources_only = true;
+      c2 = Float.max setup.params.Srm.Params.c2 spread;
+      d2 = Float.max setup.params.Srm.Params.d2 spread;
+    }
+  in
+  let link_delay =
+    match family with Mtrace.Scale.Deep_chain -> 0.001 | _ -> setup.link_delay
+  in
+  { setup with params; link_delay }
+
+let tune_for_trace trace setup =
+  match Mtrace.Scale.family_of_name (Mtrace.Trace.name trace) with
+  | None -> setup
+  | Some family ->
+      let n_members = 1 + Array.length (Net.Tree.receivers (Mtrace.Trace.tree trace)) in
+      scale_setup ~family ~n_members setup
+
 let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ~seed protocol row =
   let generated = Mtrace.Generator.synthesize ~seed ?n_packets row in
   let trace = generated.Mtrace.Generator.trace in
-  let attribution = attribution_of_trace trace in
+  let scale_family = Mtrace.Scale.family_of_name row.Mtrace.Meta.name in
+  let setup = tune_for_trace trace setup in
+  (* Scale scenarios inject the generator's own Gilbert link states
+     directly; trace-sized rows replay the paper's inference pipeline. *)
+  let loss_model =
+    match scale_family with
+    | None -> Attributed (attribution_of_trace trace)
+    | Some _ -> Ground_truth generated.Mtrace.Generator.link_bad
+  in
   let fault_plan =
     Option.map
       (fun name ->
@@ -280,7 +377,7 @@ let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ~seed protocol 
         | None -> invalid_arg (Printf.sprintf "Runner.run_leg: unknown canned fault plan %S" name))
       fault
   in
-  run ~setup:{ setup with seed } ?registry ?fault_plan protocol trace attribution
+  run_model ~setup:{ setup with seed } ?registry ?fault_plan protocol trace loss_model
 
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in

@@ -60,6 +60,28 @@ type result = {
   oracle : Fault.Oracle.t option;  (** present iff a fault plan was run *)
 }
 
+type loss_model =
+  | Attributed of Inference.Attribution.t
+      (** cut each data packet on the links maximum-likelihood
+          attribution blames (the paper's Section 4.2 pipeline) *)
+  | Ground_truth of Mtrace.Bitset.t array
+      (** per-link Gilbert Bad-step bitsets straight from
+          {!Mtrace.Generator} ([link_bad], indexed by link id; bit
+          [seq - 1] drops packet [seq]) — skips inference entirely,
+          receivers observe exactly the trace's losses; what the
+          synthetic scale scenarios use *)
+
+val run_model :
+  ?setup:setup ->
+  ?tracer:Obs.Trace.t ->
+  ?registry:Obs.Registry.t ->
+  ?fault_plan:Fault.Plan.t ->
+  protocol ->
+  Mtrace.Trace.t ->
+  loss_model ->
+  result
+(** Generalization of {!run} over the loss-injection model. *)
+
 val run :
   ?setup:setup ->
   ?tracer:Obs.Trace.t ->
@@ -105,7 +127,24 @@ val run_leg :
     [(row, protocol, setup, n_packets, seed, fault)], the unit a sweep
     shard executes. [fault] names a {!Fault.Plan.canned} plan,
     instantiated against the synthesized trace's tree and data phase.
+
+    Rows naming a {!Mtrace.Scale} scenario switch to ground-truth loss
+    injection (no attribution pass) and get harness tuning for group
+    size: hosts read true tree distances instead of warming them up
+    over session echoes ([Srm.Params.oracle_distances]), only the
+    source runs the periodic session tick
+    ([Srm.Params.session_sources_only]), the session echo table is
+    capped ([session_echo_limit], unless the caller pinned it), and
+    deep-chain trees use a 1 ms link delay so the worst-case path
+    stays within the recovery timers' reach.
     @raise Invalid_argument on an unknown canned name. *)
+
+val tune_for_trace : Mtrace.Trace.t -> setup -> setup
+(** Apply the scale-scenario harness tuning described under {!run_leg}
+    when the trace's name parses as a {!Mtrace.Scale} scenario;
+    identity otherwise. Exposed so front-ends running a pre-built
+    scale trace through {!run_model} get the same settings a
+    [run_leg] of the row would. *)
 
 val attribution_of_trace : Mtrace.Trace.t -> Inference.Attribution.t
 (** The paper's Section 4.2 pipeline: Yajnik link-rate estimation, then

@@ -17,13 +17,18 @@ type t = {
   tree : Tree.t;
   delays : float array; (* per link id; slot 0 unused *)
   bandwidth_bps : float;
-  dist : float array array;
   routes : Routes.t; (* precomputed traversal orders; see routes.mli *)
   arrive : float array; (* scratch: per-node arrival time of the packet in flight *)
   mutable drop : link:int -> down:bool -> Packet.t -> bool;
   handlers : (Packet.t -> unit) option array;
   enabled : bool array; (* crashed / departed members are disabled *)
-  busy : float array array; (* directed serialization reservations *)
+  (* Directed serialization reservations, one float per link per
+     direction. Reservations only ever attach to a single tree link
+     (the [from]/[to_] of a traverse are its endpoints), so the former
+     n x n matrix was n^2 memory for 2(n-1) useful cells — at 10^4
+     receivers that matrix alone was gigabytes. *)
+  busy_down : float array; (* parent -> child, indexed by link id *)
+  busy_up : float array; (* child -> parent *)
   cost : Cost.t;
   mutable delivered : int;
   mutable tap : (from:int -> Packet.t -> unit) option;
@@ -35,19 +40,18 @@ let no_drop ~link:_ ~down:_ _ = false
 let create_heterogeneous ~engine ~tree ~delays ?(bandwidth_bps = 1.5e6) () =
   let n = Tree.n_nodes tree in
   if Array.length delays <> n then invalid_arg "Network.create_heterogeneous: delays size";
-  let dist = Tree.distance_matrix tree ~delay:(fun l -> delays.(l)) in
   {
     engine;
     tree;
     delays;
     bandwidth_bps;
-    dist;
     routes = Routes.create ~tree ~delays;
     arrive = Array.make n 0.;
     drop = no_drop;
     handlers = Array.make n None;
     enabled = Array.make n true;
-    busy = Array.make_matrix n n 0.;
+    busy_down = Array.make n 0.;
+    busy_up = Array.make n 0.;
     cost = Cost.create ();
     delivered = 0;
     tap = None;
@@ -68,9 +72,13 @@ let cost t = t.cost
 
 let link_delay t l = t.delays.(l)
 
-let dist t u v = t.dist.(u).(v)
+(* On-demand tree walk instead of a precomputed n x n matrix: the
+   matrix was the dominant memory cost at scale (800 MB at 10^4
+   nodes). [Tree.dist] sums link delays in the same order the matrix
+   builder did, so callers see bit-identical floats. *)
+let dist t u v = Tree.dist t.tree ~delay:(fun l -> t.delays.(l)) u v
 
-let rtt t u v = 2. *. t.dist.(u).(v)
+let rtt t u v = 2. *. dist t u v
 
 let set_drop t f = t.drop <- f
 
@@ -200,16 +208,17 @@ let deliver t ~node ~at packet =
    under reply implosion, builds unbounded queues the paper's
    lossless-recovery model does not have (NS2 would drop, not queue,
    that excess). *)
-let[@inline] traverse t ~cat ~cast ~link ~down ~from ~to_ ~at ~tx ~fifo packet =
+let[@inline] traverse t ~cat ~cast ~link ~down ~from:_ ~to_ ~at ~tx ~fifo packet =
   if t.drop ~link ~down packet then Float.nan
   else
+    let busy = if down then t.busy_down else t.busy_up in
     match t.perturb with
     | None ->
         Cost.record_crossing t.cost cat cast;
         if tx = 0. then at +. t.delays.(link)
         else if fifo then begin
-          let start = Float.max at t.busy.(from).(to_) in
-          t.busy.(from).(to_) <- start +. tx;
+          let start = Float.max at busy.(link) in
+          busy.(link) <- start +. tx;
           start +. tx +. t.delays.(link)
         end
         else at +. tx +. t.delays.(link)
@@ -224,8 +233,8 @@ let[@inline] traverse t ~cat ~cast ~link ~down ~from ~to_ ~at ~tx ~fifo packet =
           let arrival =
             if tx = 0. then at +. t.delays.(link)
             else if fifo then begin
-              let start = Float.max at t.busy.(from).(to_) in
-              t.busy.(from).(to_) <- start +. tx;
+              let start = Float.max at busy.(link) in
+              busy.(link) <- start +. tx;
               start +. tx +. t.delays.(link)
             end
             else at +. tx +. t.delays.(link)

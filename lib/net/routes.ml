@@ -8,14 +8,43 @@ type order = {
 
 type path = { hops : int array; plinks : int array; pdowns : bool array }
 
+(* Orders are pure functions of the (static) tree, so caching is a
+   time/space trade only: evicting and rebuilding an entry yields the
+   same arrays and therefore the same simulation. Unbounded per-origin
+   memoization was O(n) orders of O(n) entries each — every member
+   multicasts session packets, so at 10^4 nodes the flood cache alone
+   approached gigabytes. Instead: origin 0 (the data source, by far
+   the hottest origin) is pinned forever, and other origins share a
+   FIFO of [cache_capacity] slots. *)
+let cache_capacity = 64
+
+type cache = {
+  tbl : (int, order) Hashtbl.t;
+  fifo : int Queue.t; (* insertion order of the evictable (non-0) keys *)
+}
+
+let cache_create () = { tbl = Hashtbl.create 64; fifo = Queue.create () }
+
+let cache_add c key v =
+  if key <> 0 then begin
+    if Queue.length c.fifo >= cache_capacity then
+      Hashtbl.remove c.tbl (Queue.pop c.fifo);
+    Queue.push key c.fifo
+  end;
+  Hashtbl.replace c.tbl key v
+
+(* LCA paths are cheap to rebuild, so the path cache is simply reset
+   when it fills rather than tracking eviction order. *)
+let paths_capacity = 4096
+
 type t = {
   tree : Tree.t;
   delays : float array;
   neighbors : int array array;
   children : int array array;
   sizes : int array; (* subtree node counts *)
-  floods : order option array; (* per multicast origin *)
-  downs : order option array; (* per subcast root *)
+  floods : cache; (* per multicast origin *)
+  downs : cache; (* per subcast root *)
   paths : (int, path) Hashtbl.t; (* key: src * n_nodes + dst *)
 }
 
@@ -47,8 +76,8 @@ let create ~tree ~delays =
     neighbors;
     children;
     sizes;
-    floods = Array.make n None;
-    downs = Array.make n None;
+    floods = cache_create ();
+    downs = cache_create ();
     paths = Hashtbl.create 64;
   }
 
@@ -87,7 +116,7 @@ let build_order ~n_entries ~roots ~origin ~succ t =
   { nodes; prevs; links; skips; cum }
 
 let flood_order t origin =
-  match t.floods.(origin) with
+  match Hashtbl.find_opt t.floods.tbl origin with
   | Some o -> o
   | None ->
       let o =
@@ -96,11 +125,11 @@ let flood_order t origin =
           ~roots:t.neighbors.(origin) ~origin
           ~succ:(fun v -> t.neighbors.(v))
       in
-      t.floods.(origin) <- Some o;
+      cache_add t.floods origin o;
       o
 
 let down_order t root =
-  match t.downs.(root) with
+  match Hashtbl.find_opt t.downs.tbl root with
   | Some o -> o
   | None ->
       let o =
@@ -110,7 +139,7 @@ let down_order t root =
             ~origin:root
             ~succ:(fun v -> t.children.(v))
       in
-      t.downs.(root) <- Some o;
+      cache_add t.downs root o;
       o
 
 let build_path t ~src ~dst =
@@ -136,6 +165,7 @@ let path t ~src ~dst =
   match Hashtbl.find_opt t.paths key with
   | Some p -> p
   | None ->
+      if Hashtbl.length t.paths >= paths_capacity then Hashtbl.reset t.paths;
       let p = build_path t ~src ~dst in
       Hashtbl.replace t.paths key p;
       p

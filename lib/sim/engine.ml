@@ -5,7 +5,55 @@
    immediate ints (no caml_modify write barrier), which together are
    the bulk of the event core's cost on long traces. Slots are recycled
    through a free stack; a handle keeps its slot's generation ([hseq])
-   so a stale cancel on a reused slot is a no-op. *)
+   so a stale cancel on a reused slot is a no-op.
+
+   On top of the heap sits a hierarchical timer wheel (the default
+   [`Wheel] backend; DESIGN.md §12). SRM-style workloads are dominated
+   by bounded-horizon timers — request/repair back-offs, session
+   heartbeats, CESRM expedited deadlines — that are scheduled and
+   cancelled far more often than they fire; at 10k receivers the
+   O(log n) heap insert per schedule is the scheduler's hot path. The
+   wheel gives O(1) insert for any timer within its horizon, and keeps
+   the heap small (its O(log n) costs scale with the *due* events, not
+   the pending ones).
+
+   The wheel NEVER fires events itself: a due bucket is flushed *into
+   the heap*, and the heap alone decides firing order by the exact
+   (time, seq) lexicographic key. Firing order is therefore
+   byte-identical to the pure-heap backend — the wheel only changes
+   when an event enters the heap, never when it leaves. Far-future
+   timers (beyond the wheel horizon) and past/immediate ones go
+   straight into the heap, which doubles as the overflow level and,
+   via [~backend:`Heap], as the reference oracle the differential
+   tests compare against.
+
+   Geometry: ticks of [granularity] seconds (1 ms), [wheel_slots] = 256
+   physical slots per level, 3 levels. Level l spans 256^(l+1) ticks;
+   anything past 256^3 ticks (~4.7 h of virtual time) overflows to the
+   heap. A frontier tick F (monotone, >= tick(clock)) tracks how far
+   the wheel has been flushed. An event with tick T' lands in the
+   smallest level l with T' - F <= 256^(l+1); its bucket is
+   T' / 256^l, stored at physical slot (T' / 256^l) mod 256. Because
+   occupied buckets at level l always lie in the window
+   [F/256^l + 1, F/256^l + 256] — exactly 256 consecutive values,
+   injective mod 256 — a physical slot never mixes two logical
+   buckets. *)
+
+let wheel_bits = 8
+
+let wheel_slots = 1 lsl wheel_bits (* 256 *)
+
+let wheel_mask = wheel_slots - 1
+
+let wheel_levels = 3
+
+(* Horizon in ticks: 256^3. Kept as a float for the overflow test so
+   absurdly large times never reach int_of_float. *)
+let wheel_span_f = 16777216.
+
+(* Tick granularity is 1 ms; times are converted with the inverse to
+   keep the hot path on a multiply. *)
+let inv_granularity = 1e3
 
 type t = {
   mutable clock : float;
@@ -23,6 +71,16 @@ type t = {
   (* The heap proper: [heap.(0 .. size-1)] are slot ids. *)
   mutable heap : int array;
   mutable size : int;
+  (* The wheel: [buckets.(level * 256 + phys_slot)] heads an intrusive
+     singly-linked list through [wheel_next]; -1 terminates. A slot id
+     is in at most one structure (wheel xor heap), flagged by
+     [in_wheel]. *)
+  wheel_enabled : bool;
+  buckets : int array;
+  mutable wheel_next : int array;
+  mutable in_wheel : bool array;
+  mutable frontier : int; (* max flushed tick; >= tick(clock) *)
+  mutable wheel_live : int; (* live (non-cancelled) wheel residents *)
   (* Lifetime statistics, published via [publish_metrics]: plain int
      stores on paths that already write the adjacent fields, so they
      cost nothing measurable. *)
@@ -30,13 +88,15 @@ type t = {
   mutable n_cancelled : int;
   mutable n_compactions : int;
   mutable max_heap_size : int;
+  mutable n_wheel_inserts : int;
+  mutable n_wheel_cascades : int;
 }
 
 and timer = { owner : t; slot : int; hseq : int; htime : float }
 
 let no_action () = ()
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?(backend = `Wheel) () =
   {
     clock = 0.;
     next_seq = 0;
@@ -50,10 +110,18 @@ let create ?(seed = 1L) () =
     n_slots = 0;
     heap = [||];
     size = 0;
+    wheel_enabled = (backend = `Wheel);
+    buckets = Array.make (wheel_levels * wheel_slots) (-1);
+    wheel_next = [||];
+    in_wheel = [||];
+    frontier = 0;
+    wheel_live = 0;
     n_fired = 0;
     n_cancelled = 0;
     n_compactions = 0;
     max_heap_size = 0;
+    n_wheel_inserts = 0;
+    n_wheel_cascades = 0;
   }
 
 let now t = t.clock
@@ -95,14 +163,19 @@ let grow_slots t =
   let cap' = if cap = 0 then 64 else 2 * cap in
   let times' = Array.make cap' 0. and seqs' = Array.make cap' 0 in
   let actions' = Array.make cap' no_action and free' = Array.make cap' 0 in
+  let wheel_next' = Array.make cap' (-1) and in_wheel' = Array.make cap' false in
   Array.blit t.times 0 times' 0 cap;
   Array.blit t.seqs 0 seqs' 0 cap;
   Array.blit t.actions 0 actions' 0 cap;
   Array.blit t.free 0 free' 0 t.free_top;
+  Array.blit t.wheel_next 0 wheel_next' 0 cap;
+  Array.blit t.in_wheel 0 in_wheel' 0 cap;
   t.times <- times';
   t.seqs <- seqs';
   t.actions <- actions';
-  t.free <- free'
+  t.free <- free';
+  t.wheel_next <- wheel_next';
+  t.in_wheel <- in_wheel'
 
 let alloc_slot t =
   if t.free_top > 0 then begin
@@ -143,6 +216,91 @@ let heap_pop t =
   end;
   s
 
+(* Route a pending slot into the wheel or the heap. The tick
+   comparison against the frontier is what preserves order: anything
+   at or before the flushed frontier must be heap-resident so the heap
+   sees the complete set of candidates <= any time it fires. *)
+let insert_pending t s =
+  if not t.wheel_enabled then heap_push t s
+  else begin
+    let ft = t.times.(s) *. inv_granularity in
+    if ft >= float_of_int t.frontier +. wheel_span_f then heap_push t s (* overflow level *)
+    else begin
+      let tick = int_of_float ft in
+      let delta = tick - t.frontier in
+      if delta <= 0 then heap_push t s
+      else begin
+        let level =
+          if delta <= wheel_slots then 0
+          else if delta <= wheel_slots * wheel_slots then 1
+          else 2
+        in
+        let idx =
+          (level lsl wheel_bits) lor ((tick lsr (wheel_bits * level)) land wheel_mask)
+        in
+        t.in_wheel.(s) <- true;
+        t.wheel_next.(s) <- t.buckets.(idx);
+        t.buckets.(idx) <- s;
+        t.wheel_live <- t.wheel_live + 1;
+        t.n_wheel_inserts <- t.n_wheel_inserts + 1
+      end
+    end
+  end
+
+(* Move every entry of a due level-0 bucket into the heap (dropping
+   tombstones), or re-insert a cascading level>=1 bucket one level
+   down. Entries keep their original (time, seq) keys, so the heap's
+   extraction order is oblivious to when they were flushed. *)
+let flush_level0 t idx =
+  let s = ref t.buckets.(idx) in
+  if !s >= 0 then begin
+    t.buckets.(idx) <- -1;
+    while !s >= 0 do
+      let next = t.wheel_next.(!s) in
+      t.in_wheel.(!s) <- false;
+      if t.actions.(!s) != no_action then begin
+        t.wheel_live <- t.wheel_live - 1;
+        heap_push t !s
+      end
+      else free_slot t !s;
+      s := next
+    done
+  end
+
+let cascade t ~level ~phys =
+  let idx = (level lsl wheel_bits) lor phys in
+  let s = ref t.buckets.(idx) in
+  if !s >= 0 then begin
+    t.buckets.(idx) <- -1;
+    t.n_wheel_cascades <- t.n_wheel_cascades + 1;
+    while !s >= 0 do
+      let next = t.wheel_next.(!s) in
+      t.in_wheel.(!s) <- false;
+      if t.actions.(!s) != no_action then begin
+        t.wheel_live <- t.wheel_live - 1;
+        insert_pending t !s
+      end
+      else free_slot t !s;
+      s := next
+    done
+  end
+
+(* Advance the frontier to [target], cascading higher levels at their
+   period boundaries and pushing every due level-0 bucket into the
+   heap. Tick-by-tick: empty buckets cost one array read, and the
+   frontier only ever travels the virtual-time span of the run. *)
+let advance_frontier t target =
+  while t.frontier < target do
+    let f = t.frontier + 1 in
+    t.frontier <- f;
+    if f land wheel_mask = 0 then begin
+      if f land ((wheel_slots * wheel_slots) - 1) = 0 then
+        cascade t ~level:2 ~phys:((f lsr (2 * wheel_bits)) land wheel_mask);
+      cascade t ~level:1 ~phys:((f lsr wheel_bits) land wheel_mask)
+    end;
+    flush_level0 t (f land wheel_mask)
+  done
+
 let schedule_at t ~at f =
   let at = if at < t.clock then t.clock else at in
   let s = alloc_slot t in
@@ -151,7 +309,7 @@ let schedule_at t ~at f =
   t.actions.(s) <- f;
   let handle = { owner = t; slot = s; hseq = t.next_seq; htime = at } in
   t.next_seq <- t.next_seq + 1;
-  heap_push t s;
+  insert_pending t s;
   t.live <- t.live + 1;
   handle
 
@@ -168,9 +326,12 @@ let is_pending timer =
    Rebuild the heap in place once dead entries exceed half the queue;
    the O(n) rebuild amortizes against the cancellations that caused it
    and keeps the heap (and its O(log n) operations) proportional to the
-   live event count. *)
+   live event count. Wheel residents are invisible to the heap, so the
+   trigger counts only heap-local live entries; dead wheel entries are
+   swept when their bucket flushes. *)
 let compact_if_needed t =
-  if t.size > 64 && 2 * (t.size - t.live) > t.size then begin
+  let heap_live = t.live - t.wheel_live in
+  if t.size > 64 && 2 * (t.size - heap_live) > t.size then begin
     let j = ref 0 in
     for i = 0 to t.size - 1 do
       let s = t.heap.(i) in
@@ -188,42 +349,22 @@ let compact_if_needed t =
     done
   end
 
-(* Cancellation leaves a tombstone in the heap; the run loop and the
-   compaction pass discard dead slots. *)
+(* Cancellation leaves a tombstone; the run loop, the bucket flushes
+   and the compaction pass discard dead slots. O(1) in both backends
+   (a wheel resident stays chained in its bucket until flushed). *)
 let cancel timer =
   let t = timer.owner in
   if t.seqs.(timer.slot) = timer.hseq && t.actions.(timer.slot) != no_action then begin
     t.actions.(timer.slot) <- no_action;
     t.live <- t.live - 1;
     t.n_cancelled <- t.n_cancelled + 1;
-    compact_if_needed t
+    if t.in_wheel.(timer.slot) then t.wheel_live <- t.wheel_live - 1
+    else compact_if_needed t
   end
 
 let fire_time timer = timer.htime
 
 let pending_events t = t.live
-
-let step t =
-  let rec next () =
-    if t.size = 0 then false
-    else begin
-      let s = heap_pop t in
-      let f = t.actions.(s) in
-      if f == no_action then begin
-        free_slot t s;
-        next ()
-      end
-      else begin
-        t.live <- t.live - 1;
-        t.n_fired <- t.n_fired + 1;
-        t.clock <- t.times.(s);
-        free_slot t s;
-        f ();
-        true
-      end
-    end
-  in
-  next ()
 
 (* Discard leading tombstones so the horizon check sees a live event. *)
 let rec drop_dead t =
@@ -237,11 +378,60 @@ let rec drop_dead t =
   end
   else true
 
+(* Establish: the heap root is the globally next live event (no
+   wheel resident is due at or before it). Returns false iff nothing
+   is pending anywhere. After a flush the root may have changed to an
+   earlier flushed event, so loop to the fixed point — the frontier is
+   monotone, so at most one extra pass per flush. *)
+let rec ensure_next t =
+  if drop_dead t then
+    if t.wheel_live = 0 then true
+    else begin
+      let ft = t.times.(t.heap.(0)) *. inv_granularity in
+      if ft >= float_of_int t.frontier +. wheel_span_f then begin
+        (* Heap root beyond the wheel horizon: flush the whole wheel
+           (rare: only when every near-term timer was cancelled). *)
+        advance_frontier t (t.frontier + int_of_float wheel_span_f);
+        ensure_next t
+      end
+      else begin
+        let target = int_of_float ft in
+        if target <= t.frontier then true
+        else begin
+          advance_frontier t target;
+          ensure_next t
+        end
+      end
+    end
+  else if t.wheel_live > 0 then begin
+    (* Heap empty but the wheel holds live timers: advance until a
+       flush lands one in the heap. Terminates because each live
+       resident is within the horizon. *)
+    while t.size = 0 && t.wheel_live > 0 do
+      advance_frontier t (t.frontier + 1)
+    done;
+    ensure_next t
+  end
+  else false
+
+let step t =
+  if ensure_next t then begin
+    let s = heap_pop t in
+    let f = t.actions.(s) in
+    t.live <- t.live - 1;
+    t.n_fired <- t.n_fired + 1;
+    t.clock <- t.times.(s);
+    free_slot t s;
+    f ();
+    true
+  end
+  else false
+
 let run ?until ?max_events t =
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue () =
     !budget > 0
-    && drop_dead t
+    && ensure_next t
     &&
     match until with None -> true | Some horizon -> t.times.(t.heap.(0)) <= horizon
   in
@@ -260,6 +450,8 @@ let publish_metrics t registry =
   Obs.Registry.incr ~by:t.n_fired registry "sim/events_fired";
   Obs.Registry.incr ~by:t.n_cancelled registry "sim/events_cancelled";
   Obs.Registry.incr ~by:t.n_compactions registry "sim/heap_compactions";
+  Obs.Registry.incr ~by:t.n_wheel_inserts registry "sim/wheel_inserts";
+  Obs.Registry.incr ~by:t.n_wheel_cascades registry "sim/wheel_cascades";
   Obs.Registry.set_gauge registry "sim/heap_max_size" (float_of_int t.max_heap_size);
   Obs.Registry.set_gauge registry "sim/slots_high_water" (float_of_int t.n_slots);
   Obs.Registry.set_gauge registry "sim/clock_end" t.clock

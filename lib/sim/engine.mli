@@ -1,12 +1,21 @@
 (** The discrete-event simulation engine.
 
-    An engine owns a virtual clock and a pending-event heap. Events are
-    closures scheduled at absolute or relative virtual times; [run]
+    An engine owns a virtual clock and a pending-event queue. Events
+    are closures scheduled at absolute or relative virtual times; [run]
     executes them in time order (FIFO among equal times). Timers are
     cancellable: cancellation is O(1) and leaves a tombstone that the
     run loop discards; when tombstones outgrow half the queue the heap
     is compacted in place, so its size stays proportional to the live
     event count no matter how aggressively timers are cancelled.
+
+    The queue is a hierarchical timer wheel layered over an exact
+    (time, seq) binary heap (DESIGN.md §12). Timers within the wheel
+    horizon (256^3 ticks of 1 ms — about 4.7 hours of virtual time
+    ahead of the flushed frontier) insert in O(1); due wheel buckets
+    are flushed {e into the heap}, which alone decides firing order —
+    so the firing sequence is byte-identical to a pure heap. Past,
+    immediate and beyond-horizon timers go straight to the heap, which
+    doubles as the overflow level.
 
     The engine also owns the experiment's root {!Rng.t} so that a
     simulation is a deterministic function of its seed. *)
@@ -16,8 +25,13 @@ type t
 type timer
 (** A handle on a scheduled event. *)
 
-val create : ?seed:int64 -> unit -> t
-(** Fresh engine at time 0.0. Default seed is 1. *)
+val create : ?seed:int64 -> ?backend:[ `Wheel | `Heap ] -> unit -> t
+(** Fresh engine at time 0.0. Default seed is 1. [backend] selects the
+    pending-event structure: [`Wheel] (the default) is the
+    wheel-over-heap hybrid; [`Heap] bypasses the wheel and inserts
+    every timer directly into the heap — the reference oracle the
+    differential scheduler tests compare against. Both backends fire
+    the same events in the same order at the same times. *)
 
 val now : t -> float
 (** Current virtual time, in seconds. *)
@@ -64,6 +78,7 @@ val events_cancelled : t -> int
 
 val publish_metrics : t -> Obs.Registry.t -> unit
 (** Snapshot the engine's lifetime statistics (events fired/cancelled,
-    heap compactions, heap and slot high-water marks, final clock) into
-    the registry under the ["sim/"] prefix. Pull-based: call it once at
-    end of run; the running engine maintains only plain int counters. *)
+    heap compactions, wheel inserts/cascades, heap and slot high-water
+    marks, final clock) into the registry under the ["sim/"] prefix.
+    Pull-based: call it once at end of run; the running engine
+    maintains only plain int counters. *)

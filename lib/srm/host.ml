@@ -44,7 +44,14 @@ type t = {
   stride : int; (* Key packing stride: n_packets + 1 *)
   rng : Sim.Rng.t;
   session : Session.t;
-  streams : stream_state option array; (* indexed by source node id *)
+  (* Keyed by source node id. Sparse: a group of n members previously
+     carried an n-slot array per host (n^2 option slots across the
+     group); only nodes that actually source or get asked about a
+     stream materialize entries. [stream_srcs] mirrors the key set in
+     ascending id order so [max_seqs] advertisements keep their
+     original deterministic order. *)
+  streams : (int, stream_state) Hashtbl.t;
+  mutable stream_srcs : int list;
   (* Per-loss tables below are keyed by packed (src, seq) ints. *)
   requests : (Key.t, request_state) Hashtbl.t;
   replies : (Key.t, Sim.Engine.timer) Hashtbl.t; (* scheduled reply *)
@@ -78,11 +85,16 @@ let inject_mutation t m = if not (List.mem m t.mutations) then t.mutations <- m 
 let mutated t m = List.mem m t.mutations
 
 let stream t src =
-  match t.streams.(src) with
+  match Hashtbl.find_opt t.streams src with
   | Some s -> s
   | None ->
       let s = { received = Bytes.make t.n_packets '\000'; max_seq = 0 } in
-      t.streams.(src) <- Some s;
+      Hashtbl.replace t.streams src s;
+      let rec insert = function
+        | x :: tl when x < src -> x :: insert tl
+        | rest -> src :: rest
+      in
+      t.stream_srcs <- insert t.stream_srcs;
       s
 
 let has_packet ?(src = 0) t ~seq =
@@ -93,13 +105,12 @@ let suffered_loss ?(src = 0) t ~seq = Hashtbl.mem t.detect_info (key t ~src ~seq
 let max_seq_seen ?(src = 0) t = (stream t src).max_seq
 
 let max_seqs t =
-  let acc = ref [] in
-  for src = Array.length t.streams - 1 downto 0 do
-    match t.streams.(src) with
-    | Some st when st.max_seq > 0 -> acc := (src, st.max_seq) :: !acc
-    | _ -> ()
-  done;
-  !acc
+  List.filter_map
+    (fun src ->
+      match Hashtbl.find_opt t.streams src with
+      | Some st when st.max_seq > 0 -> Some (src, st.max_seq)
+      | _ -> None)
+    t.stream_srcs
 
 let detected_losses t = t.n_detected
 
@@ -430,7 +441,13 @@ let on_packet t (p : Net.Packet.t) =
   | Net.Packet.Session _ -> Session.on_packet t.session p
   | Net.Packet.Exp_request _ -> ()
 
-let start t ~session_until = Session.start t.session ~until:session_until
+let start t ~session_until =
+  (* Scale extension: with [session_sources_only], receivers skip the
+     periodic tick — only the source's max-seq advertisements flow
+     (what tail-loss detection needs), not the n^2 all-member
+     exchange. *)
+  if not (t.params.Params.session_sources_only && t.self <> 0) then
+    Session.start t.session ~until:session_until
 
 (* Accumulating publish: every member adds its share into the same
    group-wide metric names (see Obs.Registry). *)
@@ -451,11 +468,31 @@ let create ~network ~self ~params ~n_packets ~counters ~recoveries =
      the knot with forward cells. *)
   let get_max_seqs_cell = ref (fun () -> []) in
   let on_max_seq_cell = ref (fun ~src:_ (_ : int) -> ()) in
+  (* Oracle distances are memoized per host: the underlying tree walk
+     is O(depth) and allocating, while the scheduling hot path asks for
+     the same few peers (the source, recent requestors) over and over.
+     The memo only ever holds those few. *)
+  let oracle =
+    if params.Params.oracle_distances then (
+      let memo = Hashtbl.create 8 in
+      Some
+        (fun peer ->
+          match Hashtbl.find memo peer with
+          | d -> d
+          | exception Not_found ->
+              let d = Net.Network.dist network self peer in
+              Hashtbl.replace memo peer d;
+              d))
+    else None
+  in
   let session =
-    Session.create ~network ~self ~period:params.Params.session_period ~rng:(Sim.Rng.split rng)
+    Session.create
+      ?echo_limit:params.Params.session_echo_limit ?oracle
+      ~network ~self ~period:params.Params.session_period ~rng:(Sim.Rng.split rng)
       ~get_max_seqs:(fun () -> !get_max_seqs_cell ())
       ~on_max_seq:(fun ~src m -> !on_max_seq_cell ~src m)
       ~on_send:(fun () -> Stats.Counters.bump counters ~node:self Stats.Counters.Sess)
+      ()
   in
   let t =
     {
@@ -466,12 +503,18 @@ let create ~network ~self ~params ~n_packets ~counters ~recoveries =
       stride = n_packets + 1;
       rng;
       session;
-      streams = Array.make (Net.Tree.n_nodes (Net.Network.tree network)) None;
-      requests = Hashtbl.create 64;
-      replies = Hashtbl.create 64;
-      reply_abstain = Hashtbl.create 64;
-      detect_info = Hashtbl.create 64;
-      replied = Hashtbl.create 64;
+      streams = Hashtbl.create 4;
+      stream_srcs = [];
+      (* Small initial sizes on purpose: tables grow on demand, and at
+         10^4 members the per-host footprint is what decides whether
+         the group's hot state fits in cache — 64-bucket empties were
+         ~4 KB per host, tens of MB across a scale group, and the
+         delivery path touches a random host's tables per event. *)
+      requests = Hashtbl.create 8;
+      replies = Hashtbl.create 8;
+      reply_abstain = Hashtbl.create 8;
+      detect_info = Hashtbl.create 8;
+      replied = Hashtbl.create 8;
       adaptive = (if params.Params.adaptive then Some (Adaptive.create ~initial:params) else None);
       n_detected = 0;
       counters;

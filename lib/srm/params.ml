@@ -9,6 +9,9 @@ type t = {
   max_rounds : int;
   adaptive : bool;
   rearm_backoff : float option;
+  session_echo_limit : int option;
+  oracle_distances : bool;
+  session_sources_only : bool;
 }
 
 let default =
@@ -23,6 +26,9 @@ let default =
     max_rounds = 40;
     adaptive = false;
     rearm_backoff = None;
+    session_echo_limit = None;
+    oracle_distances = false;
+    session_sources_only = false;
   }
 
 let validate t =
@@ -32,6 +38,8 @@ let validate t =
   else if t.max_rounds <= 0 then Error "max_rounds must be positive"
   else if (match t.rearm_backoff with Some w -> w <= 0. | None -> false) then
     Error "rearm_backoff must be positive when set"
+  else if (match t.session_echo_limit with Some k -> k <= 0 | None -> false) then
+    Error "session_echo_limit must be positive when set"
   else Ok t
 
 let pp ppf t =

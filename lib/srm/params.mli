@@ -27,6 +27,30 @@ type t = {
           request (all [max_rounds] fired) is re-armed. Keeps recovery
           latency bounded by the session period after a partition
           heals, instead of by [2^k] back-off. *)
+  session_echo_limit : int option;
+      (** scale extension (default [None] = off): cap the number of
+          peer echoes per session message and track only a bounded
+          ring of recently heard peers, echoed round-robin. Keeps
+          per-member session state and per-message work O(1) in group
+          size — essential for 10^3–10^4-receiver synthetic scenarios,
+          where the classic echo-everyone table is quadratic across
+          the group. *)
+  oracle_distances : bool;
+      (** scale extension (default [false] = off): hosts read peer
+          distances straight from the network's delay-weighted tree
+          instead of estimating them from session echoes — the
+          converged steady state the paper's Section 4.3 runs assume
+          ("distances are known before data flows"), reached without
+          simulating the quadratic session warm-up. Measured estimates,
+          when they exist, still take precedence. *)
+  session_sources_only : bool;
+      (** scale extension (default [false] = off): only the data
+          source runs the periodic session tick (its [max_seqs]
+          advertisements are what tail-loss detection needs); receivers
+          stay silent. Fixed-period all-member sessions are n messages
+          of n deliveries each per period — unaffordable at 10^4
+          members. Only sensible together with [oracle_distances],
+          since silent receivers are never echoed. *)
 }
 
 val default : t

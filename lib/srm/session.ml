@@ -1,3 +1,5 @@
+type heard = { mutable h_ts : float; mutable h_at : float }
+
 type t = {
   network : Net.Network.t;
   self : int;
@@ -6,17 +8,31 @@ type t = {
   get_max_seqs : unit -> (int * int) list;
   on_max_seq : src:int -> int -> unit;
   on_send : unit -> unit;
-  (* The peer space is the static node-id space, so the estimate tables
-     are flat float arrays rather than hashtables of boxed floats: every
-     session delivery touches them, and [distance] is on the
-     request/reply scheduling hot path. NaN marks "no entry". *)
-  dist : float array;
-  lh_ts : float array; (* peer -> their last timestamp *)
-  lh_at : float array; (* peer -> our receive time; NaN = never heard *)
+  echo_limit : int option;
+  oracle : (int -> float) option;
+      (* authoritative fallback distance (scale runs): consulted when
+         no measured estimate exists, see [distance_or] *)
+  (* Peer state is sparse: a host only materializes entries for peers
+     it has actually exchanged session traffic with. The former dense
+     per-node float arrays were three words per (host, node) pair —
+     quadratic across the group, gigabytes at 10^4 members. [dists]
+     is never evicted (estimates are few: only peers that echoed us);
+     [heard] is unbounded in unlimited-echo mode (trace-sized groups,
+     where every peer is heard anyway) and bounded by a FIFO ring of
+     distinct peers when [echo_limit] is set. *)
+  dists : (int, float) Hashtbl.t;
+  heard : (int, heard) Hashtbl.t;
+  mutable heard_order : int list; (* unlimited mode: most-recently-first-heard *)
+  ring : int array; (* limited mode: distinct heard peers, -1 = empty slot *)
+  mutable ring_pos : int; (* next eviction slot *)
+  mutable echo_cursor : int; (* round-robin start of the next echo batch *)
 }
 
-let create ~network ~self ~period ~rng ~get_max_seqs ~on_max_seq ~on_send =
-  let n = Net.Tree.n_nodes (Net.Network.tree network) in
+let create ?echo_limit ?oracle ~network ~self ~period ~rng ~get_max_seqs ~on_max_seq ~on_send () =
+  (match echo_limit with
+  | Some k when k <= 0 -> invalid_arg "Session.create: echo_limit must be positive"
+  | _ -> ());
+  let ring_size = match echo_limit with None -> 0 | Some k -> Int.max (4 * k) 128 in
   {
     network;
     self;
@@ -25,32 +41,59 @@ let create ~network ~self ~period ~rng ~get_max_seqs ~on_max_seq ~on_send =
     get_max_seqs;
     on_max_seq;
     on_send;
-    dist = Array.make n Float.nan;
-    lh_ts = Array.make n Float.nan;
-    lh_at = Array.make n Float.nan;
+    echo_limit;
+    oracle;
+    dists = Hashtbl.create 16;
+    heard = Hashtbl.create 16;
+    heard_order = [];
+    ring = Array.make ring_size (-1);
+    ring_pos = 0;
+    echo_cursor = 0;
   }
 
 let engine t = Net.Network.engine t.network
 
+(* Echo order within a session message is immaterial: session packets
+   are 0-bit control traffic and receivers only look up their own
+   entry, so neither timing nor behavior depends on list order. *)
 let send t =
   let now = Sim.Engine.now (engine t) in
-  (* Echo order within a session message is immaterial: receivers only
-     look up their own entry. *)
-  let echoes = ref [] in
-  for peer = Array.length t.lh_at - 1 downto 0 do
-    let recv_at = t.lh_at.(peer) in
-    if not (Float.is_nan recv_at) then
-      echoes :=
-        { Net.Packet.echo_member = peer; echo_ts = t.lh_ts.(peer); echo_delay = now -. recv_at }
-        :: !echoes
-  done;
+  let echo peer acc =
+    match Hashtbl.find_opt t.heard peer with
+    | None -> acc
+    | Some h ->
+        { Net.Packet.echo_member = peer; echo_ts = h.h_ts; echo_delay = now -. h.h_at } :: acc
+  in
+  let echoes =
+    match t.echo_limit with
+    | None -> List.fold_left (fun acc peer -> echo peer acc) [] t.heard_order
+    | Some k ->
+        (* Rotate a cursor over the ring so successive messages echo
+           different peers: every tracked peer is echoed within
+           ceil(ring/k) messages, which is what lets distance
+           estimation still converge group-wide under the cap. *)
+        let cap = Array.length t.ring in
+        let acc = ref [] in
+        let taken = ref 0 in
+        let scanned = ref 0 in
+        while !taken < k && !scanned < cap do
+          let peer = t.ring.((t.echo_cursor + !scanned) mod cap) in
+          incr scanned;
+          if peer >= 0 then begin
+            acc := echo peer !acc;
+            incr taken
+          end
+        done;
+        t.echo_cursor <- (t.echo_cursor + !scanned) mod cap;
+        !acc
+  in
   t.on_send ();
   Net.Network.multicast t.network ~from:t.self
     {
       Net.Packet.sender = t.self;
       payload =
         Net.Packet.Session
-          { origin = t.self; sent_at = now; max_seqs = t.get_max_seqs (); echoes = !echoes };
+          { origin = t.self; sent_at = now; max_seqs = t.get_max_seqs (); echoes };
     }
 
 let start ?jitter t ~until =
@@ -64,43 +107,57 @@ let start ?jitter t ~until =
   in
   ignore (Sim.Engine.schedule (engine t) ~after:offset tick)
 
+let note_heard t origin ~sent_at ~now =
+  match Hashtbl.find_opt t.heard origin with
+  | Some h ->
+      h.h_ts <- sent_at;
+      h.h_at <- now
+  | None ->
+      (match t.echo_limit with
+      | None -> t.heard_order <- origin :: t.heard_order
+      | Some _ ->
+          let victim = t.ring.(t.ring_pos) in
+          if victim >= 0 then Hashtbl.remove t.heard victim;
+          t.ring.(t.ring_pos) <- origin;
+          t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring);
+      Hashtbl.replace t.heard origin { h_ts = sent_at; h_at = now }
+
 let on_packet t (p : Net.Packet.t) =
   match p.payload with
   | Net.Packet.Session { origin; sent_at; max_seqs; echoes } when origin <> t.self ->
       let now = Sim.Engine.now (engine t) in
-      t.lh_ts.(origin) <- sent_at;
-      t.lh_at.(origin) <- now;
+      note_heard t origin ~sent_at ~now;
       List.iter
         (fun { Net.Packet.echo_member; echo_ts; echo_delay } ->
           if echo_member = t.self then begin
             let rtt = now -. echo_ts -. echo_delay in
-            if rtt >= 0. then t.dist.(origin) <- rtt /. 2.
+            if rtt >= 0. then Hashtbl.replace t.dists origin (rtt /. 2.)
           end)
         echoes;
       List.iter (fun (src, m) -> if m > 0 then t.on_max_seq ~src m) max_seqs
   | _ -> ()
 
-let distance t peer =
-  let d = t.dist.(peer) in
-  if Float.is_nan d then None else Some d
+let distance t peer = Hashtbl.find_opt t.dists peer
 
 let distance_or t peer ~default =
-  let d = t.dist.(peer) in
-  if Float.is_nan d then default else d
+  match Hashtbl.find t.dists peer with
+  | d -> d
+  | exception Not_found -> (
+      match t.oracle with Some f -> f peer | None -> default)
 
 let distance_exn t peer =
-  let d = t.dist.(peer) in
-  if Float.is_nan d then failwith (Printf.sprintf "Session.distance_exn: no estimate for peer %d" peer)
-  else d
+  match Hashtbl.find t.dists peer with
+  | d -> d
+  | exception Not_found ->
+      failwith (Printf.sprintf "Session.distance_exn: no estimate for peer %d" peer)
 
 let reset t =
-  Array.fill t.dist 0 (Array.length t.dist) Float.nan;
-  Array.fill t.lh_ts 0 (Array.length t.lh_ts) Float.nan;
-  Array.fill t.lh_at 0 (Array.length t.lh_at) Float.nan
+  Hashtbl.reset t.dists;
+  Hashtbl.reset t.heard;
+  t.heard_order <- [];
+  Array.fill t.ring 0 (Array.length t.ring) (-1);
+  t.ring_pos <- 0;
+  t.echo_cursor <- 0
 
 let known_peers t =
-  let acc = ref [] in
-  for peer = Array.length t.dist - 1 downto 0 do
-    if not (Float.is_nan t.dist.(peer)) then acc := peer :: !acc
-  done;
-  !acc
+  List.sort compare (Hashtbl.fold (fun peer _ acc -> peer :: acc) t.dists [])

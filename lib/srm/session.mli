@@ -15,6 +15,8 @@
 type t
 
 val create :
+  ?echo_limit:int ->
+  ?oracle:(int -> float) ->
   network:Net.Network.t ->
   self:int ->
   period:float ->
@@ -22,10 +24,26 @@ val create :
   get_max_seqs:(unit -> (int * int) list) ->
   on_max_seq:(src:int -> int -> unit) ->
   on_send:(unit -> unit) ->
+  unit ->
   t
 (** [get_max_seqs] supplies the advertised per-stream sequence numbers;
     [on_max_seq] is invoked for each stream a peer advertises;
-    [on_send] is invoked per session message sent (for counting). *)
+    [on_send] is invoked per session message sent (for counting).
+
+    [echo_limit] caps the number of peer echoes per session message
+    (default: unlimited — every heard peer is echoed, the classic SRM
+    behavior, appropriate for trace-sized groups). When set, the host
+    tracks only a bounded ring of recently heard peers and echoes them
+    round-robin, [echo_limit] per message, keeping per-member session
+    state O(1) in the group size.
+
+    [oracle] supplies an authoritative distance for peers with no
+    measured estimate yet (scale runs pass the network's true
+    delay-weighted tree distance — the converged state the paper
+    assumes — so timers are well-spread without the quadratic session
+    warm-up). Measured estimates take precedence once they exist.
+
+    @raise Invalid_argument if [echo_limit] is non-positive. *)
 
 val start : ?jitter:float -> t -> until:float -> unit
 (** Begin periodic transmission after a random offset in
@@ -39,9 +57,9 @@ val distance : t -> int -> float option
     completed. *)
 
 val distance_or : t -> int -> default:float -> float
-(** [distance_or t peer ~default] is the estimate, or [default] when
-    none exists. Allocation-free variant of {!distance} for the
-    request/reply scheduling hot path. *)
+(** [distance_or t peer ~default] is the estimate, else the [oracle]'s
+    answer, else [default]. Allocation-free variant of {!distance} for
+    the request/reply scheduling hot path. *)
 
 val distance_exn : t -> int -> float
 (** @raise Failure when no estimate exists yet — protocol logic should

@@ -17,6 +17,28 @@ let expected_losses tree ~rates ~n_packets =
     0. (Net.Tree.receivers tree)
   *. float_of_int n_packets
 
+(* O(n) variant for scale trees: survival probabilities accumulate
+   top-down, each node multiplying its parent's product once, instead
+   of one root walk per receiver (quadratic on deep chains, and the
+   calibration bisection evaluates this ~60 times). Not a drop-in for
+   [expected_losses] on the legacy rows: the per-receiver product
+   multiplies the same factors in the opposite order, so the result
+   can differ in ULPs — and the pinned trace goldens were minted with
+   the bottom-up walk. *)
+let expected_losses_topdown tree ~rates ~n_packets =
+  let n = Net.Tree.n_nodes tree in
+  let survive = Array.make n 1. in
+  let acc = ref 0. in
+  let rec visit v =
+    List.iter
+      (fun c ->
+        survive.(c) <- survive.(v) *. (1. -. rates.(c));
+        if Net.Tree.is_leaf tree c then acc := !acc +. (1. -. survive.(c)) else visit c)
+      (Net.Tree.children tree v)
+  in
+  visit 0;
+  !acc *. float_of_int n_packets
+
 (* A crude but stable string hash to derive per-row default seeds. *)
 let hash_name name =
   let h = ref 1469598103934665603L in
@@ -30,9 +52,9 @@ let rate_cap = 0.6
 
 (* Find the weight scale making the expected loss total hit the target.
    Expected losses are monotone increasing in the scale, so bisect. *)
-let calibrate_scale tree ~weights ~n_packets ~target =
+let calibrate_scale ?(expect = expected_losses) tree ~weights ~n_packets ~target =
   let rates_for s = Array.map (fun w -> Float.min rate_cap (s *. w)) weights in
-  let expected s = expected_losses tree ~rates:(rates_for s) ~n_packets in
+  let expected s = expect tree ~rates:(rates_for s) ~n_packets in
   let rec grow hi = if expected hi >= target || hi > 1e6 then hi else grow (hi *. 2.) in
   let hi = grow 1. in
   let rec bisect lo hi iters =
@@ -53,24 +75,45 @@ let simulate_links tree ~rng ~rates ~bursts ~n_packets =
   done;
   link_bad
 
+(* A packet is lost by a receiver iff any link on its path from the
+   source was Bad at that step: per-receiver loss = union of link_bad
+   over the path. Accumulated top-down — each node unions its own link
+   into a copy of its parent's running union — so the whole matrix is
+   O(n) bitset operations instead of one root walk per receiver
+   (quadratic on deep trees). Unions are order-insensitive, so the
+   bits are identical to the former per-receiver walk. *)
 let loss_matrix tree ~link_bad ~n_packets =
-  let receivers = Net.Tree.receivers tree in
-  Array.map
-    (fun node ->
-      let bits = Bitset.create n_packets in
-      (* A packet is lost by the receiver iff any link on its path from
-         the source was Bad at that step. *)
-      let rec mark v =
-        if v <> 0 then begin
-          Bitset.iter_set link_bad.(v) (fun i -> Bitset.set bits i);
-          mark (Net.Tree.parent tree v)
-        end
-      in
-      mark node;
-      bits)
-    receivers
+  let n = Net.Tree.n_nodes tree in
+  let path_bad = Array.make n (Bitset.create 0) in
+  path_bad.(0) <- Bitset.create n_packets;
+  let rec visit v =
+    List.iter
+      (fun c ->
+        let bits = Bitset.copy path_bad.(v) in
+        Bitset.union_into ~dst:bits link_bad.(c);
+        path_bad.(c) <- bits;
+        visit c)
+      (Net.Tree.children tree v)
+  in
+  visit 0;
+  Array.map (fun node -> path_bad.(node)) (Net.Tree.receivers tree)
 
 let realized_losses loss = Array.fold_left (fun acc b -> acc + Bitset.count b) 0 loss
+
+(* Receiver-leaf counts below every link, in one post-order pass
+   (integer counts are exact, so this replaces the former per-link
+   [subtree_receivers] scan — O(n^2) overall — everywhere). *)
+let receivers_below_all tree =
+  let n = Net.Tree.n_nodes tree in
+  let counts = Array.make n 0 in
+  let rec visit v =
+    let own = if Net.Tree.is_leaf tree v && v <> 0 then 1 else 0 in
+    counts.(v) <-
+      List.fold_left (fun acc c -> acc + visit c) own (Net.Tree.children tree v);
+    counts.(v)
+  in
+  ignore (visit 0);
+  counts
 
 let synthesize ?seed ?n_packets (row : Meta.row) =
   let seed = match seed with Some s -> s | None -> hash_name row.name in
@@ -79,30 +122,60 @@ let synthesize ?seed ?n_packets (row : Meta.row) =
   let target =
     float_of_int row.n_losses *. float_of_int n_packets /. float_of_int row.n_packets
   in
-  let tree = Topology_gen.generate ~rng ~n_receivers:row.n_receivers ~depth:row.tree_depth in
+  let family = Scale.family_of_name row.name in
+  let tree =
+    match family with
+    | None -> Topology_gen.generate ~rng ~n_receivers:row.n_receivers ~depth:row.tree_depth
+    | Some (Scale.Bounded_fanout { fanout }) ->
+        Topology_gen.bounded_fanout ~rng ~n_receivers:row.n_receivers ~fanout
+    | Some (Scale.Star_of_stars { clusters }) ->
+        Topology_gen.star_of_stars ~rng ~n_receivers:row.n_receivers ~clusters
+    | Some Scale.Deep_chain -> Topology_gen.deep_chain ~rng ~n_receivers:row.n_receivers
+  in
   let n = Net.Tree.n_nodes tree in
   (* Relative loss weights: every link lossy a little, a few "hot"
      links lossy a lot. Yajnik et al. observe that most MBone loss
      concentrates on a small number of links; the hot/background ratio
      here makes hot links carry the bulk of the loss, which is the
      locality CESRM's cache rides on. *)
-  let weights = Array.init n (fun l -> if l = 0 then 0. else Sim.Rng.log_uniform rng 0.01 0.12) in
+  (* Scale families shrink the background weight by three orders of
+     magnitude: across 10^4 links the trace-sized background
+     (0.01–0.12 per link) would swallow the whole calibrated budget,
+     smearing losses thinly over every link — no locality, every loss
+     a fresh singleton event. Yajnik-style concentration (and the
+     locality CESRM's cache needs) requires the hot links to carry the
+     bulk. *)
+  let bg_lo, bg_hi = match family with None -> (0.01, 0.12) | Some _ -> (1e-5, 1e-4) in
+  let weights = Array.init n (fun l -> if l = 0 then 0. else Sim.Rng.log_uniform rng bg_lo bg_hi) in
   (* Yajnik et al. find most MBone losses are seen by one or a few
      receivers, with occasional backbone events seen by many. Hot links
      are therefore drawn mostly from the edge (small receiver
      subtrees), plus one or two interior links for the shared events. *)
-  let receivers_below l = List.length (Net.Tree.subtree_receivers tree l) in
+  let below = receivers_below_all tree in
   let links_with pred =
     Array.of_list (List.filter pred (Array.to_list (Net.Tree.links tree)))
   in
-  let edge_pool = links_with (fun l -> receivers_below l <= 2) in
-  let interior_pool = links_with (fun l -> receivers_below l >= 3) in
+  let edge_pool = links_with (fun l -> below.(l) <= 2) in
+  let interior_pool = links_with (fun l -> below.(l) >= 3) in
   let heat l = weights.(l) <- weights.(l) +. Sim.Rng.log_uniform rng 0.8 2.5 in
-  let n_edge_hot = max 2 (row.n_receivers / 2) in
+  (* Trace-sized rows grow the hot-link count with the group; scale
+     rows pin it to a handful so the (capped) loss budget concentrates
+     into repeated events on the same links — the locality that makes
+     CESRM's expedited path matter and keeps each recovery exchange
+     from being a one-off global flood. *)
+  let n_edge_hot =
+    match family with None -> max 2 (row.n_receivers / 2) | Some _ -> 6
+  in
   for _ = 1 to n_edge_hot do
     if Array.length edge_pool > 0 then heat (Sim.Rng.pick rng edge_pool)
   done;
-  let n_interior_hot = 1 + (row.n_receivers / 10) in
+  (* At scale an interior hot link means a loss event shared by
+     thousands of receivers — an O(n) recovery exchange each time — so
+     scale scenarios keep only a couple (the shared events CESRM's
+     cache rides on) where the trace-sized rows grow with the group. *)
+  let n_interior_hot =
+    match family with None -> 1 + (row.n_receivers / 10) | Some _ -> 2
+  in
   for _ = 1 to n_interior_hot do
     if Array.length interior_pool > 0 then begin
       let l = Sim.Rng.pick rng interior_pool in
@@ -110,10 +183,11 @@ let synthesize ?seed ?n_packets (row : Meta.row) =
     end
   done;
   let bursts = Array.init n (fun l -> if l = 0 then 1. else Sim.Rng.uniform rng 1.2 4.0) in
+  let expect = match family with None -> expected_losses | Some _ -> expected_losses_topdown in
   (* Calibrate, simulate, then correct the scale against the realized
      count (burstiness adds variance) and resimulate, a few times. *)
   let rec attempt iter scale_correction =
-    let scale = calibrate_scale tree ~weights ~n_packets ~target *. scale_correction in
+    let scale = calibrate_scale ~expect tree ~weights ~n_packets ~target *. scale_correction in
     let rates = Array.map (fun w -> Float.min rate_cap (scale *. w)) weights in
     let link_bad = simulate_links tree ~rng ~rates ~bursts ~n_packets in
     let loss = loss_matrix tree ~link_bad ~n_packets in

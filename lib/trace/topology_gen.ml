@@ -57,3 +57,78 @@ let generate ~rng ~n_receivers ~depth =
      id order inside each class is arbitrary. *)
   List.iter (fun parent -> ignore (add_node parent)) (List.rev !receiver_parents);
   Net.Tree.of_parents (Array.of_list (List.rev !parents))
+
+(* --- scale families ------------------------------------------------ *)
+
+(* The families below target 256–10 000 receivers, far beyond the
+   Yajnik shapes [generate] mimics. All keep the conventions the rest
+   of the stack relies on: node 0 is the source, routers occupy a
+   dense id prefix, receivers get the highest ids and are exactly the
+   leaves. *)
+
+(* Router skeleton grown as a random recursive tree with a child cap,
+   receivers dealt round-robin across routers. Round-robin (rather
+   than random placement) guarantees every router keeps at least one
+   receiver — no router is ever a leaf — and spreads receivers over
+   the full range of router depths, which is the distance diversity
+   SRM's deterministic suppression needs at scale. A router carries at
+   most [fanout] router children plus its round-robin share of
+   receivers, so node degree is bounded by about 2·[fanout]. *)
+let bounded_fanout ~rng ~n_receivers ~fanout =
+  if n_receivers < 1 then invalid_arg "Topology_gen.bounded_fanout: n_receivers >= 1 required";
+  if fanout < 2 then invalid_arg "Topology_gen.bounded_fanout: fanout >= 2 required";
+  let n_routers = max 1 ((n_receivers + fanout - 1) / fanout) in
+  let parents = Array.make (1 + n_routers + n_receivers) (-1) in
+  let child_count = Array.make (1 + n_routers) 0 in
+  (* Routers whose router-child count is still below the cap, as a
+     swap-remove stack so each attachment is O(1). *)
+  let eligible = Array.make (1 + n_routers) 0 in
+  let n_eligible = ref 1 in
+  for r = 1 to n_routers do
+    let i = Sim.Rng.int rng !n_eligible in
+    let p = eligible.(i) in
+    parents.(r) <- p;
+    child_count.(p) <- child_count.(p) + 1;
+    if child_count.(p) >= fanout then begin
+      decr n_eligible;
+      eligible.(i) <- eligible.(!n_eligible)
+    end;
+    eligible.(!n_eligible) <- r;
+    incr n_eligible
+  done;
+  for j = 0 to n_receivers - 1 do
+    parents.(1 + n_routers + j) <- 1 + (j mod n_routers)
+  done;
+  Net.Tree.of_parents parents
+
+(* Two-level star: the source fans out to [clusters] hub routers, each
+   hub to an equal share of receivers. Every receiver pair is
+   (near-)equidistant — the worst case for SRM's deterministic
+   suppression, kept as a stress shape. *)
+let star_of_stars ~rng:_ ~n_receivers ~clusters =
+  if n_receivers < 1 then invalid_arg "Topology_gen.star_of_stars: n_receivers >= 1 required";
+  if clusters < 1 then invalid_arg "Topology_gen.star_of_stars: clusters >= 1 required";
+  let clusters = min clusters n_receivers in
+  let parents = Array.make (1 + clusters + n_receivers) (-1) in
+  for c = 1 to clusters do
+    parents.(c) <- 0
+  done;
+  for j = 0 to n_receivers - 1 do
+    parents.(1 + clusters + j) <- 1 + (j mod clusters)
+  done;
+  Net.Tree.of_parents parents
+
+(* Maximal-depth chain: router i sits at depth i, with one receiver
+   hanging off each chain router. Depth grows linearly with the group,
+   making per-hop costs (path walks, flood accumulation, timer
+   horizons) scale worst-case. *)
+let deep_chain ~rng:_ ~n_receivers =
+  if n_receivers < 1 then invalid_arg "Topology_gen.deep_chain: n_receivers >= 1 required";
+  let parents = Array.make (1 + (2 * n_receivers)) (-1) in
+  for r = 1 to n_receivers do
+    parents.(r) <- r - 1
+  done;
+  for j = 0 to n_receivers - 1 do
+    parents.(1 + n_receivers + j) <- j + 1
+  done;
+  Net.Tree.of_parents parents

@@ -12,3 +12,29 @@ val generate : rng:Sim.Rng.t -> n_receivers:int -> depth:int -> Net.Tree.t
 (** @raise Invalid_argument if [depth < 1], [n_receivers < 1], or the
     shape is infeasible (a height-[d] tree needs at least one receiver
     at depth [d]). *)
+
+(** {1 Scale families}
+
+    Tree families for 256–10 000 receiver synthetic scenarios (see
+    {!Scale}). All share the invariants of {!generate}: node 0 is the
+    source, routers form a dense id prefix, receivers get the highest
+    ids and are exactly the leaves. *)
+
+val bounded_fanout : rng:Sim.Rng.t -> n_receivers:int -> fanout:int -> Net.Tree.t
+(** Random recursive router tree with at most [fanout] router children
+    per router (about [n_receivers / fanout] routers, depth
+    logarithmic in expectation); receivers are dealt round-robin
+    across routers, so total node degree is bounded by about
+    2·[fanout] and receivers sit at many distinct depths.
+    @raise Invalid_argument if [n_receivers < 1] or [fanout < 2]. *)
+
+val star_of_stars : rng:Sim.Rng.t -> n_receivers:int -> clusters:int -> Net.Tree.t
+(** Source → [clusters] hubs → receivers, split evenly; depth 2.
+    Receivers are pairwise (near-)equidistant — the adversarial shape
+    for timer-based suppression.
+    @raise Invalid_argument if [n_receivers < 1] or [clusters < 1]. *)
+
+val deep_chain : rng:Sim.Rng.t -> n_receivers:int -> Net.Tree.t
+(** A chain of [n_receivers] routers with one receiver per router;
+    depth [n_receivers + 1]. Exercises worst-case path lengths.
+    @raise Invalid_argument if [n_receivers < 1]. *)

@@ -365,6 +365,69 @@ let arbitrary_plan =
     ~shrink:QCheck.Shrink.(list ?shrink:None)
     QCheck.Gen.(list_size (int_range 0 4) gen_event)
 
+(* --- Battery at scale: a generated 512-receiver topology -------------- *)
+
+(* The same model-based property on a synthetic scale group: random
+   bounded fault plans against the full harness path (ground-truth
+   Gilbert losses, scale tuning — oracle distances, source-only
+   sessions, widened suppression windows) must leave the invariant
+   oracle clean. The trace is synthesized once; link and crash-node
+   draws come from its actual tree, so plans stay meaningful at this
+   size (crashes always hit members, never routers). *)
+let scale_case =
+  lazy
+    (let row = Mtrace.Scale.find "SCALE-bf-512" in
+     let gen = Mtrace.Generator.synthesize ~n_packets:30 row in
+     (gen.Mtrace.Generator.trace, gen.Mtrace.Generator.link_bad))
+
+let run_plan_scale ~protocol plan =
+  let trace, link_bad = Lazy.force scale_case in
+  let setup = Harness.Runner.tune_for_trace trace Harness.Runner.default_setup in
+  let res =
+    Harness.Runner.run_model ~setup ~fault_plan:plan protocol trace
+      (Harness.Runner.Ground_truth link_bad)
+  in
+  res.Harness.Runner.oracle_violations = 0
+
+let gen_event_scale =
+  let trace, _ = Lazy.force scale_case in
+  let tree = Mtrace.Trace.tree trace in
+  let receivers = Net.Tree.receivers tree in
+  let n_links = Net.Tree.n_nodes tree - 1 in
+  QCheck.Gen.(
+    int_range 0 4 >>= fun kind ->
+    int_range 1 n_links >>= fun link ->
+    int_range 0 25 >>= fun a ->
+    int_range 1 10 >>= fun len ->
+    let from_ = 5.0 +. (0.1 *. float_of_int a) in
+    let until = from_ +. (0.1 *. float_of_int len) in
+    match kind with
+    | 0 -> return (Fault.Plan.Link_down { link; from_; until })
+    | 1 -> return (Fault.Plan.Link_jitter { link; from_; until; max_jitter = 0.03 })
+    | 2 -> return (Fault.Plan.Link_dup { link; from_; until })
+    | 3 ->
+        let node = receivers.(link mod Array.length receivers) in
+        let restart_at = if len > 2 then Some until else None in
+        return (Fault.Plan.Crash { node; at = from_; restart_at })
+    | _ -> return (Fault.Plan.Partition { root = link; from_; until }))
+
+let arbitrary_scale_plan =
+  QCheck.make ~print:print_events
+    ~shrink:QCheck.Shrink.(list ?shrink:None)
+    QCheck.Gen.(list_size (int_range 0 4) gen_event_scale)
+
+let prop_scale_plans_oracle_clean_srm =
+  QCheck.Test.make ~name:"fault: bounded plans on 512-receiver scale group, SRM" ~count:8
+    arbitrary_scale_plan (fun events ->
+      run_plan_scale ~protocol:Harness.Runner.Srm_protocol (Fault.Plan.make events))
+
+let prop_scale_plans_oracle_clean_cesrm =
+  QCheck.Test.make ~name:"fault: bounded plans on 512-receiver scale group, CESRM" ~count:5
+    arbitrary_scale_plan (fun events ->
+      run_plan_scale
+        ~protocol:(Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+        (Fault.Plan.make events))
+
 let prop_bounded_plans_liveness_srm =
   QCheck.Test.make ~name:"fault: bounded random plans keep SRM live and clean" ~count:30
     arbitrary_plan (fun events -> run_plan ~protocol:`Srm (Fault.Plan.make events))
@@ -473,5 +536,7 @@ let () =
           Alcotest.test_case "canned plans clean for both protocols" `Slow
             test_canned_clean_oracle;
           Alcotest.test_case "unknown fault name" `Quick test_unknown_fault_name;
+          qcheck prop_scale_plans_oracle_clean_srm;
+          qcheck prop_scale_plans_oracle_clean_cesrm;
         ] );
     ]

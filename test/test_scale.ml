@@ -1,0 +1,179 @@
+(* Scale-workload tests: topology family shapes, scenario-name
+   resolution, pinned determinism goldens for a 1024-receiver group,
+   and sweep serial/parallel byte-identity at that size.
+
+   The golden fingerprints pin the scale harness end to end — tree
+   generation, Gilbert calibration, ground-truth loss injection, the
+   scale tuning (oracle distances, source-only sessions, widened
+   suppression windows) and both protocols on top of the timer-wheel
+   engine. Any representation change that claims to be behavior-
+   preserving must reproduce them byte for byte. *)
+
+let check = Alcotest.check
+
+(* --- Topology families ---------------------------------------------- *)
+
+let rng () = Sim.Rng.create 42L
+
+let test_bounded_fanout_shape () =
+  let tree = Mtrace.Topology_gen.bounded_fanout ~rng:(rng ()) ~n_receivers:500 ~fanout:4 in
+  check Alcotest.int "receiver count" 500 (Net.Tree.n_receivers tree);
+  Array.iter
+    (fun r -> check Alcotest.bool "receivers are leaves" true (Net.Tree.is_leaf tree r))
+    (Net.Tree.receivers tree);
+  (* Total degree stays bounded: at most [fanout] router children plus
+     the round-robin share of receivers. *)
+  let max_children = ref 0 in
+  for v = 0 to Net.Tree.n_nodes tree - 1 do
+    if not (Net.Tree.is_leaf tree v) then
+      max_children := max !max_children (List.length (Net.Tree.children tree v))
+  done;
+  check Alcotest.bool "fanout bounded" true (!max_children <= 2 * 4 + 1);
+  (* Logarithmic depth in expectation; generously bounded here. *)
+  check Alcotest.bool "depth is shallow" true (Net.Tree.height tree <= 40)
+
+let test_star_of_stars_shape () =
+  let tree = Mtrace.Topology_gen.star_of_stars ~rng:(rng ()) ~n_receivers:300 ~clusters:17 in
+  check Alcotest.int "receiver count" 300 (Net.Tree.n_receivers tree);
+  check Alcotest.int "depth 2" 2 (Net.Tree.height tree);
+  check Alcotest.int "hub count" 17 (List.length (Net.Tree.children tree 0));
+  Array.iter
+    (fun r -> check Alcotest.int "every receiver at depth 2" 2 (Net.Tree.depth tree r))
+    (Net.Tree.receivers tree)
+
+let test_deep_chain_shape () =
+  let n = 200 in
+  let tree = Mtrace.Topology_gen.deep_chain ~rng:(rng ()) ~n_receivers:n in
+  check Alcotest.int "receiver count" n (Net.Tree.n_receivers tree);
+  check Alcotest.int "depth n+1" (n + 1) (Net.Tree.height tree);
+  check Alcotest.int "one node per level plus leaf" (2 * n + 1) (Net.Tree.n_nodes tree)
+
+(* --- Scenario-name resolution ---------------------------------------- *)
+
+let test_scale_parse () =
+  (match Mtrace.Scale.parse "SCALE-bf-1024" with
+  | Some row ->
+      check Alcotest.int "receivers" 1024 row.Mtrace.Meta.n_receivers;
+      check Alcotest.string "name round-trips" "SCALE-bf-1024" row.Mtrace.Meta.name;
+      check Alcotest.bool "index disjoint from published rows" true
+        (row.Mtrace.Meta.index >= 100)
+  | None -> Alcotest.fail "SCALE-bf-1024 must parse");
+  List.iter
+    (fun bad -> check Alcotest.bool bad true (Mtrace.Scale.parse bad = None))
+    [ "SCALE-bf-4"; "SCALE-bf-200000"; "SCALE-xx-256"; "SCALE-bf"; "WRN951214"; "" ]
+
+let test_scale_find_fallback () =
+  (* find resolves scale names and falls through to the published
+     catalog for everything else. *)
+  check Alcotest.int "scale name" 512 (Mtrace.Scale.find "SCALE-ss-512").Mtrace.Meta.n_receivers;
+  check Alcotest.string "published name" "WRN951214" (Mtrace.Scale.find "WRN951214").Mtrace.Meta.name;
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Mtrace.Scale.find "NO-SUCH-TRACE"))
+
+let test_scale_catalog () =
+  check Alcotest.int "3 families x 4 sizes" 12 (List.length Mtrace.Scale.catalog);
+  List.iter
+    (fun row ->
+      check Alcotest.bool "catalog rows parse back" true
+        (Mtrace.Scale.parse row.Mtrace.Meta.name = Some row))
+    Mtrace.Scale.catalog
+
+let test_loss_budget_frozen () =
+  let losses name = (Mtrace.Scale.find name).Mtrace.Meta.n_losses in
+  check Alcotest.bool "budget grows below the cap" true
+    (losses "SCALE-bf-256" < losses "SCALE-bf-512");
+  check Alcotest.int "budget frozen past 512 receivers" (losses "SCALE-bf-512")
+    (losses "SCALE-bf-10000")
+
+(* --- Pinned 1024-receiver goldens ------------------------------------ *)
+
+let fingerprint (r : Harness.Runner.result) =
+  let total k = Stats.Counters.total r.counters k in
+  let lat_sum =
+    List.fold_left
+      (fun acc rec_ -> acc +. Stats.Recovery.latency rec_)
+      0.
+      (Stats.Recovery.records r.recoveries)
+  in
+  Printf.sprintf
+    "rqst=%d exp_rqst=%d repl=%d exp_repl=%d sess=%d detected=%d unrecovered=%d \
+     recoveries=%d lat_sum=%.17g"
+    (total Stats.Counters.Rqst) (total Stats.Counters.Exp_rqst) (total Stats.Counters.Repl)
+    (total Stats.Counters.Exp_repl) (total Stats.Counters.Sess) r.detected r.unrecovered
+    (Stats.Recovery.count r.recoveries) lat_sum
+
+let scale_row = Mtrace.Scale.find "SCALE-bf-1024"
+
+let run_scale protocol = Harness.Runner.run_leg ~n_packets:40 ~seed:42L protocol scale_row
+
+let check_scale_fingerprint name expected protocol () =
+  let res = run_scale protocol in
+  check Alcotest.int (name ^ " audit clean") 0 res.Harness.Runner.audit_violations;
+  check Alcotest.string name expected (fingerprint res)
+
+(* --- Sweep byte-identity at 1024 receivers --------------------------- *)
+
+let scale_spec =
+  {
+    Exp.Spec.name = "scale";
+    traces = [ "SCALE-bf-1024" ];
+    protocols =
+      [
+        Exp.Spec.Srm;
+        Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_recent; router_assist = false };
+      ];
+    base_seed = 7L;
+    n_seeds = 1;
+    n_packets = Some 40;
+    link_delay_ms = 20.;
+    lossy_recovery = false;
+    faults = [];
+  }
+
+let test_sweep_identity_at_scale () =
+  let serial = Obs.Json.to_string (Exp.Sweep.run ~jobs:1 scale_spec) in
+  (match Obs.Json.parse serial with
+  | Error msg -> Alcotest.fail msg
+  | Ok artifact -> (
+      match Option.bind (Obs.Json.member "totals" artifact) (Obs.Json.member "unrecovered") with
+      | Some (Obs.Json.Num 0.) -> ()
+      | _ -> Alcotest.fail "expected totals/unrecovered = 0"));
+  if Exp.Pool.available then begin
+    let parallel = Obs.Json.to_string (Exp.Sweep.run ~jobs:2 scale_spec) in
+    check Alcotest.string "serial and parallel artifacts byte-identical at 1024" serial
+      parallel
+  end
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "bounded-fanout shape" `Quick test_bounded_fanout_shape;
+          Alcotest.test_case "star-of-stars shape" `Quick test_star_of_stars_shape;
+          Alcotest.test_case "deep-chain shape" `Quick test_deep_chain_shape;
+        ] );
+      ( "names",
+        [
+          Alcotest.test_case "parse" `Quick test_scale_parse;
+          Alcotest.test_case "find fallback" `Quick test_scale_find_fallback;
+          Alcotest.test_case "catalog" `Quick test_scale_catalog;
+          Alcotest.test_case "loss budget frozen" `Quick test_loss_budget_frozen;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "srm 1024" `Quick
+            (check_scale_fingerprint "srm-1024"
+               "rqst=24 exp_rqst=0 repl=185 exp_repl=0 sess=36 detected=55 unrecovered=0 \
+                recoveries=55 lat_sum=101.60805433283687"
+               Harness.Runner.Srm_protocol);
+          Alcotest.test_case "cesrm 1024" `Quick
+            (check_scale_fingerprint "cesrm-1024"
+               "rqst=19 exp_rqst=5 repl=131 exp_repl=5 sess=36 detected=55 unrecovered=0 \
+                recoveries=55 lat_sum=76.494019482290355"
+               (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config));
+        ] );
+      ( "sweep",
+        [ Alcotest.test_case "serial = parallel (bytes)" `Quick test_sweep_identity_at_scale ]
+      );
+    ]

@@ -330,6 +330,137 @@ let test_engine_slot_reuse_safe () =
   Sim.Engine.run e;
   check Alcotest.bool "fresh timer fired" true !fired
 
+(* --- Differential: wheel backend vs. reference heap ----------------- *)
+
+(* The timer wheel must be observationally identical to the pure heap
+   (DESIGN.md §12: buckets flush into the heap, which alone decides
+   firing order). The battery interprets one random schedule program
+   against both backends and compares the full (label, time) firing
+   trace plus the lifetime counters. Programs mix zero delays,
+   sub-tick delays, quantized delays (lots of exact ties), ordinary
+   delays, beyond-horizon delays (the heap overflow level), and
+   callback-driven cancellation, chained scheduling and re-arms.
+   Shrinking drops ops, so a failure reports a minimal diverging
+   schedule. *)
+
+type sched_action =
+  | Sched_nop
+  | Sched_cancel of int  (* cancel timer (k mod timers-so-far) *)
+  | Sched_chain of float  (* schedule a fresh timer at now + d *)
+  | Sched_rearm of int * float  (* cancel, then schedule a replacement *)
+
+type sched_spec = { sched_delay : float; sched_action : sched_action }
+
+let run_sched_program backend specs =
+  let e = Sim.Engine.create ~backend () in
+  let log = ref [] in
+  let timers = Hashtbl.create 16 in
+  let next_label = ref 0 in
+  let rec add delay action =
+    let label = !next_label in
+    incr next_label;
+    let cancel_nth k =
+      if !next_label > 0 then
+        Option.iter Sim.Engine.cancel (Hashtbl.find_opt timers (k mod !next_label))
+    in
+    let t =
+      Sim.Engine.schedule e ~after:delay (fun () ->
+          log := (label, Sim.Engine.now e) :: !log;
+          match action with
+          | Sched_nop -> ()
+          | Sched_cancel k -> cancel_nth k
+          | Sched_chain d -> add d Sched_nop
+          | Sched_rearm (k, d) ->
+              cancel_nth k;
+              add d Sched_nop)
+    in
+    Hashtbl.replace timers label t
+  in
+  List.iter (fun { sched_delay; sched_action } -> add sched_delay sched_action) specs;
+  Sim.Engine.run e;
+  ( List.rev !log,
+    Sim.Engine.events_fired e,
+    Sim.Engine.events_cancelled e,
+    Sim.Engine.now e )
+
+let print_sched_spec { sched_delay; sched_action } =
+  let a =
+    match sched_action with
+    | Sched_nop -> ""
+    | Sched_cancel k -> Printf.sprintf " cancel:%d" k
+    | Sched_chain d -> Printf.sprintf " chain:+%h" d
+    | Sched_rearm (k, d) -> Printf.sprintf " rearm:%d,+%h" k d
+  in
+  Printf.sprintf "{+%h%s}" sched_delay a
+
+let gen_sched_delay =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return 0.);
+        (2, float_range 0. 0.001);
+        (* eighths of a second: collisions guaranteed, so FIFO among
+           exact ties is exercised constantly *)
+        (4, map (fun i -> float_of_int i /. 8.) (int_range 0 80));
+        (2, float_range 0. 10.);
+        (* around and beyond the 256^3-tick wheel horizon *)
+        (1, float_range 16000. 20000.);
+      ])
+
+let gen_sched_spec =
+  QCheck.Gen.(
+    let action =
+      frequency
+        [
+          (5, return Sched_nop);
+          (2, map (fun k -> Sched_cancel k) (int_range 0 50));
+          (2, map (fun d -> Sched_chain d) gen_sched_delay);
+          (1, map2 (fun k d -> Sched_rearm (k, d)) (int_range 0 50) gen_sched_delay);
+        ]
+    in
+    map2
+      (fun sched_delay sched_action -> { sched_delay; sched_action })
+      gen_sched_delay action)
+
+let arb_sched_program =
+  QCheck.make
+    ~print:(fun specs -> String.concat " " (List.map print_sched_spec specs))
+    ~shrink:QCheck.Shrink.(list ?shrink:None)
+    QCheck.Gen.(list_size (int_range 0 60) gen_sched_spec)
+
+let prop_wheel_heap_differential =
+  QCheck.Test.make ~name:"engine: wheel and heap backends fire identically" ~count:150
+    arb_sched_program
+    (fun specs -> run_sched_program `Wheel specs = run_sched_program `Heap specs)
+
+(* A deterministic, cascade-heavy program: thousands of timers spread
+   over 3000 s force level-1 and level-2 wheel cascades, with a
+   quarter cancelled while still parked in wheel buckets. Also guards
+   the differential against vacuity: the wheel backend must actually
+   report wheel traffic. *)
+let test_engine_wheel_cascades_differential () =
+  let program backend =
+    let e = Sim.Engine.create ~backend () in
+    let log = ref [] in
+    let timers =
+      Array.init 2000 (fun i ->
+          let at = float_of_int (i * 7919 mod 3000) +. (float_of_int i /. 97.) in
+          Sim.Engine.schedule_at e ~at (fun () -> log := (i, Sim.Engine.now e) :: !log))
+    in
+    Array.iteri (fun i t -> if i land 3 = 0 then Sim.Engine.cancel t) timers;
+    Sim.Engine.run e;
+    (e, List.rev !log)
+  in
+  let wheel_engine, wheel_log = program `Wheel in
+  let _, heap_log = program `Heap in
+  check Alcotest.bool "wheel = heap over cascade-heavy program" true (wheel_log = heap_log);
+  let reg = Obs.Registry.create () in
+  Sim.Engine.publish_metrics wheel_engine reg;
+  let wheel_inserts = Option.value ~default:0 (Obs.Registry.counter_value reg "sim/wheel_inserts") in
+  let cascades = Option.value ~default:0 (Obs.Registry.counter_value reg "sim/wheel_cascades") in
+  check Alcotest.bool "wheel actually engaged" true (wheel_inserts > 1000);
+  check Alcotest.bool "cascades happened" true (cascades > 0)
+
 let prop_engine_random_schedule =
   QCheck.Test.make ~name:"engine: arbitrary delays run in sorted order" ~count:100
     QCheck.(list_of_size Gen.(int_range 1 40) (float_range 0. 100.))
@@ -390,5 +521,11 @@ let () =
           Alcotest.test_case "step" `Quick test_engine_step;
           Alcotest.test_case "fire time" `Quick test_engine_fire_time;
           qcheck prop_engine_random_schedule;
+        ] );
+      ( "differential",
+        [
+          qcheck prop_wheel_heap_differential;
+          Alcotest.test_case "cascade-heavy program" `Quick
+            test_engine_wheel_cascades_differential;
         ] );
     ]
