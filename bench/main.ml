@@ -19,6 +19,11 @@
      dune exec bench/main.exe -- --scale smoke|full  (synthetic scale
                                                scenarios instead of the trace
                                                reproduction; see below)
+     dune exec bench/main.exe -- --scale full --shards 4  (additionally run
+                                               each scale leg sharded over 4
+                                               conservative PDES workers and
+                                               report events/sec and speedup
+                                               vs the serial reference)
 
    The extra section "smoke" (one SRM+CESRM pair on the smallest
    trace) runs only when named explicitly; `dune runtest` uses it as a
@@ -49,6 +54,8 @@ let baseline_file = ref None
 
 let jobs = ref 1
 
+let shards = ref 1
+
 let scale_profile = ref None
 
 let parse_args () =
@@ -77,6 +84,9 @@ let parse_args () =
         go rest
     | "--jobs" :: n :: rest ->
         jobs := int_of_string n;
+        go rest
+    | "--shards" :: n :: rest ->
+        shards := int_of_string n;
         go rest
     | "--scale" :: p :: rest ->
         if p <> "smoke" && p <> "full" then
@@ -134,6 +144,9 @@ let meta_json () =
       (* A string, not a number: job count affects wall time, never
          results, and must not be flagged by --baseline diffs. *)
       ("jobs", Str (string_of_int !jobs));
+      (* Same convention: shard count is a runtime knob (PDES results
+         are byte-identical to serial), so it must not be diffed. *)
+      ("shards", Str (string_of_int !shards));
       ("scale_profile", match !scale_profile with None -> Null | Some p -> Str p);
       ("argv", Str (String.concat " " (List.tl (Array.to_list Sys.argv))));
     ]
@@ -400,44 +413,102 @@ let scale_family_name row =
    stores them as strings (the "jobs" convention above) and only the
    full profile — whose output is a measurement, not a regression
    gate — keeps them numeric. *)
-let scale_leg ~machine_nums name protocol row =
+(* One timed leg. [Gc.allocated_bytes] only sees this process, so
+   [alloc_mb] is meaningful for serial runs; sharded legs take their
+   allocation figure from the serial reference run instead. Events
+   come from the registry: [sim/events_fired] is the engine's count in
+   serial runs and the sum over workers in sharded ones (replicated
+   source casts execute on every shard, so sharded totals exceed
+   serial — it is an executed-events throughput, not a work metric). *)
+let timed_leg ?shards protocol row =
+  let registry = Obs.Registry.create () in
   let t0 = Unix.gettimeofday () in
   let alloc0 = Gc.allocated_bytes () in
-  let r = Harness.Runner.run_leg ~seed:42L protocol row in
+  let r = Harness.Runner.run_leg ~seed:42L ~registry ?shards protocol row in
   let wall = Unix.gettimeofday () -. t0 in
   let alloc_mb = (Gc.allocated_bytes () -. alloc0) /. 1e6 in
+  let events =
+    match Obs.Registry.counter_value registry "sim/events_fired" with Some n -> n | None -> 0
+  in
+  (r, wall, alloc_mb, events)
+
+(* The deterministic face of a leg — what must be byte-equal between
+   the serial engine and any sharded run of the same leg. *)
+let leg_fingerprint (r : Harness.Runner.result) =
+  ( r.Harness.Runner.detected,
+    r.unrecovered,
+    r.audit_violations,
+    r.oracle_violations,
+    r.counters,
+    Net.Cost.retransmission_overhead r.cost,
+    Net.Cost.control_overhead r.cost ~multicast:true,
+    Net.Cost.control_overhead r.cost ~multicast:false,
+    Stats.Recovery.count r.recoveries,
+    Stats.Recovery.latency_summary r.recoveries )
+
+let scale_leg ~machine_nums name protocol row =
+  (* The serial run is both the reference timing and (with --shards 1)
+     the run itself; with --shards k > 1 a second, sharded run is
+     timed against it and checked for result identity. *)
+  let r, serial_wall, alloc_mb, serial_events = timed_leg protocol row in
+  let sharded =
+    if !shards <= 1 then None
+    else begin
+      let r', wall', _alloc', events' = timed_leg ~shards:!shards protocol row in
+      if leg_fingerprint r' <> leg_fingerprint r then
+        failwith
+          (Printf.sprintf "scale: sharded run of %s/%s diverges from serial"
+             row.Mtrace.Meta.name name);
+      Some (wall', events')
+    end
+  in
+  let wall = match sharded with Some (w, _) -> w | None -> serial_wall in
+  let events = match sharded with Some (_, e) -> e | None -> serial_events in
   let total k = Stats.Counters.total r.Harness.Runner.counters k in
   let latency = Stats.Recovery.latency_summary r.Harness.Runner.recoveries in
   Printf.printf
     "%-16s %-6s wall %7.2f s  alloc %8.0f MB  detected %6d  unrecovered %d  mc-req %4d \
-     uc-req %4d  repl %5d  exp-repl %4d\n\
+     uc-req %4d  repl %5d  exp-repl %4d%s\n\
      %!"
     row.Mtrace.Meta.name name wall alloc_mb r.detected r.unrecovered
     (total Stats.Counters.Rqst) (total Stats.Counters.Exp_rqst) (total Stats.Counters.Repl)
-    (total Stats.Counters.Exp_repl);
+    (total Stats.Counters.Exp_repl)
+    (match sharded with
+    | Some _ -> Printf.sprintf "  speedup x%.2f (%d shards)" (serial_wall /. wall) !shards
+    | None -> "");
   if r.Harness.Runner.unrecovered <> 0 then failwith ("scale: unrecovered losses in " ^ name);
   if r.Harness.Runner.audit_violations <> 0 then
     failwith ("scale: audit violations in " ^ name);
   let open Obs.Json in
   let machine v fmt = if machine_nums then Num v else Str (Printf.sprintf fmt v) in
   Obj
-    [
-      ("name", Str name);
-      ("detected", int r.detected);
-      ("unrecovered", int r.unrecovered);
-      ("audit_violations", int r.audit_violations);
-      ("mc_requests", int (total Stats.Counters.Rqst));
-      ("uc_requests", int (total Stats.Counters.Exp_rqst));
-      ("replies", int (total Stats.Counters.Repl));
-      ("expedited_replies", int (total Stats.Counters.Exp_repl));
-      ("sessions", int (total Stats.Counters.Sess));
-      ("retransmission_crossings", int (Net.Cost.retransmission_overhead r.cost));
-      ("control_crossings_mc", int (Net.Cost.control_overhead r.cost ~multicast:true));
-      ("control_crossings_uc", int (Net.Cost.control_overhead r.cost ~multicast:false));
-      ("recovery_latency_mean_s", Num (Stats.Summary.mean latency));
-      ("wall_s", machine wall "%.2f");
-      ("alloc_mb", machine alloc_mb "%.0f");
-    ]
+    ([
+       ("name", Str name);
+       ("detected", int r.detected);
+       ("unrecovered", int r.unrecovered);
+       ("audit_violations", int r.audit_violations);
+       ("mc_requests", int (total Stats.Counters.Rqst));
+       ("uc_requests", int (total Stats.Counters.Exp_rqst));
+       ("replies", int (total Stats.Counters.Repl));
+       ("expedited_replies", int (total Stats.Counters.Exp_repl));
+       ("sessions", int (total Stats.Counters.Sess));
+       ("retransmission_crossings", int (Net.Cost.retransmission_overhead r.cost));
+       ("control_crossings_mc", int (Net.Cost.control_overhead r.cost ~multicast:true));
+       ("control_crossings_uc", int (Net.Cost.control_overhead r.cost ~multicast:false));
+       ("recovery_latency_mean_s", Num (Stats.Summary.mean latency));
+       ("wall_s", machine wall "%.2f");
+       ("alloc_mb", machine alloc_mb "%.0f");
+       ("events_per_s", machine (float_of_int events /. wall) "%.0f");
+     ]
+    @
+    match sharded with
+    | None -> []
+    | Some (wall', _) ->
+        [
+          ("shards", int !shards);
+          ("serial_wall_s", machine serial_wall "%.2f");
+          ("speedup_vs_serial", machine (serial_wall /. wall') "%.2f");
+        ])
 
 let run_scale profile =
   let machine_nums = profile = "full" in

@@ -194,6 +194,15 @@ let link_delay_arg =
 let make_setup ~lossy ~link_delay_ms =
   { Harness.Runner.default_setup with lossy_recovery = lossy; link_delay = link_delay_ms /. 1000. }
 
+let shards_arg =
+  let doc =
+    "Shard the simulation across $(docv) forked PDES workers with conservative \
+     synchronization; results are byte-identical to a serial run. Runs that cannot be \
+     sharded (event tracing, LMS, lossy recovery/sessions, link-jitter faults) fall back \
+     to the serial engine."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~doc ~docv:"K")
+
 (* Per-receiver rows are capped: a 10 000-receiver scale run would
    otherwise print 10 000 table lines (and pay an O(n) lookup each). *)
 let max_receiver_rows = 32
@@ -287,7 +296,7 @@ let metrics_arg =
 
 let run_cmd =
   let run verbose (trace, ground) protocol policy router_assist lossy link_delay_ms faults
-      trace_out metrics_out =
+      trace_out metrics_out shards =
     setup_logs verbose;
     let loss_model =
       match ground with
@@ -312,7 +321,8 @@ let run_cmd =
         let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
         let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
         let res =
-          Harness.Runner.run_model ~setup ?tracer ?registry ?fault_plan proto trace loss_model
+          Harness.Runner.run_model ~setup ~shards ?tracer ?registry ?fault_plan proto trace
+            loss_model
         in
         print_result res;
         Option.iter
@@ -351,10 +361,10 @@ let run_cmd =
       ret
         (const run $ verbose_flag $ trace_model_term $ protocol_arg $ policy_arg
         $ router_assist_arg $ lossy_arg $ link_delay_arg $ faults_arg $ trace_out_arg
-        $ metrics_arg))
+        $ metrics_arg $ shards_arg))
 
 let compare_cmd =
-  let run verbose (trace, ground) policy router_assist lossy link_delay_ms faults =
+  let run verbose (trace, ground) policy router_assist lossy link_delay_ms faults shards =
     setup_logs verbose;
     let loss_model =
       match ground with
@@ -370,10 +380,11 @@ let compare_cmd =
     | Error msg -> `Error (false, msg)
     | Ok fault_plan ->
         let srm =
-          Harness.Runner.run_model ~setup ?fault_plan Harness.Runner.Srm_protocol trace loss_model
+          Harness.Runner.run_model ~setup ~shards ?fault_plan Harness.Runner.Srm_protocol trace
+            loss_model
         in
         let cesrm =
-          Harness.Runner.run_model ~setup ?fault_plan
+          Harness.Runner.run_model ~setup ~shards ?fault_plan
             (Harness.Runner.Cesrm_protocol
                { Cesrm.Host.default_config with policy; router_assist })
             trace loss_model
@@ -393,7 +404,7 @@ let compare_cmd =
     Term.(
       ret
         (const run $ verbose_flag $ trace_model_term $ policy_arg $ router_assist_arg $ lossy_arg
-        $ link_delay_arg $ faults_arg))
+        $ link_delay_arg $ faults_arg $ shards_arg))
 
 (* -- diff -------------------------------------------------------------- *)
 
@@ -465,7 +476,10 @@ let sweep_cmd =
     Arg.(value & opt string "sweep" & info [ "name" ] ~doc ~docv:"NAME")
   in
   let jobs_arg =
-    let doc = "Worker processes (default: online CPU count; 1 = serial in-process)." in
+    let doc =
+      "Worker processes (default: online CPU count; 1 = serial in-process; 0 = auto-detect \
+       and record the resolved count in the artifact's meta)."
+    in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
   in
   let timeout_arg =
@@ -565,7 +579,7 @@ let sweep_cmd =
       ~rows
   in
   let run verbose spec_file name traces protocols seeds base_seed packets link_delay_ms lossy
-      faults jobs timeout retries out print_spec baseline rel abs =
+      faults jobs shards timeout retries out print_spec baseline rel abs =
     setup_logs verbose;
     match
       build_spec ~spec_file ~name ~traces ~protocols ~seeds ~base_seed ~packets ~link_delay_ms
@@ -579,13 +593,14 @@ let sweep_cmd =
         end
         else begin
           let n = Array.length (Exp.Spec.cells spec) in
-          let jobs = match jobs with Some j -> j | None -> Exp.Pool.default_jobs () in
-          Printf.printf "sweep %s: %d shard(s) over %d worker(s)%s\n%!" spec.Exp.Spec.name n
-            (min jobs n)
-            (if jobs > 1 && not Exp.Pool.available then " (fork unavailable: serial)" else "");
+          let resolved = Exp.Pool.resolve_jobs jobs in
+          Printf.printf "sweep %s: %d shard(s) over %d worker(s)%s%s\n%!" spec.Exp.Spec.name n
+            (min resolved n)
+            (if shards > 1 then Printf.sprintf " x %d sim shard(s)" shards else "")
+            (if resolved > 1 && not Exp.Pool.available then " (fork unavailable: serial)" else "");
           let t0 = Unix.gettimeofday () in
           match
-            Exp.Sweep.run ~jobs ?timeout ~retries
+            Exp.Sweep.run ?jobs ~shards ?timeout ~retries
               ~on_result:(fun ~index:_ ~done_ ~total ->
                 Printf.printf "\r  %d/%d shards%!" done_ total)
               spec
@@ -636,7 +651,8 @@ let sweep_cmd =
       ret
         (const run $ verbose_flag $ spec_file $ name_arg $ traces_arg $ protocols_arg $ seeds_arg
         $ base_seed_arg $ packets $ link_delay_arg $ lossy_arg $ faults_axis_arg $ jobs_arg
-        $ timeout_arg $ retries_arg $ out_arg $ print_spec_arg $ baseline_arg $ rel_arg $ abs_arg))
+        $ shards_arg $ timeout_arg $ retries_arg $ out_arg $ print_spec_arg $ baseline_arg
+        $ rel_arg $ abs_arg))
 
 (* -- main -------------------------------------------------------------- *)
 

@@ -7,19 +7,30 @@ type t = {
   recoveries : Stats.Recovery.t;
 }
 
-let deploy ?(config = Host.default_config) ~network ~params ~n_packets ~period () =
+let deploy ?(config = Host.default_config) ?owned ~network ~params ~n_packets ~period () =
   let tree = Net.Network.tree network in
   let counters = Stats.Counters.create ~n_nodes:(Net.Tree.n_nodes tree) in
   let recoveries = Stats.Recovery.create () in
+  let owned = match owned with Some f -> f | None -> fun _ -> true in
   let member node =
-    let host =
-      Host.create ~network ~self:node ~params ~config ~n_packets ~counters ~recoveries
-    in
-    Net.Network.on_receive network node (Host.on_packet host);
-    (node, host)
+    if owned node then begin
+      let host =
+        Host.create ~network ~self:node ~params ~config ~n_packets ~counters ~recoveries
+      in
+      Net.Network.on_receive network node (Host.on_packet host);
+      Some (node, host)
+    end
+    else begin
+      (* A shard deploys hosts only for its own members but must keep
+         the engine's split sequence identical to the full deployment:
+         every member consumes exactly one root split, in deploy
+         order, so owned hosts draw the same generators everywhere. *)
+      ignore (Sim.Rng.split (Sim.Engine.rng (Net.Network.engine network)));
+      None
+    end
   in
   let nodes = 0 :: Array.to_list (Net.Tree.receivers tree) in
-  { network; n_packets; period; hosts = List.map member nodes; counters; recoveries }
+  { network; n_packets; period; hosts = List.filter_map member nodes; counters; recoveries }
 
 let host t node = List.assoc node t.hosts
 
@@ -39,15 +50,17 @@ let end_time t ~warmup ~tail = warmup +. (float_of_int t.n_packets *. t.period) 
 
 let add_stream ?(send_jitter = 0.) t ~src ~n_packets ~period ~start_at =
   let engine = Net.Network.engine t.network in
-  let origin = host t src in
+  let origin = List.assoc_opt src t.hosts in
   let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
   for seq = 1 to min n_packets t.n_packets do
     let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
     let at = start_at +. (float_of_int (seq - 1) *. period) +. jitter in
     ignore
       (Sim.Engine.schedule_at engine ~at (fun () ->
-           Srm.Host.note_sent ~src (Host.srm origin) ~seq;
-           Net.Network.multicast t.network ~from:src
+           (match origin with
+           | Some h -> Srm.Host.note_sent ~src (Host.srm h) ~seq
+           | None -> ());
+           Net.Network.multicast_replicated t.network ~from:src
              { Net.Packet.sender = src; payload = Net.Packet.Data { seq } }))
   done
 
@@ -55,15 +68,15 @@ let start ?(send_jitter = 0.) t ~warmup ~tail =
   let engine = Net.Network.engine t.network in
   let session_until = end_time t ~warmup ~tail in
   List.iter (fun (_, h) -> Host.start h ~session_until) t.hosts;
-  let source = host t 0 in
+  let source = List.assoc_opt 0 t.hosts in
   let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
   for seq = 1 to t.n_packets do
     let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
     let at = warmup +. (float_of_int (seq - 1) *. t.period) +. jitter in
     ignore
       (Sim.Engine.schedule_at engine ~at (fun () ->
-           Srm.Host.note_sent (Host.srm source) ~seq;
-           Net.Network.multicast t.network ~from:0
+           (match source with Some h -> Srm.Host.note_sent (Host.srm h) ~seq | None -> ());
+           Net.Network.multicast_replicated t.network ~from:0
              { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } }))
   done
 

@@ -5,13 +5,17 @@ type t
 
 val deploy :
   ?config:Host.config ->
+  ?owned:(int -> bool) ->
   network:Net.Network.t ->
   params:Srm.Params.t ->
   n_packets:int ->
   period:float ->
   unit ->
   t
-(** Default config is {!Host.default_config}. *)
+(** Default config is {!Host.default_config}. [owned] (default:
+    everyone) restricts which members get a live host — a PDES shard
+    deploys only its own; non-owned members still consume their
+    engine-RNG split in deploy order (see [Srm.Proto.deploy]). *)
 
 val start : ?send_jitter:float -> t -> warmup:float -> tail:float -> unit
 (** Same schedule as [Srm.Proto.start]. *)

@@ -1,0 +1,82 @@
+module Frame = struct
+  let write oc ~tag payload =
+    Printf.fprintf oc "%s %d\n" tag (String.length payload);
+    output_string oc payload;
+    flush oc
+
+  type buf = Buffer.t
+
+  let create_buf () = Buffer.create 256
+
+  let add buf chunk k = Buffer.add_subbytes buf chunk 0 k
+
+  (* Complete frames currently sitting in [buf], removed from it. *)
+  let rec take ?(tags = [ "ok"; "er" ]) buf =
+    let contents = Buffer.contents buf in
+    match String.index_opt contents '\n' with
+    | None -> []
+    | Some nl -> (
+        let header = String.sub contents 0 nl in
+        match String.split_on_char ' ' header with
+        | [ tag; len ] when List.mem tag tags -> (
+            match int_of_string_opt len with
+            | Some len when String.length contents >= nl + 1 + len ->
+                let payload = String.sub contents (nl + 1) len in
+                Buffer.clear buf;
+                Buffer.add_substring buf contents (nl + 1 + len)
+                  (String.length contents - nl - 1 - len);
+                (tag, payload) :: take ~tags buf
+            | Some _ -> []
+            | None -> failwith (Printf.sprintf "Ipc.Frame: malformed frame header %S" header))
+        | _ -> failwith (Printf.sprintf "Ipc.Frame: malformed frame header %S" header))
+end
+
+module Chan = struct
+  type t = { ic : in_channel; oc : out_channel }
+
+  let of_fds ~read ~write =
+    { ic = Unix.in_channel_of_descr read; oc = Unix.out_channel_of_descr write }
+
+  let send t v =
+    Marshal.to_channel t.oc v [];
+    flush t.oc
+
+  let recv t = Marshal.from_channel t.ic
+
+  let close t =
+    (try close_in_noerr t.ic with _ -> ());
+    try close_out_noerr t.oc with _ -> ()
+
+  let fork ~child =
+    let down_rd, down_wr = Unix.pipe ~cloexec:false () in
+    let up_rd, up_wr = Unix.pipe ~cloexec:false () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        Unix.close down_wr;
+        Unix.close up_rd;
+        let chan = of_fds ~read:down_rd ~write:up_wr in
+        (try child chan
+         with e ->
+           prerr_endline ("Ipc.Chan worker: " ^ Printexc.to_string e);
+           flush stderr;
+           Unix._exit 1);
+        (* _exit: the parent's at_exit handlers (and its buffered
+           output, flushed above before fork) must not run again in the
+           child. *)
+        Unix._exit 0
+    | pid ->
+        Unix.close down_rd;
+        Unix.close up_wr;
+        (of_fds ~read:up_rd ~write:down_wr, pid)
+
+  let reap pid =
+    let rec go () =
+      match Unix.waitpid [] pid with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    in
+    go ()
+end

@@ -1,0 +1,59 @@
+(** Framed-pipe inter-process transport.
+
+    Extracted from [Exp.Pool] so every fork-based parallelism layer —
+    the sweep worker pool and the PDES shard workers — speaks the same
+    wire protocol. Two facilities:
+
+    - {!Frame}: the pool's tagged text frames
+      (["<tag> <len>\n<payload>"]), with the incremental reassembly
+      buffer the parent's select loop feeds.
+    - {!Chan}: length-prefixed [Marshal] messages over a pipe pair,
+      plus a fork helper — the shard workers' control channel, where
+      both ends block on whole messages and tags are unnecessary. *)
+
+module Frame : sig
+  val write : out_channel -> tag:string -> string -> unit
+  (** Emit one ["<tag> <len>\n"] header plus payload, and flush. *)
+
+  type buf
+  (** Reassembly state for one pipe: bytes arrive in arbitrary chunks;
+      complete frames are taken out as they form. *)
+
+  val create_buf : unit -> buf
+
+  val add : buf -> bytes -> int -> unit
+  (** [add buf chunk k] appends the first [k] bytes just read. *)
+
+  val take : ?tags:string list -> buf -> (string * string) list
+  (** Complete [(tag, payload)] frames sitting in the buffer, removed
+      from it, in arrival order. [tags] is the set of accepted tags
+      (default [["ok"; "er"]]).
+      @raise Failure on a malformed header. *)
+end
+
+module Chan : sig
+  type t
+  (** One endpoint of a bidirectional message channel. *)
+
+  val of_fds : read:Unix.file_descr -> write:Unix.file_descr -> t
+
+  val send : t -> 'a -> unit
+  (** Marshal one value (without closures) and write it, length-prefixed. *)
+
+  val recv : t -> 'a
+  (** Block for the next whole message. Unsafe cast, as with [Marshal]:
+      both endpoints must agree on the message type.
+      @raise End_of_file if the peer closed the pipe. *)
+
+  val close : t -> unit
+
+  val fork : child:(t -> unit) -> t * int
+  (** Fork a worker connected by a fresh pipe pair. In the child, runs
+      [child] on its endpoint and [_exit]s (never returns); in the
+      parent, returns the other endpoint and the child's pid. Buffered
+      stdout/stderr are flushed before forking so the child cannot
+      replay them. *)
+
+  val reap : int -> unit
+  (** [waitpid] swallowing [EINTR]/[ECHILD]. *)
+end

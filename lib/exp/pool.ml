@@ -2,6 +2,13 @@ let available = not Sys.win32
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* [jobs = 0] (from [--jobs 0] / [shards = 0]) means "auto-detect from
+   the machine"; explicit requests are clamped to at least one. *)
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some 0 -> default_jobs ()
+  | Some j -> max 1 j
+
 (* -- worker side ----------------------------------------------------- *)
 
 (* One result frame per shard: a "ok <len>\n" / "er <len>\n" header
@@ -22,9 +29,7 @@ let worker_loop f cmd_rd res_wr =
           | s -> ("ok", s)
           | exception e -> ("er", Printexc.to_string e)
         in
-        Printf.fprintf oc "%s %d\n" tag (String.length payload);
-        output_string oc payload;
-        flush oc;
+        Ipc.Frame.write oc ~tag payload;
         loop ()
   in
   loop ();
@@ -38,7 +43,7 @@ type worker = {
   pid : int;
   cmd : Unix.file_descr;  (* parent -> worker: shard indices *)
   res : Unix.file_descr;  (* worker -> parent: result frames *)
-  buf : Buffer.t;  (* partially received frames *)
+  buf : Ipc.Frame.buf;  (* partially received frames *)
   mutable shard : int option;  (* in-flight shard *)
   mutable deadline : float;  (* wall-clock kill time; infinity = none *)
 }
@@ -56,7 +61,14 @@ let spawn f =
   | pid ->
       Unix.close cmd_rd;
       Unix.close res_wr;
-      { pid; cmd = cmd_wr; res = res_rd; buf = Buffer.create 256; shard = None; deadline = infinity }
+      {
+        pid;
+        cmd = cmd_wr;
+        res = res_rd;
+        buf = Ipc.Frame.create_buf ();
+        shard = None;
+        deadline = infinity;
+      }
 
 let reap pid =
   let rec go () =
@@ -69,25 +81,7 @@ let reap pid =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* Complete frames currently sitting in [w.buf], removed from it. *)
-let rec take_frames w =
-  let contents = Buffer.contents w.buf in
-  match String.index_opt contents '\n' with
-  | None -> []
-  | Some nl -> (
-      let header = String.sub contents 0 nl in
-      match String.split_on_char ' ' header with
-      | [ tag; len ] when tag = "ok" || tag = "er" -> (
-          match int_of_string_opt len with
-          | Some len when String.length contents >= nl + 1 + len ->
-              let payload = String.sub contents (nl + 1) len in
-              Buffer.clear w.buf;
-              Buffer.add_substring w.buf contents (nl + 1 + len)
-                (String.length contents - nl - 1 - len);
-              (tag, payload) :: take_frames w
-          | Some _ -> []
-          | None -> failwith (Printf.sprintf "Pool: malformed frame header %S" header))
-      | _ -> failwith (Printf.sprintf "Pool: malformed frame header %S" header))
+let take_frames w = Ipc.Frame.take w.buf
 
 let parallel_map ~jobs ~timeout ~retries ~on_result f n =
   let results = Array.make n "" in
@@ -222,7 +216,7 @@ let parallel_map ~jobs ~timeout ~retries ~on_result f n =
                       match Unix.read w.res chunk 0 (Bytes.length chunk) with
                       | 0 -> worker_died w
                       | k ->
-                          Buffer.add_subbytes w.buf chunk 0 k;
+                          Ipc.Frame.add w.buf chunk k;
                           List.iter (handle_frame w) (take_frames w)
                       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
                     end)
@@ -234,7 +228,7 @@ let parallel_map ~jobs ~timeout ~retries ~on_result f n =
 
 let map ?jobs ?timeout ?(retries = 1) ?on_result f n =
   if n < 0 then invalid_arg "Pool.map: negative n";
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = resolve_jobs jobs in
   let on_result =
     match on_result with Some g -> g | None -> fun ~index:_ ~done_:_ ~total:_ -> ()
   in
@@ -248,7 +242,7 @@ let map ?jobs ?timeout ?(retries = 1) ?on_result f n =
   else parallel_map ~jobs ~timeout ~retries ~on_result f n
 
 let marshal_map ?jobs ?timeout ?retries f n =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = resolve_jobs jobs in
   if (not available) || jobs <= 1 || n <= 1 then Array.init n f
   else begin
     (* Closures are safe to marshal here: a forked worker shares the

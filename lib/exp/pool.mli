@@ -27,6 +27,11 @@ val default_jobs : unit -> int
 (** Detected online CPU count ([getconf _NPROCESSORS_ONLN]), at
     least 1. *)
 
+val resolve_jobs : int option -> int
+(** Worker-count policy shared by every [?jobs]-taking entry point:
+    [None] and [Some 0] auto-detect via {!default_jobs} ([--jobs 0] is
+    the CLI spelling); anything else is clamped to at least 1. *)
+
 val map :
   ?jobs:int ->
   ?timeout:float ->
@@ -36,7 +41,8 @@ val map :
   int ->
   string array
 (** [map ?jobs ?timeout ?retries f n]. [jobs] defaults to
-    {!default_jobs}; [timeout] (seconds, default none) bounds one
+    {!default_jobs}, and [0] means the same auto-detection (see
+    {!resolve_jobs}); [timeout] (seconds, default none) bounds one
     shard attempt's wall clock; [retries] (default 1) is the number of
     extra attempts after a crash/timeout/exception. [on_result] fires
     in the parent as each shard completes (arrival order).

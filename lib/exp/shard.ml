@@ -1,7 +1,7 @@
 let hist_names =
   [ "latency_s"; "latency_rtt"; "latency_rtt_expedited"; "latency_rtt_fallback" ]
 
-let run (spec : Spec.t) (cell : Spec.cell) =
+let run ?shards (spec : Spec.t) (cell : Spec.cell) =
   let open Obs.Json in
   let row = Mtrace.Scale.find cell.Spec.trace in
   let setup =
@@ -14,7 +14,7 @@ let run (spec : Spec.t) (cell : Spec.cell) =
   let registry = Obs.Registry.create () in
   let fault = match cell.Spec.fault with Some f when f <> "none" -> Some f | _ -> None in
   let res =
-    Harness.Runner.run_leg ~setup ~registry ?n_packets:spec.Spec.n_packets ?fault
+    Harness.Runner.run_leg ~setup ~registry ?n_packets:spec.Spec.n_packets ?fault ?shards
       ~seed:cell.Spec.seed
       (Spec.runner_protocol cell.Spec.protocol)
       row
@@ -91,4 +91,4 @@ let run (spec : Spec.t) (cell : Spec.cell) =
       ("hists", hists);
     ]
 
-let run_string spec cell = Obs.Json.to_string (run spec cell)
+let run_string ?shards spec cell = Obs.Json.to_string (run ?shards spec cell)

@@ -18,7 +18,11 @@ val hist_names : string list
     ["latency_rtt_fallback"] — the {!Harness.Instrument} registry
     names without their ["recovery/"] prefix. *)
 
-val run : Spec.t -> Spec.cell -> Obs.Json.t
+val run : ?shards:int -> Spec.t -> Spec.cell -> Obs.Json.t
+(** [shards] executes the cell's run sharded
+    ([Harness.Runner.run_leg ?shards]); the rendered cell is
+    byte-identical for any value, so it is a runtime knob, not part of
+    the spec. *)
 
-val run_string : Spec.t -> Spec.cell -> string
+val run_string : ?shards:int -> Spec.t -> Spec.cell -> string
 (** [run] rendered compactly — the worker-to-parent transport form. *)

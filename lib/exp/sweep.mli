@@ -10,6 +10,7 @@
 
 val run :
   ?jobs:int ->
+  ?shards:int ->
   ?timeout:float ->
   ?retries:int ->
   ?on_result:(index:int -> done_:int -> total:int -> unit) ->
@@ -18,4 +19,11 @@ val run :
   Obs.Json.t
 (** @raise Failure when a shard fails beyond its retry budget (see
     {!Pool.map}). [meta] extends the artifact's meta object and must
-    stay run-independent to preserve byte-identity. *)
+    stay run-independent to preserve byte-identity. [shards] runs each
+    cell's simulation sharded over that many PDES workers
+    ({!Shard.run}) — total process count is then [jobs * shards]. The
+    artifact is byte-identical for any [jobs] and [shards]; the one
+    exception is [jobs = 0] (auto-detect), whose resolved worker count
+    is recorded under meta ["jobs"] as
+    [{"requested": 0, "detected": n}] — explicit counts record nothing,
+    keeping the artifact a pure function of the spec. *)

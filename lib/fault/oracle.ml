@@ -10,7 +10,7 @@ type violation = { at : float; node : int; invariant : string; detail : string }
 
 type t = {
   config : config;
-  network : Net.Network.t;
+  network : Net.Network.t option; (* None for an {!assemble}d merge result *)
   (* (node, src, seq) -> detection time, removed on first obtain *)
   pending : (int * int * int, float) Hashtbl.t;
   (* (node, src, seq) -> how many times the member obtained it *)
@@ -28,85 +28,93 @@ type t = {
   mutable finalized : bool;
 }
 
-let create ?(config = default_config) ~network () =
-  let t =
-    {
-      config;
-      network;
-      pending = Hashtbl.create 256;
-      obtained = Hashtbl.create 1024;
-      exp_streak = Hashtbl.create 32;
-      requests = Hashtbl.create 256;
-      replies = Hashtbl.create 256;
-      latched = Hashtbl.create 32;
-      violations_rev = [];
-      n_violations = 0;
-      finalized = false;
-    }
-  in
-  let now () = Sim.Engine.now (Net.Network.engine network) in
-  let violate ~node ~invariant detail =
-    t.violations_rev <- { at = now (); node; invariant; detail } :: t.violations_rev;
-    t.n_violations <- t.n_violations + 1
-  in
-  (* Bounded invariants latch per (invariant, offending key) so a
-     broken loop reports once, not once per packet. *)
-  let latch_once ~invariant ~a ~b f =
-    if not (Hashtbl.mem t.latched (invariant, a, b)) then begin
-      Hashtbl.replace t.latched (invariant, a, b) ();
-      f ()
-    end
-  in
-  Net.Network.add_tap network (fun ~from:_ (p : Net.Packet.t) ->
-      match p.payload with
-      | Net.Packet.Exp_request { requestor; replier; src; seq; _ } ->
-          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.exp_streak (requestor, replier)) in
-          Hashtbl.replace t.exp_streak (requestor, replier) n;
-          if n > config.max_expedited_retry then
-            latch_once ~invariant:"expedited-retry" ~a:requestor ~b:replier (fun () ->
-                violate ~node:requestor ~invariant:"expedited-retry"
-                  (Printf.sprintf
-                     "%d consecutive expedited requests to replier %d without hearing from it \
-                      (last for src %d seq %d)"
-                     n replier src seq))
-      | Net.Packet.Reply { requestor = _; replier; src; seq; expedited = _; _ } ->
-          (* Any reply from [replier] is evidence it is alive; the
-             retry bound targets hammering a *silent* replier. A live
-             replier can legitimately draw more expedited requests than
-             the bound without answering any (post-heal it may lack the
-             very packets it is asked for, while its other replies keep
-             it cached), so every streak aimed at it resets here. *)
-          let stale =
-            Hashtbl.fold
-              (fun ((_, rp) as k) _ acc -> if rp = replier then k :: acc else acc)
-              t.exp_streak []
-          in
-          List.iter (Hashtbl.remove t.exp_streak) stale;
-          let key = (replier, src, seq) in
-          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.replies key) in
-          Hashtbl.replace t.replies key n;
-          if n > config.max_replies_per_loss then
-            latch_once ~invariant:"reply-suppression" ~a:replier ~b:((src * 1_000_000) + seq)
-              (fun () ->
-                violate ~node:replier ~invariant:"reply-suppression"
-                  (Printf.sprintf "%d replies for src %d seq %d" n src seq))
-      | Net.Packet.Request { requestor; src; seq; _ } ->
-          let key = (requestor, src, seq) in
-          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.requests key) in
-          Hashtbl.replace t.requests key n;
-          if n > config.max_requests_per_loss then
-            latch_once ~invariant:"request-suppression" ~a:requestor
-              ~b:((src * 1_000_000) + seq) (fun () ->
-                violate ~node:requestor ~invariant:"request-suppression"
-                  (Printf.sprintf "%d requests for src %d seq %d" n src seq))
-      | Net.Packet.Data _ | Net.Packet.Session _ -> ());
-  t
-
-let now t = Sim.Engine.now (Net.Network.engine t.network)
-
 let violate t ~at ~node ~invariant detail =
   t.violations_rev <- { at; node; invariant; detail } :: t.violations_rev;
   t.n_violations <- t.n_violations + 1
+
+(* Bounded invariants latch per (invariant, offending key) so a broken
+   loop reports once, not once per packet. *)
+let latch_once t ~invariant ~a ~b f =
+  if not (Hashtbl.mem t.latched (invariant, a, b)) then begin
+    Hashtbl.replace t.latched (invariant, a, b) ();
+    f ()
+  end
+
+(* The packet-stream checks, with the observation time explicit: a
+   serial run's tap passes the engine clock, a sharded run's primary
+   worker replays the merged cross-shard tap stream in timestamp
+   order. *)
+let observe t ~at ~from:_ (p : Net.Packet.t) =
+  let config = t.config in
+  match p.payload with
+  | Net.Packet.Exp_request { requestor; replier; src; seq; _ } ->
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.exp_streak (requestor, replier)) in
+      Hashtbl.replace t.exp_streak (requestor, replier) n;
+      if n > config.max_expedited_retry then
+        latch_once t ~invariant:"expedited-retry" ~a:requestor ~b:replier (fun () ->
+            violate t ~at ~node:requestor ~invariant:"expedited-retry"
+              (Printf.sprintf
+                 "%d consecutive expedited requests to replier %d without hearing from it \
+                  (last for src %d seq %d)"
+                 n replier src seq))
+  | Net.Packet.Reply { requestor = _; replier; src; seq; expedited = _; _ } ->
+      (* Any reply from [replier] is evidence it is alive; the
+         retry bound targets hammering a *silent* replier. A live
+         replier can legitimately draw more expedited requests than
+         the bound without answering any (post-heal it may lack the
+         very packets it is asked for, while its other replies keep
+         it cached), so every streak aimed at it resets here. *)
+      let stale =
+        Hashtbl.fold
+          (fun ((_, rp) as k) _ acc -> if rp = replier then k :: acc else acc)
+          t.exp_streak []
+      in
+      List.iter (Hashtbl.remove t.exp_streak) stale;
+      let key = (replier, src, seq) in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.replies key) in
+      Hashtbl.replace t.replies key n;
+      if n > config.max_replies_per_loss then
+        latch_once t ~invariant:"reply-suppression" ~a:replier ~b:((src * 1_000_000) + seq)
+          (fun () ->
+            violate t ~at ~node:replier ~invariant:"reply-suppression"
+              (Printf.sprintf "%d replies for src %d seq %d" n src seq))
+  | Net.Packet.Request { requestor; src; seq; _ } ->
+      let key = (requestor, src, seq) in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.requests key) in
+      Hashtbl.replace t.requests key n;
+      if n > config.max_requests_per_loss then
+        latch_once t ~invariant:"request-suppression" ~a:requestor ~b:((src * 1_000_000) + seq)
+          (fun () ->
+            violate t ~at ~node:requestor ~invariant:"request-suppression"
+              (Printf.sprintf "%d requests for src %d seq %d" n src seq))
+  | Net.Packet.Data _ | Net.Packet.Session _ -> ()
+
+let make ?(config = default_config) network =
+  {
+    config;
+    network;
+    pending = Hashtbl.create 256;
+    obtained = Hashtbl.create 1024;
+    exp_streak = Hashtbl.create 32;
+    requests = Hashtbl.create 256;
+    replies = Hashtbl.create 256;
+    latched = Hashtbl.create 32;
+    violations_rev = [];
+    n_violations = 0;
+    finalized = false;
+  }
+
+let create_detached ?config ~network () = make ?config (Some network)
+
+let now t =
+  match t.network with
+  | Some network -> Sim.Engine.now (Net.Network.engine network)
+  | None -> invalid_arg "Oracle: no network (assembled result)"
+
+let create ?config ~network () =
+  let t = make ?config (Some network) in
+  Net.Network.add_tap network (fun ~from p -> observe t ~at:(now t) ~from p);
+  t
 
 let attach_host t host =
   let hooks = Srm.Host.hooks host in
@@ -128,22 +136,49 @@ let attach_host t host =
           (Printf.sprintf "src %d seq %d delivered to the application again" src seq);
       prev_obtained ~src ~seq ~expedited)
 
+(* Losses still pending for members alive at the end of the run — the
+   raw material of the liveness check. A shard worker exports these so
+   the coordinator can evaluate liveness over the whole group. *)
+let pending_losses t =
+  let network = Option.get t.network in
+  Hashtbl.fold
+    (fun (node, src, seq) detected_at acc ->
+      if Net.Network.is_enabled network node then (node, src, seq, detected_at) :: acc
+      else acc)
+    t.pending []
+
+let liveness_violations ~at still_missing =
+  List.map
+    (fun (node, src, seq, detected_at) ->
+      {
+        at;
+        node;
+        invariant = "liveness";
+        detail =
+          Printf.sprintf "src %d seq %d detected lost at t=%.3f, never repaired" src seq
+            detected_at;
+      })
+    (List.sort compare still_missing)
+
 let finalize t =
   if not t.finalized then begin
     t.finalized <- true;
-    let still_missing = ref [] in
-    Hashtbl.iter
-      (fun (node, src, seq) detected_at ->
-        if Net.Network.is_enabled t.network node then
-          still_missing := (node, src, seq, detected_at) :: !still_missing)
-      t.pending;
     List.iter
-      (fun (node, src, seq, detected_at) ->
-        violate t ~at:(now t) ~node ~invariant:"liveness"
-          (Printf.sprintf "src %d seq %d detected lost at t=%.3f, never repaired" src seq
-             detected_at))
-      (List.sort compare !still_missing)
+      (fun v ->
+        t.violations_rev <- v :: t.violations_rev;
+        t.n_violations <- t.n_violations + 1)
+      (liveness_violations ~at:(now t) (pending_losses t))
   end
+
+(* A results-only oracle holding an externally merged violation list
+   (chronological) — how a sharded run's coordinator reassembles the
+   serial artifact from per-worker pieces. *)
+let assemble ~violations =
+  let t = make None in
+  t.violations_rev <- List.rev violations;
+  t.n_violations <- List.length violations;
+  t.finalized <- true;
+  t
 
 let violations t = List.rev t.violations_rev
 

@@ -53,6 +53,33 @@ val create : ?config:config -> network:Net.Network.t -> unit -> t
 (** Installs a (composing) packet tap on the network; per-member hooks
     are added with {!attach_host}. *)
 
+val create_detached : ?config:config -> network:Net.Network.t -> unit -> t
+(** Like {!create} but without the packet tap: feed the stream
+    explicitly with {!observe}. A sharded run uses this — the primary
+    worker replays the merged cross-shard tap stream in timestamp
+    order, while every worker still gets {!attach_host} hooks for its
+    own members. *)
+
+val observe : t -> at:float -> from:int -> Net.Packet.t -> unit
+(** Check one packet send observed at time [at] (what the tap installed
+    by {!create} does with [at] = the engine clock). *)
+
+val pending_losses : t -> (int * int * int * float) list
+(** [(node, src, seq, detected_at)] for every loss still unrepaired at
+    a member currently enabled — the raw material of the liveness
+    check, exported so a sharded run's coordinator can evaluate
+    liveness over the whole group. Unsorted. *)
+
+val liveness_violations : at:float -> (int * int * int * float) list -> violation list
+(** The liveness violations {!finalize} would record at time [at] for
+    the given pending losses (sorted canonically). *)
+
+val assemble : violations:violation list -> t
+(** A results-only oracle carrying an externally merged, chronological
+    violation list: {!violations}, {!n_violations}, {!clean},
+    {!to_json} and {!pp} work; {!finalize} is a no-op; {!attach_host}
+    and {!observe} must not be used. *)
+
 val attach_host : t -> Srm.Host.t -> unit
 (** Wrap the member's hooks (composing with whatever is installed —
     CESRM's own hooks keep running). Call once per member, after the

@@ -16,13 +16,17 @@ type t = {
 
 let now t = Sim.Engine.now (Net.Network.engine t.network)
 
-let flag t rule detail = t.violations <- { at = now t; rule; detail } :: t.violations
+let flag t ~at rule detail = t.violations <- { at; rule; detail } :: t.violations
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
 let max_seq_of t src = Option.value ~default:0 (Hashtbl.find_opt t.max_data_seq src)
 
-let observe t ~from (p : Net.Packet.t) =
+(* The observation core takes the send time explicitly: a serial run's
+   tap passes the engine clock, while a sharded run feeds the merged
+   cross-shard tap stream after the fact, in timestamp order. *)
+let observe t ~at ~from (p : Net.Packet.t) =
+  let flag = flag ~at in
   t.seen <- t.seen + 1;
   match p.payload with
   | Net.Packet.Data { seq } ->
@@ -34,7 +38,7 @@ let observe t ~from (p : Net.Packet.t) =
       Hashtbl.replace t.max_data_seq src (max (max_seq_of t src) seq);
       if Hashtbl.mem t.data_sent_at (src, seq) then
         flag t "data-well-formed" (Printf.sprintf "source %d seq %d sent twice" src seq)
-      else Hashtbl.replace t.data_sent_at (src, seq) (now t)
+      else Hashtbl.replace t.data_sent_at (src, seq) at
   | Net.Packet.Request { src; seq; requestor; round = _; _ } ->
       if seq > max_seq_of t src then
         flag t "request-subject-exists"
@@ -56,7 +60,7 @@ let observe t ~from (p : Net.Packet.t) =
         flag t "reply-has-cause"
           (Printf.sprintf "host %d replied to unrequested src %d seq %d" replier src seq);
       (match Hashtbl.find_opt t.data_sent_at (src, seq) with
-      | Some sent when sent <= now t -> ()
+      | Some sent when sent <= at -> ()
       | _ ->
           flag t "replier-plausible"
             (Printf.sprintf "host %d retransmitted src %d seq %d before the original send"
@@ -69,7 +73,7 @@ let finalize_checks t =
     Hashtbl.iter
       (fun (host, _src, seq) n ->
         if n > t.max_exp_per_loss then
-          flag t "expedited-singleton"
+          flag t ~at:(now t) "expedited-singleton"
             (Printf.sprintf "host %d sent %d expedited requests for seq %d" host n seq))
       t.exp_requests
   end
@@ -77,23 +81,25 @@ let finalize_checks t =
 (* LMS retries legitimately resend expedited requests (pass a higher
    [max_exp_per_loss]); CESRM's REORDER-DELAY timer is unique per loss,
    so its runs are audited with the strict default of 1. *)
-let attach ?(expect_in_order = true) ?(max_exp_per_loss = 1) network =
-  let t =
-    {
-      network;
-      expect_in_order;
-      max_exp_per_loss;
-      finalized = false;
-      seen = 0;
-      violations = [];
-      max_data_seq = Hashtbl.create 4;
-      requested = Hashtbl.create 256;
-      data_sent_at = Hashtbl.create 1024;
-      exp_requests = Hashtbl.create 256;
-      requests = Hashtbl.create 256;
-    }
-  in
-  Net.Network.set_tap network (fun ~from p -> observe t ~from p);
+let create ?(expect_in_order = true) ?(max_exp_per_loss = 1) network =
+  {
+    network;
+    expect_in_order;
+    max_exp_per_loss;
+    finalized = false;
+    seen = 0;
+    violations = [];
+    max_data_seq = Hashtbl.create 4;
+    requested = Hashtbl.create 256;
+    data_sent_at = Hashtbl.create 1024;
+    exp_requests = Hashtbl.create 256;
+    requests = Hashtbl.create 256;
+  }
+
+let attach ?expect_in_order ?max_exp_per_loss network =
+  let t = create ?expect_in_order ?max_exp_per_loss network in
+  Net.Network.set_tap network (fun ~from p ->
+      observe t ~at:(now t) ~from p);
   t
 
 let violations t =

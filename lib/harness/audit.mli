@@ -28,6 +28,16 @@ type t
 
 type violation = { at : float; rule : string; detail : string }
 
+val create : ?expect_in_order:bool -> ?max_exp_per_loss:int -> Net.Network.t -> t
+(** An auditor with no tap installed: feed it explicitly with
+    {!observe}. A sharded run uses this on the primary worker, replaying
+    the merged cross-shard tap stream in timestamp order. Options as in
+    {!attach}. *)
+
+val observe : t -> at:float -> from:int -> Net.Packet.t -> unit
+(** Record one packet send observed at time [at]. {!attach} wires this
+    to the network tap with [at] = the engine clock. *)
+
 val attach : ?expect_in_order:bool -> ?max_exp_per_loss:int -> Net.Network.t -> t
 (** Installs the tap. The auditor sees sends from that moment on.
     [expect_in_order] (default true) enforces strictly increasing

@@ -94,7 +94,7 @@ let busiest_srm_replier trace attribution ~cesrm =
     else begin
       let proto =
         Srm.Proto.deploy ~network ~params:Srm.Params.default
-          ~n_packets:(Mtrace.Trace.n_packets trace) ~period:(Mtrace.Trace.period trace)
+          ~n_packets:(Mtrace.Trace.n_packets trace) ~period:(Mtrace.Trace.period trace) ()
       in
       Srm.Proto.start proto ~warmup ~tail;
       (Srm.Proto.counters proto, fun () -> ())
@@ -132,7 +132,7 @@ let run_srm ?lms_refresh:_ ~crash_at trace attribution =
   let engine, network = make_network trace attribution in
   let proto =
     Srm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:(Mtrace.Trace.n_packets trace)
-      ~period:(Mtrace.Trace.period trace)
+      ~period:(Mtrace.Trace.period trace) ()
   in
   Srm.Proto.start proto ~warmup ~tail;
   schedule_crash engine network crashed ~at:crash_at;

@@ -1,0 +1,408 @@
+(* Sharded execution of one run: conservative PDES over forked workers.
+
+   The model is replicated-network / partitioned-hosts (DESIGN.md §13).
+   Every worker rebuilds the complete network, deploys protocol hosts
+   only for the members its shard owns ([Proto.deploy ~owned]), and
+   executes the global event schedule restricted to those members. The
+   source's paced data stream is statically replicated — every shard
+   walks it locally at the same simulation times — while every other
+   origin cast (requests, replies, sessions) is buffered as a
+   [Net.Network.emit] and replayed on the other shards at conservative
+   barriers. RNG parity is by construction: workers draw the same seed,
+   the same splits in the same order (non-owned members burn a dummy
+   split), so every shard's view of delays, drops and timers is
+   bit-identical to the serial run's.
+
+   The coordinator never simulates. It forks the workers, then loops
+   the classic conservative barrier protocol with lookahead [L] (the
+   minimum cut-link delay, [Net.Partition.lookahead]): collect every
+   worker's next pending event time, lower-bound any unexecuted event
+   anywhere by [G] (also covering just-collected emits, whose earliest
+   remote effect is [e_at +. L]), grant the window [.., G +. L), and
+   redistribute the emits. At the end it merges the per-worker pieces
+   back into the exact [Run_types.result] the serial runner produces. *)
+
+module Pst = Sim.Pdes.Stats
+
+type to_worker =
+  | Window of { w_barrier : float; w_emits : Net.Network.emit list }
+  | Finish of { f_emits : Net.Network.emit list }
+      (* emits whose earliest remote effect lies beyond the horizon
+         still have to be walked on every shard — their link crossings
+         count and the primary's tap stream must include them *)
+
+(* Everything a worker ships home. Plain data only: the channel is
+   [Marshal] without closures. *)
+(* The serial engine fires same-time deliveries FIFO by schedule
+   order; a record's walk rank (Network.delivery_rank: cast key +
+   in-walk position) is that order's cross-shard reconstruction. *)
+type walk_rank = (float * int * int * int) option
+
+type worker_out = {
+  wr_counters : Stats.Counters.t;
+  wr_records : (Stats.Recovery.record * walk_rank) list;  (* chronological *)
+  wr_cost : Net.Cost.t;
+  wr_exp_requests : int;
+  wr_exp_replies : int;
+  wr_detected : int;
+  wr_audit : int;  (* primary shard only; 0 elsewhere *)
+  wr_violations : Fault.Oracle.violation list;  (* chronological *)
+  wr_pending : (int * int * int * float) list;  (* unrepaired losses *)
+  wr_clock : float;  (* last executed event time *)
+  wr_delivered : int;
+  wr_events : int;
+}
+
+type from_worker =
+  | Window_done of { wd_emits : Net.Network.emit list; wd_next : float; wd_clock : float }
+  | Done of worker_out
+
+(* Total order on origin casts: time, then sender, then the per-shard
+   monotone emit counter. Same-(at, from) casts always come from one
+   shard's counter, so the order is deterministic; cross-sender ties at
+   one instant cannot arise from the continuous-time timers. *)
+let emit_order (a : Net.Network.emit) (b : Net.Network.emit) =
+  match Float.compare a.Net.Network.e_at b.Net.Network.e_at with
+  | 0 -> (
+      match compare a.Net.Network.e_from b.Net.Network.e_from with
+      | 0 -> compare a.Net.Network.e_idx b.Net.Network.e_idx
+      | c -> c)
+  | c -> c
+
+(* One shard's event loop, running in a forked child. Mirrors
+   [Runner.run_model]'s serial setup line by line — same construction
+   order, same RNG splits — with three substitutions: the network is
+   switched into shard mode, the auditor and the fault oracle observe
+   an explicitly fed tap stream instead of a live tap (only the
+   primary shard, owner of the source, has the complete stream), and
+   [Sim.Engine.run] becomes the barrier-window loop. *)
+let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_plan ~protocol
+    ~trace ~loss_model =
+  let tree = Mtrace.Trace.tree trace in
+  let n_packets = Mtrace.Trace.n_packets trace in
+  let period = Mtrace.Trace.period trace in
+  let engine = Sim.Engine.create ~seed:setup.seed () in
+  let network =
+    if setup.heterogeneous_delays then begin
+      let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+      let delays =
+        Array.init (Net.Tree.n_nodes tree) (fun l ->
+            if l = 0 then 0.
+            else Sim.Rng.log_uniform rng (setup.link_delay /. 3.) (3. *. setup.link_delay))
+      in
+      Net.Network.create_heterogeneous ~engine ~tree ~delays
+        ~bandwidth_bps:setup.bandwidth_bps ()
+    end
+    else
+      Net.Network.create ~engine ~tree ~link_delay:setup.link_delay
+        ~bandwidth_bps:setup.bandwidth_bps ()
+  in
+  Net.Network.enable_shard network ~partition ~me ~observe;
+  let rates =
+    if setup.lossy_recovery || setup.lossy_sessions then Inference.Yajnik.estimate trace
+    else Array.make (Net.Tree.n_nodes tree) 0.
+  in
+  let drop_rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  Net.Network.set_drop network
+    (Run_types.make_drop ~loss_model ~lossy_recovery:setup.lossy_recovery
+       ~lossy_sessions:setup.lossy_sessions ~rates ~rng:drop_rng);
+  let audit =
+    if observe then
+      Some
+        (Audit.create
+           ~expect_in_order:(setup.data_jitter <= 0.)
+           ~max_exp_per_loss:(match protocol with Run_types.Lms_protocol -> 64 | _ -> 1)
+           network)
+    else None
+  in
+  let oracle = Option.map (fun _ -> Fault.Oracle.create_detached ~network ()) fault_plan in
+  let attach_oracle srm_host = Option.iter (fun o -> Fault.Oracle.attach_host o srm_host) oracle in
+  let compile_faults ~on_restart =
+    Option.iter (fun plan -> Fault.Plan.compile ~network ~on_restart plan) fault_plan
+  in
+  let owned node = Net.Network.owns network node in
+  let counters, recoveries, detected, expedited =
+    match protocol with
+    | Run_types.Srm_protocol ->
+        let proto = Srm.Proto.deploy ~owned ~network ~params:setup.params ~n_packets ~period () in
+        List.iter (fun (_, h) -> attach_oracle h) (Srm.Proto.members proto);
+        compile_faults ~on_restart:(fun ~node ->
+            Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
+        Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
+          ~tail:setup.tail;
+        ( Srm.Proto.counters proto,
+          Srm.Proto.recoveries proto,
+          (fun () ->
+            List.fold_left
+              (fun acc (_, h) -> acc + Srm.Host.detected_losses h)
+              0 (Srm.Proto.members proto)),
+          fun () -> (0, 0) )
+    | Run_types.Cesrm_protocol config ->
+        let proto =
+          Cesrm.Proto.deploy ~config ~owned ~network ~params:setup.params ~n_packets ~period ()
+        in
+        List.iter (fun (_, h) -> attach_oracle (Cesrm.Host.srm h)) (Cesrm.Proto.members proto);
+        compile_faults ~on_restart:(fun ~node ->
+            Option.iter
+              (fun h ->
+                Cesrm.Host.reset_caches h;
+                Srm.Host.restart_recovery (Cesrm.Host.srm h))
+              (List.assoc_opt node (Cesrm.Proto.members proto)));
+        Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
+          ~tail:setup.tail;
+        ( Cesrm.Proto.counters proto,
+          Cesrm.Proto.recoveries proto,
+          (fun () ->
+            List.fold_left
+              (fun acc (_, h) -> acc + Srm.Host.detected_losses (Cesrm.Host.srm h))
+              0 (Cesrm.Proto.members proto)),
+          fun () -> (Cesrm.Proto.expedited_requests proto, Cesrm.Proto.expedited_replies proto) )
+    | Run_types.Lms_protocol -> invalid_arg "Parallel: LMS subcasts are not shardable"
+  in
+  (* Tag every recovery with the delivery rank of the walk that
+     produced it, at add time — the only moment the network still
+     knows which cast is firing. *)
+  let tagged_records = ref [] in
+  Stats.Recovery.set_observer recoveries (fun r ->
+      tagged_records := (r, Net.Network.delivery_rank network) :: !tagged_records);
+  let horizon = Run_types.horizon ~setup ~n_packets ~period in
+  (* The primary accumulates the global tap stream — remote emits plus
+     its own origin and replicated casts — and feeds it, sorted, to the
+     auditor and the oracle once complete. Both are pure stream folds
+     over (at, from, packet), so deferred feeding is equivalent to the
+     serial run's live tap. *)
+  let obs = ref [] in
+  let note es = if observe then obs := List.rev_append es !obs in
+  let next_of () = match Sim.Engine.next_time engine with Some t -> t | None -> infinity in
+  Ipc.Chan.send chan
+    (Window_done { wd_emits = []; wd_next = next_of (); wd_clock = Sim.Engine.now engine });
+  let rec loop () =
+    match (Ipc.Chan.recv chan : to_worker) with
+    | Window { w_barrier; w_emits } ->
+        List.iter (Net.Network.apply_emit network) w_emits;
+        note w_emits;
+        let next = Sim.Pdes.run_window engine ~barrier:w_barrier ~horizon in
+        let emits = Net.Network.take_emits network in
+        if observe then note (Net.Network.take_observations network);
+        Ipc.Chan.send chan
+          (Window_done { wd_emits = emits; wd_next = next; wd_clock = Sim.Engine.now engine });
+        loop ()
+    | Finish { f_emits } ->
+        List.iter (Net.Network.apply_emit network) f_emits;
+        note f_emits;
+        if observe then note (Net.Network.take_observations network);
+        let wr_audit =
+          match audit with
+          | None -> 0
+          | Some a ->
+              List.iter
+                (fun (e : Net.Network.emit) ->
+                  Audit.observe a ~at:e.e_at ~from:e.e_from e.e_packet;
+                  Option.iter
+                    (fun o -> Fault.Oracle.observe o ~at:e.e_at ~from:e.e_from e.e_packet)
+                    oracle)
+                (List.stable_sort emit_order !obs);
+              List.length (Audit.violations a)
+        in
+        let exp_requests, exp_replies = expedited () in
+        Ipc.Chan.send chan
+          (Done
+             {
+               wr_counters = counters;
+               wr_records = List.rev !tagged_records;
+               wr_cost = Net.Network.cost network;
+               wr_exp_requests = exp_requests;
+               wr_exp_replies = exp_replies;
+               wr_detected = detected ();
+               wr_audit;
+               wr_violations =
+                 (match oracle with None -> [] | Some o -> Fault.Oracle.violations o);
+               wr_pending =
+                 (match oracle with None -> [] | Some o -> Fault.Oracle.pending_losses o);
+               wr_clock = Sim.Engine.now engine;
+               wr_delivered = Net.Network.packets_delivered network;
+               wr_events = Sim.Engine.events_fired engine;
+             })
+  in
+  loop ()
+
+let run ~(partition : Net.Partition.t) ~delay ?registry ?fault_plan ~(setup : Run_types.setup)
+    protocol trace loss_model =
+  let k = partition.n_shards in
+  let lookahead = partition.lookahead in
+  let tree = Mtrace.Trace.tree trace in
+  let n_packets = Mtrace.Trace.n_packets trace in
+  let period = Mtrace.Trace.period trace in
+  let horizon = Run_types.horizon ~setup ~n_packets ~period in
+  let primary = partition.owner.(0) in
+  let workers =
+    Array.init k (fun me ->
+        Ipc.Chan.fork ~child:(fun chan ->
+            worker_body ~chan ~me ~observe:(me = primary) ~partition ~setup ~fault_plan
+              ~protocol ~trace ~loss_model))
+  in
+  let stats = Pst.create () in
+  let nexts = Array.make k infinity in
+  let clocks = Array.make k 0. in
+  (* (origin shard, emit) collected since the last distribution,
+     newest first. *)
+  let pending = ref [] in
+  let recv_round () =
+    let t0 = Unix.gettimeofday () in
+    Array.iteri
+      (fun i (chan, _) ->
+        match (Ipc.Chan.recv chan : from_worker) with
+        | Window_done { wd_emits; wd_next; wd_clock } ->
+            nexts.(i) <- wd_next;
+            clocks.(i) <- wd_clock;
+            List.iter (fun e -> pending := (i, e) :: !pending) wd_emits
+        | Done _ -> assert false)
+      workers;
+    stats.Pst.barrier_wait_s <- stats.Pst.barrier_wait_s +. (Unix.gettimeofday () -. t0)
+  in
+  (* Each emit goes to every shard but its origin (the origin already
+     executed the cast). Sorting fixes the replay schedule order, so a
+     sharded run is deterministic regardless of worker timing. *)
+  let distribute outgoing make =
+    let outgoing = List.stable_sort (fun (_, a) (_, b) -> emit_order a b) (List.rev outgoing) in
+    Array.iteri
+      (fun i (chan, _) ->
+        Ipc.Chan.send chan
+          (make (List.filter_map (fun (o, e) -> if o = i then None else Some e) outgoing)))
+      workers;
+    List.length outgoing
+  in
+  recv_round ();
+  (* the setup round: workers report their first pending event *)
+  let rec sync () =
+    let emit_horizons =
+      List.map (fun (_, e) -> e.Net.Network.e_at +. lookahead) !pending
+    in
+    let g = Array.fold_left Float.min infinity nexts in
+    let g = List.fold_left Float.min g emit_horizons in
+    if g > horizon then ()
+    else begin
+      let barrier = Sim.Pdes.next_barrier ~lookahead ~nexts:(Array.to_list nexts) ~emit_horizons in
+      let outgoing = !pending in
+      pending := [];
+      let n_cross = distribute outgoing (fun w_emits -> Window { w_barrier = barrier; w_emits }) in
+      stats.Pst.windows <- stats.Pst.windows + 1;
+      if n_cross = 0 then stats.Pst.null_windows <- stats.Pst.null_windows + 1;
+      stats.Pst.cross_packets <- stats.Pst.cross_packets + n_cross;
+      recv_round ();
+      sync ()
+    end
+  in
+  sync ();
+  let n_cross = distribute !pending (fun f_emits -> Finish { f_emits }) in
+  stats.Pst.cross_packets <- stats.Pst.cross_packets + n_cross;
+  pending := [];
+  let outs =
+    Array.map
+      (fun (chan, pid) ->
+        let out =
+          match (Ipc.Chan.recv chan : from_worker) with
+          | Done out -> out
+          | Window_done _ -> assert false
+        in
+        Ipc.Chan.close chan;
+        Ipc.Chan.reap pid;
+        out)
+      workers
+  in
+  let outl = Array.to_list outs in
+  let fold1 f extract =
+    match List.map extract outl with
+    | [] -> assert false (* k >= 2 *)
+    | first :: rest -> List.fold_left f first rest
+  in
+  let counters = fold1 Stats.Counters.merge (fun o -> o.wr_counters) in
+  let cost = fold1 Net.Cost.merge (fun o -> o.wr_cost) in
+  let sum extract = List.fold_left (fun acc o -> acc + extract o) 0 outl in
+  (* Re-add the merged recovery records in the serial insertion order —
+     chronological by repair time, same-time records by their walk
+     rank (the serial engine's FIFO schedule order) — so downstream
+     latency summaries fold the same floats in the same order. *)
+  let recoveries = Stats.Recovery.create () in
+  List.concat_map (fun o -> o.wr_records) outl
+  |> List.stable_sort
+       (fun ((a : Stats.Recovery.record), (ra : walk_rank)) ((b : Stats.Recovery.record), rb) ->
+         match Float.compare a.recovered_at b.recovered_at with
+         | 0 -> compare ra rb
+         | c -> c)
+  |> List.iter (fun (r, _) -> Stats.Recovery.add recoveries r);
+  (* The global liveness check runs here, where all shards' pending
+     losses are in hand, at the global last-event clock — exactly the
+     engine time the serial [Oracle.finalize] sees. *)
+  let final_clock = Array.fold_left Float.max 0. clocks in
+  let final_clock = Array.fold_left (fun a (o : worker_out) -> Float.max a o.wr_clock) final_clock outs in
+  let oracle =
+    match fault_plan with
+    | None -> None
+    | Some _ ->
+        let streamed =
+          List.concat_map (fun o -> o.wr_violations) outl
+          |> List.stable_sort (fun (a : Fault.Oracle.violation) b -> Float.compare a.at b.at)
+        in
+        let still_missing = List.concat_map (fun o -> o.wr_pending) outl in
+        Some
+          (Fault.Oracle.assemble
+             ~violations:(streamed @ Fault.Oracle.liveness_violations ~at:final_clock still_missing))
+  in
+  Option.iter
+    (fun o ->
+      List.iter
+        (fun v -> Stats.Counters.bump counters ~node:v.Fault.Oracle.node Stats.Counters.Oracle)
+        (Fault.Oracle.violations o))
+    oracle;
+  let rtts = Run_types.source_rtts ~tree ~delay in
+  let is_receiver node = node <> 0 && Net.Tree.is_leaf tree node in
+  let rtt_to_source =
+    Array.to_list (Array.map (fun node -> (node, rtts.(node))) (Net.Tree.receivers tree))
+  in
+  Option.iter
+    (fun reg ->
+      Obs.Registry.incr ~by:(sum (fun o -> o.wr_events)) reg "sim/events_fired";
+      (* the network metrics [Net.Network.publish_metrics] derives are
+         pure functions of the merged cost and delivery count *)
+      Obs.Registry.incr ~by:(sum (fun o -> o.wr_delivered)) reg "net/packets_delivered";
+      Obs.Registry.incr ~by:(Net.Cost.retransmission_overhead cost) reg
+        "net/retransmission_crossings";
+      Obs.Registry.incr ~by:(Net.Cost.control_overhead cost ~multicast:true) reg
+        "net/control_crossings_mc";
+      Obs.Registry.incr ~by:(Net.Cost.control_overhead cost ~multicast:false) reg
+        "net/control_crossings_uc";
+      Obs.Registry.incr ~by:(Net.Cost.total_crossings cost Net.Cost.Data) reg
+        "net/data_crossings";
+      Obs.Registry.incr ~by:(Net.Cost.total_crossings cost Net.Cost.Session) reg
+        "net/session_crossings";
+      Obs.Registry.incr ~by:(Stats.Recovery.count recoveries) reg "recovery/recovered";
+      Option.iter
+        (fun o -> Obs.Registry.incr ~by:(Fault.Oracle.n_violations o) reg "fault/oracle_violations")
+        oracle;
+      Instrument.attach_recovery_hists reg
+        ~rtt_of:(fun node -> if is_receiver node then Some rtts.(node) else None)
+        recoveries;
+      let max_shard_events =
+        List.fold_left (fun m (o : worker_out) -> max m o.wr_events) 0 outl
+      in
+      Pst.publish ~max_shard_events stats ~shards:k ~lookahead reg)
+    registry;
+  let detected = sum (fun o -> o.wr_detected) in
+  let recovered = Stats.Recovery.count recoveries in
+  {
+    Run_types.trace;
+    protocol;
+    setup;
+    counters;
+    recoveries;
+    cost;
+    rtt_to_source;
+    exp_requests = sum (fun o -> o.wr_exp_requests);
+    exp_replies = sum (fun o -> o.wr_exp_replies);
+    unrecovered = detected - recovered;
+    detected;
+    audit_violations = sum (fun o -> o.wr_audit);
+    oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
+    oracle;
+  }

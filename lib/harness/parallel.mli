@@ -1,0 +1,46 @@
+(** Sharded execution of one run: conservative PDES over forked
+    workers (DESIGN.md §13).
+
+    The tree is partitioned into shards of roughly equal member weight
+    ({!Net.Partition}); each shard simulates the {e complete} network
+    but hosts only its own members, in a forked worker. Workers
+    synchronise through the classic conservative barrier protocol with
+    lookahead equal to the minimum cut-link delay ({!Sim.Pdes}),
+    exchanging cross-shard origin casts as replayable emit records (the
+    shard mode of {!Net.Network}). The coordinator merges the
+    per-worker counters, recoveries, cost matrices and oracle state
+    back into the exact artifact the serial {!Runner} produces — a
+    sharded run is byte-identical to the serial run of the same
+    (trace, protocol, setup, fault plan).
+
+    This module is the mechanism; policy lives in {!Runner}, which
+    checks shardability (no tracer, no LMS subcasts, no lossy
+    recovery/session RNG draws, no link-jitter fault events) and falls
+    back to the serial path, so callers just pass [?shards] to
+    {!Runner.run}. *)
+
+val run :
+  partition:Net.Partition.t ->
+  delay:(int -> float) ->
+  ?registry:Obs.Registry.t ->
+  ?fault_plan:Fault.Plan.t ->
+  setup:Run_types.setup ->
+  Run_types.protocol ->
+  Mtrace.Trace.t ->
+  Run_types.loss_model ->
+  Run_types.result
+(** [run ~partition ~delay ... protocol trace loss_model] executes the
+    run sharded per [partition] ([partition.n_shards] must be at least
+    2 — {!Runner} degenerates 1 to the serial path) and returns the
+    merged result. [delay] must reproduce the per-link delays the
+    workers draw ([Runner] replicates the heterogeneous-delay RNG
+    sequence); [setup] and [protocol] must already carry the fault-plan
+    robustness adjustments [Runner.run_model] applies.
+
+    With [registry], the merged end-of-run metrics are published as in
+    the serial runner — engine/network totals, ["recovery/"] histograms
+    and ["fault/"] counts — plus the synchronisation counters under
+    ["pdes/"] ({!Sim.Pdes.Stats.publish}). Per-host ["srm/"] metrics
+    are not republished: they live in the workers.
+
+    @raise Invalid_argument on an LMS protocol. *)

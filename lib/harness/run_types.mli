@@ -1,0 +1,72 @@
+(** Definitions shared by the serial {!Runner} and the sharded
+    {!Parallel} runner.
+
+    {!Runner} re-exports the types with equations, so this module is an
+    implementation seam, not an API: callers keep using
+    [Harness.Runner.setup] and friends. It exists because [Runner]
+    delegates multi-shard runs to [Parallel] while every [Parallel]
+    worker rebuilds the same per-run model [Runner] builds serially —
+    the types and pure helpers both must agree on have to sit below
+    both in the dependency order. *)
+
+type protocol = Srm_protocol | Cesrm_protocol of Cesrm.Host.config | Lms_protocol
+
+val protocol_name : protocol -> string
+
+type setup = {
+  link_delay : float;
+  bandwidth_bps : float;
+  params : Srm.Params.t;
+  warmup : float;
+  tail : float;
+  lossy_recovery : bool;
+  lossy_sessions : bool;
+  data_jitter : float;
+  heterogeneous_delays : bool;
+  seed : int64;
+}
+
+val default_setup : setup
+
+type result = {
+  trace : Mtrace.Trace.t;
+  protocol : protocol;
+  setup : setup;
+  counters : Stats.Counters.t;
+  recoveries : Stats.Recovery.t;
+  cost : Net.Cost.t;
+  rtt_to_source : (int * float) list;
+  exp_requests : int;
+  exp_replies : int;
+  unrecovered : int;
+  detected : int;
+  audit_violations : int;
+  oracle_violations : int;
+  oracle : Fault.Oracle.t option;
+}
+
+type loss_model =
+  | Attributed of Inference.Attribution.t
+  | Ground_truth of Mtrace.Bitset.t array
+
+val make_drop :
+  loss_model:loss_model ->
+  lossy_recovery:bool ->
+  lossy_sessions:bool ->
+  rates:float array ->
+  rng:Sim.Rng.t ->
+  link:int ->
+  down:bool ->
+  Net.Packet.t ->
+  bool
+(** The network drop predicate for a run (see {!Runner.run_model}).
+    Pure per crossing unless [lossy_recovery]/[lossy_sessions] draw
+    from [rng] — which is why those setups are not shardable. *)
+
+val horizon : setup:setup -> n_packets:int -> period:float -> float
+(** The simulation end time every run uses: warmup, data phase, tail,
+    plus slack for recovery exchanges still in flight. *)
+
+val source_rtts : tree:Net.Tree.t -> delay:(int -> float) -> float array
+(** Per-node round-trip time to the source, bit-identical to summing
+    [delay] down the tree path (the order [Net.Network.rtt] adds in). *)

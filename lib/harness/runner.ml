@@ -1,11 +1,15 @@
-type protocol = Srm_protocol | Cesrm_protocol of Cesrm.Host.config | Lms_protocol
+(* The protocol/setup/result types and the drop-predicate builder are
+   shared with the sharded parallel runner; see [Run_types]. The
+   equations keep [Harness.Runner.setup] et al. the public names. *)
 
-let protocol_name = function
-  | Srm_protocol -> "SRM"
-  | Cesrm_protocol config -> if config.Cesrm.Host.router_assist then "CESRM+RA" else "CESRM"
-  | Lms_protocol -> "LMS"
+type protocol = Run_types.protocol =
+  | Srm_protocol
+  | Cesrm_protocol of Cesrm.Host.config
+  | Lms_protocol
 
-type setup = {
+let protocol_name = Run_types.protocol_name
+
+type setup = Run_types.setup = {
   link_delay : float;
   bandwidth_bps : float;
   params : Srm.Params.t;
@@ -18,21 +22,9 @@ type setup = {
   seed : int64;
 }
 
-let default_setup =
-  {
-    link_delay = 0.020;
-    bandwidth_bps = 1.5e6;
-    params = Srm.Params.default;
-    warmup = 5.0;
-    tail = 30.0;
-    lossy_recovery = false;
-    lossy_sessions = false;
-    data_jitter = 0.;
-    heterogeneous_delays = false;
-    seed = 42L;
-  }
+let default_setup = Run_types.default_setup
 
-type result = {
+type result = Run_types.result = {
   trace : Mtrace.Trace.t;
   protocol : protocol;
   setup : setup;
@@ -52,54 +44,34 @@ type result = {
 let attribution_of_trace trace =
   Inference.Attribution.infer ~rates:(Inference.Yajnik.estimate trace) trace
 
-type loss_model =
+type loss_model = Run_types.loss_model =
   | Attributed of Inference.Attribution.t
   | Ground_truth of Mtrace.Bitset.t array
 
-(* Loss injection: drop an original data packet on exactly the links
-   the loss model names for it; optionally drop recovery packets per
-   estimated link rates. Session traffic is never dropped (Section 4.3
-   presumes lossless session exchange).
+(* A run is shardable when nothing in it needs a global view during
+   execution: no tracer (its event stream interleaves all members), no
+   LMS (subcasts route by global replier state), no lossy
+   recovery/session drops (they draw from the drop RNG per walked
+   branch, which shard-pruned walks would desynchronise), and no
+   link-jitter fault events (per-crossing jitter draws, same problem).
+   Everything else — crashes, partitions, outage and duplication
+   windows, heterogeneous delays, data jitter — replays identically on
+   every shard. *)
+let shardable ~shards ~tracer ~fault_plan ~setup protocol =
+  shards > 1 && tracer = None
+  && (not setup.lossy_recovery)
+  && (not setup.lossy_sessions)
+  && (match protocol with Lms_protocol -> false | _ -> true)
+  &&
+  match fault_plan with
+  | None -> true
+  | Some plan ->
+      List.for_all
+        (function Fault.Plan.Link_jitter _ -> false | _ -> true)
+        plan.Fault.Plan.events
 
-   [Attributed] replays the paper's Section 4.2 pipeline: each data
-   packet is cut on the links maximum-likelihood attribution blames.
-   [Ground_truth] skips inference and drops packet [seq] on link [l]
-   iff the generator's Gilbert chain had [l] Bad at step [seq - 1] —
-   the same indexing [Trace.lost] reads, so the losses receivers
-   observe are exactly the trace. Attribution is quadratic-ish in
-   receivers and pointless when the generator's own link states are in
-   hand, which is what the synthetic scale scenarios use. *)
-let make_drop ~loss_model ~lossy_recovery ~lossy_sessions ~rates ~rng =
-  let data_cut =
-    match loss_model with
-    | Ground_truth link_bad ->
-        fun ~link ~seq -> Mtrace.Bitset.get link_bad.(link) (seq - 1)
-    | Attributed attribution ->
-        (* The predicate runs once per link crossing per data packet, so
-           each packet's cut set is kept as a per-seq bitset over link
-           ids rather than a list to scan. [rates] is sized n_nodes in
-           both runner configurations, which bounds every link id. *)
-        let n_links = Array.length rates in
-        let cut_sets = Hashtbl.create 1024 in
-        let cuts_of seq =
-          match Hashtbl.find cut_sets seq with
-          | cuts -> cuts
-          | exception Not_found ->
-              let cuts = Mtrace.Bitset.create n_links in
-              List.iter (Mtrace.Bitset.set cuts) (Inference.Attribution.cuts attribution ~seq);
-              Hashtbl.replace cut_sets seq cuts;
-              cuts
-        in
-        fun ~link ~seq -> Mtrace.Bitset.get (cuts_of seq) link
-  in
-  fun ~link ~down (p : Net.Packet.t) ->
-    match p.payload with
-    | Net.Packet.Data { seq } -> down && data_cut ~link ~seq
-    | Net.Packet.Session _ -> lossy_sessions && Sim.Rng.bernoulli rng rates.(link)
-    | Net.Packet.Request _ | Net.Packet.Reply _ | Net.Packet.Exp_request _ ->
-        lossy_recovery && Sim.Rng.bernoulli rng rates.(link)
-
-let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol trace loss_model =
+let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 1) protocol
+    trace loss_model =
   (* A fault plan switches on the robustness extensions unless the
      caller pinned them: session-driven request re-arm (bounds
      post-heal recovery latency by the session period instead of the
@@ -127,183 +99,192 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan protocol tr
   let tree = Mtrace.Trace.tree trace in
   let n_packets = Mtrace.Trace.n_packets trace in
   let period = Mtrace.Trace.period trace in
-  let engine = Sim.Engine.create ~seed:setup.seed () in
-  let network =
-    if setup.heterogeneous_delays then begin
-      (* Per-link delays log-uniform in [link_delay/3, 3·link_delay]:
-         the real MBone had heterogeneous latencies; the paper used a
-         uniform delay, so this is a robustness probe. *)
-      let rng = Sim.Rng.split (Sim.Engine.rng engine) in
-      let delays =
-        Array.init (Net.Tree.n_nodes tree) (fun l ->
-            if l = 0 then 0.
-            else Sim.Rng.log_uniform rng (setup.link_delay /. 3.) (3. *. setup.link_delay))
-      in
-      Net.Network.create_heterogeneous ~engine ~tree ~delays
-        ~bandwidth_bps:setup.bandwidth_bps ()
-    end
-    else
-      Net.Network.create ~engine ~tree ~link_delay:setup.link_delay
-        ~bandwidth_bps:setup.bandwidth_bps ()
-  in
-  let rates =
-    if setup.lossy_recovery || setup.lossy_sessions then Inference.Yajnik.estimate trace
-    else Array.make (Net.Tree.n_nodes tree) 0.
-  in
-  let drop_rng = Sim.Rng.split (Sim.Engine.rng engine) in
-  Net.Network.set_drop network
-    (make_drop ~loss_model ~lossy_recovery:setup.lossy_recovery
-       ~lossy_sessions:setup.lossy_sessions ~rates ~rng:drop_rng);
-  (* Every run is audited against the global protocol invariants; LMS
-     retries legitimately repeat expedited requests, so its bound is
-     loose. *)
-  let audit =
-    Audit.attach
-      ~expect_in_order:(setup.data_jitter <= 0.)
-      ~max_exp_per_loss:(match protocol with Lms_protocol -> 64 | _ -> 1)
-      network
-  in
-  (* Tracing piggybacks on the packet tap (composed after the
-     auditor's) and, per member, on the SRM hooks — attached only when
-     a tracer was passed, so the untraced run is the seed code path. *)
-  let stride = n_packets + 1 in
-  Option.iter (fun tr -> Instrument.attach_network ~trace:tr ~stride network) tracer;
-  (* The fault oracle's network tap composes after the auditor's and
-     the tracer's; its per-member hook wrappers are added as each
-     protocol arm deploys (after CESRM installed its own hooks). *)
-  let oracle = Option.map (fun _ -> Fault.Oracle.create ~network ()) fault_plan in
-  let trace_host srm_host =
-    Option.iter (fun tr -> Instrument.attach_srm_host ~trace:tr ~stride srm_host) tracer;
-    Option.iter (fun o -> Fault.Oracle.attach_host o srm_host) oracle
-  in
-  let compile_faults ~on_restart =
-    Option.iter (fun plan -> Fault.Plan.compile ~network ~on_restart plan) fault_plan
-  in
-  let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected ~publish =
-    let horizon = setup.warmup +. (float_of_int n_packets *. period) +. setup.tail +. 240. in
-    Sim.Engine.run ~until:horizon engine;
-    Option.iter
-      (fun o ->
-        Fault.Oracle.finalize o;
-        List.iter
-          (fun v -> Stats.Counters.bump counters ~node:v.Fault.Oracle.node Stats.Counters.Oracle)
-          (Fault.Oracle.violations o))
-      oracle;
-    (* Source-to-node RTTs in one top-down pass. Accumulating parent
-       distance plus own link delay adds the delays in the same order
-       [Net.Network.rtt network 0 node] does, so the values are
-       bit-identical to the former per-receiver calls — without the
-       per-node path walk (quadratic on deep trees). *)
-    let rtts = Array.make (Net.Tree.n_nodes tree) 0. in
-    let rec fill_rtts v d =
-      List.iter
-        (fun c ->
-          let dc = d +. Net.Network.link_delay network c in
-          rtts.(c) <- 2. *. dc;
-          fill_rtts c dc)
-        (Net.Tree.children tree v)
+  let serial () =
+    let engine = Sim.Engine.create ~seed:setup.seed () in
+    let network =
+      if setup.heterogeneous_delays then begin
+        (* Per-link delays log-uniform in [link_delay/3, 3·link_delay]:
+           the real MBone had heterogeneous latencies; the paper used a
+           uniform delay, so this is a robustness probe. *)
+        let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+        let delays =
+          Array.init (Net.Tree.n_nodes tree) (fun l ->
+              if l = 0 then 0.
+              else Sim.Rng.log_uniform rng (setup.link_delay /. 3.) (3. *. setup.link_delay))
+        in
+        Net.Network.create_heterogeneous ~engine ~tree ~delays
+          ~bandwidth_bps:setup.bandwidth_bps ()
+      end
+      else
+        Net.Network.create ~engine ~tree ~link_delay:setup.link_delay
+          ~bandwidth_bps:setup.bandwidth_bps ()
     in
-    fill_rtts 0 0.;
-    let is_receiver node = node <> 0 && Net.Tree.is_leaf tree node in
-    let rtt_to_source =
-      Array.to_list
-        (Array.map (fun node -> (node, rtts.(node))) (Net.Tree.receivers tree))
+    let rates =
+      if setup.lossy_recovery || setup.lossy_sessions then Inference.Yajnik.estimate trace
+      else Array.make (Net.Tree.n_nodes tree) 0.
     in
-    Option.iter
-      (fun reg ->
-        Sim.Engine.publish_metrics engine reg;
-        Net.Network.publish_metrics network reg;
-        publish reg;
-        Obs.Registry.incr ~by:(Stats.Recovery.count recoveries) reg "recovery/recovered";
-        Option.iter
-          (fun o -> Obs.Registry.incr ~by:(Fault.Oracle.n_violations o) reg "fault/oracle_violations")
-          oracle;
-        Instrument.attach_recovery_hists reg
-          ~rtt_of:(fun node -> if is_receiver node then Some rtts.(node) else None)
-          recoveries)
-      registry;
-    let recovered = Stats.Recovery.count recoveries in
-    {
-      trace;
-      protocol;
-      setup;
-      counters;
-      recoveries;
-      cost = Net.Network.cost network;
-      rtt_to_source;
-      exp_requests;
-      exp_replies;
-      unrecovered = detected () - recovered;
-      detected = detected ();
-      audit_violations = List.length (Audit.violations audit);
-      oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
-      oracle;
-    }
-  in
-  match protocol with
-  | Srm_protocol ->
-      let proto = Srm.Proto.deploy ~network ~params:setup.params ~n_packets ~period in
-      List.iter (fun (_, h) -> trace_host h) (Srm.Proto.members proto);
-      compile_faults ~on_restart:(fun ~node ->
-          Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
-      Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup ~tail:setup.tail;
-      let detected () =
-        List.fold_left (fun acc (_, h) -> acc + Srm.Host.detected_losses h) 0 (Srm.Proto.members proto)
+    let drop_rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    Net.Network.set_drop network
+      (Run_types.make_drop ~loss_model ~lossy_recovery:setup.lossy_recovery
+         ~lossy_sessions:setup.lossy_sessions ~rates ~rng:drop_rng);
+    (* Every run is audited against the global protocol invariants; LMS
+       retries legitimately repeat expedited requests, so its bound is
+       loose. *)
+    let audit =
+      Audit.attach
+        ~expect_in_order:(setup.data_jitter <= 0.)
+        ~max_exp_per_loss:(match protocol with Lms_protocol -> 64 | _ -> 1)
+        network
+    in
+    (* Tracing piggybacks on the packet tap (composed after the
+       auditor's) and, per member, on the SRM hooks — attached only when
+       a tracer was passed, so the untraced run is the seed code path. *)
+    let stride = n_packets + 1 in
+    Option.iter (fun tr -> Instrument.attach_network ~trace:tr ~stride network) tracer;
+    (* The fault oracle's network tap composes after the auditor's and
+       the tracer's; its per-member hook wrappers are added as each
+       protocol arm deploys (after CESRM installed its own hooks). *)
+    let oracle = Option.map (fun _ -> Fault.Oracle.create ~network ()) fault_plan in
+    let trace_host srm_host =
+      Option.iter (fun tr -> Instrument.attach_srm_host ~trace:tr ~stride srm_host) tracer;
+      Option.iter (fun o -> Fault.Oracle.attach_host o srm_host) oracle
+    in
+    let compile_faults ~on_restart =
+      Option.iter (fun plan -> Fault.Plan.compile ~network ~on_restart plan) fault_plan
+    in
+    let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected ~publish =
+      let horizon = Run_types.horizon ~setup ~n_packets ~period in
+      Sim.Engine.run ~until:horizon engine;
+      Option.iter
+        (fun o ->
+          Fault.Oracle.finalize o;
+          List.iter
+            (fun v -> Stats.Counters.bump counters ~node:v.Fault.Oracle.node Stats.Counters.Oracle)
+            (Fault.Oracle.violations o))
+        oracle;
+      let rtts = Run_types.source_rtts ~tree ~delay:(Net.Network.link_delay network) in
+      let is_receiver node = node <> 0 && Net.Tree.is_leaf tree node in
+      let rtt_to_source =
+        Array.to_list
+          (Array.map (fun node -> (node, rtts.(node))) (Net.Tree.receivers tree))
       in
-      let publish reg =
-        List.iter (fun (_, h) -> Srm.Host.publish_metrics h reg) (Srm.Proto.members proto)
-      in
-      finish ~counters:(Srm.Proto.counters proto) ~recoveries:(Srm.Proto.recoveries proto)
-        ~exp_requests:0 ~exp_replies:0 ~detected ~publish
-  | Cesrm_protocol config ->
-      let proto =
-        Cesrm.Proto.deploy ~config ~network ~params:setup.params ~n_packets ~period ()
-      in
-      (* After deploy: the CESRM hosts have installed their own hooks,
-         which the tracer chains onto rather than replaces. *)
-      List.iter (fun (_, h) -> trace_host (Cesrm.Host.srm h)) (Cesrm.Proto.members proto);
-      compile_faults ~on_restart:(fun ~node ->
+      Option.iter
+        (fun reg ->
+          Sim.Engine.publish_metrics engine reg;
+          Net.Network.publish_metrics network reg;
+          publish reg;
+          Obs.Registry.incr ~by:(Stats.Recovery.count recoveries) reg "recovery/recovered";
           Option.iter
-            (fun h ->
-              Cesrm.Host.reset_caches h;
-              Srm.Host.restart_recovery (Cesrm.Host.srm h))
-            (List.assoc_opt node (Cesrm.Proto.members proto)));
-      Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
-        ~tail:setup.tail;
-      let detected () =
-        List.fold_left
-          (fun acc (_, h) -> acc + Srm.Host.detected_losses (Cesrm.Host.srm h))
-          0 (Cesrm.Proto.members proto)
-      in
-      let publish reg =
-        List.iter (fun (_, h) -> Cesrm.Host.publish_metrics h reg) (Cesrm.Proto.members proto)
-      in
-      let result =
-        finish ~counters:(Cesrm.Proto.counters proto) ~recoveries:(Cesrm.Proto.recoveries proto)
-          ~exp_requests:0 ~exp_replies:0 ~detected ~publish
-      in
+            (fun o -> Obs.Registry.incr ~by:(Fault.Oracle.n_violations o) reg "fault/oracle_violations")
+            oracle;
+          Instrument.attach_recovery_hists reg
+            ~rtt_of:(fun node -> if is_receiver node then Some rtts.(node) else None)
+            recoveries)
+        registry;
+      let recovered = Stats.Recovery.count recoveries in
       {
-        result with
-        exp_requests = Cesrm.Proto.expedited_requests proto;
-        exp_replies = Cesrm.Proto.expedited_replies proto;
+        trace;
+        protocol;
+        setup;
+        counters;
+        recoveries;
+        cost = Net.Network.cost network;
+        rtt_to_source;
+        exp_requests;
+        exp_replies;
+        unrecovered = detected () - recovered;
+        detected = detected ();
+        audit_violations = List.length (Audit.violations audit);
+        oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
+        oracle;
       }
-  | Lms_protocol ->
-      let proto = Lms.Proto.deploy ~network ~n_packets ~period () in
-      (* LMS hosts carry no SRM soft state; crashes just toggle the
-         enabled flag, and the oracle checks network-level invariants
-         only. *)
-      compile_faults ~on_restart:(fun ~node:_ -> ());
-      Lms.Proto.start proto ~warmup:setup.warmup ~tail:setup.tail;
-      let publish reg =
-        List.iter (fun (_, h) -> Lms.Host.publish_metrics h reg) (Lms.Proto.members proto)
-      in
-      finish ~counters:(Lms.Proto.counters proto) ~recoveries:(Lms.Proto.recoveries proto)
-        ~exp_requests:0 ~exp_replies:0
-        ~detected:(fun () -> Lms.Proto.detected proto)
-        ~publish
+    in
+    match protocol with
+    | Srm_protocol ->
+        let proto = Srm.Proto.deploy ~network ~params:setup.params ~n_packets ~period () in
+        List.iter (fun (_, h) -> trace_host h) (Srm.Proto.members proto);
+        compile_faults ~on_restart:(fun ~node ->
+            Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
+        Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup ~tail:setup.tail;
+        let detected () =
+          List.fold_left (fun acc (_, h) -> acc + Srm.Host.detected_losses h) 0 (Srm.Proto.members proto)
+        in
+        let publish reg =
+          List.iter (fun (_, h) -> Srm.Host.publish_metrics h reg) (Srm.Proto.members proto)
+        in
+        finish ~counters:(Srm.Proto.counters proto) ~recoveries:(Srm.Proto.recoveries proto)
+          ~exp_requests:0 ~exp_replies:0 ~detected ~publish
+    | Cesrm_protocol config ->
+        let proto =
+          Cesrm.Proto.deploy ~config ~network ~params:setup.params ~n_packets ~period ()
+        in
+        (* After deploy: the CESRM hosts have installed their own hooks,
+           which the tracer chains onto rather than replaces. *)
+        List.iter (fun (_, h) -> trace_host (Cesrm.Host.srm h)) (Cesrm.Proto.members proto);
+        compile_faults ~on_restart:(fun ~node ->
+            Option.iter
+              (fun h ->
+                Cesrm.Host.reset_caches h;
+                Srm.Host.restart_recovery (Cesrm.Host.srm h))
+              (List.assoc_opt node (Cesrm.Proto.members proto)));
+        Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
+          ~tail:setup.tail;
+        let detected () =
+          List.fold_left
+            (fun acc (_, h) -> acc + Srm.Host.detected_losses (Cesrm.Host.srm h))
+            0 (Cesrm.Proto.members proto)
+        in
+        let publish reg =
+          List.iter (fun (_, h) -> Cesrm.Host.publish_metrics h reg) (Cesrm.Proto.members proto)
+        in
+        let result =
+          finish ~counters:(Cesrm.Proto.counters proto) ~recoveries:(Cesrm.Proto.recoveries proto)
+            ~exp_requests:0 ~exp_replies:0 ~detected ~publish
+        in
+        {
+          result with
+          exp_requests = Cesrm.Proto.expedited_requests proto;
+          exp_replies = Cesrm.Proto.expedited_replies proto;
+        }
+    | Lms_protocol ->
+        let proto = Lms.Proto.deploy ~network ~n_packets ~period () in
+        (* LMS hosts carry no SRM soft state; crashes just toggle the
+           enabled flag, and the oracle checks network-level invariants
+           only. *)
+        compile_faults ~on_restart:(fun ~node:_ -> ());
+        Lms.Proto.start proto ~warmup:setup.warmup ~tail:setup.tail;
+        let publish reg =
+          List.iter (fun (_, h) -> Lms.Host.publish_metrics h reg) (Lms.Proto.members proto)
+        in
+        finish ~counters:(Lms.Proto.counters proto) ~recoveries:(Lms.Proto.recoveries proto)
+          ~exp_requests:0 ~exp_replies:0
+          ~detected:(fun () -> Lms.Proto.detected proto)
+          ~publish
+  in
+  if not (shardable ~shards ~tracer ~fault_plan ~setup protocol) then serial ()
+  else begin
+    (* Replicate the per-link delays the workers will draw — same seed,
+       same split, same sequence — to partition on true cut delays. *)
+    let delay =
+      if setup.heterogeneous_delays then begin
+        let engine = Sim.Engine.create ~seed:setup.seed () in
+        let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+        let delays =
+          Array.init (Net.Tree.n_nodes tree) (fun l ->
+              if l = 0 then 0.
+              else Sim.Rng.log_uniform rng (setup.link_delay /. 3.) (3. *. setup.link_delay))
+        in
+        fun l -> delays.(l)
+      end
+      else fun _ -> setup.link_delay
+    in
+    let partition = Net.Partition.make ~tree ~delay ~shards in
+    if partition.Net.Partition.n_shards < 2 then serial ()
+    else Parallel.run ~partition ~delay ?registry ?fault_plan ~setup protocol trace loss_model
+  end
 
-let run ?setup ?tracer ?registry ?fault_plan protocol trace attribution =
-  run_model ?setup ?tracer ?registry ?fault_plan protocol trace (Attributed attribution)
+let run ?setup ?tracer ?registry ?fault_plan ?shards protocol trace attribution =
+  run_model ?setup ?tracer ?registry ?fault_plan ?shards protocol trace (Attributed attribution)
 
 (* Harness tuning for the synthetic scale scenarios. Classic SRM
    settings assume a ~10–50 member group; at 10^3–10^4 members the
@@ -355,7 +336,7 @@ let tune_for_trace trace setup =
       let n_members = 1 + Array.length (Net.Tree.receivers (Mtrace.Trace.tree trace)) in
       scale_setup ~family ~n_members setup
 
-let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ~seed protocol row =
+let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ~seed protocol row =
   let generated = Mtrace.Generator.synthesize ~seed ?n_packets row in
   let trace = generated.Mtrace.Generator.trace in
   let scale_family = Mtrace.Scale.family_of_name row.Mtrace.Meta.name in
@@ -377,7 +358,7 @@ let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ~seed protocol 
         | None -> invalid_arg (Printf.sprintf "Runner.run_leg: unknown canned fault plan %S" name))
       fault
   in
-  run_model ~setup:{ setup with seed } ?registry ?fault_plan protocol trace loss_model
+  run_model ~setup:{ setup with seed } ?registry ?fault_plan ?shards protocol trace loss_model
 
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in

@@ -7,7 +7,7 @@
     losses. Recovery traffic is lossless by default; the lossy-recovery
     variant drops recovery packets per estimated link rates. *)
 
-type protocol =
+type protocol = Run_types.protocol =
   | Srm_protocol
   | Cesrm_protocol of Cesrm.Host.config
   | Lms_protocol
@@ -17,7 +17,7 @@ type protocol =
 
 val protocol_name : protocol -> string
 
-type setup = {
+type setup = Run_types.setup = {
   link_delay : float;  (** seconds; paper uses 10/20/30 ms, default 20 ms *)
   bandwidth_bps : float;  (** default 1.5 Mbps *)
   params : Srm.Params.t;
@@ -39,7 +39,7 @@ type setup = {
 
 val default_setup : setup
 
-type result = {
+type result = Run_types.result = {
   trace : Mtrace.Trace.t;
   protocol : protocol;
   setup : setup;
@@ -60,7 +60,7 @@ type result = {
   oracle : Fault.Oracle.t option;  (** present iff a fault plan was run *)
 }
 
-type loss_model =
+type loss_model = Run_types.loss_model =
   | Attributed of Inference.Attribution.t
       (** cut each data packet on the links maximum-likelihood
           attribution blames (the paper's Section 4.2 pipeline) *)
@@ -76,6 +76,7 @@ val run_model :
   ?tracer:Obs.Trace.t ->
   ?registry:Obs.Registry.t ->
   ?fault_plan:Fault.Plan.t ->
+  ?shards:int ->
   protocol ->
   Mtrace.Trace.t ->
   loss_model ->
@@ -87,6 +88,7 @@ val run :
   ?tracer:Obs.Trace.t ->
   ?registry:Obs.Registry.t ->
   ?fault_plan:Fault.Plan.t ->
+  ?shards:int ->
   protocol ->
   Mtrace.Trace.t ->
   Inference.Attribution.t ->
@@ -109,13 +111,27 @@ val run :
     without them SRM's 2^k back-off and CESRM's static pair caches make
     post-heal recovery pathologically slow, which is exactly what the
     oracle would report. Faulted runs remain deterministic: same trace,
-    seed and plan ⇒ identical results. *)
+    seed and plan ⇒ identical results.
+
+    With [shards] at least 2, the run executes in parallel: the tree is
+    partitioned into that many shards of roughly equal member weight
+    ({!Net.Partition}), each simulated by a forked worker, synchronised
+    conservatively with lookahead equal to the minimum cut-link delay
+    ({!Sim.Pdes}, {!Parallel}). The merged result — counters,
+    recoveries, cost, audit and oracle state — is byte-identical to the
+    serial run's; with [registry], synchronisation counters additionally
+    appear under ["pdes/"] (per-host ["srm/"] metrics stay in the
+    workers and are not republished). Runs a sharded execution cannot
+    reproduce exactly fall back to serial: a [tracer], LMS, lossy
+    recovery/sessions, link-jitter fault events, or a partition that
+    degenerates to one shard. *)
 
 val run_leg :
   ?setup:setup ->
   ?registry:Obs.Registry.t ->
   ?n_packets:int ->
   ?fault:string ->
+  ?shards:int ->
   seed:int64 ->
   protocol ->
   Mtrace.Meta.row ->

@@ -65,3 +65,9 @@ let pp ppf t =
         (category_name cat) (sends t cat Unicast) (sends t cat Multicast) (sends t cat Subcast)
         (crossings t cat Unicast) (crossings t cat Multicast) (crossings t cat Subcast))
     all_categories
+
+let merge a b =
+  {
+    sends = Array.map2 ( + ) a.sends b.sends;
+    crossings = Array.map2 ( + ) a.crossings b.crossings;
+  }

@@ -42,3 +42,7 @@ val control_overhead : t -> multicast:bool -> int
 val all_categories : category list
 
 val pp : Format.formatter -> t -> unit
+
+val merge : t -> t -> t
+(** Element-wise sum of two cost tables — combining per-shard tallies
+    into the run total. *)

@@ -12,6 +12,37 @@ type perturb = {
   prng : Sim.Rng.t; (* jitter sampling; split off the engine rng on install *)
 }
 
+(* -- shard mode (conservative PDES) --------------------------------- *)
+
+type emit_cast = Ecast_multicast | Ecast_unicast of int | Ecast_relayed of int
+
+type emit = {
+  e_at : float;
+  e_from : int;
+  e_idx : int;
+  e_cast : emit_cast;
+  e_packet : Packet.t;
+  e_disabled : int list;
+}
+
+(* Cold-path shard state; the per-crossing hot-path fields (owner
+   array, owned-below oracle) live directly on [t] below. *)
+type shard = {
+  sh_observe : bool; (* primary shard: record the tap stream *)
+  mutable sh_next_idx : int; (* monotone per-shard emit/obs counter *)
+  (* Replicated source casts execute identically on every shard, so
+     this counter (advanced unconditionally, unlike [sh_next_idx]) is
+     a consistent cross-shard id for them; encoded as [-2 - i] in the
+     walk key's idx slot to stay disjoint from emit indices (>= 0) and
+     the no-walk sentinel (-1). *)
+  mutable sh_rep_idx : int;
+  mutable sh_emits : emit list; (* reversed; drained per sync window *)
+  mutable sh_obs : emit list; (* reversed; local tap-stream records *)
+  mutable sh_disabled : int list; (* currently disabled members *)
+  mutable sh_replaying : bool; (* inside [apply_emit]'s walk *)
+  mutable sh_replay_disabled : int list; (* origin-time snapshot *)
+}
+
 type t = {
   engine : Sim.Engine.t;
   tree : Tree.t;
@@ -33,30 +64,154 @@ type t = {
   mutable delivered : int;
   mutable tap : (from:int -> Packet.t -> unit) option;
   mutable perturb : perturb option; (* None = the unfaulted fast path *)
+  (* Shard-mode hot path: [sh_owner] empty means serial (no sharding);
+     otherwise crossings are tallied only when the entered node is
+     owned by [sh_me], and non-FIFO flood walks are pruned to branches
+     containing owned nodes (via [sh_below], the owned-below oracle). *)
+  mutable sh_owner : int array;
+  mutable sh_me : int;
+  mutable sh_below : int array;
+  mutable sh_total : int;
+  mutable shard : shard option;
+  (* Allocation-free delivery: one pooled packet slot per in-flight
+     cast and one shared fire closure, dispatched by integer argument
+     [(slot lsl node_bits) lor node] through [Engine.schedule_call] —
+     the per-delivery closure this replaces dominated allocation at
+     scale (tens of MB per 200-packet leg). *)
+  mutable pslots : Packet.t array;
+  mutable prefs : int array; (* per-slot pending deliveries + 1 while walking *)
+  mutable pfree : int array; (* free-slot stack *)
+  mutable pfree_top : int;
+  mutable cur_pslot : int; (* slot of the cast being walked *)
+  mutable fire : int -> unit; (* shared delivery dispatch; tied below *)
+  node_bits : int;
+  (* Shard mode only: the originating cast key (at, from, idx) of the
+     walk each slot pins — globally consistent across shards, so a
+     worker can tag every recovery with the walk that produced it and
+     the coordinator can reconstruct the serial engine's FIFO order
+     among same-time deliveries. [cur_deliver_*] stash the firing
+     delivery's key + node for {!delivery_rank} (the slot itself may
+     be recycled by casts the handler makes). *)
+  mutable pwalk : (float * int * int) array;
+  mutable cur_deliver_at : float;
+  mutable cur_deliver_from : int;
+  mutable cur_deliver_idx : int;
+  mutable cur_deliver_node : int; (* -1 = not inside a delivery *)
 }
 
 let no_drop ~link:_ ~down:_ _ = false
 
+let rec bits_for n b = if 1 lsl b >= n then b else bits_for n (b + 1)
+
+let release_pslot t s =
+  t.prefs.(s) <- t.prefs.(s) - 1;
+  if t.prefs.(s) = 0 then begin
+    t.pfree.(t.pfree_top) <- s;
+    t.pfree_top <- t.pfree_top + 1
+  end
+
+let deliver_fire t arg =
+  let node = arg land ((1 lsl t.node_bits) - 1) in
+  let s = arg lsr t.node_bits in
+  let packet = t.pslots.(s) in
+  release_pslot t s;
+  (* Re-checked at fire time: a host that crashes while the packet is
+     in flight must not process it on arrival (the schedule-time check
+     in [deliver] only covers hosts already down at send time). *)
+  if t.enabled.(node) then begin
+    t.delivered <- t.delivered + 1;
+    match t.handlers.(node) with
+    | Some h ->
+        (match t.shard with
+        | Some _ ->
+            (* Stash before the handler runs: casts it makes may
+               recycle slot [s] and overwrite [pwalk.(s)]. *)
+            let at, from, idx = t.pwalk.(s) in
+            t.cur_deliver_at <- at;
+            t.cur_deliver_from <- from;
+            t.cur_deliver_idx <- idx;
+            t.cur_deliver_node <- node;
+            h packet;
+            t.cur_deliver_node <- -1
+        | None -> h packet)
+    | None -> ()
+  end
+
 let create_heterogeneous ~engine ~tree ~delays ?(bandwidth_bps = 1.5e6) () =
   let n = Tree.n_nodes tree in
   if Array.length delays <> n then invalid_arg "Network.create_heterogeneous: delays size";
-  {
-    engine;
-    tree;
-    delays;
-    bandwidth_bps;
-    routes = Routes.create ~tree ~delays;
-    arrive = Array.make n 0.;
-    drop = no_drop;
-    handlers = Array.make n None;
-    enabled = Array.make n true;
-    busy_down = Array.make n 0.;
-    busy_up = Array.make n 0.;
-    cost = Cost.create ();
-    delivered = 0;
-    tap = None;
-    perturb = None;
-  }
+  let pcap = 64 in
+  let t =
+    {
+      engine;
+      tree;
+      delays;
+      bandwidth_bps;
+      routes = Routes.create ~tree ~delays;
+      arrive = Array.make n 0.;
+      drop = no_drop;
+      handlers = Array.make n None;
+      enabled = Array.make n true;
+      busy_down = Array.make n 0.;
+      busy_up = Array.make n 0.;
+      cost = Cost.create ();
+      delivered = 0;
+      tap = None;
+      perturb = None;
+      sh_owner = [||];
+      sh_me = 0;
+      sh_below = [||];
+      sh_total = 0;
+      shard = None;
+      pslots = Array.make pcap { Packet.sender = 0; payload = Packet.Data { seq = 0 } };
+      prefs = Array.make pcap 0;
+      pfree = Array.init pcap (fun i -> i);
+      pfree_top = pcap;
+      cur_pslot = 0;
+      fire = (fun _ -> ());
+      node_bits = bits_for n 0;
+      pwalk = Array.make pcap (0., -1, -1);
+      cur_deliver_at = 0.;
+      cur_deliver_from = -1;
+      cur_deliver_idx = -1;
+      cur_deliver_node = -1;
+    }
+  in
+  t.fire <- (fun arg -> deliver_fire t arg);
+  t
+
+let grow_pslots t =
+  let old = Array.length t.pslots in
+  let cap = old * 2 in
+  let pslots = Array.make cap t.pslots.(0) in
+  Array.blit t.pslots 0 pslots 0 old;
+  let prefs = Array.make cap 0 in
+  Array.blit t.prefs 0 prefs 0 old;
+  let pfree = Array.make cap 0 in
+  (* the old stack is empty (that is why we grew); refill with the
+     newly minted slots *)
+  for i = 0 to cap - old - 1 do
+    pfree.(i) <- old + i
+  done;
+  let pwalk = Array.make cap (0., -1, -1) in
+  Array.blit t.pwalk 0 pwalk 0 old;
+  t.pslots <- pslots;
+  t.prefs <- prefs;
+  t.pfree <- pfree;
+  t.pwalk <- pwalk;
+  t.pfree_top <- cap - old
+
+(* Pin the cast's packet in a pooled slot for the duration of its walk;
+   the initial refcount 1 is the walk's own pin, dropped by the cast
+   entry point when the walk returns. *)
+let acquire_pslot t packet =
+  if t.pfree_top = 0 then grow_pslots t;
+  t.pfree_top <- t.pfree_top - 1;
+  let s = t.pfree.(t.pfree_top) in
+  t.pslots.(s) <- packet;
+  t.prefs.(s) <- 1;
+  t.cur_pslot <- s;
+  s
 
 let create ~engine ~tree ?(link_delay = 0.020) ?bandwidth_bps () =
   let delays = Array.make (Tree.n_nodes tree) link_delay in
@@ -116,7 +271,17 @@ let on_receive t v f = t.handlers.(v) <- Some f
 
 let packets_delivered t = t.delivered
 
-let set_enabled t v flag = t.enabled.(v) <- flag
+let set_enabled t v flag =
+  t.enabled.(v) <- flag;
+  (* Shard mode keeps an explicit disabled-member list: emits snapshot
+     it so a replaying shard can reproduce the origin's send-time
+     enabled check even when the member's state changed since. The list
+     is replaced, never mutated, so snapshots stay valid. *)
+  match t.shard with
+  | None -> ()
+  | Some sh ->
+      if flag then sh.sh_disabled <- List.filter (fun x -> x <> v) sh.sh_disabled
+      else if not (List.mem v sh.sh_disabled) then sh.sh_disabled <- v :: sh.sh_disabled
 
 let is_enabled t v = t.enabled.(v)
 
@@ -176,21 +341,31 @@ let link_is_down t ~link ~at =
   | None -> false
   | Some p -> window_at p.downs.(link) at <> None
 
-let deliver t ~node ~at packet =
+(* Schedule delivery of the current cast's packet (the one pinned in
+   [cur_pslot]) at [node]. During an emit replay the send-time enabled
+   check consults the origin's snapshot instead of live state: the
+   member may have crashed or revived between the origin's send and
+   this shard's replay of it. *)
+let deliver t ~node ~at =
   match t.handlers.(node) with
   | None -> ()
-  | Some _ when not t.enabled.(node) -> ()
-  | Some handler ->
-      ignore
-        (Sim.Engine.schedule_at t.engine ~at (fun () ->
-             (* Re-checked at fire time: a host that crashes while the
-                packet is in flight must not process it on arrival (the
-                schedule-time check above only covers hosts already down
-                at send time). *)
-             if t.enabled.(node) then begin
-               t.delivered <- t.delivered + 1;
-               handler packet
-             end))
+  | Some _ ->
+      let blocked =
+        match t.shard with
+        | Some sh when sh.sh_replaying -> List.mem node sh.sh_replay_disabled
+        | _ -> not t.enabled.(node)
+      in
+      if not blocked then begin
+        let s = t.cur_pslot in
+        t.prefs.(s) <- t.prefs.(s) + 1;
+        Sim.Engine.schedule_call t.engine ~at t.fire ((s lsl t.node_bits) lor node)
+      end
+
+(* Whether this shard tallies the crossing into [to_] — exactly the
+   owner of the entered node counts it, so merged per-shard tallies
+   reproduce the serial totals with nothing double-counted. Serial
+   mode (empty owner array) counts everything. *)
+let[@inline] counts_crossing t to_ = Array.length t.sh_owner = 0 || t.sh_owner.(to_) = t.sh_me
 
 (* Move [packet] across the link [link] from [from] to [to_], leaving
    [from] at time [at]. Returns the arrival time, or NaN if the loss
@@ -214,7 +389,7 @@ let[@inline] traverse t ~cat ~cast ~link ~down ~from:_ ~to_ ~at ~tx ~fifo packet
     let busy = if down then t.busy_down else t.busy_up in
     match t.perturb with
     | None ->
-        Cost.record_crossing t.cost cat cast;
+        if counts_crossing t to_ then Cost.record_crossing t.cost cat cast;
         if tx = 0. then at +. t.delays.(link)
         else if fifo then begin
           let start = Float.max at busy.(link) in
@@ -229,7 +404,7 @@ let[@inline] traverse t ~cat ~cast ~link ~down ~from:_ ~to_ ~at ~tx ~fifo packet
            falling inside the outage. *)
         if window_at p.downs.(link) at <> None then Float.nan
         else begin
-          Cost.record_crossing t.cost cat cast;
+          if counts_crossing t to_ then Cost.record_crossing t.cost cat cast;
           let arrival =
             if tx = 0. then at +. t.delays.(link)
             else if fifo then begin
@@ -248,7 +423,7 @@ let[@inline] traverse t ~cat ~cast ~link ~down ~from:_ ~to_ ~at ~tx ~fifo packet
              link's child-side endpoint one extra propagation delay
              later (a last-hop duplicate; it is not re-forwarded). *)
           (match window_at p.dups.(link) at with
-          | Some _ -> deliver t ~node:to_ ~at:(arrival +. t.delays.(link)) packet
+          | Some _ -> deliver t ~node:to_ ~at:(arrival +. t.delays.(link))
           | None -> ());
           arrival
         end
@@ -260,27 +435,71 @@ let is_fifo packet = match packet.Packet.payload with Packet.Data _ -> true | _ 
 (* Replay a precomputed DFS order: each entry crosses one link and
    delivers at the entered node; a dropped crossing skips the entry's
    whole subtree. [arrive] carries per-hop arrival times so the float
-   accumulation is hop-by-hop, exactly as the former recursive walk. *)
+   accumulation is hop-by-hop, exactly as the former recursive walk.
+
+   Shard mode prunes non-FIFO walks to the branches that matter here:
+   a down-crossing into a subtree holding none of this shard's nodes,
+   or an up-crossing whose remainder holds none, is skipped whole via
+   the same subtree-skip a drop uses. Kept entries are prefix-closed
+   (a kept entry's predecessor toward the origin is always kept), so
+   the hop-by-hop [arrive] accumulation still sees serial-identical
+   floats. FIFO walks — the source's replicated data floods — are
+   never pruned: their link reservations ([busy]) must advance
+   identically on every shard. *)
 let run_order t ~cat ~cast ~tx ~fifo order packet =
   let nodes = order.Routes.nodes
   and prevs = order.Routes.prevs
   and links = order.Routes.links
   and skips = order.Routes.skips in
+  let below = if fifo then [||] else t.sh_below in
   let n = Array.length nodes in
   let i = ref 0 in
   while !i < n do
     let node = nodes.(!i) and prev = prevs.(!i) and link = links.(!i) in
-    let at' =
-      traverse t ~cat ~cast ~link ~down:(link = node) ~from:prev ~to_:node
-        ~at:t.arrive.(prev) ~tx ~fifo packet
+    let down = link = node in
+    let keep =
+      Array.length below = 0
+      || (if down then below.(node) > 0 else t.sh_total - below.(prev) > 0)
     in
-    if Float.is_nan at' then i := !i + skips.(!i)
+    if not keep then i := !i + skips.(!i)
     else begin
-      t.arrive.(node) <- at';
-      deliver t ~node ~at:at' packet;
-      incr i
+      let at' =
+        traverse t ~cat ~cast ~link ~down ~from:prev ~to_:node ~at:t.arrive.(prev) ~tx ~fifo
+          packet
+      in
+      if Float.is_nan at' then i := !i + skips.(!i)
+      else begin
+        t.arrive.(node) <- at';
+        deliver t ~node ~at:at';
+        incr i
+      end
     end
   done
+
+(* Record an origin cast for the shard exchange: buffered until the
+   next conservative sync window, then replayed by every other shard.
+   The primary shard also keeps a copy as its tap-stream record. Hosts
+   never originate FIFO (data) traffic — that is the source's
+   replicated stream ({!multicast_replicated}) — and an emit of one
+   would desynchronise link reservations across shards, so it is
+   rejected loudly. *)
+let note_origin t sh ~from ~cast packet =
+  if is_fifo packet then
+    invalid_arg "Network: fifo (data) casts in shard mode must use multicast_replicated";
+  let e =
+    {
+      e_at = Sim.Engine.now t.engine;
+      e_from = from;
+      e_idx = sh.sh_next_idx;
+      e_cast = cast;
+      e_packet = packet;
+      e_disabled = sh.sh_disabled;
+    }
+  in
+  sh.sh_next_idx <- sh.sh_next_idx + 1;
+  sh.sh_emits <- e :: sh.sh_emits;
+  if sh.sh_observe then sh.sh_obs <- e :: sh.sh_obs;
+  e
 
 let multicast t ~from packet =
   if not t.enabled.(from) then ()
@@ -288,10 +507,64 @@ let multicast t ~from packet =
     tap t ~from packet;
     let cat = Cost.category_of packet in
     Cost.record_send t.cost cat Cost.Multicast;
+    let saved = t.cur_pslot in
+    let s = acquire_pslot t packet in
+    (match t.shard with
+    | Some sh ->
+        let e = note_origin t sh ~from ~cast:Ecast_multicast packet in
+        t.pwalk.(s) <- (e.e_at, e.e_from, e.e_idx)
+    | None -> ());
     t.arrive.(from) <- Sim.Engine.now t.engine;
     run_order t ~cat ~cast:Cost.Multicast ~tx:(tx_of t packet) ~fifo:(is_fifo packet)
       (Routes.flood_order t.routes from)
-      packet
+      packet;
+    release_pslot t s;
+    t.cur_pslot <- saved
+  end
+
+(* The source's data stream under shard mode: statically replicated —
+   every shard walks the full (unpruned) flood locally, keeping link
+   reservations and per-node arrivals identical everywhere with no
+   exchange at all. Only the sender's owner tallies the send and (when
+   primary) records the tap stream, so merged artifacts stay serial-
+   identical. Serial mode: exactly {!multicast}. *)
+let multicast_replicated t ~from packet =
+  if not t.enabled.(from) then ()
+  else begin
+    tap t ~from packet;
+    let cat = Cost.category_of packet in
+    (match t.shard with
+    | None -> Cost.record_send t.cost cat Cost.Multicast
+    | Some sh ->
+        if t.sh_owner.(from) = t.sh_me then Cost.record_send t.cost cat Cost.Multicast;
+        if sh.sh_observe then begin
+          let e =
+            {
+              e_at = Sim.Engine.now t.engine;
+              e_from = from;
+              e_idx = sh.sh_next_idx;
+              e_cast = Ecast_multicast;
+              e_packet = packet;
+              e_disabled = [];
+            }
+          in
+          sh.sh_next_idx <- sh.sh_next_idx + 1;
+          sh.sh_obs <- e :: sh.sh_obs
+        end);
+    let saved = t.cur_pslot in
+    let s = acquire_pslot t packet in
+    (match t.shard with
+    | Some sh ->
+        let i = sh.sh_rep_idx in
+        sh.sh_rep_idx <- i + 1;
+        t.pwalk.(s) <- (Sim.Engine.now t.engine, from, -2 - i)
+    | None -> ());
+    t.arrive.(from) <- Sim.Engine.now t.engine;
+    run_order t ~cat ~cast:Cost.Multicast ~tx:(tx_of t packet) ~fifo:(is_fifo packet)
+      (Routes.flood_order t.routes from)
+      packet;
+    release_pslot t s;
+    t.cur_pslot <- saved
   end
 
 (* Walk a precomputed unicast path; delivery happens only if every hop
@@ -321,18 +594,30 @@ let unicast t ~from ~dst packet =
     tap t ~from packet;
     let cat = Cost.category_of packet in
     Cost.record_send t.cost cat Cost.Unicast;
+    let origin =
+      match t.shard with
+      | Some sh -> Some (note_origin t sh ~from ~cast:(Ecast_unicast dst) packet)
+      | None -> None
+    in
     if from <> dst then begin
+      let saved = t.cur_pslot in
+      let s = acquire_pslot t packet in
+      (match origin with
+      | Some e -> t.pwalk.(s) <- (e.e_at, e.e_from, e.e_idx)
+      | None -> ());
       let path = Routes.path t.routes ~src:from ~dst in
       let at =
         walk_path t ~cat ~cast:Cost.Unicast ~from ~at:(Sim.Engine.now t.engine)
           ~tx:(tx_of t packet) ~fifo:(is_fifo packet) path packet
       in
-      if not (Float.is_nan at) then deliver t ~node:dst ~at packet
+      if not (Float.is_nan at) then deliver t ~node:dst ~at;
+      release_pslot t s;
+      t.cur_pslot <- saved
     end
   end
 
 let flood_down t ~cat ~node ~at packet =
-  deliver t ~node ~at packet;
+  deliver t ~node ~at;
   t.arrive.(node) <- at;
   run_order t ~cat ~cast:Cost.Subcast ~tx:(tx_of t packet) ~fifo:(is_fifo packet)
     (Routes.down_order t.routes node)
@@ -342,7 +627,11 @@ let subcast t ~at:root packet =
   tap t ~from:root packet;
   let cat = Cost.category_of packet in
   Cost.record_send t.cost cat Cost.Subcast;
-  flood_down t ~cat ~node:root ~at:(Sim.Engine.now t.engine) packet
+  let saved = t.cur_pslot in
+  let s = acquire_pslot t packet in
+  flood_down t ~cat ~node:root ~at:(Sim.Engine.now t.engine) packet;
+  release_pslot t s;
+  t.cur_pslot <- saved
 
 let relayed_subcast t ~from ~via packet =
   if not t.enabled.(from) then ()
@@ -350,13 +639,142 @@ let relayed_subcast t ~from ~via packet =
     tap t ~from packet;
     let cat = Cost.category_of packet in
     Cost.record_send t.cost cat Cost.Subcast;
-    if from = via then flood_down t ~cat ~node:via ~at:(Sim.Engine.now t.engine) packet
-    else begin
-      let path = Routes.path t.routes ~src:from ~dst:via in
-      let at =
-        walk_path t ~cat ~cast:Cost.Unicast ~from ~at:(Sim.Engine.now t.engine)
-          ~tx:(tx_of t packet) ~fifo:(is_fifo packet) path packet
-      in
-      if not (Float.is_nan at) then flood_down t ~cat ~node:via ~at packet
-    end
+    let origin =
+      match t.shard with
+      | Some sh -> Some (note_origin t sh ~from ~cast:(Ecast_relayed via) packet)
+      | None -> None
+    in
+    let saved = t.cur_pslot in
+    let s = acquire_pslot t packet in
+    (match origin with
+    | Some e -> t.pwalk.(s) <- (e.e_at, e.e_from, e.e_idx)
+    | None -> ());
+    (if from = via then flood_down t ~cat ~node:via ~at:(Sim.Engine.now t.engine) packet
+     else begin
+       let path = Routes.path t.routes ~src:from ~dst:via in
+       let at =
+         walk_path t ~cat ~cast:Cost.Unicast ~from ~at:(Sim.Engine.now t.engine)
+           ~tx:(tx_of t packet) ~fifo:(is_fifo packet) path packet
+       in
+       if not (Float.is_nan at) then flood_down t ~cat ~node:via ~at packet
+     end);
+    release_pslot t s;
+    t.cur_pslot <- saved
   end
+
+(* -- shard-mode control surface ------------------------------------- *)
+
+let enable_shard t ~partition ~me ~observe =
+  if Array.length partition.Partition.owner <> Tree.n_nodes t.tree then
+    invalid_arg "Network.enable_shard: partition does not match this tree";
+  if me < 0 || me >= partition.Partition.n_shards then
+    invalid_arg "Network.enable_shard: shard id out of range";
+  t.sh_owner <- partition.Partition.owner;
+  t.sh_me <- me;
+  t.sh_below <- Partition.owned_below partition ~tree:t.tree ~me;
+  t.sh_total <- Partition.n_owned partition ~me;
+  t.shard <-
+    Some
+      {
+        sh_observe = observe;
+        sh_next_idx = 0;
+        sh_rep_idx = 0;
+        sh_emits = [];
+        sh_obs = [];
+        sh_disabled = [];
+        sh_replaying = false;
+        sh_replay_disabled = [];
+      }
+
+let owns t v = Array.length t.sh_owner = 0 || t.sh_owner.(v) = t.sh_me
+
+let take_emits t =
+  match t.shard with
+  | None -> []
+  | Some sh ->
+      let es = List.rev sh.sh_emits in
+      sh.sh_emits <- [];
+      es
+
+let take_observations t =
+  match t.shard with
+  | None -> []
+  | Some sh ->
+      let os = List.rev sh.sh_obs in
+      sh.sh_obs <- [];
+      os
+
+(* The firing delivery's serial rank: its walk's cast key plus the
+   delivered node's position in the walk's full (unpruned) precomputed
+   order — the exact (time, seq) FIFO key the serial engine executes
+   same-time deliveries in, reconstructible on any shard because the
+   order arrays are static functions of the tree. The O(n) position
+   scan runs once per tagged recovery, never on the delivery path. *)
+let delivery_rank t =
+  match t.shard with
+  | None -> None
+  | Some _ ->
+      if t.cur_deliver_node < 0 || t.cur_deliver_from < 0 then None
+      else begin
+        let order = Routes.flood_order t.routes t.cur_deliver_from in
+        let nodes = order.Routes.nodes in
+        let pos = ref (-1) in
+        (try
+           for i = 0 to Array.length nodes - 1 do
+             if nodes.(i) = t.cur_deliver_node then begin
+               pos := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Some (t.cur_deliver_at, t.cur_deliver_from, t.cur_deliver_idx, !pos)
+      end
+
+(* Replay a remote shard's origin cast: the same walk the origin ran,
+   started from the emit's recorded send time, with the origin-side
+   bookkeeping (tap, send tally, emit capture) suppressed — crossings
+   into nodes this shard owns are tallied and deliveries scheduled
+   exactly as the serial run would have. All arrival times land at or
+   beyond the conservative barrier (>= e_at + lookahead), so the
+   engine never sees a past-time event. *)
+let apply_emit t e =
+  match t.shard with
+  | None -> invalid_arg "Network.apply_emit: shard mode not enabled"
+  | Some sh ->
+      sh.sh_replaying <- true;
+      sh.sh_replay_disabled <- e.e_disabled;
+      let packet = e.e_packet in
+      let cat = Cost.category_of packet in
+      let tx = tx_of t packet and fifo = is_fifo packet in
+      let saved = t.cur_pslot in
+      let s = acquire_pslot t packet in
+      t.pwalk.(s) <- (e.e_at, e.e_from, e.e_idx);
+      (match e.e_cast with
+      | Ecast_multicast ->
+          t.arrive.(e.e_from) <- e.e_at;
+          run_order t ~cat ~cast:Cost.Multicast ~tx ~fifo
+            (Routes.flood_order t.routes e.e_from)
+            packet
+      | Ecast_unicast dst ->
+          if e.e_from <> dst then begin
+            let path = Routes.path t.routes ~src:e.e_from ~dst in
+            let at =
+              walk_path t ~cat ~cast:Cost.Unicast ~from:e.e_from ~at:e.e_at ~tx ~fifo path
+                packet
+            in
+            if not (Float.is_nan at) then deliver t ~node:dst ~at
+          end
+      | Ecast_relayed via ->
+          if e.e_from = via then flood_down t ~cat ~node:via ~at:e.e_at packet
+          else begin
+            let path = Routes.path t.routes ~src:e.e_from ~dst:via in
+            let at =
+              walk_path t ~cat ~cast:Cost.Unicast ~from:e.e_from ~at:e.e_at ~tx ~fifo path
+                packet
+            in
+            if not (Float.is_nan at) then flood_down t ~cat ~node:via ~at packet
+          end);
+      release_pslot t s;
+      t.cur_pslot <- saved;
+      sh.sh_replaying <- false;
+      sh.sh_replay_disabled <- []

@@ -136,3 +136,73 @@ val is_enabled : t -> int -> bool
 
 val packets_delivered : t -> int
 (** Total handler invocations, for sanity checks. *)
+
+(** {2 Shard mode (conservative PDES)}
+
+    A sharded run replicates the {e network} on every worker — full
+    tree, link state, perturbation windows — but partitions the
+    {e hosts}: each shard installs delivery handlers only for the
+    members it owns ({!Partition}). The source's paced data stream is
+    statically replicated ({!multicast_replicated}): every shard walks
+    it locally in time order, so FIFO link reservations stay identical
+    everywhere with no exchange. Every other origin cast is buffered as
+    an {!emit} and replayed by all other shards ({!apply_emit}) at the
+    next conservative sync window; replays tally the crossings into
+    nodes the replaying shard owns, so summing per-shard {!Cost}
+    tables ({!Cost.merge}) reproduces the serial totals exactly.
+
+    Pruning: non-FIFO flood walks skip whole branches holding none of
+    the shard's nodes — the source of the parallel speedup — while the
+    pure loss predicate guarantees every shard sees identical drop
+    decisions on the branches it does walk. *)
+
+type emit_cast = Ecast_multicast | Ecast_unicast of int | Ecast_relayed of int
+
+type emit = {
+  e_at : float;  (** origin send time *)
+  e_from : int;
+  e_idx : int;  (** per-shard monotone counter; orders same-time ties *)
+  e_cast : emit_cast;
+  e_packet : Packet.t;
+  e_disabled : int list;  (** members disabled at origin send time *)
+}
+
+val enable_shard : t -> partition:Partition.t -> me:int -> observe:bool -> unit
+(** Switch this network into shard mode as shard [me] of [partition].
+    Must be called before any handlers are installed or packets sent.
+    [observe] marks the primary shard: it additionally records the tap
+    stream ({!take_observations}) for the run's auditor and oracle. *)
+
+val owns : t -> int -> bool
+(** Whether node [v] belongs to this shard ([true] in serial mode). *)
+
+val multicast_replicated : t -> from:int -> Packet.t -> unit
+(** The source's data-stream cast: identical to {!multicast} in serial
+    mode; in shard mode the flood is walked fully on {e every} shard
+    (callers on all shards must issue it at the same simulation time)
+    instead of being exchanged. *)
+
+val take_emits : t -> emit list
+(** Drain the buffered origin casts since the last call, in execution
+    order. The sync layer distributes these to the other shards. *)
+
+val take_observations : t -> emit list
+(** Primary shard only: drain the locally recorded tap stream (origin
+    and replicated casts) since the last call, in execution order. *)
+
+val apply_emit : t -> emit -> unit
+(** Replay a remote shard's origin cast. Safe only once the engine has
+    advanced past [e_at] (conservative synchronisation guarantees all
+    resulting arrivals are at or beyond the current barrier). *)
+
+val delivery_rank : t -> (float * int * int * int) option
+(** Shard mode, during a delivery handler: [(at, from, idx, pos)] — the
+    cast key of the walk whose delivery is firing plus the delivered
+    node's position in that walk's full precomputed order. Sorting
+    same-[recovered_at] records by this rank reconstructs the serial
+    engine's FIFO execution order among equal-time deliveries, which is
+    what makes merged per-shard recovery streams byte-identical to a
+    serial run. [None] in serial mode or outside a delivery. Cast keys
+    are globally consistent: origin casts carry their emit's
+    [(e_at, e_from, e_idx)], replicated source casts a dedicated
+    every-shard counter encoded as [-2 - i]. *)

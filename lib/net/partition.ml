@@ -1,0 +1,80 @@
+type t = {
+  n_shards : int;
+  owner : int array;
+  cut_links : int list;
+  lookahead : float;
+}
+
+(* Members (the source plus the leaf receivers) carry the simulation's
+   work — protocol hosts, deliveries, per-member timers — so balance is
+   by member weight; routers ride along at weight zero and land with
+   whichever shard their post-order position puts them in. *)
+let weight tree node = if node = 0 || Tree.is_leaf tree node then 1 else 0
+
+let make ~tree ~delay ~shards =
+  if shards < 1 then invalid_arg "Partition.make: shards must be >= 1";
+  let n = Tree.n_nodes tree in
+  let owner = Array.make n 0 in
+  let total_weight = ref 0 in
+  for v = 0 to n - 1 do
+    total_weight := !total_weight + weight tree v
+  done;
+  let k = max 1 (min shards !total_weight) in
+  (* Ceiling target so the last shard (which also takes the root) is
+     the one that can come up short, never an overflow shard k. *)
+  let target = (!total_weight + k - 1) / k in
+  let shard = ref 0 and acc = ref 0 in
+  (* Iterative DFS post-order from the root: children pushed in reverse
+     so they pop — and therefore complete — in [Tree.children] order. *)
+  let stack = ref [ (0, false) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, visited) :: rest ->
+        stack := rest;
+        if visited then begin
+          owner.(v) <- !shard;
+          acc := !acc + weight tree v;
+          if !acc >= target && !shard < k - 1 then begin
+            incr shard;
+            acc := 0
+          end
+        end
+        else begin
+          stack := (v, true) :: !stack;
+          List.iter (fun c -> stack := (c, false) :: !stack) (List.rev (Tree.children tree v))
+        end
+  done;
+  let cut_links = ref [] in
+  let lookahead = ref infinity in
+  for v = 1 to n - 1 do
+    if owner.(v) <> owner.(Tree.parent tree v) then begin
+      cut_links := v :: !cut_links;
+      if delay v < !lookahead then lookahead := delay v
+    end
+  done;
+  { n_shards = k; owner; cut_links = List.rev !cut_links; lookahead = !lookahead }
+
+let owned_below t ~tree ~me =
+  let n = Tree.n_nodes tree in
+  let below = Array.make n 0 in
+  (* Post-order accumulation: children before parents. *)
+  let stack = ref [ (0, false) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, visited) :: rest ->
+        stack := rest;
+        if visited then begin
+          let own = if t.owner.(v) = me then 1 else 0 in
+          below.(v) <-
+            List.fold_left (fun acc c -> acc + below.(c)) own (Tree.children tree v)
+        end
+        else begin
+          stack := (v, true) :: !stack;
+          List.iter (fun c -> stack := (c, false) :: !stack) (Tree.children tree v)
+        end
+  done;
+  below
+
+let n_owned t ~me = Array.fold_left (fun acc o -> if o = me then acc + 1 else acc) 0 t.owner

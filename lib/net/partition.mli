@@ -1,0 +1,39 @@
+(** Subtree sharding for conservative parallel simulation.
+
+    Splits the multicast tree's nodes (routers included) into [k]
+    shards of roughly equal {e member} weight, by accumulating nodes in
+    DFS post-order and starting a new shard whenever the running weight
+    reaches the per-shard target. Post-order keeps shards leafward:
+    complete subtrees fill a shard before their ancestors, so the cut —
+    the set of tree links whose endpoints live on different shards —
+    stays near the sizes of the shards, not of the tree.
+
+    The {e lookahead} is the minimum propagation delay over the cut
+    links. Any packet path between nodes of different shards crosses at
+    least one cut link (owners must change somewhere along it), so an
+    event executed at time [t] on one shard cannot affect another shard
+    before [t + lookahead] — the conservative window the PDES barrier
+    protocol runs on ({!Sim.Pdes}). With [k = 1] the cut is empty and
+    the lookahead infinite: one shard degenerates to the serial run. *)
+
+type t = {
+  n_shards : int;
+  owner : int array;  (** node -> shard id; every node exactly once *)
+  cut_links : int list;  (** links (child-node ids) joining two shards *)
+  lookahead : float;  (** min delay over [cut_links]; [infinity] if none *)
+}
+
+val make : tree:Tree.t -> delay:(int -> float) -> shards:int -> t
+(** Partition into at most [shards] shards (fewer when the tree has
+    fewer members than [shards]). [delay l] is link [l]'s propagation
+    delay, as in [Net.Network.link_delay].
+    @raise Invalid_argument when [shards < 1]. *)
+
+val owned_below : t -> tree:Tree.t -> me:int -> int array
+(** Per-node count of shard [me]'s nodes in the subtree rooted at that
+    node (inclusive). The walk-pruning oracle: a flood branch entering
+    node [v] downward can be skipped iff [owned_below.(v) = 0], and the
+    up-branch leaving subtree [u] iff [total - owned_below.(u) = 0]. *)
+
+val n_owned : t -> me:int -> int
+(** Total nodes owned by shard [me]. *)

@@ -61,10 +61,17 @@ type t = {
   root_rng : Rng.t;
   mutable live : int; (* pending (scheduled, not fired/cancelled) timers *)
   (* Slot tables, indexed by slot id. [actions] holds the physical
-     sentinel [no_action] for cancelled / fired / free slots. *)
+     sentinel [no_action] for cancelled / fired / free slots. A slot
+     holding the [call_marker] sentinel instead dispatches through the
+     parallel [calls]/[args] columns — a shared [int -> unit] closure
+     plus an immediate argument — so the network's delivery fan-out
+     (the dominant scheduler client at scale) costs zero allocations
+     per event: no per-event closure, no handle record. *)
   mutable times : float array;
   mutable seqs : int array;
   mutable actions : (unit -> unit) array;
+  mutable calls : (int -> unit) array;
+  mutable args : int array;
   mutable free : int array; (* stack of recycled slot ids *)
   mutable free_top : int;
   mutable n_slots : int; (* slot high-water mark *)
@@ -96,6 +103,14 @@ and timer = { owner : t; slot : int; hseq : int; htime : float }
 
 let no_action () = ()
 
+(* Distinct physical sentinel marking a slot scheduled via
+   [schedule_call]. Must never be [no_action]: cancellation, compaction
+   and tombstone sweeps all compare against [no_action] and a call slot
+   is live until it fires. *)
+let call_marker () = ()
+
+let no_call (_ : int) = ()
+
 let create ?(seed = 1L) ?(backend = `Wheel) () =
   {
     clock = 0.;
@@ -105,6 +120,8 @@ let create ?(seed = 1L) ?(backend = `Wheel) () =
     times = [||];
     seqs = [||];
     actions = [||];
+    calls = [||];
+    args = [||];
     free = [||];
     free_top = 0;
     n_slots = 0;
@@ -163,16 +180,21 @@ let grow_slots t =
   let cap' = if cap = 0 then 64 else 2 * cap in
   let times' = Array.make cap' 0. and seqs' = Array.make cap' 0 in
   let actions' = Array.make cap' no_action and free' = Array.make cap' 0 in
+  let calls' = Array.make cap' no_call and args' = Array.make cap' 0 in
   let wheel_next' = Array.make cap' (-1) and in_wheel' = Array.make cap' false in
   Array.blit t.times 0 times' 0 cap;
   Array.blit t.seqs 0 seqs' 0 cap;
   Array.blit t.actions 0 actions' 0 cap;
+  Array.blit t.calls 0 calls' 0 cap;
+  Array.blit t.args 0 args' 0 cap;
   Array.blit t.free 0 free' 0 t.free_top;
   Array.blit t.wheel_next 0 wheel_next' 0 cap;
   Array.blit t.in_wheel 0 in_wheel' 0 cap;
   t.times <- times';
   t.seqs <- seqs';
   t.actions <- actions';
+  t.calls <- calls';
+  t.args <- args';
   t.free <- free';
   t.wheel_next <- wheel_next';
   t.in_wheel <- in_wheel'
@@ -317,6 +339,24 @@ let schedule t ~after f =
   let after = if after < 0. then 0. else after in
   schedule_at t ~at:(t.clock +. after) f
 
+(* Allocation-free scheduling for fire-and-forget events: the shared
+   closure [f] is dispatched with the immediate [arg] — no per-event
+   closure, no handle. Consumes [next_seq] exactly as [schedule_at]
+   does, so interleaving both primitives preserves the engine's
+   (time, seq) firing order: a run that swaps one for the other (with
+   the same events) fires identically. Not cancellable. *)
+let schedule_call t ~at f arg =
+  let at = if at < t.clock then t.clock else at in
+  let s = alloc_slot t in
+  t.times.(s) <- at;
+  t.seqs.(s) <- t.next_seq;
+  t.actions.(s) <- call_marker;
+  t.calls.(s) <- f;
+  t.args.(s) <- arg;
+  t.next_seq <- t.next_seq + 1;
+  insert_pending t s;
+  t.live <- t.live + 1
+
 let is_pending timer =
   let t = timer.owner in
   t.seqs.(timer.slot) = timer.hseq && t.actions.(timer.slot) != no_action
@@ -421,11 +461,24 @@ let step t =
     t.live <- t.live - 1;
     t.n_fired <- t.n_fired + 1;
     t.clock <- t.times.(s);
-    free_slot t s;
-    f ();
+    if f == call_marker then begin
+      (* Read out the call before freeing: the callee may schedule into
+         the recycled slot. Clearing the column drops the engine's
+         reference to the shared closure's environment. *)
+      let g = t.calls.(s) and a = t.args.(s) in
+      t.calls.(s) <- no_call;
+      free_slot t s;
+      g a
+    end
+    else begin
+      free_slot t s;
+      f ()
+    end;
     true
   end
   else false
+
+let next_time t = if ensure_next t then Some t.times.(t.heap.(0)) else None
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with None -> max_int | Some n -> n) in

@@ -47,6 +47,20 @@ val schedule_at : t -> at:float -> (unit -> unit) -> timer
 (** [schedule_at t ~at f] runs [f] at absolute time [at]; clamped to
     [now t] if already past. *)
 
+val schedule_call : t -> at:float -> (int -> unit) -> int -> unit
+(** Allocation-free [schedule_at] for fire-and-forget events: the
+    {e shared} closure is dispatched with the immediate [int] argument,
+    so scheduling allocates nothing (no per-event closure, no handle).
+    Consumes the same (time, seq) key a [schedule_at] would, so mixing
+    the two primitives preserves firing order exactly. Not
+    cancellable — meant for the network's delivery fan-out, which never
+    cancels. *)
+
+val next_time : t -> float option
+(** Fire time of the next live event, without executing it ([None] when
+    nothing is pending). Used by the conservative-parallel driver to
+    run an engine window-by-window. *)
+
 val cancel : timer -> unit
 (** Cancel a pending timer. Cancelling a fired or already-cancelled
     timer is a no-op. *)

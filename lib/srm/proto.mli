@@ -7,7 +7,17 @@
 type t
 
 val deploy :
-  network:Net.Network.t -> params:Params.t -> n_packets:int -> period:float -> t
+  ?owned:(int -> bool) ->
+  network:Net.Network.t ->
+  params:Params.t ->
+  n_packets:int ->
+  period:float ->
+  unit ->
+  t
+(** [owned] (default: everyone) restricts which members get a live
+    host — a PDES shard deploys only its own. Non-owned members still
+    consume their engine-RNG split in deploy order, so owned hosts
+    draw identical generators on every shard. *)
 
 val start : ?send_jitter:float -> t -> warmup:float -> tail:float -> unit
 (** Sessions begin immediately (randomly phased); the source transmits

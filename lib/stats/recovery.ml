@@ -10,13 +10,20 @@ type record = {
 
 let latency r = r.recovered_at -. r.detected_at
 
-type t = { mutable records : record list; mutable n : int }
+type t = {
+  mutable records : record list;
+  mutable n : int;
+  mutable observer : (record -> unit) option;
+}
 
-let create () = { records = []; n = 0 }
+let create () = { records = []; n = 0; observer = None }
 
 let add t r =
   t.records <- r :: t.records;
-  t.n <- t.n + 1
+  t.n <- t.n + 1;
+  match t.observer with Some f -> f r | None -> ()
+
+let set_observer t f = t.observer <- Some f
 
 let count t = t.n
 

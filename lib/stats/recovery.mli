@@ -24,6 +24,11 @@ val create : unit -> t
 
 val add : t -> record -> unit
 
+val set_observer : t -> (record -> unit) -> unit
+(** Invoke [f] on every subsequent {!add}, after insertion — a PDES
+    shard worker uses this to tag each record with the delivery rank
+    of the walk that produced it ({!Net.Network.delivery_rank}). *)
+
 val count : t -> int
 
 val records : t -> record list

@@ -137,7 +137,7 @@ let run_mutated ?mutation ?(drops = [ (5, 3) ]) () =
       | Net.Packet.Data { seq } -> down && List.mem (seq, link) drops
       | _ -> false);
   let oracle = Fault.Oracle.create ~network () in
-  let proto = Srm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:10 ~period:0.05 in
+  let proto = Srm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:10 ~period:0.05 () in
   List.iter
     (fun (_, h) ->
       Fault.Oracle.attach_host oracle h;
@@ -307,7 +307,7 @@ let run_plan ?(protocol = `Srm) plan =
   let oracle = Fault.Oracle.create ~network () in
   (match protocol with
   | `Srm ->
-      let proto = Srm.Proto.deploy ~network ~params ~n_packets:30 ~period:0.05 in
+      let proto = Srm.Proto.deploy ~network ~params ~n_packets:30 ~period:0.05 () in
       let on_restart ~node =
         Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto))
       in

@@ -205,7 +205,7 @@ let test_audit_srm_clean () =
       ~deploy:(fun ~network ~trace ->
         let proto =
           Srm.Proto.deploy ~network ~params:Srm.Params.default
-            ~n_packets:(Mtrace.Trace.n_packets trace) ~period:(Mtrace.Trace.period trace)
+            ~n_packets:(Mtrace.Trace.n_packets trace) ~period:(Mtrace.Trace.period trace) ()
         in
         Srm.Proto.start proto ~warmup:5.0 ~tail:30.0)
       ()
@@ -278,7 +278,7 @@ let test_audit_jitter_needs_out_of_order () =
   let audit = Harness.Audit.attach ~expect_in_order:true network in
   let proto =
     Srm.Proto.deploy ~network ~params:Srm.Params.default
-      ~n_packets:(Mtrace.Trace.n_packets gen.trace) ~period:(Mtrace.Trace.period gen.trace)
+      ~n_packets:(Mtrace.Trace.n_packets gen.trace) ~period:(Mtrace.Trace.period gen.trace) ()
   in
   Srm.Proto.start ~send_jitter:(3. *. Mtrace.Trace.period gen.trace) proto ~warmup:5.0 ~tail:10.0;
   Sim.Engine.run ~until:1e6 engine;
@@ -339,7 +339,7 @@ let run_fuzz_case ~cesrm (parents, raw_drops) =
       end
       else begin
         let proto =
-          Srm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:30 ~period:0.05
+          Srm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:30 ~period:0.05 ()
         in
         Srm.Proto.start proto ~warmup:5.0 ~tail:20.0;
         Sim.Engine.run ~until:1e6 engine;

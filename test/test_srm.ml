@@ -27,7 +27,7 @@ let run_srm ?(tree = sample_tree ()) ?(drops = []) ?(drop_requests = 0) ~n_packe
           end
           else false
       | _ -> false);
-  let proto = Srm.Proto.deploy ~network ~params ~n_packets ~period:0.05 in
+  let proto = Srm.Proto.deploy ~network ~params ~n_packets ~period:0.05 () in
   Srm.Proto.start proto ~warmup:5.0 ~tail:15.0;
   Sim.Engine.run ~until:120.0 engine;
   proto
@@ -257,7 +257,7 @@ let test_multi_source_recovery () =
       | Net.Packet.Data { seq }, 0 -> down && link = 3 && seq = 5
       | Net.Packet.Data { seq }, 5 -> down && link = 3 && seq = 8
       | _ -> false);
-  let proto = Srm.Proto.deploy ~network ~params ~n_packets:15 ~period:0.05 in
+  let proto = Srm.Proto.deploy ~network ~params ~n_packets:15 ~period:0.05 () in
   Srm.Proto.start proto ~warmup:5.0 ~tail:15.0;
   Srm.Proto.add_stream proto ~src:5 ~n_packets:15 ~period:0.05 ~start_at:5.2;
   Sim.Engine.run ~until:120.0 engine;
