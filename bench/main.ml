@@ -32,13 +32,23 @@
    --scale replaces the reproduction entirely: it runs SRM+CESRM legs
    over synthetic Mtrace.Scale scenarios (256–10 000 receivers) and
    emits one self-describing JSON document per run. The "smoke"
-   profile (all three tree families at 256 receivers) keeps every
-   machine-dependent field (wall, allocation) as a JSON string so its
-   --json output can be committed as a baseline and diffed bytewise-
-   deterministically in CI; the "full" profile (families at 256/1024
-   plus bounded-fanout at 4096 and 10 000) records wall and allocation
-   as numbers — the scaling measurement. Scale rows pin their own
-   packet count (200), so --packets is ignored here. *)
+   profile (all three tree families at 256 receivers) is the CI
+   regression gate; the "full" profile (families at 256/1024 plus
+   bounded-fanout at 4096 and 10 000) is the scaling measurement.
+   Either way every machine-dependent number (wall, allocation,
+   events/sec) lives in a "machine" sub-object — a side channel the
+   --baseline diff skips entirely — so the committed smoke baseline
+   gates only deterministic simulation counters while staying fully
+   machine-readable. Scale rows pin their own packet count (200), so
+   --packets is ignored here.
+
+   --steady smoke|full runs the streaming-execution profile instead
+   (lib/steady): a CESRM leg over a scale scenario with a finite
+   state-retirement window, asserting a hard peak-heap ceiling and
+   bounded heap growth, plus (smoke) a byte-identity check against an
+   infinite-window run of the same streaming trace. "smoke" is
+   SCALE-bf-512 at 50k packets; "full" is SCALE-bf-1000 at 10^6
+   packets — the million-packet constant-memory measurement. *)
 
 let sections_filter = ref None
 
@@ -57,6 +67,8 @@ let jobs = ref 1
 let shards = ref 1
 
 let scale_profile = ref None
+
+let steady_profile = ref None
 
 let parse_args () =
   let rec go = function
@@ -92,6 +104,11 @@ let parse_args () =
         if p <> "smoke" && p <> "full" then
           failwith ("unknown --scale profile: " ^ p ^ " (expected smoke or full)");
         scale_profile := Some p;
+        go rest
+    | "--steady" :: p :: rest ->
+        if p <> "smoke" && p <> "full" then
+          failwith ("unknown --steady profile: " ^ p ^ " (expected smoke or full)");
+        steady_profile := Some p;
         go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -148,6 +165,7 @@ let meta_json () =
          are byte-identical to serial), so it must not be diffed. *)
       ("shards", Str (string_of_int !shards));
       ("scale_profile", match !scale_profile with None -> Null | Some p -> Str p);
+      ("steady_profile", match !steady_profile with None -> Null | Some p -> Str p);
       ("argv", Str (String.concat " " (List.tl (Array.to_list Sys.argv))));
     ]
 
@@ -168,6 +186,12 @@ let write_json ~file doc =
   Obs.Json.save ~pretty:true doc ~file;
   Printf.printf "(timings written to %s)\n" file
 
+(* Machine-dependent numbers (wall, allocation, events/sec, heap) live
+   under a "machine" key in the scale and steady reports: numeric for
+   downstream tooling, never compared by --baseline — the simulation
+   counters outside it are deterministic and gate exactly. *)
+let is_machine_path path = List.mem "machine" (String.split_on_char '/' path)
+
 (* Diff this run's timings against a stored --json file. Wall-clock
    noise is real, so the thresholds are loose: 25% relative and 50 ms
    absolute, enough to catch an injected slowdown but not scheduler
@@ -179,7 +203,9 @@ let diff_against_baseline ~file doc =
       1
   | Ok base ->
       let thresholds = { Obs.Diff.rel = 0.25; abs = 0.050 } in
-      let entries = Obs.Diff.diff ~thresholds ~base ~current:doc () in
+      let entries =
+        Obs.Diff.diff ~thresholds ~ignore:is_machine_path ~base ~current:doc ()
+      in
       Printf.printf "---- vs baseline %s ----\n" file;
       print_string (Obs.Diff.render entries);
       List.length (Obs.Diff.flagged entries)
@@ -409,10 +435,9 @@ let scale_family_name row =
 (* One protocol leg on one scale row, reduced to the JSON the report
    keeps. Simulation counters are deterministic (fixed seed, pure
    OCaml), so they are numbers the --baseline diff compares exactly;
-   wall and allocation depend on the machine, so the smoke profile
-   stores them as strings (the "jobs" convention above) and only the
-   full profile — whose output is a measurement, not a regression
-   gate — keeps them numeric. *)
+   wall, allocation and events/sec depend on the machine, so they go
+   in the leg's "machine" sub-object — numeric, but excluded from the
+   diff by [is_machine_path]. *)
 (* One timed leg. [Gc.allocated_bytes] only sees this process, so
    [alloc_mb] is meaningful for serial runs; sharded legs take their
    allocation figure from the serial reference run instead. Events
@@ -446,7 +471,7 @@ let leg_fingerprint (r : Harness.Runner.result) =
     Stats.Recovery.count r.recoveries,
     Stats.Recovery.latency_summary r.recoveries )
 
-let scale_leg ~machine_nums name protocol row =
+let scale_leg name protocol row =
   (* The serial run is both the reference timing and (with --shards 1)
      the run itself; with --shards k > 1 a second, sharded run is
      timed against it and checked for result identity. *)
@@ -480,7 +505,18 @@ let scale_leg ~machine_nums name protocol row =
   if r.Harness.Runner.audit_violations <> 0 then
     failwith ("scale: audit violations in " ^ name);
   let open Obs.Json in
-  let machine v fmt = if machine_nums then Num v else Str (Printf.sprintf fmt v) in
+  let machine =
+    [
+      ("wall_s", Num wall);
+      ("alloc_mb", Num alloc_mb);
+      ("events_per_s", Num (float_of_int events /. wall));
+    ]
+    @
+    match sharded with
+    | None -> []
+    | Some (wall', _) ->
+        [ ("serial_wall_s", Num serial_wall); ("speedup_vs_serial", Num (serial_wall /. wall')) ]
+  in
   Obj
     ([
        ("name", Str name);
@@ -496,31 +532,18 @@ let scale_leg ~machine_nums name protocol row =
        ("control_crossings_mc", int (Net.Cost.control_overhead r.cost ~multicast:true));
        ("control_crossings_uc", int (Net.Cost.control_overhead r.cost ~multicast:false));
        ("recovery_latency_mean_s", Num (Stats.Summary.mean latency));
-       ("wall_s", machine wall "%.2f");
-       ("alloc_mb", machine alloc_mb "%.0f");
-       ("events_per_s", machine (float_of_int events /. wall) "%.0f");
+       ("machine", Obj machine);
      ]
-    @
-    match sharded with
-    | None -> []
-    | Some (wall', _) ->
-        [
-          ("shards", int !shards);
-          ("serial_wall_s", machine serial_wall "%.2f");
-          ("speedup_vs_serial", machine (serial_wall /. wall') "%.2f");
-        ])
+    @ match sharded with None -> [] | Some _ -> [ ("shards", int !shards) ])
 
 let run_scale profile =
-  let machine_nums = profile = "full" in
   let open Obs.Json in
   List.map
     (fun scenario ->
       let row = Mtrace.Scale.find scenario in
-      let srm = scale_leg ~machine_nums "srm" Harness.Runner.Srm_protocol row in
+      let srm = scale_leg "srm" Harness.Runner.Srm_protocol row in
       let cesrm =
-        scale_leg ~machine_nums "cesrm"
-          (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
-          row
+        scale_leg "cesrm" (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config) row
       in
       let legs = [ srm; cesrm ] in
       Obj
@@ -534,14 +557,12 @@ let run_scale profile =
         ])
     (scale_scenarios profile)
 
-let scale_json_doc ~profile ~scenarios ~total_wall_s =
+let scale_json_doc ~scenarios ~total_wall_s =
   let open Obs.Json in
   Obj
     [
       ("meta", meta_json ());
-      ( "total_wall_s",
-        if profile = "full" then Num total_wall_s
-        else Str (Printf.sprintf "%.2f" total_wall_s) );
+      ("machine", Obj [ ("total_wall_s", Num total_wall_s) ]);
       ("scale", Arr scenarios);
     ]
 
@@ -551,7 +572,181 @@ let scale_main profile =
   let scenarios = run_scale profile in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "total wall time: %.1f s\n" total;
-  let doc = scale_json_doc ~profile ~scenarios ~total_wall_s:total in
+  let doc = scale_json_doc ~scenarios ~total_wall_s:total in
+  Option.iter (fun file -> write_json ~file doc) !json_file;
+  match !baseline_file with
+  | None -> ()
+  | Some file -> if diff_against_baseline ~file doc > 0 then exit 1
+
+(* --- Steady profiles (--steady smoke|full) -------------------------- *)
+
+(* Hard resource gates for the smoke profile. The ceiling is a few
+   times the measured peak (so it trips on a state leak, not on GC
+   jitter); the growth bound checks the retirement claim directly:
+   once the retirement pipeline fills (floor a full window past
+   zero), live heap must plateau — the mean over the last decile of
+   steady-state epoch samples stays within tolerance of the first
+   decile's. *)
+let steady_smoke_heap_ceiling_mb = 1024.
+
+let steady_smoke_heap_growth_max = 1.25
+
+(* The full (million-packet) profile is the acceptance measurement:
+   heap over the last decile of steady-state epochs must be within
+   10% of the first decile's. The smoke bound is looser because 50k
+   packets leave only ~25 steady samples and GC high-water jitter
+   dominates. *)
+let steady_full_heap_growth_max = 1.10
+
+let steady_scenarios = function
+  | "smoke" -> [ ("SCALE-bf-512", 50_000, 8_192) ]
+  | _ -> [ ("SCALE-bf-1000", 1_000_000, 8_192) ]
+
+(* One CESRM steady leg: streaming trace, finite retirement window,
+   online metrics. Returns the result (for identity checks) plus the
+   leg's JSON. *)
+let steady_leg ~label ~row ~n_packets ~window =
+  let registry = Obs.Registry.create () in
+  let t0 = Unix.gettimeofday () in
+  let alloc0 = Gc.allocated_bytes () in
+  let steady = Steady.Config.windowed window in
+  let r =
+    Harness.Runner.run_leg ~seed:42L ~registry ~n_packets ~steady
+      (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+      row
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let alloc_bytes = Gc.allocated_bytes () -. alloc0 in
+  let events =
+    match Obs.Registry.counter_value registry "sim/events_fired" with Some n -> n | None -> 0
+  in
+  let c = Option.get r.Harness.Runner.retirement in
+  let peak_heap_mb = float_of_int (Steady.Controller.peak_heap_words c) *. 8. /. 1e6 in
+  let heap_growth = Steady.Controller.heap_growth c in
+  let total k = Stats.Counters.total r.Harness.Runner.counters k in
+  Printf.printf
+    "%-16s %-8s wall %7.2f s  events/s %8.0f  bytes/event %6.0f  peak heap %6.1f MB  growth %s  \
+     floor %d/%d in %d epochs  detected %d  unrecovered %d\n\
+     %!"
+    row.Mtrace.Meta.name label wall
+    (float_of_int events /. wall)
+    (alloc_bytes /. Float.max 1. (float_of_int events))
+    peak_heap_mb
+    (match heap_growth with Some g -> Printf.sprintf "x%.3f" g | None -> "-")
+    (Steady.Controller.floor c) n_packets (Steady.Controller.ticks c) r.detected r.unrecovered;
+  let samples = Steady.Controller.heap_samples c in
+  if Array.length samples > 0 then begin
+    Printf.printf "  heap/epoch (MB):";
+    Array.iter (fun w -> Printf.printf " %.0f" (float_of_int w *. 8. /. 1e6)) samples;
+    print_newline ()
+  end;
+  if r.Harness.Runner.unrecovered <> 0 then failwith ("steady: unrecovered losses in " ^ label);
+  if r.Harness.Runner.audit_violations <> 0 then
+    failwith ("steady: audit violations in " ^ label);
+  let open Obs.Json in
+  let json =
+    Obj
+      [
+        ("name", Str label);
+        ("window", int window);
+        ("n_packets", int n_packets);
+        ("detected", int r.detected);
+        ("unrecovered", int r.unrecovered);
+        ("audit_violations", int r.audit_violations);
+        ("mc_requests", int (total Stats.Counters.Rqst));
+        ("uc_requests", int (total Stats.Counters.Exp_rqst));
+        ("replies", int (total Stats.Counters.Repl));
+        ("expedited_replies", int (total Stats.Counters.Exp_repl));
+        ("retirement_floor", int (Steady.Controller.floor c));
+        ("epochs", int (Steady.Controller.ticks c));
+        ( "machine",
+          Obj
+            [
+              ("wall_s", Num wall);
+              ("events_per_s", Num (float_of_int events /. wall));
+              ("bytes_per_event", Num (alloc_bytes /. Float.max 1. (float_of_int events)));
+              ("alloc_mb", Num (alloc_bytes /. 1e6));
+              ("peak_heap_mb", Num peak_heap_mb);
+              ( "heap_growth",
+                match heap_growth with Some g -> Num g | None -> Null );
+            ] );
+      ]
+  in
+  (r, peak_heap_mb, heap_growth, json)
+
+let steady_main profile =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "== steady (%s) ==\n%!" profile;
+  let legs =
+    List.concat_map
+      (fun (scenario, n_packets, window) ->
+        let row = Mtrace.Scale.find scenario in
+        let r, peak_mb, growth, json =
+          steady_leg ~label:"windowed" ~row ~n_packets ~window
+        in
+        let smoke = profile = "smoke" in
+        if smoke then begin
+          if peak_mb > steady_smoke_heap_ceiling_mb then
+            failwith
+              (Printf.sprintf "steady: peak heap %.1f MB exceeds the %.0f MB ceiling" peak_mb
+                 steady_smoke_heap_ceiling_mb);
+          Option.iter
+            (fun g ->
+              if g > steady_smoke_heap_growth_max then
+                failwith
+                  (Printf.sprintf "steady: heap grew x%.3f across epochs (max x%.2f)" g
+                     steady_smoke_heap_growth_max))
+            growth
+        end
+        else
+          Option.iter
+            (fun g ->
+              if g > steady_full_heap_growth_max then
+                failwith
+                  (Printf.sprintf
+                     "steady: heap grew x%.3f across epochs (acceptance max x%.2f)" g
+                     steady_full_heap_growth_max))
+            growth;
+        (* Identity gate: a window of n_packets never retires anything
+           (the stability floor stays at 0), so its run is the
+           infinite-window reference over the same streaming trace.
+           Retirement must be invisible to the protocol. *)
+        let reference =
+          if not smoke then []
+          else begin
+            let r', _, _, json' =
+              steady_leg ~label:"infinite" ~row ~n_packets ~window:n_packets
+            in
+            if leg_fingerprint r' <> leg_fingerprint r then
+              failwith
+                (Printf.sprintf "steady: windowed run of %s diverges from infinite-window"
+                   scenario);
+            Printf.printf "identity: windowed == infinite-window (%s)\n%!" scenario;
+            [ json' ]
+          end
+        in
+        let open Obs.Json in
+        [
+          Obj
+            [
+              ("name", Str scenario);
+              ("n_receivers", int row.Mtrace.Meta.n_receivers);
+              ("legs", Arr (json :: reference));
+            ];
+        ])
+      (steady_scenarios profile)
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "total wall time: %.1f s\n" total;
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("meta", meta_json ());
+        ("machine", Obj [ ("total_wall_s", Num total) ]);
+        ("steady", Arr legs);
+      ]
+  in
   Option.iter (fun file -> write_json ~file doc) !json_file;
   match !baseline_file with
   | None -> ()
@@ -559,9 +754,10 @@ let scale_main profile =
 
 let () =
   parse_args ();
-  match !scale_profile with
-  | Some profile -> scale_main profile
-  | None ->
+  match (!scale_profile, !steady_profile) with
+  | Some profile, _ -> scale_main profile
+  | None, Some profile -> steady_main profile
+  | None, None ->
       let t0 = Unix.gettimeofday () in
       if explicitly_wanted "smoke" then smoke ();
       reproduction ();

@@ -294,15 +294,61 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
 
+let steady_arg =
+  let doc =
+    "Run in steady (streaming) mode with a state-retirement window of $(docv) packets \
+     (default 8192 when the flag is given bare): scale scenarios stream their trace from \
+     lazy per-link loss chains — a million-packet run starts instantly — sources arm data \
+     sends lazily, per-packet protocol state past the stability horizon is retired each \
+     epoch, and metrics use constant-memory online summaries."
+  in
+  Arg.(value & opt ~vopt:(Some 8192) (some int) None & info [ "steady" ] ~doc ~docv:"WINDOW")
+
+let print_steady (res : Harness.Runner.result) =
+  Option.iter
+    (fun c ->
+      Printf.printf "steady: retirement floor %d after %d epochs, peak heap %.1f MB%s\n"
+        (Steady.Controller.floor c) (Steady.Controller.ticks c)
+        (float_of_int (Steady.Controller.peak_heap_words c) *. 8. /. 1e6)
+        (match Steady.Controller.heap_growth c with
+        | Some g -> Printf.sprintf ", heap growth x%.2f (last/first decile)" g
+        | None -> ""))
+    res.retirement
+
 let run_cmd =
-  let run verbose (trace, ground) protocol policy router_assist lossy link_delay_ms faults
-      trace_out metrics_out shards =
+  let run verbose name file packets seed protocol policy router_assist lossy link_delay_ms
+      faults trace_out metrics_out shards steady_window =
     setup_logs verbose;
-    let loss_model =
-      match ground with
-      | Some link_bad -> Harness.Runner.Ground_truth link_bad
-      | None -> Harness.Runner.Attributed (Harness.Runner.attribution_of_trace trace)
+    match
+      match steady_window with
+      | Some w when w < 1 -> Error "--steady: window must be >= 1"
+      | _ -> Ok (Option.map Steady.Config.windowed steady_window)
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok steady -> (
+    (* In steady mode a scale scenario never materializes its loss
+       matrix: the trace streams from the generator's lazy chains, so
+       the run starts in O(links) no matter the packet count. *)
+    let resolved =
+      match (steady, name, file) with
+      | Some _, Some n, None when Mtrace.Scale.family_of_name n <> None -> (
+          match (try Some (Mtrace.Scale.find n) with Not_found -> None) with
+          | None -> Error (Printf.sprintf "unknown trace %s" n)
+          | Some row ->
+              let g = Mtrace.Generator.synthesize_streaming ?seed ?n_packets:packets row in
+              Ok (g.Mtrace.Generator.s_trace, Harness.Runner.Streamed g.Mtrace.Generator.s_loss))
+      | _ ->
+          Result.map
+            (fun (trace, ground) ->
+              ( trace,
+                match ground with
+                | Some link_bad -> Harness.Runner.Ground_truth link_bad
+                | None -> Harness.Runner.Attributed (Harness.Runner.attribution_of_trace trace) ))
+            (load_trace ~name ~file ~packets ~seed)
     in
+    match resolved with
+    | Error msg -> `Error (false, msg)
+    | Ok (trace, loss_model) ->
     let setup = Harness.Runner.tune_for_trace trace (make_setup ~lossy ~link_delay_ms) in
     let proto =
       match protocol with
@@ -321,10 +367,11 @@ let run_cmd =
         let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
         let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
         let res =
-          Harness.Runner.run_model ~setup ~shards ?tracer ?registry ?fault_plan proto trace
-            loss_model
+          Harness.Runner.run_model ~setup ~shards ?tracer ?registry ?fault_plan ?steady proto
+            trace loss_model
         in
         print_result res;
+        print_steady res;
         Option.iter
           (fun (plan : Fault.Plan.t) ->
             Printf.printf "faults: plan %s (%d event(s))\n" plan.Fault.Plan.name
@@ -353,15 +400,15 @@ let run_cmd =
             Printf.printf "(metrics to %s)\n" file)
           metrics_out;
         print_oracle res;
-        `Ok ()
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Re-enact a trace under SRM or CESRM and report recovery statistics.")
     Term.(
       ret
-        (const run $ verbose_flag $ trace_model_term $ protocol_arg $ policy_arg
-        $ router_assist_arg $ lossy_arg $ link_delay_arg $ faults_arg $ trace_out_arg
-        $ metrics_arg $ shards_arg))
+        (const run $ verbose_flag $ trace_name $ trace_file $ packets $ seed $ protocol_arg
+        $ policy_arg $ router_assist_arg $ lossy_arg $ link_delay_arg $ faults_arg
+        $ trace_out_arg $ metrics_arg $ shards_arg $ steady_arg))
 
 let compare_cmd =
   let run verbose (trace, ground) policy router_assist lossy link_delay_ms faults shards =

@@ -196,6 +196,28 @@ let handle_expedited_request t ~src ~seq ~requestor ~d_qs ~turning_point =
 (* Crash support: all of CESRM's state is soft — caches, outstanding
    expedited recoveries, replier bookkeeping — so a restarting host
    comes back with none of it. *)
+(* Steady-state retirement: forward the horizon to the SRM core, then
+   sweep the expedited tables. Both are self-cleaning on delivery (the
+   on_packet_obtained hook cancels the timer and scores the replier),
+   so the sweep is defensive — it drops whatever was left behind for a
+   retired (hence delivered) packet, keeping the tables bounded over a
+   million-packet run without touching any timer that could still
+   fire. *)
+let retire_below t ~upto =
+  Srm.Host.retire_below t.srm ~upto;
+  let retired k =
+    Srm.Key.seq ~stride:t.stride k
+    <= Srm.Host.retired_floor ~src:(Srm.Key.src ~stride:t.stride k) t.srm
+  in
+  let sweep ?(keep = fun _ -> false) table =
+    let dead =
+      Hashtbl.fold (fun k v acc -> if retired k && not (keep v) then k :: acc else acc) table []
+    in
+    List.iter (Hashtbl.remove table) dead
+  in
+  sweep t.exp_timers ~keep:Sim.Engine.is_pending;
+  sweep t.pending_exp
+
 let reset_caches t =
   Hashtbl.iter (fun _ c -> Cache.clear c) t.caches;
   Hashtbl.iter (fun _ timer -> Sim.Engine.cancel timer) t.exp_timers;

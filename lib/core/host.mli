@@ -85,6 +85,13 @@ val revive_replier : t -> replier:int -> unit
 (** Fresh evidence [replier] is alive (any reply heard from it):
     forget its presumed death and failure streak. *)
 
+val retire_below : t -> upto:int -> unit
+(** Steady-state retirement: forward the horizon to
+    {!Srm.Host.retire_below} and defensively sweep the expedited
+    bookkeeping for retired (hence delivered) packets. Pending timers
+    are never touched, so finite-window runs stay byte-identical to
+    infinite-window ones. *)
+
 val reset_caches : t -> unit
 (** Model this host crashing: every cache is emptied and all expedited
     bookkeeping (outstanding recoveries, replier scores, presumed

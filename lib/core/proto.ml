@@ -48,37 +48,43 @@ let n_packets t = t.n_packets
 
 let end_time t ~warmup ~tail = warmup +. (float_of_int t.n_packets *. t.period) +. tail
 
-let add_stream ?(send_jitter = 0.) t ~src ~n_packets ~period ~start_at =
+(* Streaming is exact only when sends cannot reorder; see
+   [Srm.Proto.can_stream]. *)
+let can_stream ~send_jitter ~period = send_jitter <= period
+
+let add_stream ?(send_jitter = 0.) ?(streaming = false) t ~src ~n_packets ~period ~start_at =
   let engine = Net.Network.engine t.network in
   let origin = List.assoc_opt src t.hosts in
   let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
-  for seq = 1 to min n_packets t.n_packets do
-    let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
-    let at = start_at +. (float_of_int (seq - 1) *. period) +. jitter in
-    ignore
-      (Sim.Engine.schedule_at engine ~at (fun () ->
-           (match origin with
-           | Some h -> Srm.Host.note_sent ~src (Host.srm h) ~seq
-           | None -> ());
-           Net.Network.multicast_replicated t.network ~from:src
-             { Net.Packet.sender = src; payload = Net.Packet.Data { seq } }))
-  done
+  Sim.Stream.schedule engine
+    ~streaming:(streaming && can_stream ~send_jitter ~period)
+    ~n:(min n_packets t.n_packets)
+    ~at:(fun seq ->
+      let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
+      start_at +. (float_of_int (seq - 1) *. period) +. jitter)
+    ~fire:(fun seq ->
+      (match origin with
+      | Some h -> Srm.Host.note_sent ~src (Host.srm h) ~seq
+      | None -> ());
+      Net.Network.multicast_replicated t.network ~from:src
+        { Net.Packet.sender = src; payload = Net.Packet.Data { seq } })
 
-let start ?(send_jitter = 0.) t ~warmup ~tail =
+let start ?(send_jitter = 0.) ?(streaming = false) t ~warmup ~tail =
   let engine = Net.Network.engine t.network in
   let session_until = end_time t ~warmup ~tail in
   List.iter (fun (_, h) -> Host.start h ~session_until) t.hosts;
   let source = List.assoc_opt 0 t.hosts in
   let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
-  for seq = 1 to t.n_packets do
-    let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
-    let at = warmup +. (float_of_int (seq - 1) *. t.period) +. jitter in
-    ignore
-      (Sim.Engine.schedule_at engine ~at (fun () ->
-           (match source with Some h -> Srm.Host.note_sent (Host.srm h) ~seq | None -> ());
-           Net.Network.multicast_replicated t.network ~from:0
-             { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } }))
-  done
+  Sim.Stream.schedule engine
+    ~streaming:(streaming && can_stream ~send_jitter ~period:t.period)
+    ~n:t.n_packets
+    ~at:(fun seq ->
+      let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
+      warmup +. (float_of_int (seq - 1) *. t.period) +. jitter)
+    ~fire:(fun seq ->
+      (match source with Some h -> Srm.Host.note_sent (Host.srm h) ~seq | None -> ());
+      Net.Network.multicast_replicated t.network ~from:0
+        { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } })
 
 let expedited_requests t =
   List.fold_left (fun acc (_, h) -> acc + Host.expedited_requests_sent h) 0 t.hosts

@@ -17,13 +17,14 @@ val deploy :
     deploys only its own; non-owned members still consume their
     engine-RNG split in deploy order (see [Srm.Proto.deploy]). *)
 
-val start : ?send_jitter:float -> t -> warmup:float -> tail:float -> unit
-(** Same schedule as [Srm.Proto.start]. *)
+val start : ?send_jitter:float -> ?streaming:bool -> t -> warmup:float -> tail:float -> unit
+(** Same schedule (and [streaming] contract) as [Srm.Proto.start]. *)
 
 val end_time : t -> warmup:float -> tail:float -> float
 
 val add_stream :
   ?send_jitter:float ->
+  ?streaming:bool ->
   t ->
   src:int ->
   n_packets:int ->

@@ -46,6 +46,15 @@ val attach : ?expect_in_order:bool -> ?max_exp_per_loss:int -> Net.Network.t -> 
     requests per member and packet — raise it for LMS, whose retries
     legitimately resend. *)
 
+val retire_below : t -> upto:int -> unit
+(** Drop per-packet bookkeeping for every seq at or below [upto] (on
+    all sources, clamped to each source's highest sent seq), after
+    running the expedited-singleton check over the retiring entries.
+    Late traffic naming retired seqs is thereafter exempt from the
+    per-packet invariants — its history was checked before retirement.
+    Streaming (steady) runs call this at each stability epoch so the
+    auditor's memory tracks the live window, not the stream length. *)
+
 val violations : t -> violation list
 (** In occurrence order. Empty for a correct execution. *)
 

@@ -45,19 +45,27 @@ let attach_srm_host ~trace ~stride host =
           ~key:(Srm.Key.make ~stride ~src ~seq)
           (if expedited then Obs.Trace.Recovered_expedited else Obs.Trace.Recovered_fallback))
 
-let attach_recovery_hists registry ~rtt_of recoveries =
+let record_recovery_hist registry ~rtt_of (r : Stats.Recovery.record) =
   let seconds = Obs.Registry.hist registry "recovery/latency_s" in
   let rtt_all = Obs.Registry.hist registry "recovery/latency_rtt" in
   let rtt_exp = Obs.Registry.hist registry "recovery/latency_rtt_expedited" in
   let rtt_fall = Obs.Registry.hist registry "recovery/latency_rtt_fallback" in
-  List.iter
-    (fun (r : Stats.Recovery.record) ->
-      let latency = Stats.Recovery.latency r in
-      Obs.Hist.add seconds latency;
-      match rtt_of r.node with
-      | Some rtt when rtt > 0. ->
-          let norm = latency /. rtt in
-          Obs.Hist.add rtt_all norm;
-          Obs.Hist.add (if r.expedited then rtt_exp else rtt_fall) norm
-      | _ -> ())
-    (Stats.Recovery.records recoveries)
+  let latency = Stats.Recovery.latency r in
+  Obs.Hist.add seconds latency;
+  match rtt_of r.node with
+  | Some rtt when rtt > 0. ->
+      let norm = latency /. rtt in
+      Obs.Hist.add rtt_all norm;
+      Obs.Hist.add (if r.expedited then rtt_exp else rtt_fall) norm
+  | _ -> ()
+
+let attach_recovery_hists registry ~rtt_of recoveries =
+  List.iter (record_recovery_hist registry ~rtt_of) (Stats.Recovery.records recoveries)
+
+(* Records-off (steady) runs can't fold the hists at end of run — the
+   record list is gone — so the observer feeds them one record at a
+   time as recoveries land. Same adds in the same (insertion) order as
+   the offline fold, and the hists themselves are log-bucketed arrays,
+   so observability memory stays constant in stream length. *)
+let attach_recovery_hists_online registry ~rtt_of recoveries =
+  Stats.Recovery.set_observer recoveries (record_recovery_hist registry ~rtt_of)

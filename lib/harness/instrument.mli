@@ -33,3 +33,11 @@ val attach_recovery_hists :
     and ["recovery/latency_rtt_fallback"] RTT-normalized splits
     (records whose node has no RTT — e.g. the source — are skipped in
     the normalized histograms). *)
+
+val attach_recovery_hists_online :
+  Obs.Registry.t -> rtt_of:(int -> float option) -> Stats.Recovery.t -> unit
+(** The streaming-mode equivalent of {!attach_recovery_hists}: install
+    a {!Stats.Recovery.set_observer} that feeds the same histograms
+    record by record as recoveries land, for runs that drop the record
+    list ({!Stats.Recovery.drop_records}). Attach {e before} the run;
+    produces bit-identical histograms (same adds, same order). *)

@@ -77,7 +77,7 @@ let emit_order (a : Net.Network.emit) (b : Net.Network.emit) =
    primary shard, owner of the source, has the complete stream), and
    [Sim.Engine.run] becomes the barrier-window loop. *)
 let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_plan ~protocol
-    ~trace ~loss_model =
+    ~trace ~loss_model ~streaming =
   let tree = Mtrace.Trace.tree trace in
   let n_packets = Mtrace.Trace.n_packets trace in
   let period = Mtrace.Trace.period trace in
@@ -128,7 +128,7 @@ let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_
         List.iter (fun (_, h) -> attach_oracle h) (Srm.Proto.members proto);
         compile_faults ~on_restart:(fun ~node ->
             Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
-        Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
+        Srm.Proto.start ~send_jitter:setup.data_jitter ~streaming proto ~warmup:setup.warmup
           ~tail:setup.tail;
         ( Srm.Proto.counters proto,
           Srm.Proto.recoveries proto,
@@ -148,7 +148,7 @@ let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_
                 Cesrm.Host.reset_caches h;
                 Srm.Host.restart_recovery (Cesrm.Host.srm h))
               (List.assoc_opt node (Cesrm.Proto.members proto)));
-        Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
+        Cesrm.Proto.start ~send_jitter:setup.data_jitter ~streaming proto ~warmup:setup.warmup
           ~tail:setup.tail;
         ( Cesrm.Proto.counters proto,
           Cesrm.Proto.recoveries proto,
@@ -227,7 +227,7 @@ let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_
   loop ()
 
 let run ~(partition : Net.Partition.t) ~delay ?registry ?fault_plan ~(setup : Run_types.setup)
-    protocol trace loss_model =
+    ?(streaming = false) protocol trace loss_model =
   let k = partition.n_shards in
   let lookahead = partition.lookahead in
   let tree = Mtrace.Trace.tree trace in
@@ -239,7 +239,7 @@ let run ~(partition : Net.Partition.t) ~delay ?registry ?fault_plan ~(setup : Ru
     Array.init k (fun me ->
         Ipc.Chan.fork ~child:(fun chan ->
             worker_body ~chan ~me ~observe:(me = primary) ~partition ~setup ~fault_plan
-              ~protocol ~trace ~loss_model))
+              ~protocol ~trace ~loss_model ~streaming))
   in
   let stats = Pst.create () in
   let nexts = Array.make k infinity in
@@ -405,4 +405,5 @@ let run ~(partition : Net.Partition.t) ~delay ?registry ?fault_plan ~(setup : Ru
     audit_violations = sum (fun o -> o.wr_audit);
     oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
     oracle;
+    retirement = None;
   }

@@ -25,6 +25,7 @@ val run :
   ?registry:Obs.Registry.t ->
   ?fault_plan:Fault.Plan.t ->
   setup:Run_types.setup ->
+  ?streaming:bool ->
   Run_types.protocol ->
   Mtrace.Trace.t ->
   Run_types.loss_model ->
@@ -35,7 +36,11 @@ val run :
     merged result. [delay] must reproduce the per-link delays the
     workers draw ([Runner] replicates the heterogeneous-delay RNG
     sequence); [setup] and [protocol] must already carry the fault-plan
-    robustness adjustments [Runner.run_model] applies.
+    robustness adjustments [Runner.run_model] applies. [streaming]
+    (default false) arms the sources' data sends as lazy chains on
+    every worker — byte-identical either way, so it composes freely
+    with sharding (finite retirement windows do not; {!Runner} keeps
+    those serial).
 
     With [registry], the merged end-of-run metrics are published as in
     the serial runner — engine/network totals, ["recovery/"] histograms

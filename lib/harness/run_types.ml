@@ -55,11 +55,13 @@ type result = {
   audit_violations : int;  (* protocol-invariant violations; 0 expected *)
   oracle_violations : int;  (* fault-oracle violations; 0 without a fault plan *)
   oracle : Fault.Oracle.t option;  (* present iff a fault plan was run *)
+  retirement : Steady.Controller.t option;  (* present iff a finite window ran *)
 }
 
 type loss_model =
   | Attributed of Inference.Attribution.t
   | Ground_truth of Mtrace.Bitset.t array
+  | Streamed of Mtrace.Stream_loss.t
 
 (* Loss injection: drop an original data packet on exactly the links
    the loss model names for it; optionally drop recovery packets per
@@ -79,6 +81,13 @@ let make_drop ~loss_model ~lossy_recovery ~lossy_sessions ~rates ~rng =
     match loss_model with
     | Ground_truth link_bad ->
         fun ~link ~seq -> Mtrace.Bitset.get link_bad.(link) (seq - 1)
+    | Streamed chains ->
+        (* Same ground-truth semantics with lazily evaluated chains:
+           link [l] drops packet [seq] iff its Gilbert process is Bad
+           at that step. Data floods traverse each link in seq order
+           (FIFO links, source sends in order), which is exactly the
+           monotone access pattern [Stream_loss] requires. *)
+        fun ~link ~seq -> Mtrace.Stream_loss.lost chains ~link ~seq
     | Attributed attribution ->
         (* The predicate runs once per link crossing per data packet, so
            each packet's cut set is kept as a per-seq bitset over link

@@ -43,11 +43,15 @@ type result = {
   audit_violations : int;
   oracle_violations : int;
   oracle : Fault.Oracle.t option;
+  retirement : Steady.Controller.t option;
 }
 
 type loss_model =
   | Attributed of Inference.Attribution.t
   | Ground_truth of Mtrace.Bitset.t array
+  | Streamed of Mtrace.Stream_loss.t
+      (** ground-truth drops from lazy per-link chains — the
+          constant-memory loss model streaming (steady) runs use *)
 
 val make_drop :
   loss_model:loss_model ->

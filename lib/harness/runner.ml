@@ -39,6 +39,7 @@ type result = Run_types.result = {
   audit_violations : int;  (* protocol-invariant violations; 0 expected *)
   oracle_violations : int;  (* fault-oracle violations; 0 without a fault plan *)
   oracle : Fault.Oracle.t option;  (* present iff a fault plan was run *)
+  retirement : Steady.Controller.t option;  (* present iff a finite window ran *)
 }
 
 let attribution_of_trace trace =
@@ -47,6 +48,7 @@ let attribution_of_trace trace =
 type loss_model = Run_types.loss_model =
   | Attributed of Inference.Attribution.t
   | Ground_truth of Mtrace.Bitset.t array
+  | Streamed of Mtrace.Stream_loss.t
 
 (* A run is shardable when nothing in it needs a global view during
    execution: no tracer (its event stream interleaves all members), no
@@ -57,11 +59,20 @@ type loss_model = Run_types.loss_model =
    Everything else — crashes, partitions, outage and duplication
    windows, heterogeneous delays, data jitter — replays identically on
    every shard. *)
-let shardable ~shards ~tracer ~fault_plan ~setup protocol =
+let shardable ~shards ~tracer ~fault_plan ~setup ~steady protocol =
   shards > 1 && tracer = None
   && (not setup.lossy_recovery)
   && (not setup.lossy_sessions)
   && (match protocol with Lms_protocol -> false | _ -> true)
+  (* Streaming sends shard fine (the reserved-seq chain replays
+     identically per shard), but a finite retirement window needs the
+     global delivered-prefix minimum mid-run, and records-off mode
+     conflicts with the shard workers' record-tagging observer — both
+     stay serial. *)
+  && (match steady with
+     | Some c ->
+         c.Steady.Config.window = None && c.Steady.Config.retain_records
+     | None -> true)
   &&
   match fault_plan with
   | None -> true
@@ -70,8 +81,8 @@ let shardable ~shards ~tracer ~fault_plan ~setup protocol =
         (function Fault.Plan.Link_jitter _ -> false | _ -> true)
         plan.Fault.Plan.events
 
-let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 1) protocol
-    trace loss_model =
+let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 1) ?steady
+    protocol trace loss_model =
   (* A fault plan switches on the robustness extensions unless the
      caller pinned them: session-driven request re-arm (bounds
      post-heal recovery latency by the session period instead of the
@@ -99,6 +110,14 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
   let tree = Mtrace.Trace.tree trace in
   let n_packets = Mtrace.Trace.n_packets trace in
   let period = Mtrace.Trace.period trace in
+  (* Any steady config switches the sources to chain-armed streaming
+     sends (byte-identical to the eager loop, lazy event production);
+     the window and record levers are applied below where the hosts
+     and collectors exist. *)
+  let streaming_sends = Option.is_some steady in
+  let drop_recs =
+    match steady with Some c -> not c.Steady.Config.retain_records | None -> false
+  in
   let serial () =
     let engine = Sim.Engine.create ~seed:setup.seed () in
     let network =
@@ -136,6 +155,35 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         ~max_exp_per_loss:(match protocol with Lms_protocol -> 64 | _ -> 1)
         network
     in
+    (* A finite window gets a retirement controller; the auditor's
+       per-packet tables retire with the hosts'. Member closures are
+       registered per protocol arm below. *)
+    let controller =
+      match steady with
+      | Some { Steady.Config.window = Some w; _ } ->
+          Some (Steady.Controller.create ~window:w ~n_packets)
+      | _ -> None
+    in
+    Option.iter
+      (fun c -> Steady.Controller.on_retire c (fun ~upto -> Audit.retire_below audit ~upto))
+      controller;
+    (* Records-off mode must feed the latency histograms online — once
+       the run ends the records are gone. Attached before the engine
+       runs; the adds land in the same insertion order the end-of-run
+       fold would use, so the histograms are bit-identical. *)
+    let setup_steady_records recoveries =
+      if drop_recs then begin
+        Stats.Recovery.drop_records recoveries;
+        Option.iter
+          (fun reg ->
+            let rtts = Run_types.source_rtts ~tree ~delay:(Net.Network.link_delay network) in
+            let is_receiver node = node <> 0 && Net.Tree.is_leaf tree node in
+            Instrument.attach_recovery_hists_online reg
+              ~rtt_of:(fun node -> if is_receiver node then Some rtts.(node) else None)
+              recoveries)
+          registry
+      end
+    in
     (* Tracing piggybacks on the packet tap (composed after the
        auditor's) and, per member, on the SRM hooks — attached only when
        a tracer was passed, so the untraced run is the seed code path. *)
@@ -154,6 +202,21 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
     in
     let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected ~publish =
       let horizon = Run_types.horizon ~setup ~n_packets ~period in
+      (* The epoch tick drives retirement from inside the engine: no
+         packets, no RNG, one reserved event seq per tick (a uniform
+         shift of later seqs — same-time orderings are unchanged). *)
+      Option.iter
+        (fun c ->
+          match
+            Steady.Config.epoch_period
+              (match steady with Some cfg -> cfg | None -> assert false)
+              ~period
+          with
+          | Some every ->
+              Sim.Engine.every_epoch engine ~every ~until:horizon (fun () ->
+                  Steady.Controller.tick c)
+          | None -> ())
+        controller;
       Sim.Engine.run ~until:horizon engine;
       Option.iter
         (fun o ->
@@ -173,10 +236,13 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
           Sim.Engine.publish_metrics engine reg;
           Net.Network.publish_metrics network reg;
           publish reg;
+          Option.iter (fun c -> Steady.Controller.publish_metrics c reg) controller;
           Obs.Registry.incr ~by:(Stats.Recovery.count recoveries) reg "recovery/recovered";
           Option.iter
             (fun o -> Obs.Registry.incr ~by:(Fault.Oracle.n_violations o) reg "fault/oracle_violations")
             oracle;
+          (* a no-op in records-off mode (the records are gone; the
+             online observer already fed the histograms) *)
           Instrument.attach_recovery_hists reg
             ~rtt_of:(fun node -> if is_receiver node then Some rtts.(node) else None)
             recoveries)
@@ -197,15 +263,30 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         audit_violations = List.length (Audit.violations audit);
         oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
         oracle;
+        retirement = controller;
       }
     in
     match protocol with
     | Srm_protocol ->
         let proto = Srm.Proto.deploy ~network ~params:setup.params ~n_packets ~period () in
         List.iter (fun (_, h) -> trace_host h) (Srm.Proto.members proto);
+        setup_steady_records (Srm.Proto.recoveries proto);
+        Option.iter
+          (fun c ->
+            List.iter
+              (fun (node, h) ->
+                Steady.Controller.add_member c
+                  {
+                    Steady.Controller.node;
+                    delivered_prefix = (fun () -> Srm.Host.delivered_prefix h);
+                    retire = (fun ~upto -> Srm.Host.retire_below h ~upto);
+                  })
+              (Srm.Proto.members proto))
+          controller;
         compile_faults ~on_restart:(fun ~node ->
             Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
-        Srm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup ~tail:setup.tail;
+        Srm.Proto.start ~send_jitter:setup.data_jitter ~streaming:streaming_sends proto
+          ~warmup:setup.warmup ~tail:setup.tail;
         let detected () =
           List.fold_left (fun acc (_, h) -> acc + Srm.Host.detected_losses h) 0 (Srm.Proto.members proto)
         in
@@ -221,14 +302,28 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         (* After deploy: the CESRM hosts have installed their own hooks,
            which the tracer chains onto rather than replaces. *)
         List.iter (fun (_, h) -> trace_host (Cesrm.Host.srm h)) (Cesrm.Proto.members proto);
+        setup_steady_records (Cesrm.Proto.recoveries proto);
+        Option.iter
+          (fun c ->
+            List.iter
+              (fun (node, h) ->
+                Steady.Controller.add_member c
+                  {
+                    Steady.Controller.node;
+                    delivered_prefix =
+                      (fun () -> Srm.Host.delivered_prefix (Cesrm.Host.srm h));
+                    retire = (fun ~upto -> Cesrm.Host.retire_below h ~upto);
+                  })
+              (Cesrm.Proto.members proto))
+          controller;
         compile_faults ~on_restart:(fun ~node ->
             Option.iter
               (fun h ->
                 Cesrm.Host.reset_caches h;
                 Srm.Host.restart_recovery (Cesrm.Host.srm h))
               (List.assoc_opt node (Cesrm.Proto.members proto)));
-        Cesrm.Proto.start ~send_jitter:setup.data_jitter proto ~warmup:setup.warmup
-          ~tail:setup.tail;
+        Cesrm.Proto.start ~send_jitter:setup.data_jitter ~streaming:streaming_sends proto
+          ~warmup:setup.warmup ~tail:setup.tail;
         let detected () =
           List.fold_left
             (fun acc (_, h) -> acc + Srm.Host.detected_losses (Cesrm.Host.srm h))
@@ -248,11 +343,24 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         }
     | Lms_protocol ->
         let proto = Lms.Proto.deploy ~network ~n_packets ~period () in
+        setup_steady_records (Lms.Proto.recoveries proto);
+        Option.iter
+          (fun c ->
+            List.iter
+              (fun (node, h) ->
+                Steady.Controller.add_member c
+                  {
+                    Steady.Controller.node;
+                    delivered_prefix = (fun () -> Lms.Host.delivered_prefix h);
+                    retire = (fun ~upto -> Lms.Host.retire_below h ~upto);
+                  })
+              (Lms.Proto.members proto))
+          controller;
         (* LMS hosts carry no SRM soft state; crashes just toggle the
            enabled flag, and the oracle checks network-level invariants
            only. *)
         compile_faults ~on_restart:(fun ~node:_ -> ());
-        Lms.Proto.start proto ~warmup:setup.warmup ~tail:setup.tail;
+        Lms.Proto.start ~streaming:streaming_sends proto ~warmup:setup.warmup ~tail:setup.tail;
         let publish reg =
           List.iter (fun (_, h) -> Lms.Host.publish_metrics h reg) (Lms.Proto.members proto)
         in
@@ -261,7 +369,7 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
           ~detected:(fun () -> Lms.Proto.detected proto)
           ~publish
   in
-  if not (shardable ~shards ~tracer ~fault_plan ~setup protocol) then serial ()
+  if not (shardable ~shards ~tracer ~fault_plan ~setup ~steady protocol) then serial ()
   else begin
     (* Replicate the per-link delays the workers will draw — same seed,
        same split, same sequence — to partition on true cut delays. *)
@@ -280,11 +388,14 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
     in
     let partition = Net.Partition.make ~tree ~delay ~shards in
     if partition.Net.Partition.n_shards < 2 then serial ()
-    else Parallel.run ~partition ~delay ?registry ?fault_plan ~setup protocol trace loss_model
+    else
+      Parallel.run ~partition ~delay ?registry ?fault_plan ~setup ~streaming:streaming_sends
+        protocol trace loss_model
   end
 
-let run ?setup ?tracer ?registry ?fault_plan ?shards protocol trace attribution =
-  run_model ?setup ?tracer ?registry ?fault_plan ?shards protocol trace (Attributed attribution)
+let run ?setup ?tracer ?registry ?fault_plan ?shards ?steady protocol trace attribution =
+  run_model ?setup ?tracer ?registry ?fault_plan ?shards ?steady protocol trace
+    (Attributed attribution)
 
 (* Harness tuning for the synthetic scale scenarios. Classic SRM
    settings assume a ~10–50 member group; at 10^3–10^4 members the
@@ -336,18 +447,36 @@ let tune_for_trace trace setup =
       let n_members = 1 + Array.length (Net.Tree.receivers (Mtrace.Trace.tree trace)) in
       scale_setup ~family ~n_members setup
 
-let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ~seed protocol row =
-  let generated = Mtrace.Generator.synthesize ~seed ?n_packets row in
-  let trace = generated.Mtrace.Generator.trace in
+let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady ~seed protocol
+    row =
   let scale_family = Mtrace.Scale.family_of_name row.Mtrace.Meta.name in
-  let setup = tune_for_trace trace setup in
-  (* Scale scenarios inject the generator's own Gilbert link states
-     directly; trace-sized rows replay the paper's inference pipeline. *)
-  let loss_model =
-    match scale_family with
-    | None -> Attributed (attribution_of_trace trace)
-    | Some _ -> Ground_truth generated.Mtrace.Generator.link_bad
+  (* A steady run over a scale row never materializes the event list:
+     the trace comes from the streaming generator (lazy per-link loss
+     chains, O(links) setup), so a million-packet leg starts instantly.
+     Legacy table rows need the full bits for attribution and keep the
+     eager path regardless. *)
+  let stream_trace =
+    (match steady with Some c -> Steady.Config.streaming c | None -> false)
+    && scale_family <> None
   in
+  let trace, loss_model =
+    if stream_trace then begin
+      let g = Mtrace.Generator.synthesize_streaming ~seed ?n_packets row in
+      (g.Mtrace.Generator.s_trace, Streamed g.Mtrace.Generator.s_loss)
+    end
+    else begin
+      let generated = Mtrace.Generator.synthesize ~seed ?n_packets row in
+      let trace = generated.Mtrace.Generator.trace in
+      (* Scale scenarios inject the generator's own Gilbert link states
+         directly; trace-sized rows replay the paper's inference
+         pipeline. *)
+      ( trace,
+        match scale_family with
+        | None -> Attributed (attribution_of_trace trace)
+        | Some _ -> Ground_truth generated.Mtrace.Generator.link_bad )
+    end
+  in
+  let setup = tune_for_trace trace setup in
   let fault_plan =
     Option.map
       (fun name ->
@@ -358,7 +487,8 @@ let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ~seed p
         | None -> invalid_arg (Printf.sprintf "Runner.run_leg: unknown canned fault plan %S" name))
       fault
   in
-  run_model ~setup:{ setup with seed } ?registry ?fault_plan ?shards protocol trace loss_model
+  run_model ~setup:{ setup with seed } ?registry ?fault_plan ?shards ?steady protocol trace
+    loss_model
 
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in

@@ -58,6 +58,10 @@ type result = Run_types.result = {
           expected with one — a non-clean oracle means the protocol
           failed to degrade gracefully) *)
   oracle : Fault.Oracle.t option;  (** present iff a fault plan was run *)
+  retirement : Steady.Controller.t option;
+      (** the windowed-retirement controller — present iff the run
+          executed with a finite steady window (floor reached, tick
+          count, heap samples) *)
 }
 
 type loss_model = Run_types.loss_model =
@@ -70,6 +74,10 @@ type loss_model = Run_types.loss_model =
           [seq - 1] drops packet [seq]) — skips inference entirely,
           receivers observe exactly the trace's losses; what the
           synthetic scale scenarios use *)
+  | Streamed of Mtrace.Stream_loss.t
+      (** same ground-truth semantics, chains evaluated lazily — the
+          constant-memory loss model for streaming (steady) runs over
+          a {!Mtrace.Trace.create_streaming} trace *)
 
 val run_model :
   ?setup:setup ->
@@ -77,6 +85,7 @@ val run_model :
   ?registry:Obs.Registry.t ->
   ?fault_plan:Fault.Plan.t ->
   ?shards:int ->
+  ?steady:Steady.Config.t ->
   protocol ->
   Mtrace.Trace.t ->
   loss_model ->
@@ -89,6 +98,7 @@ val run :
   ?registry:Obs.Registry.t ->
   ?fault_plan:Fault.Plan.t ->
   ?shards:int ->
+  ?steady:Steady.Config.t ->
   protocol ->
   Mtrace.Trace.t ->
   Inference.Attribution.t ->
@@ -124,7 +134,20 @@ val run :
     workers and are not republished). Runs a sharded execution cannot
     reproduce exactly fall back to serial: a [tracer], LMS, lossy
     recovery/sessions, link-jitter fault events, or a partition that
-    degenerates to one shard. *)
+    degenerates to one shard.
+
+    With [steady], the run executes in streaming mode
+    ({!Steady.Config}): sources arm their data sends as lazy chains
+    (byte-identical to the eager loop), a finite [window] installs a
+    {!Steady.Controller} driven by an engine epoch tick that retires
+    per-packet state past the stability horizon (hosts, CESRM caches,
+    the auditor), and [retain_records = false] switches the recovery
+    collector to online summaries with the ["recovery/"] histograms
+    fed record-by-record. [Steady.Config.infinite] is byte-identical
+    to not passing [steady] at all (the determinism goldens pin this).
+    Finite windows and records-off runs stay serial; infinite-window
+    steady composes with [shards]. A finite-window run's controller is
+    returned in [result.retirement] (floor, tick count, heap samples). *)
 
 val run_leg :
   ?setup:setup ->
@@ -132,6 +155,7 @@ val run_leg :
   ?n_packets:int ->
   ?fault:string ->
   ?shards:int ->
+  ?steady:Steady.Config.t ->
   seed:int64 ->
   protocol ->
   Mtrace.Meta.row ->
@@ -153,6 +177,13 @@ val run_leg :
     capped ([session_echo_limit], unless the caller pinned it), and
     deep-chain trees use a 1 ms link delay so the worst-case path
     stays within the recovery timers' reach.
+
+    A [steady] config with any streaming lever on
+    ({!Steady.Config.streaming}) additionally routes scale rows
+    through {!Mtrace.Generator.synthesize_streaming}: no materialized
+    loss matrix, the run starts in O(links) regardless of packet
+    count. Legacy rows keep the eager generator (attribution needs the
+    bits).
     @raise Invalid_argument on an unknown canned name. *)
 
 val tune_for_trace : Mtrace.Trace.t -> setup -> setup

@@ -1,6 +1,48 @@
 type retry_state = { mutable attempt : int; mutable timer : Sim.Engine.timer option }
 
-type stream_state = { received : Bytes.t; mutable max_seq : int }
+(* Windowed delivery map, same scheme as [Srm.Host]: byte [i] covers
+   seq [base + 1 + i]; seqs at or below [base] were retired by the
+   steady controller (which only retires fully-delivered prefixes) and
+   read as delivered. *)
+type stream_state = {
+  mutable received : Bytes.t;
+  mutable base : int;
+  mutable prefix : int;
+  mutable max_seq : int;
+}
+
+let initial_window = 4096
+
+let win_get st ~seq =
+  seq <= st.base
+  ||
+  let i = seq - st.base - 1 in
+  i < Bytes.length st.received && Bytes.get st.received i = '\001'
+
+let rec advance_prefix st len =
+  let i = st.prefix - st.base in
+  if i < len && Bytes.get st.received i = '\001' then begin
+    st.prefix <- st.prefix + 1;
+    advance_prefix st len
+  end
+
+let win_set ~n_packets st ~seq =
+  if seq > st.base then begin
+    let i = seq - st.base - 1 in
+    let len = Bytes.length st.received in
+    let len =
+      if i >= len then begin
+        let len' = min (n_packets - st.base) (max (i + 1) (max (2 * len) 64)) in
+        let b = Bytes.make len' '\000' in
+        Bytes.blit st.received 0 b 0 len;
+        st.received <- b;
+        len'
+      end
+      else len
+    in
+    Bytes.set st.received i '\001';
+    if seq = st.prefix + 1 then advance_prefix st len
+  end
 
 type t = {
   network : Net.Network.t;
@@ -28,12 +70,19 @@ let stream t src =
   match Hashtbl.find_opt t.streams src with
   | Some s -> s
   | None ->
-      let s = { received = Bytes.make t.n_packets '\000'; max_seq = 0 } in
+      let s =
+        {
+          received = Bytes.make (min t.n_packets initial_window) '\000';
+          base = 0;
+          prefix = 0;
+          max_seq = 0;
+        }
+      in
       Hashtbl.replace t.streams src s;
       s
 
 let has_packet ?(src = 0) t ~seq =
-  seq >= 1 && seq <= t.n_packets && Bytes.get (stream t src).received (seq - 1) = '\001'
+  seq >= 1 && seq <= t.n_packets && win_get (stream t src) ~seq
 
 let detected_losses t = t.n_detected
 
@@ -129,7 +178,7 @@ let seq_exists t ~src m =
 
 let obtain t ~src seq =
   if not (has_packet ~src t ~seq) then begin
-    Bytes.set (stream t src).received (seq - 1) '\001';
+    win_set ~n_packets:t.n_packets (stream t src) ~seq;
     (match Hashtbl.find_opt t.retries (src, seq) with
     | Some st ->
         (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
@@ -153,9 +202,38 @@ let obtain t ~src seq =
 let note_sent ?(src = 0) t ~seq =
   if seq >= 1 && seq <= t.n_packets then begin
     let stream = stream t src in
-    Bytes.set stream.received (seq - 1) '\001';
+    win_set ~n_packets:t.n_packets stream ~seq;
     if seq > stream.max_seq then stream.max_seq <- seq
   end
+
+let delivered_prefix ?(src = 0) t = (stream t src).prefix
+
+let retired_floor ?(src = 0) t = (stream t src).base
+
+(* Steady-state retirement (see [Srm.Host.retire_below]): everything
+   at or below the clamped horizon is delivered, so its retry entry is
+   gone already ([obtain] removes it) and only the detection-time table
+   needs sweeping alongside the window shift. *)
+let retire_below t ~upto =
+  Hashtbl.iter
+    (fun _src st ->
+      let upto = min upto st.prefix in
+      if upto > st.base then begin
+        let len = Bytes.length st.received in
+        let shift = upto - st.base in
+        if shift >= len then Bytes.fill st.received 0 len '\000'
+        else begin
+          Bytes.blit st.received shift st.received 0 (len - shift);
+          Bytes.fill st.received (len - shift) shift '\000'
+        end;
+        st.base <- upto
+      end)
+    t.streams;
+  let retired (src, seq) =
+    match Hashtbl.find_opt t.streams src with Some st -> seq <= st.base | None -> false
+  in
+  let dead = Hashtbl.fold (fun k _ acc -> if retired k then k :: acc else acc) t.detect_info [] in
+  List.iter (Hashtbl.remove t.detect_info) dead
 
 let publish_metrics t registry =
   Obs.Registry.incr ~by:t.n_detected registry "lms/losses_detected";

@@ -39,6 +39,16 @@ val max_seq : ?src:int -> t -> int
 
 val max_seqs : t -> (int * int) list
 
+val delivered_prefix : ?src:int -> t -> int
+(** Contiguous delivered prefix of [src]'s stream. *)
+
+val retired_floor : ?src:int -> t -> int
+
+val retire_below : t -> upto:int -> unit
+(** Steady-state retirement, as in [Srm.Host.retire_below]: drop
+    per-packet state at or below [upto], clamped to each stream's own
+    delivered prefix. Retired packets still answer [has_packet]. *)
+
 val self : t -> int
 
 val publish_metrics : t -> Obs.Registry.t -> unit

@@ -57,18 +57,18 @@ let refresh t =
   in
   Array.blit fresh 0 t.repliers 0 (Array.length fresh)
 
-let start t ~warmup ~tail =
+let start ?(streaming = false) t ~warmup ~tail =
   let engine = Net.Network.engine t.network in
   let horizon = end_time t ~warmup ~tail in
   let source = host t 0 in
-  for seq = 1 to t.n_packets do
-    let at = warmup +. (float_of_int (seq - 1) *. t.period) in
-    ignore
-      (Sim.Engine.schedule_at engine ~at (fun () ->
-           Host.note_sent source ~seq;
-           Net.Network.multicast t.network ~from:0
-             { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } }))
-  done;
+  (* LMS sends on an unjittered grid, so the streamed producer is
+     always exact (see [Sim.Stream]). *)
+  Sim.Stream.schedule engine ~streaming ~n:t.n_packets
+    ~at:(fun seq -> warmup +. (float_of_int (seq - 1) *. t.period))
+    ~fire:(fun seq ->
+      Host.note_sent source ~seq;
+      Net.Network.multicast t.network ~from:0
+        { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } });
   (* Source heartbeat for tail-loss detection. *)
   let rec heartbeat () =
     if Sim.Engine.now engine <= horizon then begin

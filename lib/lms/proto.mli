@@ -18,10 +18,11 @@ val deploy :
   t
 (** Default refresh period: 10 s. *)
 
-val start : t -> warmup:float -> tail:float -> unit
+val start : ?streaming:bool -> t -> warmup:float -> tail:float -> unit
 (** Data schedule as in [Srm.Proto.start]; the source additionally
     multicasts a 1 s heartbeat carrying its highest sequence number
-    (tail-loss detection). *)
+    (tail-loss detection). [streaming] produces sends lazily (always
+    exact here — the LMS grid is unjittered). *)
 
 val end_time : t -> warmup:float -> tail:float -> float
 

@@ -39,8 +39,9 @@ let flatten json =
   go "" json;
   List.rev !acc
 
-let diff ?(thresholds = default_thresholds) ~base ~current () =
-  let b = flatten base and c = flatten current in
+let diff ?(thresholds = default_thresholds) ?(ignore = fun _ -> false) ~base ~current () =
+  let drop kvs = List.filter (fun (k, _) -> not (ignore k)) kvs in
+  let b = drop (flatten base) and c = drop (flatten current) in
   let keys = ref [] in
   let tbl_b = Hashtbl.create 64 and tbl_c = Hashtbl.create 64 in
   let load tbl kvs =

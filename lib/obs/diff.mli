@@ -27,8 +27,18 @@ type entry = {
 val flatten : Json.t -> (string * float) list
 (** The numeric leaves, in document order. *)
 
-val diff : ?thresholds:thresholds -> base:Json.t -> current:Json.t -> unit -> entry list
-(** All compared paths in name order, flagged or not. *)
+val diff :
+  ?thresholds:thresholds ->
+  ?ignore:(string -> bool) ->
+  base:Json.t ->
+  current:Json.t ->
+  unit ->
+  entry list
+(** All compared paths in name order, flagged or not. Paths for which
+    [ignore] returns true (default: none) are excluded from the
+    comparison entirely — the side channel for machine-dependent
+    numbers (wall time, allocation, events/sec) that should stay
+    machine-readable in the document without ever gating a diff. *)
 
 val flagged : entry list -> entry list
 

@@ -92,6 +92,7 @@ type t = {
      stores on paths that already write the adjacent fields, so they
      cost nothing measurable. *)
   mutable n_fired : int;
+  mutable n_epochs : int;
   mutable n_cancelled : int;
   mutable n_compactions : int;
   mutable max_heap_size : int;
@@ -134,6 +135,7 @@ let create ?(seed = 1L) ?(backend = `Wheel) () =
     frontier = 0;
     wheel_live = 0;
     n_fired = 0;
+    n_epochs = 0;
     n_cancelled = 0;
     n_compactions = 0;
     max_heap_size = 0;
@@ -357,6 +359,53 @@ let schedule_call t ~at f arg =
   insert_pending t s;
   t.live <- t.live + 1
 
+(* Reserve a contiguous block of sequence keys without scheduling
+   anything. A streaming producer that replaces an eager
+   schedule-everything-upfront loop grabs the exact seq block the loop
+   would have consumed, then attaches each reserved key with
+   [schedule_at_seq] as it goes: every event carries the same
+   (time, seq) heap key as in the eager schedule, and [next_seq] ends
+   up in the same place, so the run is byte-identical by
+   construction. *)
+let reserve_seqs t n =
+  if n < 0 then invalid_arg "Engine.reserve_seqs: negative count";
+  let base = t.next_seq in
+  t.next_seq <- t.next_seq + n;
+  base
+
+(* Schedule with a caller-provided seq key (from [reserve_seqs])
+   instead of consuming [next_seq]. Not cancellable: reserved keys are
+   disjoint from every handle's [hseq] (both are drawn from the same
+   monotone counter, by different calls), so slot reuse stays safe. *)
+let schedule_at_seq t ~at ~seq f =
+  let at = if at < t.clock then t.clock else at in
+  let s = alloc_slot t in
+  t.times.(s) <- at;
+  t.seqs.(s) <- seq;
+  t.actions.(s) <- f;
+  insert_pending t s;
+  t.live <- t.live + 1
+
+(* Engine-level epoch tick: a self-rescheduling callback used by the
+   steady-state controller to drive state retirement. Ticks send no
+   packets and draw no randomness; each one consumes [next_seq] like
+   any other scheduled event, which shifts later seq keys uniformly —
+   relative firing order among all other events is unchanged. *)
+let every_epoch t ~every ~until f =
+  if not (every > 0.) then invalid_arg "Engine.every_epoch: non-positive period";
+  let rec arm at =
+    ignore
+      (schedule_at t ~at (fun () ->
+           t.n_epochs <- t.n_epochs + 1;
+           f ();
+           let at' = at +. every in
+           if at' <= until then arm at'))
+  in
+  let first = t.clock +. every in
+  if first <= until then arm first
+
+let epochs_ticked t = t.n_epochs
+
 let is_pending timer =
   let t = timer.owner in
   t.seqs.(timer.slot) = timer.hseq && t.actions.(timer.slot) != no_action
@@ -501,6 +550,7 @@ let events_cancelled t = t.n_cancelled
    stores above. *)
 let publish_metrics t registry =
   Obs.Registry.incr ~by:t.n_fired registry "sim/events_fired";
+  Obs.Registry.incr ~by:t.n_epochs registry "sim/epoch_ticks";
   Obs.Registry.incr ~by:t.n_cancelled registry "sim/events_cancelled";
   Obs.Registry.incr ~by:t.n_compactions registry "sim/heap_compactions";
   Obs.Registry.incr ~by:t.n_wheel_inserts registry "sim/wheel_inserts";

@@ -56,6 +56,34 @@ val schedule_call : t -> at:float -> (int -> unit) -> int -> unit
     cancellable — meant for the network's delivery fan-out, which never
     cancels. *)
 
+val reserve_seqs : t -> int -> int
+(** [reserve_seqs t n] reserves the next [n] sequence keys and returns
+    the first. A streaming producer replacing an eager
+    schedule-everything-upfront loop reserves exactly the block the
+    loop would have consumed and attaches each key with
+    {!schedule_at_seq} as it goes: every event then carries the same
+    (time, seq) heap key as under the eager schedule and [next_seq]
+    ends in the same place, so firing order is byte-identical by
+    construction.
+    @raise Invalid_argument on a negative count. *)
+
+val schedule_at_seq : t -> at:float -> seq:int -> (unit -> unit) -> unit
+(** [schedule_at_seq t ~at ~seq f] is [schedule_at] with a
+    caller-provided sequence key (from {!reserve_seqs}) instead of
+    consuming the engine's counter. Not cancellable. *)
+
+val every_epoch : t -> every:float -> until:float -> (unit -> unit) -> unit
+(** [every_epoch t ~every ~until f] runs [f] every [every] seconds of
+    virtual time, starting at [now t +. every], as long as the tick
+    time is [<= until]. Ticks send no packets and draw no randomness;
+    each consumes one sequence key like any scheduled event, shifting
+    later keys uniformly without reordering anything. Drives the
+    steady-state retirement controller.
+    @raise Invalid_argument unless [every > 0]. *)
+
+val epochs_ticked : t -> int
+(** Epoch ticks fired over the engine's lifetime. *)
+
 val next_time : t -> float option
 (** Fire time of the next live event, without executing it ([None] when
     nothing is pending). Used by the conservative-parallel driver to

@@ -1,0 +1,25 @@
+(* Paced event streams: the eager variant schedules every event
+   upfront (the classic proto send loop — O(n) pending timers before
+   the run starts); the streaming variant keeps exactly one pending
+   timer, with each firing arming its successor over a pre-reserved
+   seq block. Both produce identical (time, seq) heap keys and leave
+   the engine's seq counter in the same place, so a run is
+   byte-identical under either — provided the caller's [at] is
+   non-decreasing and never in the past when evaluated lazily (for a
+   jittered send grid: jitter bounded by the pacing period). *)
+
+let schedule ?(streaming = false) engine ~n ~at ~fire =
+  if n > 0 then
+    if streaming then begin
+      let base = Engine.reserve_seqs engine n in
+      let rec arm k =
+        Engine.schedule_at_seq engine ~at:(at k) ~seq:(base + k - 1) (fun () ->
+            if k < n then arm (k + 1);
+            fire k)
+      in
+      arm 1
+    end
+    else
+      for k = 1 to n do
+        ignore (Engine.schedule_at engine ~at:(at k) (fun () -> fire k))
+      done

@@ -1,0 +1,19 @@
+(** Paced event streams for data producers.
+
+    [schedule engine ~n ~at ~fire] runs [fire k] at time [at k] for
+    [k = 1 .. n]. Eagerly (the default) every event is scheduled
+    upfront — [n] pending timers before the run starts. With
+    [~streaming:true] only one timer is ever pending: a seq block is
+    reserved ({!Engine.reserve_seqs}) and each firing arms its
+    successor with its reserved key, so heap keys — and therefore the
+    whole run — are byte-identical to the eager schedule while setup
+    cost and queue residency drop from O(n) to O(1).
+
+    Streaming requires [at] to be non-decreasing in [k] and [at (k+1)]
+    to be at or after [at k] when evaluated during [fire k] (for a
+    jittered send grid: jitter bounded by the pacing period), and [at]
+    must consume any randomness in ascending [k] order only — both
+    variants evaluate [at 1 .. at n] in order, once each. *)
+
+val schedule :
+  ?streaming:bool -> Engine.t -> n:int -> at:(int -> float) -> fire:(int -> unit) -> unit

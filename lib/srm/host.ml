@@ -30,11 +30,58 @@ let no_hooks () =
   }
 
 (* Per-stream reception state; SRM is multi-source, so every table
-   below is keyed by (stream source, sequence number). *)
+   below is keyed by (stream source, sequence number). The delivery
+   map is windowed for steady-state runs: byte [i] of [received]
+   covers sequence [base + 1 + i]; everything at or below [base] has
+   been retired by the steady controller, which only ever retires
+   fully-delivered prefixes — so a retired seq reads as delivered.
+   [prefix] is the contiguous delivered prefix (every seq <= prefix is
+   locally available), the quantity the stability horizon is computed
+   from. With no retirement ([base] stays 0) the window grows to
+   [n_packets] on demand and behaves exactly like the old flat
+   bitmap. *)
 type stream_state = {
-  received : Bytes.t; (* one byte per seq: 0 = missing, 1 = have *)
+  mutable received : Bytes.t; (* window: 0 = missing, 1 = have *)
+  mutable base : int; (* retired floor: seqs <= base are delivered *)
+  mutable prefix : int; (* contiguous delivered prefix *)
   mutable max_seq : int;
 }
+
+(* Streams start with a bounded window so a million-packet run never
+   materializes the full per-receiver bitmap; short runs reach
+   [n_packets] immediately and allocate exactly what they used to. *)
+let initial_window = 4096
+
+let win_get st ~seq =
+  seq <= st.base
+  ||
+  let i = seq - st.base - 1 in
+  i < Bytes.length st.received && Bytes.get st.received i = '\001'
+
+let rec advance_prefix st len =
+  let i = st.prefix - st.base in
+  if i < len && Bytes.get st.received i = '\001' then begin
+    st.prefix <- st.prefix + 1;
+    advance_prefix st len
+  end
+
+let win_set ~n_packets st ~seq =
+  if seq > st.base then begin
+    let i = seq - st.base - 1 in
+    let len = Bytes.length st.received in
+    let len =
+      if i >= len then begin
+        let len' = min (n_packets - st.base) (max (i + 1) (max (2 * len) 64)) in
+        let b = Bytes.make len' '\000' in
+        Bytes.blit st.received 0 b 0 len;
+        st.received <- b;
+        len'
+      end
+      else len
+    in
+    Bytes.set st.received i '\001';
+    if seq = st.prefix + 1 then advance_prefix st len
+  end
 
 type t = {
   network : Net.Network.t;
@@ -88,7 +135,14 @@ let stream t src =
   match Hashtbl.find_opt t.streams src with
   | Some s -> s
   | None ->
-      let s = { received = Bytes.make t.n_packets '\000'; max_seq = 0 } in
+      let s =
+        {
+          received = Bytes.make (min t.n_packets initial_window) '\000';
+          base = 0;
+          prefix = 0;
+          max_seq = 0;
+        }
+      in
       Hashtbl.replace t.streams src s;
       let rec insert = function
         | x :: tl when x < src -> x :: insert tl
@@ -98,7 +152,7 @@ let stream t src =
       s
 
 let has_packet ?(src = 0) t ~seq =
-  seq >= 1 && seq <= t.n_packets && Bytes.get (stream t src).received (seq - 1) = '\001'
+  seq >= 1 && seq <= t.n_packets && win_get (stream t src) ~seq
 
 let suffered_loss ?(src = 0) t ~seq = Hashtbl.mem t.detect_info (key t ~src ~seq)
 
@@ -282,7 +336,7 @@ let record_recovery t ~src seq ~expedited ~rounds =
 
 let obtain t ~src seq ~expedited =
   if not (has_packet ~src t ~seq) then begin
-    Bytes.set (stream t src).received (seq - 1) '\001';
+    win_set ~n_packets:t.n_packets (stream t src) ~seq;
     (* A pending request is now moot. *)
     let rounds =
       match Hashtbl.find_opt t.requests (key t ~src ~seq) with
@@ -309,9 +363,51 @@ let obtain t ~src seq ~expedited =
 let note_sent ?(src = 0) t ~seq =
   if seq >= 1 && seq <= t.n_packets then begin
     let stream = stream t src in
-    Bytes.set stream.received (seq - 1) '\001';
+    win_set ~n_packets:t.n_packets stream ~seq;
     if seq > stream.max_seq then stream.max_seq <- seq
   end
+
+let delivered_prefix ?(src = 0) t = (stream t src).prefix
+
+let retired_floor ?(src = 0) t = (stream t src).base
+
+(* Steady-state retirement: drop per-packet state at or below [upto],
+   clamped to each stream's own delivered prefix (the controller's
+   global horizon already sits below every member's prefix; the clamp
+   makes the operation safe to call with anything). Only {e inert}
+   state is dropped — a reply timer still pending is left to fire and
+   remove itself, and an abstinence horizon still in the future is
+   kept — so a finite-window run fires exactly the events an
+   infinite-window run would. Request state needs no sweep: a request
+   exists only while the packet is missing, and everything at or below
+   the delivered prefix has arrived. *)
+let retire_below t ~upto =
+  Hashtbl.iter
+    (fun _src st ->
+      let upto = min upto st.prefix in
+      if upto > st.base then begin
+        let len = Bytes.length st.received in
+        let shift = upto - st.base in
+        if shift >= len then Bytes.fill st.received 0 len '\000'
+        else begin
+          Bytes.blit st.received shift st.received 0 (len - shift);
+          Bytes.fill st.received (len - shift) shift '\000'
+        end;
+        st.base <- upto
+      end)
+    t.streams;
+  let retired k =
+    let src = Key.src ~stride:t.stride k and seq = Key.seq ~stride:t.stride k in
+    match Hashtbl.find_opt t.streams src with Some st -> seq <= st.base | None -> false
+  in
+  let sweep ?(keep = fun _ _ -> false) table =
+    let dead = Hashtbl.fold (fun k v acc -> if retired k && not (keep k v) then k :: acc else acc) table [] in
+    List.iter (Hashtbl.remove table) dead
+  in
+  sweep t.replies ~keep:(fun _ timer -> Sim.Engine.is_pending timer);
+  sweep t.reply_abstain ~keep:(fun _ horizon -> horizon > now t);
+  sweep t.detect_info;
+  sweep t.replied
 
 (* --- replies ------------------------------------------------------- *)
 

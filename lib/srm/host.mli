@@ -123,6 +123,26 @@ val detected_losses : t -> int
 
 val pending_requests : t -> int
 
+val delivered_prefix : ?src:int -> t -> int
+(** Contiguous delivered prefix of [src]'s stream: every sequence
+    number at or below it is locally available. The steady-state
+    stability horizon is the group-wide minimum of these. *)
+
+val retired_floor : ?src:int -> t -> int
+(** Highest sequence number retired so far (0 before any retirement).
+    Retired packets still answer [has_packet] with [true] — retirement
+    only ever covers fully-delivered prefixes, and replies carry no
+    payload, so a late request for a retired packet is still served. *)
+
+val retire_below : t -> upto:int -> unit
+(** Steady-state retirement: drop per-packet soft state (delivery
+    window bytes, detection times, expired abstinence horizons) for
+    sequence numbers at or below [upto], clamped per stream to its own
+    delivered prefix. Only inert state is dropped — pending reply
+    timers fire as they would have — so a finite-window run remains
+    byte-identical to an infinite-window one. Driven by
+    [Steady.Controller]; never called in classic runs. *)
+
 val restart_recovery : t -> unit
 (** Model a crashed host coming back up: session distance estimates,
     scheduled replies, and reply-abstinence horizons are dropped (soft

@@ -46,36 +46,45 @@ let n_packets t = t.n_packets
 
 let end_time t ~warmup ~tail = warmup +. (float_of_int t.n_packets *. t.period) +. tail
 
+(* A streamed producer is only byte-identical to the eager loop when
+   sends cannot reorder: each firing arms its successor, so jitter
+   beyond one period would need a past-time clamp that the eager
+   schedule does not apply. Such setups (REORDER-DELAY) fall back to
+   the eager loop. *)
+let can_stream ~send_jitter ~period = send_jitter <= period
+
 (* Schedule an additional data stream originating at member [src]. *)
-let add_stream ?(send_jitter = 0.) t ~src ~n_packets ~period ~start_at =
+let add_stream ?(send_jitter = 0.) ?(streaming = false) t ~src ~n_packets ~period ~start_at =
   let engine = Net.Network.engine t.network in
   let origin = List.assoc_opt src t.hosts in
   let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
-  for seq = 1 to min n_packets t.n_packets do
-    let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
-    let at = start_at +. (float_of_int (seq - 1) *. period) +. jitter in
-    ignore
-      (Sim.Engine.schedule_at engine ~at (fun () ->
-           (match origin with Some h -> Host.note_sent ~src h ~seq | None -> ());
-           Net.Network.multicast_replicated t.network ~from:src
-             { Net.Packet.sender = src; payload = Net.Packet.Data { seq } }))
-  done
+  Sim.Stream.schedule engine
+    ~streaming:(streaming && can_stream ~send_jitter ~period)
+    ~n:(min n_packets t.n_packets)
+    ~at:(fun seq ->
+      let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
+      start_at +. (float_of_int (seq - 1) *. period) +. jitter)
+    ~fire:(fun seq ->
+      (match origin with Some h -> Host.note_sent ~src h ~seq | None -> ());
+      Net.Network.multicast_replicated t.network ~from:src
+        { Net.Packet.sender = src; payload = Net.Packet.Data { seq } })
 
-let start ?(send_jitter = 0.) t ~warmup ~tail =
+let start ?(send_jitter = 0.) ?(streaming = false) t ~warmup ~tail =
   let engine = Net.Network.engine t.network in
   let session_until = end_time t ~warmup ~tail in
   List.iter (fun (_, h) -> Host.start h ~session_until) t.hosts;
   let source = List.assoc_opt 0 t.hosts in
   let jitter_rng = Sim.Rng.split (Sim.Engine.rng engine) in
-  for seq = 1 to t.n_packets do
-    (* Optional per-packet jitter models upstream reordering: with
-       jitter beyond one period, packets can overtake and receivers see
-       transient gaps — the situation REORDER-DELAY exists for. *)
-    let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
-    let at = warmup +. (float_of_int (seq - 1) *. t.period) +. jitter in
-    ignore
-      (Sim.Engine.schedule_at engine ~at (fun () ->
-           (match source with Some h -> Host.note_sent h ~seq | None -> ());
-           Net.Network.multicast_replicated t.network ~from:0
-             { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } }))
-  done
+  Sim.Stream.schedule engine
+    ~streaming:(streaming && can_stream ~send_jitter ~period:t.period)
+    ~n:t.n_packets
+    ~at:(fun seq ->
+      (* Optional per-packet jitter models upstream reordering: with
+         jitter beyond one period, packets can overtake and receivers
+         see transient gaps — the situation REORDER-DELAY exists for. *)
+      let jitter = if send_jitter <= 0. then 0. else Sim.Rng.float jitter_rng send_jitter in
+      warmup +. (float_of_int (seq - 1) *. t.period) +. jitter)
+    ~fire:(fun seq ->
+      (match source with Some h -> Host.note_sent h ~seq | None -> ());
+      Net.Network.multicast_replicated t.network ~from:0
+        { Net.Packet.sender = 0; payload = Net.Packet.Data { seq } })

@@ -19,18 +19,24 @@ val deploy :
     consume their engine-RNG split in deploy order, so owned hosts
     draw identical generators on every shard. *)
 
-val start : ?send_jitter:float -> t -> warmup:float -> tail:float -> unit
+val start : ?send_jitter:float -> ?streaming:bool -> t -> warmup:float -> tail:float -> unit
 (** Sessions begin immediately (randomly phased); the source transmits
     packet [seq] at [warmup + (seq-1)·period] plus a uniform random
     [send_jitter] (default 0 — jitter beyond one period reorders
     packets, the case REORDER-DELAY guards against); session emission
-    stops at [end_of_data + tail]. Run the engine afterwards. *)
+    stops at [end_of_data + tail]. Run the engine afterwards.
+    [streaming] (default false) produces sends lazily — one pending
+    timer instead of [n_packets] — via {!Sim.Stream}; byte-identical
+    to the eager schedule, and honoured only when
+    [send_jitter <= period] (beyond that, sends may reorder and the
+    eager loop is used). *)
 
 val end_time : t -> warmup:float -> tail:float -> float
 (** The horizon matching {!start}'s schedule. *)
 
 val add_stream :
   ?send_jitter:float ->
+  ?streaming:bool ->
   t ->
   src:int ->
   n_packets:int ->

@@ -14,13 +14,35 @@ type t = {
   mutable records : record list;
   mutable n : int;
   mutable observer : (record -> unit) option;
+  mutable keep_records : bool;
+  (* Online latency summary, maintained on every [add]: in steady
+     (records-off) mode it is all that remains of the latency stream —
+     exact moments plus a sketch for percentiles, O(1) memory. *)
+  online : Summary.t;
 }
 
-let create () = { records = []; n = 0; observer = None }
+let create () =
+  {
+    records = [];
+    n = 0;
+    observer = None;
+    keep_records = true;
+    online = Summary.create ~keep_samples:false ();
+  }
+
+(* Steady-state mode: stop retaining per-loss records (and drop any
+   already held) — [count] and the default [latency_summary] keep
+   working from the online accumulators. *)
+let drop_records t =
+  t.keep_records <- false;
+  t.records <- []
+
+let retains_records t = t.keep_records
 
 let add t r =
-  t.records <- r :: t.records;
+  if t.keep_records then t.records <- r :: t.records;
   t.n <- t.n + 1;
+  Summary.add t.online (latency r);
   match t.observer with Some f -> f r | None -> ()
 
 let set_observer t f = t.observer <- Some f
@@ -31,10 +53,15 @@ let records t = List.rev t.records
 
 let for_node t node = List.filter (fun r -> r.node = node) (records t)
 
-let latency_summary ?(normalize = fun _ -> 1.) ?(filter = fun _ -> true) t =
-  let s = Summary.create () in
-  List.iter (fun r -> if filter r then Summary.add s (latency r /. normalize r)) t.records;
-  s
+let latency_summary ?normalize ?filter t =
+  match (normalize, filter, t.keep_records) with
+  | None, None, false -> t.online
+  | _ ->
+      let normalize = Option.value normalize ~default:(fun _ -> 1.) in
+      let filter = Option.value filter ~default:(fun _ -> true) in
+      let s = Summary.create () in
+      List.iter (fun r -> if filter r then Summary.add s (latency r /. normalize r)) t.records;
+      s
 
 let unrecovered t ~expected =
   List.filter_map

@@ -22,6 +22,15 @@ type t
 
 val create : unit -> t
 
+val drop_records : t -> unit
+(** Steady-state mode: stop retaining per-loss records, and drop any
+    already held. {!count} and the default {!latency_summary} keep
+    working from O(1) online accumulators (exact moments, sketched
+    percentiles); {!records} returns [[]] and a filtered or normalized
+    {!latency_summary} is empty. *)
+
+val retains_records : t -> bool
+
 val add : t -> record -> unit
 
 val set_observer : t -> (record -> unit) -> unit
@@ -38,7 +47,10 @@ val for_node : t -> int -> record list
 
 val latency_summary : ?normalize:(record -> float) -> ?filter:(record -> bool) -> t -> Summary.t
 (** Summary of [latency r /. normalize r] over records passing
-    [filter]. Default: no filter, normalizer 1. *)
+    [filter]. Default: no filter, normalizer 1. After
+    {!drop_records}, the default form returns the online summary
+    (sketched percentiles); passing [normalize] or [filter] then
+    yields an empty summary, since the records are gone. *)
 
 val unrecovered : t -> expected:(int * int) list -> (int * int) list
 (** Given [(node, losses_detected)] expectations, report nodes whose

@@ -1,0 +1,66 @@
+(** The windowed state-retirement controller.
+
+    Owns the protocol-wide stability floor for a steady run: at every
+    epoch tick it reads each member's contiguously-delivered prefix,
+    lifts the floor to [min prefix - window] (monotone, never
+    negative), and tells every member — and any registered extras,
+    e.g. the {!Harness.Audit} auditor — to forget state at or below
+    it. A packet below the floor has been delivered by {e all} members
+    for at least a window's worth of stream, so no loss that still
+    needs recovery state can name it; replies for it remain possible
+    because data buffers answer for any seq at or below their base.
+
+    The controller is deliberately protocol-agnostic: members are
+    closures, so SRM, CESRM and LMS hosts (or anything else with
+    per-packet soft state) register the same way.
+
+    It also samples the live heap ([Gc.quick_stat]) at each tick —
+    the constant-memory evidence the bench asserts on. *)
+
+type t
+
+type member = {
+  node : int;
+  delivered_prefix : unit -> int;
+      (** highest [p] with packets 1..p all delivered locally *)
+  retire : upto:int -> unit;
+      (** drop per-packet state for seqs at or below the floor *)
+}
+
+val create : window:int -> n_packets:int -> t
+(** @raise Invalid_argument if [window < 1]. *)
+
+val add_member : t -> member -> unit
+
+val on_retire : t -> (upto:int -> unit) -> unit
+(** Register a non-member retirement hook (auditor, instrumentation). *)
+
+val tick : t -> unit
+(** One epoch: advance the floor, retire if it moved, sample the heap.
+    Runs no protocol actions and draws no randomness — scheduling it
+    shifts engine sequence numbers uniformly but changes no behaviour. *)
+
+val floor : t -> int
+(** The current stability floor (0 before any retirement). *)
+
+val ticks : t -> int
+
+val peak_heap_words : t -> int
+(** Max [top_heap_words] observed at ticks (machine-dependent). *)
+
+val heap_samples : t -> int array
+(** Live heap words at each tick, in tick order (machine-dependent). *)
+
+val heap_growth : t -> float option
+(** Mean heap over the last decile of steady-state ticks divided by
+    the first decile, where steady state starts once the floor has
+    advanced a full window (before that the retirement pipeline is
+    still filling and the heap legitimately climbs) — ~1 for a healthy
+    windowed run, growing with stream length if per-packet state
+    leaks. [None] before the pipeline fills or under 10 steady
+    ticks. *)
+
+val publish_metrics : t -> Obs.Registry.t -> unit
+(** Publish the deterministic numbers ([steady/ticks], [steady/floor],
+    [steady/window]) — heap samples stay behind the accessors so the
+    registry remains byte-stable across machines. *)

@@ -115,7 +115,22 @@ let receivers_below_all tree =
   ignore (visit 0);
   counts
 
-let synthesize ?seed ?n_packets (row : Meta.row) =
+(* Everything [synthesize] draws before link simulation, factored out
+   so the streaming variant consumes the rng identically: same seed +
+   same row ⇒ same tree, weights, bursts, and rng position. The field
+   order below mirrors the draw order; do not reorder the draws. *)
+type plan = {
+  p_tree : Net.Tree.t;
+  p_weights : float array;
+  p_bursts : float array;
+  p_target : float;
+  p_expect : Net.Tree.t -> rates:float array -> n_packets:int -> float;
+  p_rng : Sim.Rng.t; (* positioned exactly where simulate_links reads it *)
+  p_n_packets : int;
+  p_period : float;
+}
+
+let plan ?seed ?n_packets (row : Meta.row) =
   let seed = match seed with Some s -> s | None -> hash_name row.name in
   let rng = Sim.Rng.create seed in
   let n_packets = match n_packets with Some n -> n | None -> row.n_packets in
@@ -184,6 +199,22 @@ let synthesize ?seed ?n_packets (row : Meta.row) =
   done;
   let bursts = Array.init n (fun l -> if l = 0 then 1. else Sim.Rng.uniform rng 1.2 4.0) in
   let expect = match family with None -> expected_losses | Some _ -> expected_losses_topdown in
+  {
+    p_tree = tree;
+    p_weights = weights;
+    p_bursts = bursts;
+    p_target = target;
+    p_expect = expect;
+    p_rng = rng;
+    p_n_packets = n_packets;
+    p_period = float_of_int row.period_ms /. 1000.;
+  }
+
+let synthesize ?seed ?n_packets (row : Meta.row) =
+  let { p_tree = tree; p_weights = weights; p_bursts = bursts; p_target = target;
+        p_expect = expect; p_rng = rng; p_n_packets = n_packets; p_period = period } =
+    plan ?seed ?n_packets row
+  in
   (* Calibrate, simulate, then correct the scale against the realized
      count (burstiness adds variance) and resimulate, a few times. *)
   let rec attempt iter scale_correction =
@@ -197,8 +228,32 @@ let synthesize ?seed ?n_packets (row : Meta.row) =
     else attempt (iter + 1) (scale_correction *. (target /. Float.max 1. (float_of_int realized)))
   in
   let rates, link_bad, loss = attempt 1 1.0 in
-  let trace =
-    Trace.create ~name:row.name ~tree ~period:(float_of_int row.period_ms /. 1000.) ~n_packets
-      ~loss
-  in
+  let trace = Trace.create ~name:row.name ~tree ~period ~n_packets ~loss in
   { trace; link_bad; link_rates = rates; link_bursts = bursts }
+
+type streaming = {
+  s_trace : Trace.t;
+  s_loss : Stream_loss.t;
+  s_rates : float array;
+  s_bursts : float array;
+}
+
+(* The streaming variant shares the plan draws verbatim, then does one
+   analytic calibration (the bisection consumes no randomness) and
+   hands the rng to [Stream_loss.create], which splits per link in the
+   same order [simulate_links] would. The bits therefore equal the
+   eager path's first calibration attempt; the realized-count
+   correction loop is skipped because it needs the full matrix — at
+   streaming scale the analytic expectation is already within the
+   correction's own tolerance, and the loss process stays exactly
+   Gilbert-distributed either way. *)
+let synthesize_streaming ?seed ?n_packets ?lookback (row : Meta.row) =
+  let { p_tree = tree; p_weights = weights; p_bursts = bursts; p_target = target;
+        p_expect = expect; p_rng = rng; p_n_packets = n_packets; p_period = period } =
+    plan ?seed ?n_packets row
+  in
+  let scale = calibrate_scale ~expect tree ~weights ~n_packets ~target in
+  let rates = Array.map (fun w -> Float.min rate_cap (scale *. w)) weights in
+  let s_loss = Stream_loss.create ?lookback ~tree ~rates ~bursts ~rng ~n_packets () in
+  let s_trace = Trace.create_streaming ~name:row.name ~tree ~period ~n_packets in
+  { s_trace; s_loss; s_rates = rates; s_bursts = bursts }

@@ -29,6 +29,21 @@ val synthesize : ?seed:int64 -> ?n_packets:int -> Meta.row -> result
     [n_packets] overrides the row's packet count (loss count target is
     scaled proportionally) — used for fast test / bench runs. *)
 
+type streaming = {
+  s_trace : Trace.t;  (** a {!Trace.create_streaming} trace: no loss matrix *)
+  s_loss : Stream_loss.t;  (** lazy per-link loss chains backing the drop predicate *)
+  s_rates : float array;
+  s_bursts : float array;
+}
+
+val synthesize_streaming : ?seed:int64 -> ?n_packets:int -> ?lookback:int -> Meta.row -> streaming
+(** Like {!synthesize} but O(links) setup and O(links · lookback)
+    steady memory: same seed ⇒ same tree / weights / bursts draws,
+    loss bits produced lazily. Uses the analytic calibration only (no
+    realized-count correction loop — that needs the full matrix), so
+    loss totals match the row target in expectation rather than within
+    the eager path's 3% realized tolerance. *)
+
 val expected_losses : Net.Tree.t -> rates:float array -> n_packets:int -> float
 (** Expected total receiver-loss events if each link [l] drops
     independently with marginal [rates.(l)]. *)

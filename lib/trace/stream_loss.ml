@@ -1,0 +1,77 @@
+(* Lazily evaluated per-link Gilbert loss processes.
+
+   [Generator.simulate_links] materializes one bitset per link — at
+   10^6 packets over thousands of links that is the dominant setup
+   allocation, and the per-receiver union matrix on top of it is what
+   makes long runs impossible. The drop predicate, however, only ever
+   asks one question per directed link traversal: "is link [l] Bad at
+   data packet [seq]?" — and for a FIFO multicast tree those queries
+   arrive in non-decreasing [seq] order per link (the source sends in
+   seq order and every shard walks the replicated flood in time
+   order). So each link keeps a running chain state plus a small ring
+   of recent decisions, advanced on demand; memory is O(links ·
+   lookback) regardless of stream length.
+
+   Determinism: chains are seeded by per-link [Sim.Rng.split]s in
+   ascending link order — the exact split order [simulate_links]
+   uses — and each chain replays [Gilbert.run]'s step sequence
+   (stationary start, record-then-step). Query order cannot perturb
+   the bits: a chain consumes its own generator only, one draw per
+   packet, whatever the interleaving across links. The ring absorbs
+   bounded re-asks (duplicated crossings, fault-window replays); a
+   query older than the ring is a bug in the caller's access pattern
+   and raises rather than silently desynchronizing. *)
+
+type chain = {
+  model : Gilbert.t;
+  rng : Sim.Rng.t;
+  mutable state : Gilbert.state; (* state governing packet [next] *)
+  mutable next : int; (* lowest seq not yet decided (1-based) *)
+  ring : Bytes.t; (* decision for seq s at [s mod lookback] *)
+}
+
+type t = { chains : chain option array; lookback : int; n_packets : int }
+
+let default_lookback = 1024
+
+let create ?(lookback = default_lookback) ~tree ~rates ~bursts ~rng ~n_packets () =
+  if lookback <= 0 then invalid_arg "Stream_loss.create: lookback must be positive";
+  let n = Net.Tree.n_nodes tree in
+  let chains = Array.make n None in
+  (* Split in ascending link order — the exact order
+     [Generator.simulate_links] consumes the same parent rng. *)
+  for l = 1 to n - 1 do
+    let model = Gilbert.of_marginal ~loss_rate:rates.(l) ~mean_burst:bursts.(l) in
+    let rng = Sim.Rng.split rng in
+    chains.(l) <-
+      Some
+        {
+          model;
+          rng;
+          state = Gilbert.stationary_state model rng;
+          next = 1;
+          ring = Bytes.make lookback '\000';
+        }
+  done;
+  { chains; lookback; n_packets }
+
+let n_packets t = t.n_packets
+
+let lost t ~link ~seq =
+  if link <= 0 || link >= Array.length t.chains then
+    invalid_arg "Stream_loss.lost: bad link id";
+  if seq < 1 || seq > t.n_packets then invalid_arg "Stream_loss.lost: seq out of range";
+  let c =
+    match t.chains.(link) with
+    | Some c -> c
+    | None -> invalid_arg "Stream_loss.lost: bad link id"
+  in
+  if seq < c.next - t.lookback then
+    invalid_arg "Stream_loss.lost: seq older than the lookback window";
+  while c.next <= seq do
+    Bytes.set c.ring (c.next mod t.lookback)
+      (match c.state with Gilbert.Bad -> '\001' | Gilbert.Good -> '\000');
+    c.state <- Gilbert.step c.model c.rng c.state;
+    c.next <- c.next + 1
+  done;
+  Bytes.get c.ring (seq mod t.lookback) = '\001'

@@ -3,9 +3,15 @@ type t = {
   tree : Net.Tree.t;
   period : float;
   n_packets : int;
-  loss : Bitset.t array;
+  loss : Bitset.t array; (* empty when [streaming] *)
+  streaming : bool;
   node_to_index : (int, int) Hashtbl.t;
 }
+
+let index_receivers tree =
+  let node_to_index = Hashtbl.create 16 in
+  Array.iteri (fun i node -> Hashtbl.replace node_to_index node i) (Net.Tree.receivers tree);
+  node_to_index
 
 let create ~name ~tree ~period ~n_packets ~loss =
   let receivers = Net.Tree.receivers tree in
@@ -15,9 +21,20 @@ let create ~name ~tree ~period ~n_packets ~loss =
     (fun b -> if Bitset.length b <> n_packets then invalid_arg "Trace.create: bitset length")
     loss;
   if period <= 0. then invalid_arg "Trace.create: period must be positive";
-  let node_to_index = Hashtbl.create 16 in
-  Array.iteri (fun i node -> Hashtbl.replace node_to_index node i) receivers;
-  { name; tree; period; n_packets; loss; node_to_index }
+  { name; tree; period; n_packets; loss; streaming = false; node_to_index = index_receivers tree }
+
+(* A streaming trace carries the topology and schedule but no
+   materialized loss matrix — per-receiver bits never exist; losses
+   are produced lazily by a [Stream_loss.t] driving the network's drop
+   predicate. Anything asking for materialized bits raises. *)
+let create_streaming ~name ~tree ~period ~n_packets =
+  if period <= 0. then invalid_arg "Trace.create_streaming: period must be positive";
+  { name; tree; period; n_packets; loss = [||]; streaming = true; node_to_index = index_receivers tree }
+
+let streaming t = t.streaming
+
+let require_bits t fn =
+  if t.streaming then invalid_arg (fn ^ ": streaming trace has no materialized loss")
 
 let name t = t.name
 
@@ -27,7 +44,7 @@ let period t = t.period
 
 let n_packets t = t.n_packets
 
-let n_receivers t = Array.length t.loss
+let n_receivers t = Array.length (Net.Tree.receivers t.tree)
 
 let receiver_nodes t = Net.Tree.receivers t.tree
 
@@ -36,11 +53,15 @@ let receiver_index t ~node =
   | Some i -> i
   | None -> raise Not_found
 
-let lost t ~rcvr ~seq = Bitset.get t.loss.(rcvr) (seq - 1)
+let lost t ~rcvr ~seq =
+  require_bits t "Trace.lost";
+  Bitset.get t.loss.(rcvr) (seq - 1)
 
 let lost_node t ~node ~seq = lost t ~rcvr:(receiver_index t ~node) ~seq
 
-let loss_bits t ~rcvr = t.loss.(rcvr)
+let loss_bits t ~rcvr =
+  require_bits t "Trace.loss_bits";
+  t.loss.(rcvr)
 
 let losses_of_receiver t ~rcvr = Bitset.count t.loss.(rcvr)
 
@@ -62,6 +83,7 @@ let lossy_packets t =
   !acc
 
 let truncate t n =
+  require_bits t "Trace.truncate";
   if n >= t.n_packets then t
   else begin
     let clip b =
@@ -75,7 +97,11 @@ let truncate t n =
   end
 
 let summary t =
-  Printf.sprintf "%s: %d receivers, depth %d, %d packets, %d losses (%.2f%%)" t.name
-    (n_receivers t) (Net.Tree.height t.tree) t.n_packets (total_losses t)
-    (100. *. float_of_int (total_losses t)
-    /. (float_of_int t.n_packets *. float_of_int (n_receivers t)))
+  if t.streaming then
+    Printf.sprintf "%s: %d receivers, depth %d, %d packets, streaming loss" t.name
+      (n_receivers t) (Net.Tree.height t.tree) t.n_packets
+  else
+    Printf.sprintf "%s: %d receivers, depth %d, %d packets, %d losses (%.2f%%)" t.name
+      (n_receivers t) (Net.Tree.height t.tree) t.n_packets (total_losses t)
+      (100. *. float_of_int (total_losses t)
+      /. (float_of_int t.n_packets *. float_of_int (n_receivers t)))

@@ -13,6 +13,15 @@ val create :
     the order of [Net.Tree.receivers tree].
     @raise Invalid_argument on shape mismatch. *)
 
+val create_streaming : name:string -> tree:Net.Tree.t -> period:float -> n_packets:int -> t
+(** A trace with no materialized loss matrix: topology and schedule
+    only, for steady-state runs where losses are produced lazily by a
+    [Stream_loss.t] driving the network's drop predicate. Accessors
+    needing per-receiver bits ({!lost}, {!loss_bits}, {!truncate}, …)
+    raise [Invalid_argument] on such a trace. *)
+
+val streaming : t -> bool
+
 val name : t -> string
 
 val tree : t -> Net.Tree.t

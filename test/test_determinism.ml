@@ -30,9 +30,9 @@ let case = lazy (
   let att = Harness.Runner.attribution_of_trace gen.trace in
   (gen.trace, att))
 
-let run ?setup protocol =
+let run ?setup ?steady protocol =
   let trace, att = Lazy.force case in
-  Harness.Runner.run ?setup protocol trace att
+  Harness.Runner.run ?setup ?steady protocol trace att
 
 let lossy = { Harness.Runner.default_setup with lossy_recovery = true; lossy_sessions = true }
 
@@ -104,6 +104,48 @@ let () =
                 "rqst=64 exp_rqst=0 repl=166 exp_repl=0 sess=603 detected=88 unrecovered=0 \
                  recoveries=88 exp_requests=0 exp_replies=0 lat_sum=33.230838444138875"
                 (run ~setup:hetero Harness.Runner.Srm_protocol) ());
+        ] );
+      (* Steady mode with an infinite window must be byte-identical to
+         the plain engine: streaming (chain-armed) data sends replace
+         the eager send loop but reserve the very same engine sequence
+         numbers, and no retirement ever runs. Same pinned strings as
+         the golden section above. *)
+      ( "steady-infinite golden",
+        [
+          Alcotest.test_case "srm" `Quick
+            (fun () ->
+              check_fingerprint "srm-steady"
+                "rqst=67 exp_rqst=0 repl=388 exp_repl=0 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=31.387034181635496"
+                (run ~steady:Steady.Config.infinite Harness.Runner.Srm_protocol) ());
+          Alcotest.test_case "cesrm" `Quick
+            (fun () ->
+              check_fingerprint "cesrm-steady"
+                "rqst=17 exp_rqst=53 repl=80 exp_repl=47 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=53 exp_replies=47 lat_sum=16.652011164792821"
+                (run ~steady:Steady.Config.infinite
+                   (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config))
+                ());
+          Alcotest.test_case "lms" `Quick
+            (fun () ->
+              check_fingerprint "lms-steady"
+                "rqst=0 exp_rqst=128 repl=0 exp_repl=88 sess=67 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=10.886180051596984"
+                (run ~steady:Steady.Config.infinite Harness.Runner.Lms_protocol) ());
+          Alcotest.test_case "srm lossy recovery" `Quick
+            (fun () ->
+              check_fingerprint "srm-lossy-steady"
+                "rqst=73 exp_rqst=0 repl=385 exp_repl=0 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=34.491788322981492"
+                (run ~setup:lossy ~steady:Steady.Config.infinite Harness.Runner.Srm_protocol)
+                ());
+          Alcotest.test_case "srm heterogeneous delays" `Quick
+            (fun () ->
+              check_fingerprint "srm-hetero-steady"
+                "rqst=64 exp_rqst=0 repl=166 exp_repl=0 sess=603 detected=88 unrecovered=0 \
+                 recoveries=88 exp_requests=0 exp_replies=0 lat_sum=33.230838444138875"
+                (run ~setup:hetero ~steady:Steady.Config.infinite Harness.Runner.Srm_protocol)
+                ());
         ] );
       ( "faulted golden",
         [

@@ -497,6 +497,66 @@ let test_minimal_failing_plan () =
       Alcotest.failf "minimization stalled at %d events: %s" (List.length events)
         (print_events events)
 
+(* --- Steady-state retirement under faults ----------------------------- *)
+
+(* Retirement (lib/steady) must stay invisible under fault plans too:
+   the stability floor is gated by the slowest member's delivered
+   prefix, so a partitioned or crashed member freezes it rather than
+   losing state it still needs. Each case runs a canned plan with an
+   aggressively small window against the never-retiring reference
+   (window = n_packets) on the same streaming trace and demands a
+   clean, byte-identical outcome. *)
+let steady_fingerprint (r : Harness.Runner.result) =
+  let total k = Stats.Counters.total r.counters k in
+  let summary = Stats.Recovery.latency_summary r.recoveries in
+  Printf.sprintf
+    "rqst=%d exp_rqst=%d repl=%d exp_repl=%d detected=%d unrecovered=%d recoveries=%d \
+     audit=%d oracle=%d lat_mean=%.17g"
+    (total Stats.Counters.Rqst) (total Stats.Counters.Exp_rqst) (total Stats.Counters.Repl)
+    (total Stats.Counters.Exp_repl) r.detected r.unrecovered
+    (Stats.Recovery.count r.recoveries) r.audit_violations r.oracle_violations
+    (Stats.Summary.mean summary)
+
+let steady_faulted ~window ~fault =
+  let row = Mtrace.Scale.find "SCALE-bf-32" in
+  Harness.Runner.run_leg ~n_packets:400 ~fault ~seed:42L
+    ~steady:(Steady.Config.windowed window)
+    (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+    row
+
+let check_steady_faulted name ~window ~fault =
+  let finite = steady_faulted ~window ~fault in
+  let infinite = steady_faulted ~window:400 ~fault in
+  check Alcotest.int (name ^ ": oracle clean") 0 finite.Harness.Runner.oracle_violations;
+  check Alcotest.int (name ^ ": audit clean") 0 finite.Harness.Runner.audit_violations;
+  check Alcotest.int (name ^ ": all recovered") 0 finite.Harness.Runner.unrecovered;
+  check Alcotest.string (name ^ ": identical to infinite window")
+    (steady_fingerprint infinite) (steady_fingerprint finite);
+  finite
+
+(* Window 1: every request for a just-stabilized seq is a late request
+   at the horizon — repliers must serve from their retired-buffer base
+   (has_packet stays true at or below it). *)
+let test_retire_late_request_at_horizon () =
+  let finite = check_steady_faulted "late-request" ~window:1 ~fault:"link-flap" in
+  let c = Option.get finite.Harness.Runner.retirement in
+  check Alcotest.bool "retirement was active" true (Steady.Controller.floor c > 0)
+
+(* A replier crash whose down time straddles retirement epochs: the
+   restarted host rebuilds from live traffic while everyone else keeps
+   retiring. *)
+let test_retire_crash_restart () =
+  ignore (check_steady_faulted "crash-restart" ~window:16 ~fault:"crash-replier")
+
+(* An active partition stalls the partitioned members' prefixes, which
+   must freeze the floor (min over members) instead of retiring state
+   their post-heal recovery needs. *)
+let test_retire_under_partition () =
+  let finite = check_steady_faulted "partition" ~window:16 ~fault:"partition-heal" in
+  let c = Option.get finite.Harness.Runner.retirement in
+  check Alcotest.bool "retirement still completed after heal" true
+    (Steady.Controller.floor c > 0)
+
 let () =
   Alcotest.run "fault"
     [
@@ -538,5 +598,14 @@ let () =
           Alcotest.test_case "unknown fault name" `Quick test_unknown_fault_name;
           qcheck prop_scale_plans_oracle_clean_srm;
           qcheck prop_scale_plans_oracle_clean_cesrm;
+        ] );
+      ( "retirement",
+        [
+          Alcotest.test_case "late request at the stability horizon" `Quick
+            test_retire_late_request_at_horizon;
+          Alcotest.test_case "crash/restart straddling retirement epochs" `Quick
+            test_retire_crash_restart;
+          Alcotest.test_case "retirement under an active partition" `Quick
+            test_retire_under_partition;
         ] );
     ]
