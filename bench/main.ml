@@ -24,6 +24,13 @@
                                                conservative PDES workers and
                                                report events/sec and speedup
                                                vs the serial reference)
+     dune exec bench/main.exe -- --scale smoke --domains  (add an
+                                               srm-dom/cesrm-dom leg pair per
+                                               scenario: hierarchical local
+                                               recovery domains (Rdomain.Auto)
+                                               next to their flat twins, for
+                                               the domains-vs-flat makespan
+                                               comparison)
 
    The extra section "smoke" (one SRM+CESRM pair on the smallest
    trace) runs only when named explicitly; `dune runtest` uses it as a
@@ -70,6 +77,8 @@ let scale_profile = ref None
 
 let steady_profile = ref None
 
+let with_domains = ref false
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -101,14 +110,18 @@ let parse_args () =
         shards := int_of_string n;
         go rest
     | "--scale" :: p :: rest ->
-        if p <> "smoke" && p <> "full" then
-          failwith ("unknown --scale profile: " ^ p ^ " (expected smoke or full)");
+        if p <> "smoke" && p <> "full" && p <> "domains" then
+          failwith ("unknown --scale profile: " ^ p ^ " (expected smoke, full or domains)");
         scale_profile := Some p;
+        if p = "domains" then with_domains := true;
         go rest
     | "--steady" :: p :: rest ->
         if p <> "smoke" && p <> "full" then
           failwith ("unknown --steady profile: " ^ p ^ " (expected smoke or full)");
         steady_profile := Some p;
+        go rest
+    | "--domains" :: rest ->
+        with_domains := true;
         go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -413,6 +426,11 @@ let smoke () =
    again at much higher cost. *)
 let scale_scenarios = function
   | "smoke" -> [ "SCALE-bf-256"; "SCALE-ss-256"; "SCALE-dc-256" ]
+  (* The hierarchical-recovery gate: the 1024-deep chain is where
+     domains-vs-flat separates hardest (the last-receiver makespan is
+     pipeline-deep without local recovery), and the profile forces the
+     srm-dom/cesrm-dom legs on so the baseline pins both sides. *)
+  | "domains" -> [ "SCALE-dc-1024" ]
   | _ ->
       [
         "SCALE-bf-256";
@@ -445,17 +463,17 @@ let scale_family_name row =
    serial runs and the sum over workers in sharded ones (replicated
    source casts execute on every shard, so sharded totals exceed
    serial — it is an executed-events throughput, not a work metric). *)
-let timed_leg ?shards protocol row =
+let timed_leg ?shards ?domains protocol row =
   let registry = Obs.Registry.create () in
   let t0 = Unix.gettimeofday () in
   let alloc0 = Gc.allocated_bytes () in
-  let r = Harness.Runner.run_leg ~seed:42L ~registry ?shards protocol row in
+  let r = Harness.Runner.run_leg ~seed:42L ~registry ?shards ?domains protocol row in
   let wall = Unix.gettimeofday () -. t0 in
   let alloc_mb = (Gc.allocated_bytes () -. alloc0) /. 1e6 in
   let events =
     match Obs.Registry.counter_value registry "sim/events_fired" with Some n -> n | None -> 0
   in
-  (r, wall, alloc_mb, events)
+  (r, registry, wall, alloc_mb, events)
 
 (* The deterministic face of a leg — what must be byte-equal between
    the serial engine and any sharded run of the same leg. *)
@@ -471,15 +489,15 @@ let leg_fingerprint (r : Harness.Runner.result) =
     Stats.Recovery.count r.recoveries,
     Stats.Recovery.latency_summary r.recoveries )
 
-let scale_leg name protocol row =
+let scale_leg name ?domains protocol row =
   (* The serial run is both the reference timing and (with --shards 1)
      the run itself; with --shards k > 1 a second, sharded run is
      timed against it and checked for result identity. *)
-  let r, serial_wall, alloc_mb, serial_events = timed_leg protocol row in
+  let r, registry, serial_wall, alloc_mb, serial_events = timed_leg ?domains protocol row in
   let sharded =
     if !shards <= 1 then None
     else begin
-      let r', wall', _alloc', events' = timed_leg ~shards:!shards protocol row in
+      let r', _reg', wall', _alloc', events' = timed_leg ~shards:!shards ?domains protocol row in
       if leg_fingerprint r' <> leg_fingerprint r then
         failwith
           (Printf.sprintf "scale: sharded run of %s/%s diverges from serial"
@@ -491,13 +509,21 @@ let scale_leg name protocol row =
   let events = match sharded with Some (_, e) -> e | None -> serial_events in
   let total k = Stats.Counters.total r.Harness.Runner.counters k in
   let latency = Stats.Recovery.latency_summary r.Harness.Runner.recoveries in
+  (* Recovery-latency percentiles from the registry's online sketch
+     (fed identically in records-on and records-off runs), and the
+     last-receiver makespan — the figure hierarchical local recovery
+     exists to improve. Both are deterministic, so the --baseline diff
+     gates on them. *)
+  let lat_hist = Obs.Registry.hist registry "recovery/latency_s" in
+  let makespan = Stats.Recovery.makespan_summary r.Harness.Runner.recoveries in
   Printf.printf
-    "%-16s %-6s wall %7.2f s  alloc %8.0f MB  detected %6d  unrecovered %d  mc-req %4d \
-     uc-req %4d  repl %5d  exp-repl %4d%s\n\
+    "%-16s %-10s wall %7.2f s  alloc %8.0f MB  detected %6d  unrecovered %d  mc-req %4d \
+     uc-req %4d  repl %5d  exp-repl %4d  mkspan %6.3f/%6.3f s%s\n\
      %!"
     row.Mtrace.Meta.name name wall alloc_mb r.detected r.unrecovered
     (total Stats.Counters.Rqst) (total Stats.Counters.Exp_rqst) (total Stats.Counters.Repl)
     (total Stats.Counters.Exp_repl)
+    (Stats.Summary.mean makespan) (Stats.Summary.max makespan)
     (match sharded with
     | Some _ -> Printf.sprintf "  speedup x%.2f (%d shards)" (serial_wall /. wall) !shards
     | None -> "");
@@ -532,8 +558,15 @@ let scale_leg name protocol row =
        ("control_crossings_mc", int (Net.Cost.control_overhead r.cost ~multicast:true));
        ("control_crossings_uc", int (Net.Cost.control_overhead r.cost ~multicast:false));
        ("recovery_latency_mean_s", Num (Stats.Summary.mean latency));
+       ("recovery_latency_p50_s", Num (Obs.Hist.p50 lat_hist));
+       ("recovery_latency_p90_s", Num (Obs.Hist.p90 lat_hist));
+       ("recovery_latency_p99_s", Num (Obs.Hist.p99 lat_hist));
+       ("makespan_mean_s", Num (Stats.Summary.mean makespan));
+       ("makespan_p99_s", Num (Stats.Summary.percentile makespan 0.99));
+       ("makespan_max_s", Num (Stats.Summary.max makespan));
        ("machine", Obj machine);
      ]
+    @ (match domains with None -> [] | Some _ -> [ ("domains", Str "auto") ])
     @ match sharded with None -> [] | Some _ -> [ ("shards", int !shards) ])
 
 let run_scale profile =
@@ -545,7 +578,20 @@ let run_scale profile =
       let cesrm =
         scale_leg "cesrm" (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config) row
       in
-      let legs = [ srm; cesrm ] in
+      (* --domains adds a hierarchical-recovery leg per protocol next
+         to its flat twin, so one report carries the domains-vs-flat
+         makespan comparison. *)
+      let dom_legs =
+        if not !with_domains then []
+        else
+          [
+            scale_leg "srm-dom" ~domains:Rdomain.Auto Harness.Runner.Srm_protocol row;
+            scale_leg "cesrm-dom" ~domains:Rdomain.Auto
+              (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+              row;
+          ]
+      in
+      let legs = [ srm; cesrm ] @ dom_legs in
       Obj
         [
           ("name", Str scenario);

@@ -194,6 +194,23 @@ let link_delay_arg =
 let make_setup ~lossy ~link_delay_ms =
   { Harness.Runner.default_setup with lossy_recovery = lossy; link_delay = link_delay_ms /. 1000. }
 
+let domains_arg =
+  let doc =
+    "Partition the tree into hierarchical local recovery domains of at most $(docv) members \
+     each, with one designated replier per domain: requests and repairs stay scoped to the \
+     requestor's domain and escalate to ancestor domains on unanswered rounds, and CESRM's \
+     expedited cache prefers in-domain repliers. Bare flag auto-sizes the bound to \
+     max(8, sqrt(group)); 0 disables (byte-identical to omitting the flag). SRM and CESRM \
+     only; forces the serial engine."
+  in
+  Arg.(value & opt ~vopt:(Some (-1)) (some int) None & info [ "domains" ] ~doc ~docv:"MEMBERS")
+
+let resolve_domains = function
+  | None | Some 0 -> Ok None
+  | Some (-1) -> Ok (Some Rdomain.Auto)
+  | Some k when k > 0 -> Ok (Some (Rdomain.Max_members k))
+  | Some k -> Error (Printf.sprintf "--domains: %d is not a valid member bound" k)
+
 let shards_arg =
   let doc =
     "Shard the simulation across $(docv) forked PDES workers with conservative \
@@ -233,6 +250,16 @@ let print_result (res : Harness.Runner.result) =
     (Stats.Table.render ~header:[ "receiver"; "rtt(ms)"; "recoveries"; "avg rec (RTT)" ] ~rows);
   if hidden > 0 then Printf.printf "... (%d more receivers not shown)\n" hidden;
   Printf.printf "detected %d, unrecovered %d\n" res.detected res.unrecovered;
+  (let mk = Stats.Recovery.makespan_summary res.recoveries in
+   if Stats.Summary.count mk > 0 then
+     Printf.printf "makespan (last-receiver recovery): mean %.3f s, p99 %.3f s, max %.3f s\n"
+       (Stats.Summary.mean mk)
+       (Stats.Summary.percentile mk 0.99)
+       (Stats.Summary.max mk));
+  if Sys.getenv_opt "CESRM_DEBUG_SPANS" <> None then
+    Stats.Recovery.iter_spans res.recoveries (fun ~src ~seq ~detected ~recovered ->
+        Printf.eprintf "span src=%d seq=%d det=%.3f rec=%.3f span=%.3f\n" src seq detected
+          recovered (recovered -. detected));
   Printf.printf "requests: mc %d uc %d | replies: %d expedited %d | sessions %d\n"
     (Stats.Counters.total res.counters Stats.Counters.Rqst)
     (Stats.Counters.total res.counters Stats.Counters.Exp_rqst)
@@ -317,8 +344,11 @@ let print_steady (res : Harness.Runner.result) =
 
 let run_cmd =
   let run verbose name file packets seed protocol policy router_assist lossy link_delay_ms
-      faults trace_out metrics_out shards steady_window =
+      faults trace_out metrics_out shards steady_window domains_opt =
     setup_logs verbose;
+    match resolve_domains domains_opt with
+    | Error msg -> `Error (false, msg)
+    | Ok domains -> (
     match
       match steady_window with
       | Some w when w < 1 -> Error "--steady: window must be >= 1"
@@ -349,7 +379,9 @@ let run_cmd =
     match resolved with
     | Error msg -> `Error (false, msg)
     | Ok (trace, loss_model) ->
-    let setup = Harness.Runner.tune_for_trace trace (make_setup ~lossy ~link_delay_ms) in
+    let setup =
+      Harness.Runner.tune_for_trace ?domains trace (make_setup ~lossy ~link_delay_ms)
+    in
     let proto =
       match protocol with
       | `Srm -> Harness.Runner.Srm_protocol
@@ -358,17 +390,18 @@ let run_cmd =
           Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist }
     in
     match
-      match faults with
-      | None -> Ok None
-      | Some name -> Result.map Option.some (resolve_fault_plan ~trace name)
+      match (faults, proto, domains) with
+      | _, Harness.Runner.Lms_protocol, Some _ -> Error "--domains: SRM and CESRM only"
+      | None, _, _ -> Ok None
+      | Some name, _, _ -> Result.map Option.some (resolve_fault_plan ~trace name)
     with
     | Error msg -> `Error (false, msg)
     | Ok fault_plan ->
         let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
         let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
         let res =
-          Harness.Runner.run_model ~setup ~shards ?tracer ?registry ?fault_plan ?steady proto
-            trace loss_model
+          Harness.Runner.run_model ~setup ~shards ?tracer ?registry ?fault_plan ?steady ?domains
+            proto trace loss_model
         in
         print_result res;
         print_steady res;
@@ -400,7 +433,7 @@ let run_cmd =
             Printf.printf "(metrics to %s)\n" file)
           metrics_out;
         print_oracle res;
-        `Ok ())
+        `Ok ()))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Re-enact a trace under SRM or CESRM and report recovery statistics.")
@@ -408,17 +441,23 @@ let run_cmd =
       ret
         (const run $ verbose_flag $ trace_name $ trace_file $ packets $ seed $ protocol_arg
         $ policy_arg $ router_assist_arg $ lossy_arg $ link_delay_arg $ faults_arg
-        $ trace_out_arg $ metrics_arg $ shards_arg $ steady_arg))
+        $ trace_out_arg $ metrics_arg $ shards_arg $ steady_arg $ domains_arg))
 
 let compare_cmd =
-  let run verbose (trace, ground) policy router_assist lossy link_delay_ms faults shards =
+  let run verbose (trace, ground) policy router_assist lossy link_delay_ms faults shards
+      domains_opt =
     setup_logs verbose;
+    match resolve_domains domains_opt with
+    | Error msg -> `Error (false, msg)
+    | Ok domains -> (
     let loss_model =
       match ground with
       | Some link_bad -> Harness.Runner.Ground_truth link_bad
       | None -> Harness.Runner.Attributed (Harness.Runner.attribution_of_trace trace)
     in
-    let setup = Harness.Runner.tune_for_trace trace (make_setup ~lossy ~link_delay_ms) in
+    let setup =
+      Harness.Runner.tune_for_trace ?domains trace (make_setup ~lossy ~link_delay_ms)
+    in
     match
       match faults with
       | None -> Ok None
@@ -427,11 +466,11 @@ let compare_cmd =
     | Error msg -> `Error (false, msg)
     | Ok fault_plan ->
         let srm =
-          Harness.Runner.run_model ~setup ~shards ?fault_plan Harness.Runner.Srm_protocol trace
-            loss_model
+          Harness.Runner.run_model ~setup ~shards ?fault_plan ?domains
+            Harness.Runner.Srm_protocol trace loss_model
         in
         let cesrm =
-          Harness.Runner.run_model ~setup ~shards ?fault_plan
+          Harness.Runner.run_model ~setup ~shards ?fault_plan ?domains
             (Harness.Runner.Cesrm_protocol
                { Cesrm.Host.default_config with policy; router_assist })
             trace loss_model
@@ -441,7 +480,7 @@ let compare_cmd =
         print_result cesrm;
         print_oracle srm;
         print_oracle cesrm;
-        `Ok ()
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "compare"
@@ -451,7 +490,7 @@ let compare_cmd =
     Term.(
       ret
         (const run $ verbose_flag $ trace_model_term $ policy_arg $ router_assist_arg $ lossy_arg
-        $ link_delay_arg $ faults_arg $ shards_arg))
+        $ link_delay_arg $ faults_arg $ shards_arg $ domains_arg))
 
 (* -- diff -------------------------------------------------------------- *)
 
@@ -626,8 +665,11 @@ let sweep_cmd =
       ~rows
   in
   let run verbose spec_file name traces protocols seeds base_seed packets link_delay_ms lossy
-      faults jobs shards timeout retries out print_spec baseline rel abs =
+      faults jobs shards timeout retries out print_spec baseline rel abs domains_opt =
     setup_logs verbose;
+    match resolve_domains domains_opt with
+    | Error msg -> `Error (false, msg)
+    | Ok domains -> (
     match
       build_spec ~spec_file ~name ~traces ~protocols ~seeds ~base_seed ~packets ~link_delay_ms
         ~lossy ~faults
@@ -650,7 +692,7 @@ let sweep_cmd =
             Exp.Sweep.run ?jobs ~shards ?timeout ~retries
               ~on_result:(fun ~index:_ ~done_ ~total ->
                 Printf.printf "\r  %d/%d shards%!" done_ total)
-              spec
+              ?domains spec
           with
           | exception Failure msg -> `Error (false, msg)
           | artifact ->
@@ -687,7 +729,7 @@ let sweep_cmd =
                       print_string (Obs.Diff.render entries);
                       if Obs.Diff.flagged entries <> [] then exit 1;
                       `Ok ()))
-        end
+        end)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -699,7 +741,7 @@ let sweep_cmd =
         (const run $ verbose_flag $ spec_file $ name_arg $ traces_arg $ protocols_arg $ seeds_arg
         $ base_seed_arg $ packets $ link_delay_arg $ lossy_arg $ faults_axis_arg $ jobs_arg
         $ shards_arg $ timeout_arg $ retries_arg $ out_arg $ print_spec_arg $ baseline_arg
-        $ rel_arg $ abs_arg))
+        $ rel_arg $ abs_arg $ domains_arg))
 
 (* -- main -------------------------------------------------------------- *)
 

@@ -19,6 +19,7 @@ type t = {
   srm : Srm.Host.t;
   network : Net.Network.t;
   self : int;
+  domain : Rdomain.t option;
   config : config;
   stride : int; (* Srm.Key packing stride: n_packets + 1 *)
   caches : (int, Cache.t) Hashtbl.t; (* per stream source (Section 3.1) *)
@@ -30,6 +31,8 @@ type t = {
   dead_repliers : (int, unit) Hashtbl.t; (* presumed dead until a reply revives them *)
   mutable exp_requests_sent : int;
   mutable exp_replies_sent : int;
+  mutable cache_local_hits : int; (* expedited pairs whose replier shares our domain *)
+  mutable cache_remote_hits : int;
 }
 
 let srm t = t.srm
@@ -49,6 +52,10 @@ let self t = t.self
 let expedited_requests_sent t = t.exp_requests_sent
 
 let expedited_replies_sent t = t.exp_replies_sent
+
+let domain_cache_local_hits t = t.cache_local_hits
+
+let domain_cache_remote_hits t = t.cache_remote_hits
 
 let engine t = Net.Network.engine t.network
 
@@ -140,16 +147,40 @@ let send_expedited_request t ~src seq (pair : Cache.entry) =
       }
   end
 
+let in_my_domain t ~replier =
+  match t.domain with
+  | None -> true
+  | Some dmap -> Rdomain.dom_of dmap replier = Rdomain.dom_of dmap t.self
+
+(* Domain mode prefers cached pairs whose replier shares the
+   requestor's recovery domain — an in-domain expedited exchange never
+   leaves the domain subtree — and falls back to any live replier when
+   the cache offers no local one. *)
+let choose_pair t ~src =
+  let score ~replier = replier_score t ~replier in
+  let dead ~replier = replier_dead t ~replier in
+  match t.domain with
+  | None -> Policy.choose ~score ~exclude:dead t.config.policy (cache ~src t)
+  | Some _ -> (
+      match
+        Policy.choose ~score
+          ~exclude:(fun ~replier -> dead ~replier || not (in_my_domain t ~replier))
+          t.config.policy (cache ~src t)
+      with
+      | Some _ as local -> local
+      | None -> Policy.choose ~score ~exclude:dead t.config.policy (cache ~src t))
+
 (* Section 3.2: on detecting a loss, consult the policy; if we are the
    expeditious requestor, arm the REORDER_DELAY timer. *)
 let maybe_expedite t ~src ~seq =
-  match
-    Policy.choose
-      ~score:(fun ~replier -> replier_score t ~replier)
-      ~exclude:(fun ~replier -> replier_dead t ~replier)
-      t.config.policy (cache ~src t)
-  with
+  match choose_pair t ~src with
   | Some pair when pair.requestor = t.self && not (Hashtbl.mem t.exp_timers (key t ~src ~seq)) ->
+      (match t.domain with
+      | None -> ()
+      | Some _ ->
+          if in_my_domain t ~replier:pair.replier then
+            t.cache_local_hits <- t.cache_local_hits + 1
+          else t.cache_remote_hits <- t.cache_remote_hits + 1);
       let timer =
         Sim.Engine.schedule (engine t) ~after:t.config.reorder_delay (fun () ->
             send_expedited_request t ~src seq pair)
@@ -184,7 +215,23 @@ let handle_expedited_request t ~src ~seq ~requestor ~d_qs ~turning_point =
     match (t.config.router_assist, turning_point) with
     | true, Some via when via <> t.self ->
         Some (fun packet -> Net.Network.relayed_subcast t.network ~from:t.self ~via packet)
-    | _ -> None
+    | _ -> (
+        match t.domain with
+        | None -> None
+        | Some dmap ->
+            (* Domain mode: the expedited reply subcasts the subtree
+               under the requestor's domain root — its loss-sharing
+               neighbours (and any deeper domains cut off by the same
+               upstream loss) hear it, the rest of the tree is spared.
+               An off-domain replier reaches the domain root by
+               unicast first. *)
+            let dom = Rdomain.dom_of dmap requestor in
+            Some
+              (fun packet ->
+                Net.Network.scoped_cast t.network ~from:t.self
+                  ~root:(Rdomain.scope_root dmap ~dom ~level:0)
+                  ~scope:(fun _ -> true)
+                  packet))
   in
   let sent =
     Srm.Host.send_reply_now ~src t.srm ~seq ~requestor ~d_qs ~expedited:true
@@ -233,13 +280,14 @@ let on_packet t (p : Net.Packet.t) =
       if replier = t.self then handle_expedited_request t ~src ~seq ~requestor ~d_qs ~turning_point
   | _ -> Srm.Host.on_packet t.srm p
 
-let create ~network ~self ~params ~config ~n_packets ~counters ~recoveries =
-  let srm = Srm.Host.create ~network ~self ~params ~n_packets ~counters ~recoveries in
+let create ?domain ~network ~self ~params ~config ~n_packets ~counters ~recoveries () =
+  let srm = Srm.Host.create ?domain ~network ~self ~params ~n_packets ~counters ~recoveries () in
   let t =
     {
       srm;
       network;
       self;
+      domain;
       config;
       stride = n_packets + 1;
       caches = Hashtbl.create 4;
@@ -251,6 +299,8 @@ let create ~network ~self ~params ~config ~n_packets ~counters ~recoveries =
       dead_repliers = Hashtbl.create 8;
       exp_requests_sent = 0;
       exp_replies_sent = 0;
+      cache_local_hits = 0;
+      cache_remote_hits = 0;
     }
   in
   let hooks = Srm.Host.hooks srm in
@@ -270,6 +320,11 @@ let publish_metrics t registry =
   Obs.Registry.incr ~by:t.exp_replies_sent registry "cesrm/exp_replies_sent";
   Obs.Registry.incr ~by:(Hashtbl.length t.pending_exp) registry
     "cesrm/exp_outstanding_at_end";
+  (match t.domain with
+  | None -> ()
+  | Some _ ->
+      Obs.Registry.incr ~by:t.cache_local_hits registry "cesrm/domain_cache_local_hits";
+      Obs.Registry.incr ~by:t.cache_remote_hits registry "cesrm/domain_cache_remote_hits");
   Hashtbl.iter
     (fun _ c ->
       Obs.Registry.incr registry "cesrm/caches";

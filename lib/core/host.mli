@@ -42,6 +42,7 @@ val default_config : config
 type t
 
 val create :
+  ?domain:Rdomain.t ->
   network:Net.Network.t ->
   self:int ->
   params:Srm.Params.t ->
@@ -49,7 +50,15 @@ val create :
   n_packets:int ->
   counters:Stats.Counters.t ->
   recoveries:Stats.Recovery.t ->
+  unit ->
   t
+(** [domain] switches on hierarchical local recovery in the underlying
+    SRM host (see {!Srm.Host.create}) and makes the expedited scheme
+    domain-aware: the policy prefers cached pairs whose replier lives
+    in this member's recovery domain (falling back to any live
+    replier), and expedited replies are scoped to the requestor's
+    domain instead of multicast group-wide. Without it the host is
+    byte-identical to classic CESRM. *)
 
 val srm : t -> Srm.Host.t
 (** The underlying SRM machinery (for queries: [has_packet], …). *)
@@ -69,6 +78,15 @@ val on_packet : t -> Net.Packet.t -> unit
 val expedited_requests_sent : t -> int
 
 val expedited_replies_sent : t -> int
+
+val domain_cache_local_hits : t -> int
+(** Domain mode: expedited recoveries this member initiated whose
+    cached replier shared its recovery domain. 0 in flat runs. *)
+
+val domain_cache_remote_hits : t -> int
+(** Domain mode: expedited recoveries initiated against an off-domain
+    cached replier (no in-domain pair was available). 0 in flat
+    runs. *)
 
 val replier_dead : t -> replier:int -> bool
 (** Whether retry back-off currently presumes [replier] dead. *)

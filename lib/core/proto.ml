@@ -7,7 +7,7 @@ type t = {
   recoveries : Stats.Recovery.t;
 }
 
-let deploy ?(config = Host.default_config) ?owned ~network ~params ~n_packets ~period () =
+let deploy ?(config = Host.default_config) ?owned ?domain ~network ~params ~n_packets ~period () =
   let tree = Net.Network.tree network in
   let counters = Stats.Counters.create ~n_nodes:(Net.Tree.n_nodes tree) in
   let recoveries = Stats.Recovery.create () in
@@ -15,7 +15,8 @@ let deploy ?(config = Host.default_config) ?owned ~network ~params ~n_packets ~p
   let member node =
     if owned node then begin
       let host =
-        Host.create ~network ~self:node ~params ~config ~n_packets ~counters ~recoveries
+        Host.create ?domain ~network ~self:node ~params ~config ~n_packets ~counters
+          ~recoveries ()
       in
       Net.Network.on_receive network node (Host.on_packet host);
       Some (node, host)

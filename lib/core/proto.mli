@@ -6,6 +6,7 @@ type t
 val deploy :
   ?config:Host.config ->
   ?owned:(int -> bool) ->
+  ?domain:Rdomain.t ->
   network:Net.Network.t ->
   params:Srm.Params.t ->
   n_packets:int ->
@@ -15,7 +16,10 @@ val deploy :
 (** Default config is {!Host.default_config}. [owned] (default:
     everyone) restricts which members get a live host — a PDES shard
     deploys only its own; non-owned members still consume their
-    engine-RNG split in deploy order (see [Srm.Proto.deploy]). *)
+    engine-RNG split in deploy order (see [Srm.Proto.deploy]).
+    [domain] enables hierarchical local recovery on every host (see
+    {!Host.create}); it does not perturb the deploy-order RNG
+    discipline. *)
 
 val start : ?send_jitter:float -> ?streaming:bool -> t -> warmup:float -> tail:float -> unit
 (** Same schedule (and [streaming] contract) as [Srm.Proto.start]. *)

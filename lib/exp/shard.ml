@@ -1,7 +1,7 @@
 let hist_names =
   [ "latency_s"; "latency_rtt"; "latency_rtt_expedited"; "latency_rtt_fallback" ]
 
-let run ?shards (spec : Spec.t) (cell : Spec.cell) =
+let run ?shards ?domains (spec : Spec.t) (cell : Spec.cell) =
   let open Obs.Json in
   let row = Mtrace.Scale.find cell.Spec.trace in
   let setup =
@@ -15,7 +15,7 @@ let run ?shards (spec : Spec.t) (cell : Spec.cell) =
   let fault = match cell.Spec.fault with Some f when f <> "none" -> Some f | _ -> None in
   let res =
     Harness.Runner.run_leg ~setup ~registry ?n_packets:spec.Spec.n_packets ?fault ?shards
-      ~seed:cell.Spec.seed
+      ?domains ~seed:cell.Spec.seed
       (Spec.runner_protocol cell.Spec.protocol)
       row
   in
@@ -85,10 +85,21 @@ let run ?shards (spec : Spec.t) (cell : Spec.cell) =
         | _ -> Null );
       ("exp_requests", int res.exp_requests);
       ("exp_replies", int res.exp_replies);
+      ( "makespan",
+        let mk = Stats.Recovery.makespan_summary res.recoveries in
+        if Stats.Summary.count mk = 0 then Null
+        else
+          Obj
+            [
+              ("losses", int (Stats.Summary.count mk));
+              ("mean", Num (Stats.Summary.mean mk));
+              ("p99", Num (Stats.Summary.percentile mk 0.99));
+              ("max", Num (Stats.Summary.max mk));
+            ] );
       ("counters", counters);
       ("cost", cost);
       ("receivers", receivers);
       ("hists", hists);
     ]
 
-let run_string ?shards spec cell = Obs.Json.to_string (run ?shards spec cell)
+let run_string ?shards ?domains spec cell = Obs.Json.to_string (run ?shards ?domains spec cell)

@@ -59,8 +59,8 @@ type loss_model = Run_types.loss_model =
    Everything else — crashes, partitions, outage and duplication
    windows, heterogeneous delays, data jitter — replays identically on
    every shard. *)
-let shardable ~shards ~tracer ~fault_plan ~setup ~steady protocol =
-  shards > 1 && tracer = None
+let shardable ~shards ~tracer ~fault_plan ~setup ~steady ~domains protocol =
+  shards > 1 && tracer = None && domains = None
   && (not setup.lossy_recovery)
   && (not setup.lossy_sessions)
   && (match protocol with Lms_protocol -> false | _ -> true)
@@ -82,7 +82,7 @@ let shardable ~shards ~tracer ~fault_plan ~setup ~steady protocol =
         plan.Fault.Plan.events
 
 let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 1) ?steady
-    protocol trace loss_model =
+    ?domains protocol trace loss_model =
   (* A fault plan switches on the robustness extensions unless the
      caller pinned them: session-driven request re-arm (bounds
      post-heal recovery latency by the session period instead of the
@@ -108,6 +108,38 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
     | _ -> protocol
   in
   let tree = Mtrace.Trace.tree trace in
+  (* Recovery domains: built once (pure topology, no randomness) and
+     shared by every host. Scoped request timers aim at arbitrary
+     designated repliers, whose distances the session exchange never
+     converges for — domain runs therefore force true tree distances
+     (the converged steady state, as scale runs already do). With
+     [domains] absent nothing here touches the setup, so flat runs stay
+     byte-identical. *)
+  let domain = Option.map (fun spec -> Rdomain.of_tree ~tree spec) domains in
+  let setup =
+    match domain with
+    | Some _ ->
+        (* Domain timers fire on local round-trips, so session-driven
+           detection additionally needs the in-flight allowance (see
+           {!Srm.Params.domain_inflight_period}) — anchor it to the
+           trace's send period unless the caller pinned one. *)
+        let params = setup.params in
+        let params =
+          if params.Srm.Params.oracle_distances then params
+          else { params with Srm.Params.oracle_distances = true }
+        in
+        let params =
+          match params.Srm.Params.domain_inflight_period with
+          | Some _ -> params
+          | None ->
+              { params with Srm.Params.domain_inflight_period = Some (Mtrace.Trace.period trace) }
+        in
+        if params == setup.params then setup else { setup with params }
+    | None -> setup
+  in
+  (match (domain, protocol) with
+  | Some _, Lms_protocol -> invalid_arg "Runner.run_model: domains are an SRM/CESRM mode"
+  | _ -> ());
   let n_packets = Mtrace.Trace.n_packets trace in
   let period = Mtrace.Trace.period trace in
   (* Any steady config switches the sources to chain-armed streaming
@@ -174,6 +206,14 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
     let setup_steady_records recoveries =
       if drop_recs then begin
         Stats.Recovery.drop_records recoveries;
+        (* Flush finalized per-loss spans (the makespan figure) as the
+           stability horizon advances, keeping the span table bounded
+           like the rest of the records-off state. *)
+        Option.iter
+          (fun c ->
+            Steady.Controller.on_retire c (fun ~upto ->
+                Stats.Recovery.retire_spans recoveries ~upto))
+          controller;
         Option.iter
           (fun reg ->
             let rtts = Run_types.source_rtts ~tree ~delay:(Net.Network.link_delay network) in
@@ -268,7 +308,9 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
     in
     match protocol with
     | Srm_protocol ->
-        let proto = Srm.Proto.deploy ~network ~params:setup.params ~n_packets ~period () in
+        let proto =
+          Srm.Proto.deploy ?domain ~network ~params:setup.params ~n_packets ~period ()
+        in
         List.iter (fun (_, h) -> trace_host h) (Srm.Proto.members proto);
         setup_steady_records (Srm.Proto.recoveries proto);
         Option.iter
@@ -297,7 +339,7 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
           ~exp_requests:0 ~exp_replies:0 ~detected ~publish
     | Cesrm_protocol config ->
         let proto =
-          Cesrm.Proto.deploy ~config ~network ~params:setup.params ~n_packets ~period ()
+          Cesrm.Proto.deploy ~config ?domain ~network ~params:setup.params ~n_packets ~period ()
         in
         (* After deploy: the CESRM hosts have installed their own hooks,
            which the tracer chains onto rather than replaces. *)
@@ -369,7 +411,7 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
           ~detected:(fun () -> Lms.Proto.detected proto)
           ~publish
   in
-  if not (shardable ~shards ~tracer ~fault_plan ~setup ~steady protocol) then serial ()
+  if not (shardable ~shards ~tracer ~fault_plan ~setup ~steady ~domains protocol) then serial ()
   else begin
     (* Replicate the per-link delays the workers will draw — same seed,
        same split, same sequence — to partition on true cut delays. *)
@@ -393,8 +435,9 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         protocol trace loss_model
   end
 
-let run ?setup ?tracer ?registry ?fault_plan ?shards ?steady protocol trace attribution =
-  run_model ?setup ?tracer ?registry ?fault_plan ?shards ?steady protocol trace
+let run ?setup ?tracer ?registry ?fault_plan ?shards ?steady ?domains protocol trace attribution
+    =
+  run_model ?setup ?tracer ?registry ?fault_plan ?shards ?steady ?domains protocol trace
     (Attributed attribution)
 
 (* Harness tuning for the synthetic scale scenarios. Classic SRM
@@ -409,7 +452,7 @@ let run ?setup ?tracer ?registry ?fault_plan ?shards ?steady protocol trace attr
    be re-enabled by hand. Deep chains additionally shrink the per-link
    delay so the source-to-leaf path stays within the recovery timers'
    reach. Caller-pinned option values win. *)
-let scale_setup ~family ~n_members setup =
+let scale_setup ?domains ~family ~n_members setup =
   let session_echo_limit =
     match setup.params.Srm.Params.session_echo_limit with
     | Some _ as pinned -> pinned
@@ -421,9 +464,17 @@ let scale_setup ~family ~n_members setup =
      reply implosion, and each un-suppressed reply is an O(n)-delivery
      flood. Log-widening is the static version of what the paper's
      adaptive timers converge to in large groups; the price is
-     recovery latency growing with the window. *)
+     recovery latency growing with the window. Recovery domains shrink
+     the suppression population from the whole group to one domain, so
+     the window narrows to log2(domain bound) — the latency win local
+     recovery exists for. *)
+  let suppression_pop =
+    match domains with
+    | None -> n_members
+    | Some spec -> Rdomain.spec_members ~n_members spec
+  in
   let spread =
-    Float.max 1. (3. *. Float.log (float_of_int (max 2 n_members)) /. Float.log 2.)
+    Float.max 1. (3. *. Float.log (float_of_int (max 2 suppression_pop)) /. Float.log 2.)
   in
   let params =
     {
@@ -440,15 +491,15 @@ let scale_setup ~family ~n_members setup =
   in
   { setup with params; link_delay }
 
-let tune_for_trace trace setup =
+let tune_for_trace ?domains trace setup =
   match Mtrace.Scale.family_of_name (Mtrace.Trace.name trace) with
   | None -> setup
   | Some family ->
       let n_members = 1 + Array.length (Net.Tree.receivers (Mtrace.Trace.tree trace)) in
-      scale_setup ~family ~n_members setup
+      scale_setup ?domains ~family ~n_members setup
 
-let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady ~seed protocol
-    row =
+let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady ?domains ~seed
+    protocol row =
   let scale_family = Mtrace.Scale.family_of_name row.Mtrace.Meta.name in
   (* A steady run over a scale row never materializes the event list:
      the trace comes from the streaming generator (lazy per-link loss
@@ -476,7 +527,7 @@ let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady
         | Some _ -> Ground_truth generated.Mtrace.Generator.link_bad )
     end
   in
-  let setup = tune_for_trace trace setup in
+  let setup = tune_for_trace ?domains trace setup in
   let fault_plan =
     Option.map
       (fun name ->
@@ -487,8 +538,8 @@ let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady
         | None -> invalid_arg (Printf.sprintf "Runner.run_leg: unknown canned fault plan %S" name))
       fault
   in
-  run_model ~setup:{ setup with seed } ?registry ?fault_plan ?shards ?steady protocol trace
-    loss_model
+  run_model ~setup:{ setup with seed } ?registry ?fault_plan ?shards ?steady ?domains protocol
+    trace loss_model
 
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in

@@ -86,6 +86,7 @@ val run_model :
   ?fault_plan:Fault.Plan.t ->
   ?shards:int ->
   ?steady:Steady.Config.t ->
+  ?domains:Rdomain.spec ->
   protocol ->
   Mtrace.Trace.t ->
   loss_model ->
@@ -99,6 +100,7 @@ val run :
   ?fault_plan:Fault.Plan.t ->
   ?shards:int ->
   ?steady:Steady.Config.t ->
+  ?domains:Rdomain.spec ->
   protocol ->
   Mtrace.Trace.t ->
   Inference.Attribution.t ->
@@ -147,7 +149,19 @@ val run :
     to not passing [steady] at all (the determinism goldens pin this).
     Finite windows and records-off runs stay serial; infinite-window
     steady composes with [shards]. A finite-window run's controller is
-    returned in [result.retirement] (floor, tick count, heap samples). *)
+    returned in [result.retirement] (floor, tick count, heap samples).
+
+    With [domains], the tree is partitioned into hierarchical local
+    recovery domains ({!Rdomain}) shared by every host: requests and
+    repairs are scoped to the requestor's domain chain and escalate on
+    unanswered rounds, each domain's designated replier is preferred
+    for replies and expedited pairs, and true tree distances are
+    forced on (scoped timers aim at arbitrary repliers the session
+    exchange never converges for). SRM and CESRM only
+    (@raise Invalid_argument under LMS); forces the serial path
+    ([shards] is ignored — scoped casts need the global tree). Without
+    [domains] every run is byte-identical to before the mode
+    existed. *)
 
 val run_leg :
   ?setup:setup ->
@@ -156,6 +170,7 @@ val run_leg :
   ?fault:string ->
   ?shards:int ->
   ?steady:Steady.Config.t ->
+  ?domains:Rdomain.spec ->
   seed:int64 ->
   protocol ->
   Mtrace.Meta.row ->
@@ -186,12 +201,15 @@ val run_leg :
     bits).
     @raise Invalid_argument on an unknown canned name. *)
 
-val tune_for_trace : Mtrace.Trace.t -> setup -> setup
+val tune_for_trace : ?domains:Rdomain.spec -> Mtrace.Trace.t -> setup -> setup
 (** Apply the scale-scenario harness tuning described under {!run_leg}
     when the trace's name parses as a {!Mtrace.Scale} scenario;
     identity otherwise. Exposed so front-ends running a pre-built
     scale trace through {!run_model} get the same settings a
-    [run_leg] of the row would. *)
+    [run_leg] of the row would. With [domains], the
+    probabilistic-suppression windows widen with the domain member
+    bound instead of the whole group size — the suppression population
+    a scoped request actually reaches. *)
 
 val attribution_of_trace : Mtrace.Trace.t -> Inference.Attribution.t
 (** The paper's Section 4.2 pipeline: Yajnik link-rate estimation, then

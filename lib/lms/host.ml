@@ -176,7 +176,7 @@ let seq_exists t ~src m =
     done
   end
 
-let obtain t ~src seq =
+let obtain t ~src seq ~repaired =
   if not (has_packet ~src t ~seq) then begin
     win_set ~n_packets:t.n_packets (stream t src) ~seq;
     (match Hashtbl.find_opt t.retries (src, seq) with
@@ -195,6 +195,7 @@ let obtain t ~src seq =
             recovered_at = now t;
             rounds = 0;
             expedited = false;
+            repaired;
           }
     | None -> ()
   end
@@ -298,7 +299,7 @@ let on_packet t (p : Net.Packet.t) =
   | Net.Packet.Data { seq } ->
       let src = p.sender in
       seq_exists t ~src (seq - 1);
-      obtain t ~src seq;
+      obtain t ~src seq ~repaired:false;
       let stream = stream t src in
       if seq > stream.max_seq then stream.max_seq <- seq
   | Net.Packet.Exp_request { src; seq; requestor; d_qs; replier = _; turning_point } ->
@@ -310,7 +311,7 @@ let on_packet t (p : Net.Packet.t) =
       if requestor <> t.self then answer t ~src ~seq ~requestor ~turning_point ~ttl
   | Net.Packet.Reply { src; seq; _ } ->
       seq_exists t ~src seq;
-      obtain t ~src seq
+      obtain t ~src seq ~repaired:true
   | Net.Packet.Session { max_seqs; _ } ->
       (* source heartbeat: announced packets may still be in flight;
          wait out one source-path delay before declaring losses *)

@@ -662,6 +662,68 @@ let relayed_subcast t ~from ~via packet =
     t.cur_pslot <- saved
   end
 
+(* Replay a downward DFS order keeping only the branches [scope]
+   accepts. Scope predicates come from {!Rdomain}-style recovery-domain
+   chains, which are closed under tree ancestry inside the flooded
+   subtree: an out-of-scope node has no in-scope descendant, so the
+   whole subtree is skipped in O(1) exactly like a dropped crossing.
+   The sender [skip] never hears its own cast (matching multicast). *)
+let run_scoped t ~cat ~tx ~fifo ~scope ~skip order packet =
+  let nodes = order.Routes.nodes
+  and prevs = order.Routes.prevs
+  and links = order.Routes.links
+  and skips = order.Routes.skips in
+  let n = Array.length nodes in
+  let i = ref 0 in
+  while !i < n do
+    let node = nodes.(!i) and prev = prevs.(!i) and link = links.(!i) in
+    if not (scope node) then i := !i + skips.(!i)
+    else begin
+      let at' =
+        traverse t ~cat ~cast:Cost.Subcast ~link ~down:true ~from:prev ~to_:node
+          ~at:t.arrive.(prev) ~tx ~fifo packet
+      in
+      if Float.is_nan at' then i := !i + skips.(!i)
+      else begin
+        t.arrive.(node) <- at';
+        if node <> skip then deliver t ~node ~at:at';
+        incr i
+      end
+    end
+  done
+
+let scoped_cast t ~from ~root ~scope packet =
+  (match t.shard with
+  | Some _ -> invalid_arg "Network.scoped_cast: not available in shard mode"
+  | None -> ());
+  if not t.enabled.(from) then ()
+  else begin
+    tap t ~from packet;
+    let cat = Cost.category_of packet in
+    Cost.record_send t.cost cat Cost.Subcast;
+    let tx = tx_of t packet and fifo = is_fifo packet in
+    let saved = t.cur_pslot in
+    let s = acquire_pslot t packet in
+    (if from = root then begin
+       t.arrive.(root) <- Sim.Engine.now t.engine;
+       run_scoped t ~cat ~tx ~fifo ~scope ~skip:from (Routes.down_order t.routes root) packet
+     end
+     else begin
+       let path = Routes.path t.routes ~src:from ~dst:root in
+       let at =
+         walk_path t ~cat ~cast:Cost.Unicast ~from ~at:(Sim.Engine.now t.engine) ~tx ~fifo
+           path packet
+       in
+       if not (Float.is_nan at) then begin
+         if scope root then deliver t ~node:root ~at;
+         t.arrive.(root) <- at;
+         run_scoped t ~cat ~tx ~fifo ~scope ~skip:from (Routes.down_order t.routes root) packet
+       end
+     end);
+    release_pslot t s;
+    t.cur_pslot <- saved
+  end
+
 (* -- shard-mode control surface ------------------------------------- *)
 
 let enable_shard t ~partition ~me ~observe =

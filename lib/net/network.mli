@@ -79,6 +79,20 @@ val relayed_subcast : t -> from:int -> via:int -> Packet.t -> unit
     it down its subtree. The uphill leg is charged as unicast
     crossings, the downhill flood as subcast crossings. *)
 
+val scoped_cast : t -> from:int -> root:int -> scope:(int -> bool) -> Packet.t -> unit
+(** Recovery-domain-scoped delivery: unicast the packet from [from] up
+    to the domain root [root] (charged as unicast crossings, exactly
+    like {!relayed_subcast}'s uphill leg), then flood downward from
+    [root] visiting only the branches [scope] accepts (charged as
+    subcast crossings). The scope predicate must be {e ancestry-closed}
+    inside [root]'s subtree — an out-of-scope node may not have
+    in-scope descendants — which lets rejected branches be pruned
+    whole; recovery-domain chains (see [lib/domain]) satisfy this by
+    construction. The sender never hears its own cast. Not available in
+    shard mode ({!enable_shard}); domain-scoped runs use the serial
+    engine.
+    @raise Invalid_argument in shard mode. *)
+
 val set_tap : t -> (from:int -> Packet.t -> unit) -> unit
 (** Install a passive observer invoked once per packet {e sent} (any
     cast mode), before delivery is computed. Used by the protocol

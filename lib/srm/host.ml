@@ -22,6 +22,11 @@ type hooks = {
   mutable on_packet_obtained : src:int -> seq:int -> expedited:bool -> unit;
 }
 
+(* Hierarchical local recovery (lib/domain): the host's own domain and
+   chain height are resolved once at creation; per-request escalation
+   levels index into them. *)
+type domain_ctx = { dmap : Rdomain.t; my_dom : int; max_lvl : int }
+
 let no_hooks () =
   {
     on_loss_detected = (fun ~src:_ ~seq:_ -> ());
@@ -45,6 +50,23 @@ type stream_state = {
   mutable base : int; (* retired floor: seqs <= base are delivered *)
   mutable prefix : int; (* contiguous delivered prefix *)
   mutable max_seq : int;
+  (* Data-arrival anchor for the domain-mode in-flight allowance: the
+     last original data packet of this stream to land here, and when.
+     Unlike [max_seq] (which session advertisements also advance) this
+     tracks only real arrivals, so [last_data_at + Δseq · period]
+     predicts when a later packet is {e due} on this host's path —
+     constant pipeline lag cancels out. *)
+  mutable last_data_seq : int;
+  mutable last_data_at : float;
+  (* Due-time detection frontier (domain mode): every sequence at or
+     below it has been either delivered or declared lost; sequences
+     above wait until they are overdue. [due_pending] coalesces the
+     rescan timer — at most one per stream is ever outstanding. *)
+  mutable scanned_due : int;
+  mutable due_pending : bool;
+  (* Per-stream in-flight slack, lazily computed (nan = unset): scales
+     with this host's distance to the stream's source. *)
+  mutable inflight_slack : float;
 }
 
 (* Streams start with a bounded window so a million-packet run never
@@ -106,6 +128,9 @@ type t = {
   detect_info : (Key.t, float) Hashtbl.t; (* -> detection time *)
   replied : (Key.t, float) Hashtbl.t; (* -> when we sent a reply *)
   adaptive : Adaptive.t option;
+  domain : domain_ctx option;
+  mutable n_local_requests : int; (* domain mode: requests sent at level 0 *)
+  mutable n_escalations : int; (* domain mode: requests sent at level > 0 *)
   mutable n_detected : int;
   counters : Stats.Counters.t;
   recoveries : Stats.Recovery.t;
@@ -141,6 +166,11 @@ let stream t src =
           base = 0;
           prefix = 0;
           max_seq = 0;
+          last_data_seq = 0;
+          last_data_at = neg_infinity;
+          scanned_due = 0;
+          due_pending = false;
+          inflight_slack = Float.nan;
         }
       in
       Hashtbl.replace t.streams src s;
@@ -179,6 +209,65 @@ let dist_to t peer = Session.distance_or t.session peer ~default:1.0
 
 let dist_to_source ?(src = 0) t = dist_to t src
 
+(* --- hierarchical local recovery ----------------------------------- *)
+
+let domain t = Option.map (fun c -> c.dmap) t.domain
+
+let domain_local_requests t = t.n_local_requests
+
+let domain_escalations t = t.n_escalations
+
+(* Escalation level of a request round: [domain_local_rounds] rounds
+   are spent inside the home domain, then the scope widens {e
+   geometrically} — level 1, 2, 4, 8, ... — clamped at the chain's
+   top, the root domain, which holds the source, so the ladder always
+   ends at a member with the packet. Doubling the level per round
+   keeps the climb logarithmic in the ladder length: a deep chain
+   stacks O(depth / domain size) domains, and walking them one per
+   round would push recovery past the run horizon once the request
+   back-off compounds. *)
+let level_for ~local_rounds ~max_lvl round =
+  if round < local_rounds then 0 else min max_lvl (1 lsl min 30 (round - local_rounds))
+
+let level_of t ctx ~round =
+  level_for ~local_rounds:t.params.Params.domain_local_rounds ~max_lvl:ctx.max_lvl round
+
+(* The distance a request timer scales by: flat SRM uses the source,
+   domain mode the escalation level's designated replier — so local
+   rounds fire on local round-trip times instead of the full
+   source-path delay (the whole point on deep chains). *)
+let request_dist t ~src ~round =
+  match t.domain with
+  | None -> dist_to_source ~src t
+  | Some ctx ->
+      dist_to t (Rdomain.request_target ctx.dmap ~node:t.self ~level:(level_of t ctx ~round))
+
+(* Reply transmission for a requestor at a given round: a repair
+   subcast flooding the {e entire subtree} under the round's scope
+   root. Repliers reconstruct the level from the round carried in the
+   request. The subtree — not the requestor's chain prefix — is
+   deliberate: a loss cut above a domain is shared by every domain
+   below the cut, and the one reply that finally escalates past it
+   must heal them all, the way a flat SRM reply's global flood does.
+   A down-flood from the scope root reaches exactly its subtree, so
+   the scope predicate is unrestricted. *)
+let domain_transmit t ~requestor ~round =
+  match t.domain with
+  | None -> None
+  | Some ctx ->
+      let dom = Rdomain.dom_of ctx.dmap requestor in
+      let level =
+        level_for ~local_rounds:t.params.Params.domain_local_rounds
+          ~max_lvl:(Rdomain.max_level ctx.dmap ~dom)
+          round
+      in
+      Some
+        (fun packet ->
+          Net.Network.scoped_cast t.network ~from:t.self
+            ~root:(Rdomain.scope_root ctx.dmap ~dom ~level)
+            ~scope:(fun _ -> true)
+            packet)
+
 (* --- request scheduling ------------------------------------------- *)
 
 let two_pow k = Float.of_int (1 lsl min k 30)
@@ -195,11 +284,22 @@ let reply_weights t =
   | Some a -> (Adaptive.d1 a, Adaptive.d2 a)
   | None -> (t.params.Params.d1, t.params.Params.d2)
 
+(* Binary back-off multiplier. Flat SRM doubles without bound; domain
+   mode caps the exponent at the local-round count, because past that
+   point each round already doubles the escalation {e level} — and
+   with it the target distance the interval scales by — so compounding
+   2^round on top would square the growth and park deep-ladder rounds
+   beyond the run horizon. *)
+let backoff_factor t round =
+  match t.domain with
+  | None -> two_pow round
+  | Some _ -> two_pow (min round t.params.Params.domain_local_rounds)
+
 let request_interval t ~src (st : request_state) =
-  let d = dist_to_source ~src t in
+  let d = request_dist t ~src ~round:st.backoff in
   let w1, w2 = request_weights t in
   let lo = w1 *. d and w = w2 *. d in
-  let f = two_pow st.backoff in
+  let f = backoff_factor t st.backoff in
   Sim.Rng.uniform t.rng (f *. lo) (f *. (lo +. w))
 
 let rec arm_request t ~src seq st =
@@ -216,16 +316,30 @@ and fire_request t ~src seq st =
           st.backoff d);
     Stats.Counters.bump t.counters ~node:t.self Stats.Counters.Rqst;
     if st.first_sent = None then st.first_sent <- Some (now t);
-    Net.Network.multicast t.network ~from:t.self
+    let packet =
       {
         Net.Packet.sender = t.self;
         payload = Net.Packet.Request { src; seq; requestor = t.self; d_qs = d; round = st.backoff };
-      };
+      }
+    in
+    (match t.domain with
+    | None -> Net.Network.multicast t.network ~from:t.self packet
+    | Some ctx ->
+        let level = level_of t ctx ~round:st.backoff in
+        if level = 0 then t.n_local_requests <- t.n_local_requests + 1
+        else t.n_escalations <- t.n_escalations + 1;
+        Net.Network.scoped_cast t.network ~from:t.self
+          ~root:(Rdomain.scope_root ctx.dmap ~dom:ctx.my_dom ~level)
+          ~scope:(Rdomain.in_scope ctx.dmap ~dom:ctx.my_dom ~level)
+          packet);
     (* Schedule the next round: k increments, the interval doubles, and
        a fresh back-off abstinence period opens (Section 2.1). *)
     if st.backoff < t.params.Params.max_rounds then begin
       st.backoff <- st.backoff + 1;
-      st.abstain_until <- now t +. (two_pow st.backoff *. t.params.Params.c3 *. d);
+      st.abstain_until <-
+        now t
+        +. (backoff_factor t st.backoff *. t.params.Params.c3
+           *. request_dist t ~src ~round:st.backoff);
       arm_request t ~src seq st
     end
     else st.timer <- None
@@ -280,7 +394,9 @@ let back_off_request t ~src seq st =
     (match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ());
     st.backoff <- st.backoff + 1;
     st.abstain_until <-
-      now t +. (two_pow st.backoff *. t.params.Params.c3 *. dist_to_source ~src t);
+      now t
+      +. (backoff_factor t st.backoff *. t.params.Params.c3
+         *. request_dist t ~src ~round:st.backoff);
     arm_request t ~src seq st
   end
 
@@ -305,21 +421,105 @@ let detect_loss ?(initial_backoff = 0) t ~src seq =
     t.hooks.on_loss_detected ~src ~seq
   end
 
+(* Domain-mode in-flight allowance. A session advertisement, an
+   overheard request, or a repair flood can name packets still
+   pipelined down a deep path — flat SRM is insulated against
+   premature requests by timers scaled to the full source distance,
+   but domain timers fire on local round-trips, so evidence-driven
+   detection must wait until the packet is {e overdue}. The due time
+   is anchored to this host's own data arrivals:
+   [last_data_at + (Δseq + 1) · period] — the constant pipeline lag
+   cancels, making the check depth-independent; one extra period
+   absorbs jitter. Without an anchor (no data yet) everything defers:
+   the first arrival re-triggers the scan. *)
+let inflight_period t =
+  match t.domain with None -> None | Some _ -> t.params.Params.domain_inflight_period
+
+(* How far past its nominal arrival time a packet may run before the
+   gap is declared a loss: one period absorbs send jitter, plus a
+   patience term proportional to the distance from the source —
+   [(C1+C2+D1+D2+bias+2) · d_src], the worst-case local repair latency
+   per unit of path. The proportionality is what makes upstream local
+   recovery {e silencing}: a domain that catches a loss repairs with a
+   subtree flood trailing the data stream by one local repair latency
+   (its own slack included), and every further domain down the path has
+   strictly more patience than that trail, so the repair lands before
+   their due timers fire. The deep side of a loss cut is healed without
+   ever recording a loss — which is what keeps the last-receiver
+   makespan a local figure instead of a pipeline-deep one. Flat SRM
+   gets the same insulation implicitly from request timers scaled by
+   [C1 · d_src]; domain mode's request timers are local by design, so
+   the patience must live in the detector. *)
+let inflight_slack t ~src st =
+  if Float.is_nan st.inflight_slack then
+    (st.inflight_slack <-
+       (match t.domain with
+       | None -> 0.
+       | Some _ ->
+           let p = t.params in
+           (p.Params.c1 +. p.Params.c2 +. p.Params.d1 +. p.Params.d2
+           +. p.Params.domain_dr_bias +. 2.)
+           *. dist_to_source ~src t));
+  st.inflight_slack
+
+let due_time t ~src st ~period seq =
+  st.last_data_at
+  +. ((float_of_int (seq - st.last_data_seq) +. 1.) *. period)
+  +. inflight_slack t ~src st
+
+(* Detect every missing sequence whose due time has passed, and leave
+   one timer parked at the next due instant for the rest. The frontier
+   only ever advances, so each sequence is scanned O(1) times. *)
+let rec scan_due t ~src ~period =
+  let st = stream t src in
+  if st.last_data_at > neg_infinity then begin
+    let frontier = ref st.scanned_due in
+    while !frontier < st.max_seq && due_time t ~src st ~period (!frontier + 1) <= now t do
+      incr frontier;
+      if not (has_packet ~src t ~seq:!frontier) then detect_loss t ~src !frontier
+    done;
+    st.scanned_due <- !frontier;
+    if st.scanned_due < st.max_seq && not st.due_pending then begin
+      st.due_pending <- true;
+      let after = Float.max 0. (due_time t ~src st ~period (st.scanned_due + 1) -. now t) in
+      ignore
+        (Sim.Engine.schedule (engine t) ~after (fun () ->
+             st.due_pending <- false;
+             scan_due t ~src ~period))
+    end
+  end
+
 (* Evidence that packets 1..m of [src]'s stream exist (sources send
-   sequentially): any unseen gap at or below m is a loss. *)
+   sequentially): any unseen gap at or below m is a loss — immediately
+   in flat mode, once overdue in domain mode. *)
 let seq_exists t ~src m =
   let stream = stream t src in
-  if m > stream.max_seq then begin
-    let first = stream.max_seq + 1 in
-    stream.max_seq <- min m t.n_packets;
-    for seq = first to stream.max_seq do
-      if not (has_packet ~src t ~seq) then detect_loss t ~src seq
-    done
-  end
+  match inflight_period t with
+  | None ->
+      if m > stream.max_seq then begin
+        let first = stream.max_seq + 1 in
+        stream.max_seq <- min m t.n_packets;
+        for seq = first to stream.max_seq do
+          if not (has_packet ~src t ~seq) then detect_loss t ~src seq
+        done
+      end
+  | Some period ->
+      if m > stream.max_seq then stream.max_seq <- min m t.n_packets;
+      scan_due t ~src ~period
+
+(* Whether [seq] is past the in-flight allowance — gate for detection
+   paths that bypass {!seq_exists} (the overheard-request suppression
+   join). Always true in flat mode. *)
+let inflight_clear t ~src ~seq =
+  match inflight_period t with
+  | None -> true
+  | Some period ->
+      let st = stream t src in
+      st.last_data_at > neg_infinity && due_time t ~src st ~period seq <= now t
 
 (* --- obtaining packets -------------------------------------------- *)
 
-let record_recovery t ~src seq ~expedited ~rounds =
+let record_recovery t ~src seq ~expedited ~rounds ~repaired =
   match Hashtbl.find_opt t.detect_info (key t ~src ~seq) with
   | None -> ()
   | Some detected_at ->
@@ -332,9 +532,14 @@ let record_recovery t ~src seq ~expedited ~rounds =
           recovered_at = now t;
           rounds;
           expedited;
+          repaired;
         }
 
-let obtain t ~src seq ~expedited =
+(* [repaired] says how the packet got here: [true] for a
+   retransmission (any reply), [false] for the original data packet —
+   which can still close a detection when session advertisements
+   outran the data flood on a deep path. *)
+let obtain t ~src seq ~expedited ~repaired =
   if not (has_packet ~src t ~seq) then begin
     win_set ~n_packets:t.n_packets (stream t src) ~seq;
     (* A pending request is now moot. *)
@@ -354,7 +559,7 @@ let obtain t ~src seq ~expedited =
     in
     if suffered_loss ~src t ~seq then begin
       Log.debug (fun m -> m "t=%.4f host %d RECOVERED src %d seq %d" (now t) t.self src seq);
-      record_recovery t ~src seq ~expedited ~rounds
+      record_recovery t ~src seq ~expedited ~rounds ~repaired
     end;
     t.hooks.on_packet_obtained ~src ~seq ~expedited;
     if mutated t Double_deliver then t.hooks.on_packet_obtained ~src ~seq ~expedited
@@ -458,35 +663,46 @@ let send_reply_now ?(src = 0) t ~seq ~requestor ~d_qs ~expedited ?turning_point 
   end
   else false
 
-let schedule_reply t ~src ~seq ~requestor ~d_qs =
+let schedule_reply t ~src ~seq ~requestor ~d_qs ~round =
   let d = dist_to t requestor in
   let w1, w2 = reply_weights t in
+  (* Domain mode: a designated replier keeps the paper's window; every
+     other candidate waits an extra [dr_bias · d] first, so the local
+     replier answers unchallenged unless it is down or missing the
+     packet — the "designated replier with fallback" election. *)
+  let w1 =
+    match t.domain with
+    | Some ctx when not (Rdomain.is_replier ctx.dmap t.self) ->
+        w1 +. t.params.Params.domain_dr_bias
+    | _ -> w1
+  in
   let lo = w1 *. d and w = w2 *. d in
   let delay = Sim.Rng.uniform t.rng lo (lo +. w) in
   Log.debug (fun m ->
       m "t=%.4f host %d schedule REPL seq %d for +%.4f (d_rq=%.4f req=%d)" (now t) t.self seq
         delay d requestor);
   let delay_norm = if d <= 0. then 0. else delay /. d in
+  let transmit = domain_transmit t ~requestor ~round in
   let timer =
     Sim.Engine.schedule (engine t) ~after:delay (fun () ->
         Hashtbl.remove t.replies (key t ~src ~seq);
         (* The abstinence may have opened while we waited (an expedited
            reply of ours, for instance). *)
         if (not (reply_pending t ~src seq)) && has_packet ~src t ~seq then
-          emit_reply ~delay_norm t ~src ~seq ~requestor ~d_qs ~expedited:false
+          emit_reply ?transmit ~delay_norm t ~src ~seq ~requestor ~d_qs ~expedited:false
             ~turning_point:None)
   in
   Hashtbl.replace t.replies (key t ~src ~seq) timer
 
 (* --- incoming PDUs -------------------------------------------------- *)
 
-let handle_request t ~src ~seq ~requestor ~d_qs =
+let handle_request t ~src ~seq ~requestor ~d_qs ~round =
   if requestor <> t.self then begin
     seq_exists t ~src seq;
     if has_packet ~src t ~seq then begin
       (* Replier side: requests are discarded while a reply is
          scheduled or pending (Section 2.2). *)
-      if not (reply_blocked ~src t ~seq) then schedule_reply t ~src ~seq ~requestor ~d_qs
+      if not (reply_blocked ~src t ~seq) then schedule_reply t ~src ~seq ~requestor ~d_qs ~round
     end
     else
       match Hashtbl.find_opt t.requests (key t ~src ~seq) with
@@ -496,8 +712,13 @@ let handle_request t ~src ~seq ~requestor ~d_qs =
       | None ->
           (* We share the loss but have no pending request: the
              overheard request covers the current round, so join at the
-             next one — that is the suppression. *)
-          detect_loss ~initial_backoff:1 t ~src seq
+             next one — that is the suppression. In domain mode the
+             join also waits out the in-flight allowance (a neighbour
+             one hop closer to the source legitimately detects before
+             our copy lands); {!seq_exists} above raised [max_seq], so
+             the due-time frontier picks the packet up if it really is
+             lost. *)
+          if inflight_clear t ~src ~seq then detect_loss ~initial_backoff:1 t ~src seq
   end
 
 let handle_reply t payload ~src ~seq ~requestor ~replier =
@@ -518,7 +739,7 @@ let handle_reply t payload ~src ~seq ~requestor ~replier =
     let expedited =
       match payload with Net.Packet.Reply { expedited; _ } -> expedited | _ -> false
     in
-    obtain t ~src seq ~expedited;
+    obtain t ~src seq ~expedited ~repaired:true;
     t.hooks.on_reply_observed payload
   end
 
@@ -526,12 +747,19 @@ let on_packet t (p : Net.Packet.t) =
   match p.payload with
   | Net.Packet.Data { seq } ->
       let src = p.sender in
-      seq_exists t ~src (seq - 1);
-      obtain t ~src seq ~expedited:false;
+      (* Anchor before gap detection: sources send sequentially, so at
+         the instant [seq] lands anything below it is already overdue —
+         this arrival is what proves its predecessors late. *)
       let stream = stream t src in
+      if seq > stream.last_data_seq then begin
+        stream.last_data_seq <- seq;
+        stream.last_data_at <- now t
+      end;
+      seq_exists t ~src (seq - 1);
+      obtain t ~src seq ~expedited:false ~repaired:false;
       if seq > stream.max_seq then stream.max_seq <- seq
-  | Net.Packet.Request { src; seq; requestor; d_qs; round = _ } ->
-      handle_request t ~src ~seq ~requestor ~d_qs
+  | Net.Packet.Request { src; seq; requestor; d_qs; round } ->
+      handle_request t ~src ~seq ~requestor ~d_qs ~round
   | Net.Packet.Reply { src; seq; requestor; replier; _ } ->
       handle_reply t p.payload ~src ~seq ~requestor ~replier
   | Net.Packet.Session _ -> Session.on_packet t.session p
@@ -553,13 +781,25 @@ let publish_metrics t registry =
   Obs.Registry.incr ~by:(Hashtbl.length t.replies) registry "srm/replies_scheduled_at_end";
   Obs.Registry.incr ~by:(List.length (Session.known_peers t.session)) registry
     "srm/session_peer_links";
+  (match t.domain with
+  | Some _ ->
+      Obs.Registry.incr ~by:t.n_local_requests registry "srm/domain_local_requests";
+      Obs.Registry.incr ~by:t.n_escalations registry "srm/domain_escalations"
+  | None -> ());
   Hashtbl.iter
     (fun _ (st : request_state) ->
       Obs.Registry.observe registry "srm/open_request_rounds" (float_of_int st.backoff))
     t.requests
 
-let create ~network ~self ~params ~n_packets ~counters ~recoveries =
+let create ?domain ~network ~self ~params ~n_packets ~counters ~recoveries () =
   let rng = Sim.Rng.split (Sim.Engine.rng (Net.Network.engine network)) in
+  let domain =
+    Option.map
+      (fun dmap ->
+        let my_dom = Rdomain.dom_of dmap self in
+        { dmap; my_dom; max_lvl = Rdomain.max_level dmap ~dom:my_dom })
+      domain
+  in
   (* The session needs callbacks into the host being constructed; tie
      the knot with forward cells. *)
   let get_max_seqs_cell = ref (fun () -> []) in
@@ -612,6 +852,9 @@ let create ~network ~self ~params ~n_packets ~counters ~recoveries =
       detect_info = Hashtbl.create 8;
       replied = Hashtbl.create 8;
       adaptive = (if params.Params.adaptive then Some (Adaptive.create ~initial:params) else None);
+      domain;
+      n_local_requests = 0;
+      n_escalations = 0;
       n_detected = 0;
       counters;
       recoveries;
@@ -634,6 +877,20 @@ let create ~network ~self ~params ~n_packets ~counters ~recoveries =
       | None -> ());
       if m > (stream t src).max_seq then begin
         let grace = dist_to_source ~src t +. 0.05 in
+        (* Domain mode: {!seq_exists} itself defers detection until the
+           advertised packets are overdue (the in-flight allowance), so
+           the flat grace suffices here — but a host that has received
+           no data yet takes its anchor from this first advertisement
+           (as if packet 0 just landed), else a stream lost in its
+           entirety would never be declared missing. *)
+        (match (t.domain, params.Params.domain_inflight_period) with
+        | Some _, Some _ ->
+            let st = stream t src in
+            if st.last_data_at = neg_infinity then begin
+              st.last_data_at <- now t;
+              st.last_data_seq <- 0
+            end
+        | _ -> ());
         ignore
           (Sim.Engine.schedule (Net.Network.engine network) ~after:grace (fun () ->
                seq_exists t ~src m))

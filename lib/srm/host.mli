@@ -42,17 +42,38 @@ type hooks = {
 val no_hooks : unit -> hooks
 
 val create :
+  ?domain:Rdomain.t ->
   network:Net.Network.t ->
   self:int ->
   params:Params.t ->
   n_packets:int ->
   counters:Stats.Counters.t ->
   recoveries:Stats.Recovery.t ->
+  unit ->
   t
 (** The member joins the group on node [self] of the network's tree.
     [n_packets] caps each stream's length. Handlers are {e not}
     registered with the network — the owner dispatches via {!on_packet}
-    (this lets CESRM intercept its own PDUs first). *)
+    (this lets CESRM intercept its own PDUs first).
+
+    [domain] switches on hierarchical local recovery: requests and
+    replies travel over {!Net.Network.scoped_cast} restricted to the
+    requestor's recovery-domain chain at the request round's
+    escalation level (see {!Params.t.domain_local_rounds}), request
+    timers scale by the distance to the level's designated replier
+    instead of the source, and non-designated repliers wait an extra
+    {!Params.t.domain_dr_bias} suppression weight. Without it every
+    code path is byte-identical to classic SRM. *)
+
+val domain : t -> Rdomain.t option
+
+val domain_local_requests : t -> int
+(** Domain mode: requests this host sent at escalation level 0 (inside
+    its own domain). 0 in flat runs. *)
+
+val domain_escalations : t -> int
+(** Domain mode: requests this host sent at escalation level > 0
+    (widened to an ancestor domain). 0 in flat runs. *)
 
 val network : t -> Net.Network.t
 

@@ -12,6 +12,9 @@ type t = {
   session_echo_limit : int option;
   oracle_distances : bool;
   session_sources_only : bool;
+  domain_local_rounds : int;
+  domain_dr_bias : float;
+  domain_inflight_period : float option;
 }
 
 let default =
@@ -29,6 +32,9 @@ let default =
     session_echo_limit = None;
     oracle_distances = false;
     session_sources_only = false;
+    domain_local_rounds = 2;
+    domain_dr_bias = 2.;
+    domain_inflight_period = None;
   }
 
 let validate t =
@@ -40,6 +46,10 @@ let validate t =
     Error "rearm_backoff must be positive when set"
   else if (match t.session_echo_limit with Some k -> k <= 0 | None -> false) then
     Error "session_echo_limit must be positive when set"
+  else if t.domain_local_rounds <= 0 then Error "domain_local_rounds must be positive"
+  else if t.domain_dr_bias < 0. then Error "domain_dr_bias must be non-negative"
+  else if (match t.domain_inflight_period with Some p -> p <= 0. | None -> false) then
+    Error "domain_inflight_period must be positive when set"
   else Ok t
 
 let pp ppf t =

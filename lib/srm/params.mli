@@ -51,6 +51,33 @@ type t = {
           of n deliveries each per period — unaffordable at 10^4
           members. Only sensible together with [oracle_distances],
           since silent receivers are never echoed. *)
+  domain_local_rounds : int;
+      (** hierarchical local recovery (active only when the host was
+          created with a recovery-domain map): how many request rounds
+          are spent inside the home domain before the scope starts
+          widening geometrically up the domain chain — rounds
+          [0 .. domain_local_rounds - 1] stay at level 0, round
+          [domain_local_rounds + k] escalates to level [2^k], clamped
+          to the chain top. Default 2. Ignored in flat (domain-less)
+          runs. *)
+  domain_dr_bias : float;
+      (** hierarchical local recovery: extra deterministic-suppression
+          weight added to D1 for repliers that are {e not} a domain's
+          designated replier, giving the designated replier a head
+          start of [bias · d_hh'] before anyone else answers. Default
+          2. Ignored in flat runs. *)
+  domain_inflight_period : float option;
+      (** hierarchical local recovery: the source's inter-packet send
+          period, enabling the in-flight allowance on session-driven
+          loss detection. A session advertisement can name packets
+          still pipelined down a deep path; flat SRM is insulated by
+          request timers scaled to the full source distance, but
+          domain-mode timers fire on {e local} round-trips, so a gap
+          is only declared lost once it is overdue against the host's
+          own data-arrival anchor: [last_data_at + Δseq · period]
+          (constant pipeline lag cancels). [None] (default) keeps the
+          flat grace. Ignored in flat runs — flat behaviour is
+          byte-identical either way. *)
 }
 
 val default : t

@@ -7,14 +7,16 @@ type t = {
   recoveries : Stats.Recovery.t;
 }
 
-let deploy ?owned ~network ~params ~n_packets ~period () =
+let deploy ?owned ?domain ~network ~params ~n_packets ~period () =
   let tree = Net.Network.tree network in
   let counters = Stats.Counters.create ~n_nodes:(Net.Tree.n_nodes tree) in
   let recoveries = Stats.Recovery.create () in
   let owned = match owned with Some f -> f | None -> fun _ -> true in
   let member node =
     if owned node then begin
-      let host = Host.create ~network ~self:node ~params ~n_packets ~counters ~recoveries in
+      let host =
+        Host.create ?domain ~network ~self:node ~params ~n_packets ~counters ~recoveries ()
+      in
       Net.Network.on_receive network node (Host.on_packet host);
       Some (node, host)
     end

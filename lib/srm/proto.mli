@@ -8,6 +8,7 @@ type t
 
 val deploy :
   ?owned:(int -> bool) ->
+  ?domain:Rdomain.t ->
   network:Net.Network.t ->
   params:Params.t ->
   n_packets:int ->
@@ -17,7 +18,9 @@ val deploy :
 (** [owned] (default: everyone) restricts which members get a live
     host — a PDES shard deploys only its own. Non-owned members still
     consume their engine-RNG split in deploy order, so owned hosts
-    draw identical generators on every shard. *)
+    draw identical generators on every shard. [domain] enables
+    hierarchical local recovery on every host (see {!Host.create});
+    passing it does not perturb the deploy-order RNG discipline. *)
 
 val start : ?send_jitter:float -> ?streaming:bool -> t -> warmup:float -> tail:float -> unit
 (** Sessions begin immediately (randomly phased); the source transmits

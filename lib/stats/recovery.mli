@@ -13,6 +13,12 @@ type record = {
   recovered_at : float;
   rounds : int;  (** SRM request-timer expirations before recovery *)
   expedited : bool;  (** recovered by an expedited reply *)
+  repaired : bool;
+      (** recovered by a retransmission (any reply), as opposed to the
+          original data packet arriving after detection had already
+          fired — deep paths detect in-flight packets via session
+          advertisements, and such self-healed records measure the
+          transport, not the repair protocol *)
 }
 
 val latency : record -> float
@@ -51,6 +57,35 @@ val latency_summary : ?normalize:(record -> float) -> ?filter:(record -> bool) -
     {!drop_records}, the default form returns the online summary
     (sketched percentiles); passing [normalize] or [filter] then
     yields an empty summary, since the records are gone. *)
+
+val retire_spans : t -> upto:int -> unit
+(** Steady-state mode: sequence numbers at or below the stability
+    horizon can gain no further records, so their per-loss spans are
+    final — flush them into the online makespan sketch and drop the
+    live entries. Driven by [Steady.Controller]; never called in
+    classic runs (where {!makespan_summary} folds live spans
+    exactly). *)
+
+val makespan_summary : t -> Summary.t
+(** One observation per repaired packet: the time from the loss's
+    earliest detection at any member to its latest {e repaired}
+    recovery at any member — the {e last-receiver} recovery time, the
+    figure a whole-group repair is judged by. Only records with
+    [repaired = true] contribute (see {!type:record}); self-healed
+    detections are excluded. Exact in classic runs; after
+    {!retire_spans} the retired part comes from a bounded-error sketch
+    (like {!latency_summary} percentiles after {!drop_records}). *)
+
+val iter_spans :
+  t -> (src:int -> seq:int -> detected:float -> recovered:float -> unit) -> unit
+(** Visit every {e live} (un-retired) per-packet span in (src, seq)
+    order: the earliest detection and latest repaired recovery the
+    packet has accumulated so far. Diagnostic hook — spans already
+    flushed by [retire_spans] are only in the sketch and not visited. *)
+
+val makespan : t -> float
+(** [Summary.max (makespan_summary t)] — the single worst last-receiver
+    recovery time of the run; 0 when no losses were recovered. *)
 
 val unrecovered : t -> expected:(int * int) list -> (int * int) list
 (** Given [(node, losses_detected)] expectations, report nodes whose

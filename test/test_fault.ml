@@ -497,6 +497,119 @@ let test_minimal_failing_plan () =
       Alcotest.failf "minimization stalled at %d events: %s" (List.length events)
         (print_events events)
 
+(* --- Faulted recovery domains ----------------------------------------- *)
+
+(* Hierarchical local recovery under faults: domain mode reroutes
+   requests at designated repliers and scopes repairs to domain
+   subtrees, so a crashed or partitioned replier must not strand its
+   domain — unanswered local rounds escalate up the chain until a
+   live replier answers. Every case demands a clean oracle and full
+   recovery. *)
+
+let run_plan_domains ~protocol plan =
+  let trace, link_bad = Lazy.force scale_case in
+  let setup =
+    Harness.Runner.tune_for_trace ~domains:Rdomain.Auto trace Harness.Runner.default_setup
+  in
+  let res =
+    Harness.Runner.run_model ~setup ~fault_plan:plan ~domains:Rdomain.Auto protocol trace
+      (Harness.Runner.Ground_truth link_bad)
+  in
+  res.Harness.Runner.oracle_violations = 0 && res.unrecovered = 0
+
+let both_protocols =
+  [ Harness.Runner.Srm_protocol; Harness.Runner.Cesrm_protocol Cesrm.Host.default_config ]
+
+let test_canned_clean_oracle_domains () =
+  let row = Mtrace.Scale.find "SCALE-bf-256" in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun proto ->
+          let res =
+            Harness.Runner.run_leg ~n_packets:100 ~fault ~seed:11L ~domains:Rdomain.Auto proto
+              row
+          in
+          let label = fault ^ "/" ^ Harness.Runner.protocol_name proto ^ "/domains" in
+          check Alcotest.bool (label ^ " oracle attached") true (res.oracle <> None);
+          check Alcotest.int (label ^ " oracle clean") 0 res.oracle_violations;
+          check Alcotest.int (label ^ " audit clean") 0 res.audit_violations;
+          check Alcotest.int (label ^ " everything recovered") 0 res.unrecovered)
+        both_protocols)
+    Fault.Plan.canned_names
+
+(* The designated repliers of the scale group's domains, source
+   excluded — the nodes whose crash hits hierarchical recovery where
+   it concentrates state. *)
+let scale_repliers =
+  lazy
+    (let trace, _ = Lazy.force scale_case in
+     let tree = Mtrace.Trace.tree trace in
+     let d = Rdomain.of_tree ~tree Rdomain.Auto in
+     let rs = ref [] in
+     for dom = 0 to Rdomain.n_domains d - 1 do
+       let r = Rdomain.replier d dom in
+       if r <> 0 then rs := r :: !rs
+     done;
+     Array.of_list (List.sort_uniq compare !rs))
+
+(* Crashing a designated replier mid-stream (with restart) leaves its
+   domain requesting into a void for the local rounds; escalation must
+   carry recovery to the parent domain and the oracle must stay
+   clean. *)
+let test_replier_crash_domains () =
+  let repliers = Lazy.force scale_repliers in
+  check Alcotest.bool "scale group has non-source repliers" true (Array.length repliers > 0);
+  let plan =
+    Fault.Plan.make ~name:"crash-designated-replier"
+      [ Fault.Plan.Crash { node = repliers.(0); at = 5.4; restart_at = Some 6.4 } ]
+  in
+  List.iter
+    (fun proto ->
+      check Alcotest.bool
+        (Harness.Runner.protocol_name proto ^ ": designated-replier crash stays clean")
+        true
+        (run_plan_domains ~protocol:proto plan))
+    both_protocols
+
+(* Random replier crash + overlapping partition: the partition may cut
+   the very escalation path the crash forces recovery onto; both heal
+   inside the run, so liveness must survive the overlap. *)
+let gen_domain_fault_plan =
+  let trace, _ = Lazy.force scale_case in
+  let n_links = Net.Tree.n_nodes (Mtrace.Trace.tree trace) - 1 in
+  let repliers = Lazy.force scale_repliers in
+  QCheck.Gen.(
+    int_range 0 (Array.length repliers - 1) >>= fun ri ->
+    int_range 1 n_links >>= fun proot ->
+    int_range 0 15 >>= fun ca ->
+    int_range 1 8 >>= fun clen ->
+    int_range 0 15 >>= fun pa ->
+    int_range 1 8 >>= fun plen ->
+    let crash_at = 5.0 +. (0.1 *. float_of_int ca) in
+    let crash_until = crash_at +. (0.1 *. float_of_int clen) in
+    let part_from = 5.0 +. (0.1 *. float_of_int pa) in
+    let part_until = part_from +. (0.1 *. float_of_int plen) in
+    return
+      [
+        Fault.Plan.Crash { node = repliers.(ri); at = crash_at; restart_at = Some crash_until };
+        Fault.Plan.Partition { root = proot; from_ = part_from; until = part_until };
+      ])
+
+let arbitrary_domain_plan = QCheck.make ~print:print_events gen_domain_fault_plan
+
+let prop_domain_crash_partition_srm =
+  QCheck.Test.make ~name:"fault: replier crash + partition overlap with domains, SRM" ~count:6
+    arbitrary_domain_plan (fun events ->
+      run_plan_domains ~protocol:Harness.Runner.Srm_protocol (Fault.Plan.make events))
+
+let prop_domain_crash_partition_cesrm =
+  QCheck.Test.make ~name:"fault: replier crash + partition overlap with domains, CESRM"
+    ~count:4 arbitrary_domain_plan (fun events ->
+      run_plan_domains
+        ~protocol:(Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+        (Fault.Plan.make events))
+
 (* --- Steady-state retirement under faults ----------------------------- *)
 
 (* Retirement (lib/steady) must stay invisible under fault plans too:
@@ -598,6 +711,14 @@ let () =
           Alcotest.test_case "unknown fault name" `Quick test_unknown_fault_name;
           qcheck prop_scale_plans_oracle_clean_srm;
           qcheck prop_scale_plans_oracle_clean_cesrm;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "canned plans clean with domains on" `Slow
+            test_canned_clean_oracle_domains;
+          Alcotest.test_case "designated-replier crash" `Quick test_replier_crash_domains;
+          qcheck prop_domain_crash_partition_srm;
+          qcheck prop_domain_crash_partition_cesrm;
         ] );
       ( "retirement",
         [

@@ -111,6 +111,68 @@ let check_scale_fingerprint name expected protocol () =
   check Alcotest.int (name ^ " audit clean") 0 res.Harness.Runner.audit_violations;
   check Alcotest.string name expected (fingerprint res)
 
+(* --- Pinned recovery-domain goldens (dc-1024) ------------------------ *)
+
+(* The deep-chain scenario is where domains earn their keep: the domain
+   goldens pin the clustering, the designated-replier election, the
+   scoped request/repair subcasts and the in-flight detection allowance
+   end to end. The flat golden on the same row guards the other
+   direction: with [domains] absent the run must not feel the domain
+   machinery at all. *)
+
+let dc_row = Mtrace.Scale.find "SCALE-dc-1024"
+
+let run_dc ?shards ?steady ?domains protocol =
+  Harness.Runner.run_leg ?shards ?steady ?domains ~n_packets:40 ~seed:42L protocol dc_row
+
+let domain_fingerprint (r : Harness.Runner.result) =
+  let m = Stats.Recovery.makespan_summary r.recoveries in
+  Printf.sprintf "%s mkspan_mean=%.17g mkspan_max=%.17g" (fingerprint r)
+    (Stats.Summary.mean m) (Stats.Summary.max m)
+
+let check_domain_fingerprint name expected protocol () =
+  let res = run_dc ~domains:Rdomain.Auto protocol in
+  check Alcotest.int (name ^ " audit clean") 0 res.Harness.Runner.audit_violations;
+  check Alcotest.string name expected (domain_fingerprint res)
+
+let check_flat_dc_fingerprint name expected protocol () =
+  let res = run_dc protocol in
+  check Alcotest.int (name ^ " audit clean") 0 res.Harness.Runner.audit_violations;
+  check Alcotest.string name expected (fingerprint res)
+
+let test_domains_compose_shards () =
+  (* Domain runs force the serial path; asking for shards must change
+     nothing, not crash or diverge. *)
+  let serial = domain_fingerprint (run_dc ~domains:Rdomain.Auto Harness.Runner.Srm_protocol) in
+  let sharded =
+    domain_fingerprint (run_dc ~shards:2 ~domains:Rdomain.Auto Harness.Runner.Srm_protocol)
+  in
+  check Alcotest.string "domains + shards falls back to the serial result" serial sharded
+
+let test_domains_compose_steady () =
+  (* [Steady.Config.infinite] keeps the eager trace and is documented
+     byte-identical to no steady config at all; that must hold with
+     domains on. *)
+  let plain = domain_fingerprint (run_dc ~domains:Rdomain.Auto Harness.Runner.Srm_protocol) in
+  let infinite =
+    domain_fingerprint
+      (run_dc ~steady:Steady.Config.infinite ~domains:Rdomain.Auto Harness.Runner.Srm_protocol)
+  in
+  check Alcotest.string "domains + infinite steady invisible" plain infinite;
+  (* A finite retirement window runs over the streaming trace, so the
+     invisibility reference is the never-retiring window on the same
+     stream (as in the steady battery) — here with domains on, and on
+     bounded fanout: the deep-chain rows' streaming calibration
+     undershoots the loss budget (see ROADMAP), which would make this
+     check vacuous on SCALE-dc-1024. *)
+  let bf ~window =
+    domain_fingerprint
+      (Harness.Runner.run_leg ~n_packets:40 ~seed:42L ~steady:(Steady.Config.windowed window)
+         ~domains:Rdomain.Auto Harness.Runner.Srm_protocol scale_row)
+  in
+  let finite = bf ~window:16 and reference = bf ~window:40 in
+  check Alcotest.string "domains + finite steady window invisible" reference finite
+
 (* --- Sweep byte-identity at 1024 receivers --------------------------- *)
 
 let scale_spec =
@@ -172,6 +234,28 @@ let () =
                "rqst=19 exp_rqst=5 repl=131 exp_repl=5 sess=36 detected=55 unrecovered=0 \
                 recoveries=55 lat_sum=76.494019482290355"
                (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config));
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "srm dc-1024 --domains" `Quick
+            (check_domain_fingerprint "srm-dc-1024-domains"
+               "rqst=54 exp_rqst=0 repl=886 exp_repl=0 sess=36 detected=60 unrecovered=0 \
+                recoveries=60 lat_sum=17.789055673337792 \
+                mkspan_mean=0.36902220689927623 mkspan_max=0.91896156319211286"
+               Harness.Runner.Srm_protocol);
+          Alcotest.test_case "cesrm dc-1024 --domains" `Quick
+            (check_domain_fingerprint "cesrm-dc-1024-domains"
+               "rqst=38 exp_rqst=24 repl=514 exp_repl=24 sess=36 detected=60 unrecovered=0 \
+                recoveries=60 lat_sum=14.93880226758265 \
+                mkspan_mean=0.30488632480596745 mkspan_max=0.91896156319211286"
+               (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config));
+          Alcotest.test_case "srm dc-1024 domains off" `Quick
+            (check_flat_dc_fingerprint "srm-dc-1024-flat"
+               "rqst=72 exp_rqst=0 repl=637 exp_repl=0 sess=36 detected=36307 unrecovered=0 \
+                recoveries=36307 lat_sum=83803.329944973302"
+               Harness.Runner.Srm_protocol);
+          Alcotest.test_case "compose with shards" `Quick test_domains_compose_shards;
+          Alcotest.test_case "compose with steady window" `Quick test_domains_compose_steady;
         ] );
       ( "sweep",
         [ Alcotest.test_case "serial = parallel (bytes)" `Quick test_sweep_identity_at_scale ]

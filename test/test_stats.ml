@@ -112,7 +112,8 @@ let prop_summary_matches_naive =
 
 (* --- Recovery ------------------------------------------------------------ *)
 
-let rec_record ?(node = 1) ?(seq = 1) ?(det = 0.) ?(rec_ = 1.) ?(expedited = false) () =
+let rec_record ?(node = 1) ?(seq = 1) ?(det = 0.) ?(rec_ = 1.) ?(expedited = false)
+    ?(repaired = true) () =
   {
     Stats.Recovery.node;
     src = 0;
@@ -121,6 +122,7 @@ let rec_record ?(node = 1) ?(seq = 1) ?(det = 0.) ?(rec_ = 1.) ?(expedited = fal
     recovered_at = rec_;
     rounds = 1;
     expedited;
+    repaired;
   }
 
 let test_recovery_collector () =
