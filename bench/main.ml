@@ -24,6 +24,16 @@
                                                conservative PDES workers and
                                                report events/sec and speedup
                                                vs the serial reference)
+     dune exec bench/main.exe -- --scale cache (the retention-policy gate:
+                                               both adversarial cache-thrash
+                                               scenarios at 256 receivers,
+                                               one cesrm leg per retention
+                                               scheme next to the SRM and
+                                               1-entry floors)
+     dune exec bench/main.exe -- --cache-policy SCHEME  (override the CESRM
+                                               replier-cache retention scheme
+                                               of the cesrm/cesrm-dom legs in
+                                               the other scale profiles)
      dune exec bench/main.exe -- --scale smoke --domains  (add an
                                                srm-dom/cesrm-dom leg pair per
                                                scenario: hierarchical local
@@ -79,6 +89,8 @@ let steady_profile = ref None
 
 let with_domains = ref false
 
+let cache_policy = ref None
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -110,8 +122,8 @@ let parse_args () =
         shards := int_of_string n;
         go rest
     | "--scale" :: p :: rest ->
-        if p <> "smoke" && p <> "full" && p <> "domains" then
-          failwith ("unknown --scale profile: " ^ p ^ " (expected smoke, full or domains)");
+        if p <> "smoke" && p <> "full" && p <> "domains" && p <> "cache" then
+          failwith ("unknown --scale profile: " ^ p ^ " (expected smoke, full, domains or cache)");
         scale_profile := Some p;
         if p = "domains" then with_domains := true;
         go rest
@@ -122,6 +134,14 @@ let parse_args () =
         go rest
     | "--domains" :: rest ->
         with_domains := true;
+        go rest
+    | "--cache-policy" :: name :: rest ->
+        (match Cesrm.Retention.of_name name with
+        | Some r -> cache_policy := Some r
+        | None ->
+            failwith
+              (Printf.sprintf "unknown --cache-policy %S (expected %s)" name
+                 Cesrm.Retention.names_doc));
         go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -363,7 +383,7 @@ let bechamel () =
             let model = Mtrace.Gilbert.of_marginal ~loss_rate:0.05 ~mean_burst:2.5 in
             ignore (Mtrace.Gilbert.run model (Sim.Rng.create 7L) 50_000));
         make "substrate:cache-churn" (fun () ->
-            let cache = Cesrm.Cache.create ~capacity:16 in
+            let cache = Cesrm.Cache.create ~capacity:16 () in
             for i = 1 to 1_000 do
               ignore
                 (Cesrm.Cache.note_reply cache
@@ -431,6 +451,12 @@ let scale_scenarios = function
      pipeline-deep without local recovery), and the profile forces the
      srm-dom/cesrm-dom legs on so the baseline pins both sides. *)
   | "domains" -> [ "SCALE-dc-1024" ]
+  (* The retention-policy gate: both adversarial cache-thrash families
+     at a cheap size. The profile replaces the plain cesrm leg with one
+     leg per retention scheme (the paper's 1-entry cache first as the
+     floor), so the baseline pins the policy x scenario expedited
+     grid. *)
+  | "cache" -> [ "SCALE-rh-256"; "SCALE-ps-256" ]
   | _ ->
       [
         "SCALE-bf-256";
@@ -448,6 +474,8 @@ let scale_family_name row =
   | Some (Mtrace.Scale.Bounded_fanout _) -> "bounded-fanout"
   | Some (Mtrace.Scale.Star_of_stars _) -> "star-of-stars"
   | Some Mtrace.Scale.Deep_chain -> "deep-chain"
+  | Some (Mtrace.Scale.Rotating_hot _) -> "rotating-hot"
+  | Some (Mtrace.Scale.Phase_shift _) -> "phase-shift"
   | None -> "trace"
 
 (* One protocol leg on one scale row, reduced to the JSON the report
@@ -574,9 +602,23 @@ let run_scale profile =
   List.map
     (fun scenario ->
       let row = Mtrace.Scale.find scenario in
+      let cesrm_config =
+        match !cache_policy with
+        | None -> Cesrm.Host.default_config
+        | Some retention -> { Cesrm.Host.default_config with retention }
+      in
       let srm = scale_leg "srm" Harness.Runner.Srm_protocol row in
-      let cesrm =
-        scale_leg "cesrm" (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config) row
+      let cesrm_legs =
+        if profile <> "cache" then
+          [ scale_leg "cesrm" (Harness.Runner.Cesrm_protocol cesrm_config) row ]
+        else
+          List.map
+            (fun name ->
+              let retention = Option.get (Cesrm.Retention.of_name name) in
+              scale_leg ("cesrm@" ^ name)
+                (Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with retention })
+                row)
+            [ "recent:1"; "recent"; "lru"; "ttl"; "hotspot" ]
       in
       (* --domains adds a hierarchical-recovery leg per protocol next
          to its flat twin, so one report carries the domains-vs-flat
@@ -587,11 +629,10 @@ let run_scale profile =
           [
             scale_leg "srm-dom" ~domains:Rdomain.Auto Harness.Runner.Srm_protocol row;
             scale_leg "cesrm-dom" ~domains:Rdomain.Auto
-              (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
-              row;
+              (Harness.Runner.Cesrm_protocol cesrm_config) row;
           ]
       in
-      let legs = [ srm; cesrm ] @ dom_legs in
+      let legs = (srm :: cesrm_legs) @ dom_legs in
       Obj
         [
           ("name", Str scenario);

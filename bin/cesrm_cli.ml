@@ -181,6 +181,28 @@ let policy_arg =
   in
   Arg.(value & opt policy_conv Cesrm.Policy.Most_recent & info [ "policy" ] ~doc)
 
+let retention_conv =
+  Arg.conv
+    ( (fun s ->
+        match Cesrm.Retention.of_name s with
+        | Some r -> Ok r
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown cache policy %s (expected %s)" s
+                    Cesrm.Retention.names_doc))),
+      fun ppf r -> Format.pp_print_string ppf (Cesrm.Retention.name r) )
+
+let cache_policy_arg =
+  let doc =
+    "CESRM replier-cache retention scheme: recent (default, the paper's \
+     keep-most-recent/evict-least-recent), lru (true least-recently-used), ttl[=horizon_s] \
+     (entries expire after the virtual-time horizon, default 2 s), or hotspot[=half_life_s] \
+     (exponential-decay (requestor,replier) score, default half-life 1 s). Append :K to cap \
+     the cache at K entries, e.g. recent:1 for the paper's 1-entry baseline."
+  in
+  Arg.(value & opt (some retention_conv) None & info [ "cache-policy" ] ~doc ~docv:"SCHEME")
+
 let router_assist_arg =
   Arg.(value & flag & info [ "router-assist" ] ~doc:"Enable turning-point subcast (Section 3.3).")
 
@@ -343,8 +365,8 @@ let print_steady (res : Harness.Runner.result) =
     res.retirement
 
 let run_cmd =
-  let run verbose name file packets seed protocol policy router_assist lossy link_delay_ms
-      faults trace_out metrics_out shards steady_window domains_opt =
+  let run verbose name file packets seed protocol policy cache_policy router_assist lossy
+      link_delay_ms faults trace_out metrics_out shards steady_window domains_opt =
     setup_logs verbose;
     match resolve_domains domains_opt with
     | Error msg -> `Error (false, msg)
@@ -361,7 +383,10 @@ let run_cmd =
        the run starts in O(links) no matter the packet count. *)
     let resolved =
       match (steady, name, file) with
-      | Some _, Some n, None when Mtrace.Scale.family_of_name n <> None -> (
+      | Some _, Some n, None
+        when (match Mtrace.Scale.family_of_name n with
+             | Some f -> Mtrace.Scale.supports_streaming f
+             | None -> false) -> (
           match (try Some (Mtrace.Scale.find n) with Not_found -> None) with
           | None -> Error (Printf.sprintf "unknown trace %s" n)
           | Some row ->
@@ -401,7 +426,7 @@ let run_cmd =
         let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
         let res =
           Harness.Runner.run_model ~setup ~shards ?tracer ?registry ?fault_plan ?steady ?domains
-            proto trace loss_model
+            ?cache_policy proto trace loss_model
         in
         print_result res;
         print_steady res;
@@ -440,12 +465,12 @@ let run_cmd =
     Term.(
       ret
         (const run $ verbose_flag $ trace_name $ trace_file $ packets $ seed $ protocol_arg
-        $ policy_arg $ router_assist_arg $ lossy_arg $ link_delay_arg $ faults_arg
-        $ trace_out_arg $ metrics_arg $ shards_arg $ steady_arg $ domains_arg))
+        $ policy_arg $ cache_policy_arg $ router_assist_arg $ lossy_arg $ link_delay_arg
+        $ faults_arg $ trace_out_arg $ metrics_arg $ shards_arg $ steady_arg $ domains_arg))
 
 let compare_cmd =
-  let run verbose (trace, ground) policy router_assist lossy link_delay_ms faults shards
-      domains_opt =
+  let run verbose (trace, ground) policy cache_policy router_assist lossy link_delay_ms faults
+      shards domains_opt =
     setup_logs verbose;
     match resolve_domains domains_opt with
     | Error msg -> `Error (false, msg)
@@ -470,7 +495,7 @@ let compare_cmd =
             Harness.Runner.Srm_protocol trace loss_model
         in
         let cesrm =
-          Harness.Runner.run_model ~setup ~shards ?fault_plan ?domains
+          Harness.Runner.run_model ~setup ~shards ?fault_plan ?domains ?cache_policy
             (Harness.Runner.Cesrm_protocol
                { Cesrm.Host.default_config with policy; router_assist })
             trace loss_model
@@ -489,8 +514,9 @@ let compare_cmd =
           both reports.")
     Term.(
       ret
-        (const run $ verbose_flag $ trace_model_term $ policy_arg $ router_assist_arg $ lossy_arg
-        $ link_delay_arg $ faults_arg $ shards_arg $ domains_arg))
+        (const run $ verbose_flag $ trace_model_term $ policy_arg $ cache_policy_arg
+        $ router_assist_arg $ lossy_arg $ link_delay_arg $ faults_arg $ shards_arg
+        $ domains_arg))
 
 (* -- diff -------------------------------------------------------------- *)
 
@@ -544,8 +570,9 @@ let sweep_cmd =
   in
   let protocols_arg =
     let doc =
-      "Protocols axis, comma-separated: $(b,srm), $(b,lms), or $(b,cesrm)[:policy][+ra] \
-       (e.g. cesrm:most-frequent+ra)."
+      "Protocols axis, comma-separated: $(b,srm), $(b,lms), or \
+       $(b,cesrm)[:policy][@retention][+ra] (e.g. cesrm:most-frequent+ra, \
+       cesrm:most-recent@lru:4)."
     in
     Arg.(value & opt string "srm,cesrm" & info [ "protocols" ] ~doc ~docv:"LIST")
   in
@@ -665,7 +692,7 @@ let sweep_cmd =
       ~rows
   in
   let run verbose spec_file name traces protocols seeds base_seed packets link_delay_ms lossy
-      faults jobs shards timeout retries out print_spec baseline rel abs domains_opt =
+      faults cache_policy jobs shards timeout retries out print_spec baseline rel abs domains_opt =
     setup_logs verbose;
     match resolve_domains domains_opt with
     | Error msg -> `Error (false, msg)
@@ -676,6 +703,25 @@ let sweep_cmd =
     with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
+        (* --cache-policy rewrites the retention of every CESRM entry on
+           the protocols axis; the rewritten retention lands in the
+           artifact's cell names, so round-tripping the spec preserves
+           it. *)
+        let spec =
+          match cache_policy with
+          | None -> spec
+          | Some retention ->
+              {
+                spec with
+                Exp.Spec.protocols =
+                  List.map
+                    (function
+                      | Exp.Spec.Cesrm { policy; retention = _; router_assist } ->
+                          Exp.Spec.Cesrm { policy; retention; router_assist }
+                      | p -> p)
+                    spec.Exp.Spec.protocols;
+              }
+        in
         if print_spec then begin
           print_endline (Obs.Json.to_string ~pretty:true (Exp.Spec.to_json spec));
           `Ok ()
@@ -739,9 +785,9 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ verbose_flag $ spec_file $ name_arg $ traces_arg $ protocols_arg $ seeds_arg
-        $ base_seed_arg $ packets $ link_delay_arg $ lossy_arg $ faults_axis_arg $ jobs_arg
-        $ shards_arg $ timeout_arg $ retries_arg $ out_arg $ print_spec_arg $ baseline_arg
-        $ rel_arg $ abs_arg $ domains_arg))
+        $ base_seed_arg $ packets $ link_delay_arg $ lossy_arg $ faults_axis_arg
+        $ cache_policy_arg $ jobs_arg $ shards_arg $ timeout_arg $ retries_arg $ out_arg
+        $ print_spec_arg $ baseline_arg $ rel_arg $ abs_arg $ domains_arg))
 
 (* -- main -------------------------------------------------------------- *)
 

@@ -1,6 +1,7 @@
 type config = {
   cache_capacity : int;
   policy : Policy.t;
+  retention : Retention.t;
   reorder_delay : float;
   router_assist : bool;
   replier_failure_limit : int option;
@@ -10,6 +11,7 @@ let default_config =
   {
     cache_capacity = 16;
     policy = Policy.Most_recent;
+    retention = Retention.default;
     reorder_delay = 0.;
     router_assist = false;
     replier_failure_limit = None;
@@ -43,7 +45,10 @@ let cache ?(src = 0) t =
   match Hashtbl.find_opt t.caches src with
   | Some c -> c
   | None ->
-      let c = Cache.create ~capacity:t.config.cache_capacity in
+      let capacity =
+        Option.value t.config.retention.Retention.capacity ~default:t.config.cache_capacity
+      in
+      let c = Cache.create ~retention:t.config.retention.Retention.scheme ~capacity () in
       Hashtbl.replace t.caches src c;
       c
 
@@ -58,6 +63,10 @@ let domain_cache_local_hits t = t.cache_local_hits
 let domain_cache_remote_hits t = t.cache_remote_hits
 
 let engine t = Net.Network.engine t.network
+
+(* Virtual time for the retention schemes (TTL ages, hotspot decay).
+   The default scheme ignores it entirely. *)
+let now t = Sim.Engine.now (engine t)
 
 (* Observed per-replier expedited success rate; unknown repliers get
    the optimistic prior so fresh pairs are always tried. *)
@@ -157,24 +166,26 @@ let in_my_domain t ~replier =
    leaves the domain subtree — and falls back to any live replier when
    the cache offers no local one. *)
 let choose_pair t ~src =
+  let now = now t in
   let score ~replier = replier_score t ~replier in
   let dead ~replier = replier_dead t ~replier in
   match t.domain with
-  | None -> Policy.choose ~score ~exclude:dead t.config.policy (cache ~src t)
+  | None -> Policy.choose ~now ~score ~exclude:dead t.config.policy (cache ~src t)
   | Some _ -> (
       match
-        Policy.choose ~score
+        Policy.choose ~now ~score
           ~exclude:(fun ~replier -> dead ~replier || not (in_my_domain t ~replier))
           t.config.policy (cache ~src t)
       with
       | Some _ as local -> local
-      | None -> Policy.choose ~score ~exclude:dead t.config.policy (cache ~src t))
+      | None -> Policy.choose ~now ~score ~exclude:dead t.config.policy (cache ~src t))
 
 (* Section 3.2: on detecting a loss, consult the policy; if we are the
    expeditious requestor, arm the REORDER_DELAY timer. *)
 let maybe_expedite t ~src ~seq =
   match choose_pair t ~src with
   | Some pair when pair.requestor = t.self && not (Hashtbl.mem t.exp_timers (key t ~src ~seq)) ->
+      Cache.touch ~now:(now t) (cache ~src t) ~seq:pair.seq;
       (match t.domain with
       | None -> ()
       | Some _ ->
@@ -205,7 +216,7 @@ let digest_reply t payload =
                 Some (Net.Tree.lca (Net.Network.tree t.network) replier t.self)
         in
         ignore
-          (Cache.note_reply (cache ~src t)
+          (Cache.note_reply ~now:(now t) (cache ~src t)
              { Cache.seq; requestor; d_qs; replier; d_rq; turning_point })
       end
   | _ -> ()
@@ -330,6 +341,16 @@ let publish_metrics t registry =
       Obs.Registry.incr registry "cesrm/caches";
       Obs.Registry.incr ~by:(Cache.size c) registry "cesrm/cache_entries")
     t.caches;
+  (* Retention accounting, keyed by scheme so policy sweeps read as
+     "hits under lru" vs "hits under recent" straight off the report. *)
+  let scheme_key metric =
+    Printf.sprintf "cesrm/cache_%s/%s" metric
+      (Retention.scheme_label t.config.retention.Retention.scheme)
+  in
+  let sum f = Hashtbl.fold (fun _ c acc -> acc + f c) t.caches 0 in
+  Obs.Registry.incr ~by:(sum Cache.evictions) registry (scheme_key "evictions");
+  Obs.Registry.incr ~by:(sum Cache.expiries) registry (scheme_key "expiries");
+  Obs.Registry.incr ~by:(sum Cache.hits) registry (scheme_key "hits");
   Hashtbl.iter
     (fun _ (ok, total) ->
       if total > 0 then

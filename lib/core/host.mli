@@ -23,6 +23,11 @@
 type config = {
   cache_capacity : int;
   policy : Policy.t;
+  retention : Retention.t;
+      (** cache retention scheme ({!Retention.default} = the paper's
+          keep-most-recent / evict-least-recent, byte-identical to the
+          pre-policy cache); its [capacity] field, when set, overrides
+          [cache_capacity] *)
   reorder_delay : float;
   router_assist : bool;
   replier_failure_limit : int option;
@@ -35,9 +40,9 @@ type config = {
 }
 
 val default_config : config
-(** Capacity 16, most-recent policy, zero reorder delay (the paper's
-    simulation setting — no reordering occurs), no router assist, no
-    replier failure limit. *)
+(** Capacity 16, most-recent policy, default (paper) retention, zero
+    reorder delay (the paper's simulation setting — no reordering
+    occurs), no router assist, no replier failure limit. *)
 
 type t
 
@@ -119,4 +124,6 @@ val reset_caches : t -> unit
 val publish_metrics : t -> Obs.Registry.t -> unit
 (** Accumulate this member's SRM metrics plus the expedited-recovery
     state (["cesrm/"] prefix: requests/replies sent, cache occupancy,
-    observed per-replier success rates) into the registry. *)
+    observed per-replier success rates, and the retention accounting —
+    ["cesrm/cache_evictions/<scheme>"], ["…_expiries/<scheme>"],
+    ["…_hits/<scheme>"]) into the registry. *)

@@ -14,12 +14,17 @@ let take n xs =
   let rec go n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: go (n - 1) rest in
   go n xs
 
-let choose ?(score = fun ~replier:_ -> 1.) ?(exclude = fun ~replier:_ -> false) policy cache =
+let choose ?now ?(score = fun ~replier:_ -> 1.) ?(exclude = fun ~replier:_ -> false) policy cache
+    =
   (* Every policy works over the cache minus excluded repliers (dead
      ones, per retry back-off); the default exclusion is empty, so the
-     view is then the cache itself. *)
+     view is then the cache itself. The view is already ranked by the
+     cache's retention scheme ([now] lets TTL expire and hotspot decay
+     first), so "most recent" below means "best-ranked". *)
   let entries =
-    List.filter (fun (e : Cache.entry) -> not (exclude ~replier:e.replier)) (Cache.entries cache)
+    List.filter
+      (fun (e : Cache.entry) -> not (exclude ~replier:e.replier))
+      (Cache.entries ?now cache)
   in
   let most_recent = match entries with [] -> None | e :: _ -> Some e in
   match policy with

@@ -27,6 +27,7 @@ val name : t -> string
 val of_name : string -> t option
 
 val choose :
+  ?now:float ->
   ?score:(replier:int -> float) ->
   ?exclude:(replier:int -> bool) ->
   t ->
@@ -37,4 +38,8 @@ val choose :
     success rate in [0, 1] (default: optimistic 1) and is only
     consulted by [Success_biased]. [exclude] removes entries naming a
     replier from consideration under every policy (default: none) —
-    retry back-off uses it to stop unicasting repliers presumed dead. *)
+    retry back-off uses it to stop unicasting repliers presumed dead.
+    [now] (virtual time) is forwarded to {!Cache.entries} so the
+    cache's retention scheme can expire and decay before ranking;
+    selection then works over the scheme's ranked view ("most recent"
+    = best-ranked). *)

@@ -1,13 +1,17 @@
 type protocol_spec =
   | Srm
-  | Cesrm of { policy : Cesrm.Policy.t; router_assist : bool }
+  | Cesrm of { policy : Cesrm.Policy.t; retention : Cesrm.Retention.t; router_assist : bool }
   | Lms
 
 let protocol_name = function
   | Srm -> "srm"
   | Lms -> "lms"
-  | Cesrm { policy; router_assist } ->
-      Printf.sprintf "cesrm:%s%s" (Cesrm.Policy.name policy)
+  | Cesrm { policy; retention; router_assist } ->
+      (* The retention segment is omitted when default, so every
+         pre-retention artifact name round-trips unchanged. *)
+      Printf.sprintf "cesrm:%s%s%s" (Cesrm.Policy.name policy)
+        (if Cesrm.Retention.is_default retention then ""
+         else "@" ^ Cesrm.Retention.name retention)
         (if router_assist then "+ra" else "")
 
 let protocol_of_name s =
@@ -21,20 +25,44 @@ let protocol_of_name s =
         | n when n >= 3 && String.sub rest (n - 3) 3 = "+ra" -> (String.sub rest 0 (n - 3), true)
         | _ -> (rest, false)
       in
-      if rest = "" then
-        Ok (Cesrm { policy = Cesrm.Host.default_config.Cesrm.Host.policy; router_assist })
-      else begin
-        match Cesrm.Policy.of_name rest with
-        | Some policy -> Ok (Cesrm { policy; router_assist })
-        | None -> Error (Printf.sprintf "unknown CESRM policy %S" rest)
-      end
-  | _ -> Error (Printf.sprintf "unknown protocol %S (expected srm, cesrm[:policy][+ra] or lms)" s)
+      let policy_part, retention_part =
+        match String.index_opt rest '@' with
+        | Some i ->
+            (String.sub rest 0 i, Some (String.sub rest (i + 1) (String.length rest - i - 1)))
+        | None -> (rest, None)
+      in
+      let ( let* ) = Result.bind in
+      let* retention =
+        match retention_part with
+        | None -> Ok Cesrm.Retention.default
+        | Some r -> (
+            match Cesrm.Retention.of_name r with
+            | Some retention -> Ok retention
+            | None ->
+                Error
+                  (Printf.sprintf "unknown CESRM cache policy %S (expected %s)" r
+                     Cesrm.Retention.names_doc))
+      in
+      let* policy =
+        if policy_part = "" then Ok Cesrm.Host.default_config.Cesrm.Host.policy
+        else begin
+          match Cesrm.Policy.of_name policy_part with
+          | Some policy -> Ok policy
+          | None -> Error (Printf.sprintf "unknown CESRM policy %S" policy_part)
+        end
+      in
+      Ok (Cesrm { policy; retention; router_assist })
+  | _ ->
+      Error
+        (Printf.sprintf "unknown protocol %S (expected srm, cesrm[:policy][@retention][+ra] or lms)"
+           s)
 
 let runner_protocol = function
   | Srm -> Harness.Runner.Srm_protocol
   | Lms -> Harness.Runner.Lms_protocol
-  | Cesrm { policy; router_assist } ->
-      Harness.Runner.Cesrm_protocol { Cesrm.Host.default_config with policy; router_assist }
+  | Cesrm { policy; retention; router_assist } ->
+      Harness.Runner.Cesrm_protocol
+        { Cesrm.Host.default_config with policy; retention; router_assist }
 
 type t = {
   name : string;
@@ -58,6 +86,7 @@ let default =
         Cesrm
           {
             policy = Cesrm.Host.default_config.Cesrm.Host.policy;
+            retention = Cesrm.Retention.default;
             router_assist = Cesrm.Host.default_config.Cesrm.Host.router_assist;
           };
       ];

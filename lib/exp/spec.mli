@@ -14,16 +14,19 @@
 
 type protocol_spec =
   | Srm
-  | Cesrm of { policy : Cesrm.Policy.t; router_assist : bool }
+  | Cesrm of { policy : Cesrm.Policy.t; retention : Cesrm.Retention.t; router_assist : bool }
   | Lms
 
 val protocol_name : protocol_spec -> string
-(** ["srm"], ["lms"], or ["cesrm:<policy>"] with a ["+ra"] suffix when
-    router assist is on (e.g. ["cesrm:most-recent+ra"]). *)
+(** ["srm"], ["lms"], or ["cesrm:<policy>[@retention]"] with a ["+ra"]
+    suffix when router assist is on (e.g. ["cesrm:most-recent+ra"],
+    ["cesrm:most-recent@lru:4"]). The retention segment is omitted when
+    it is {!Cesrm.Retention.default}, so pre-retention artifact names
+    are stable. *)
 
 val protocol_of_name : string -> (protocol_spec, string) result
 (** Inverse of {!protocol_name}; bare ["cesrm"] means the default
-    policy without router assist. *)
+    policy, default retention, no router assist. *)
 
 val runner_protocol : protocol_spec -> Harness.Runner.protocol
 

@@ -82,7 +82,15 @@ let shardable ~shards ~tracer ~fault_plan ~setup ~steady ~domains protocol =
         plan.Fault.Plan.events
 
 let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 1) ?steady
-    ?domains protocol trace loss_model =
+    ?domains ?cache_policy protocol trace loss_model =
+  (* [cache_policy] overrides the CESRM config's retention scheme — the
+     CLI/bench lever; a no-op for SRM and LMS, and omitting it leaves
+     the config (hence the default scheme's bits) untouched. *)
+  let protocol =
+    match (protocol, cache_policy) with
+    | Cesrm_protocol config, Some retention -> Cesrm_protocol { config with Cesrm.Host.retention }
+    | _ -> protocol
+  in
   (* A fault plan switches on the robustness extensions unless the
      caller pinned them: session-driven request re-arm (bounds
      post-heal recovery latency by the session period instead of the
@@ -435,10 +443,10 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         protocol trace loss_model
   end
 
-let run ?setup ?tracer ?registry ?fault_plan ?shards ?steady ?domains protocol trace attribution
-    =
-  run_model ?setup ?tracer ?registry ?fault_plan ?shards ?steady ?domains protocol trace
-    (Attributed attribution)
+let run ?setup ?tracer ?registry ?fault_plan ?shards ?steady ?domains ?cache_policy protocol trace
+    attribution =
+  run_model ?setup ?tracer ?registry ?fault_plan ?shards ?steady ?domains ?cache_policy protocol
+    trace (Attributed attribution)
 
 (* Harness tuning for the synthetic scale scenarios. Classic SRM
    settings assume a ~10–50 member group; at 10^3–10^4 members the
@@ -498,8 +506,8 @@ let tune_for_trace ?domains trace setup =
       let n_members = 1 + Array.length (Net.Tree.receivers (Mtrace.Trace.tree trace)) in
       scale_setup ?domains ~family ~n_members setup
 
-let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady ?domains ~seed
-    protocol row =
+let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady ?domains
+    ?cache_policy ~seed protocol row =
   let scale_family = Mtrace.Scale.family_of_name row.Mtrace.Meta.name in
   (* A steady run over a scale row never materializes the event list:
      the trace comes from the streaming generator (lazy per-link loss
@@ -508,7 +516,9 @@ let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady
      eager path regardless. *)
   let stream_trace =
     (match steady with Some c -> Steady.Config.streaming c | None -> false)
-    && scale_family <> None
+    && (match scale_family with
+       | Some f -> Mtrace.Scale.supports_streaming f
+       | None -> false)
   in
   let trace, loss_model =
     if stream_trace then begin
@@ -538,8 +548,8 @@ let run_leg ?(setup = default_setup) ?registry ?n_packets ?fault ?shards ?steady
         | None -> invalid_arg (Printf.sprintf "Runner.run_leg: unknown canned fault plan %S" name))
       fault
   in
-  run_model ~setup:{ setup with seed } ?registry ?fault_plan ?shards ?steady ?domains protocol
-    trace loss_model
+  run_model ~setup:{ setup with seed } ?registry ?fault_plan ?shards ?steady ?domains ?cache_policy
+    protocol trace loss_model
 
 let normalized_recovery result ~node ~filter =
   let rtt = List.assoc node result.rtt_to_source in

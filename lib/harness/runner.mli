@@ -87,6 +87,7 @@ val run_model :
   ?shards:int ->
   ?steady:Steady.Config.t ->
   ?domains:Rdomain.spec ->
+  ?cache_policy:Cesrm.Retention.t ->
   protocol ->
   Mtrace.Trace.t ->
   loss_model ->
@@ -101,6 +102,7 @@ val run :
   ?shards:int ->
   ?steady:Steady.Config.t ->
   ?domains:Rdomain.spec ->
+  ?cache_policy:Cesrm.Retention.t ->
   protocol ->
   Mtrace.Trace.t ->
   Inference.Attribution.t ->
@@ -161,7 +163,13 @@ val run :
     (@raise Invalid_argument under LMS); forces the serial path
     ([shards] is ignored — scoped casts need the global tree). Without
     [domains] every run is byte-identical to before the mode
-    existed. *)
+    existed.
+
+    With [cache_policy], a CESRM protocol's replier-cache retention
+    scheme is overridden ({!Cesrm.Retention}) before the run — the
+    CLI's [--cache-policy] lever. A no-op for SRM and LMS; omitted, the
+    config's own retention (default: the paper's keep-most-recent
+    scheme, byte-identical to the pre-policy cache) stands. *)
 
 val run_leg :
   ?setup:setup ->
@@ -171,6 +179,7 @@ val run_leg :
   ?shards:int ->
   ?steady:Steady.Config.t ->
   ?domains:Rdomain.spec ->
+  ?cache_policy:Cesrm.Retention.t ->
   seed:int64 ->
   protocol ->
   Mtrace.Meta.row ->

@@ -2,8 +2,19 @@ type family =
   | Bounded_fanout of { fanout : int }
   | Star_of_stars of { clusters : int }
   | Deep_chain
+  | Rotating_hot of { window : int; pool : int }
+  | Phase_shift of { window : int }
 
 let default_fanout = 4
+
+(* Adversarial cache-thrash families: the loss locality migrates every
+   [window] packets, which is what defeats a small recency-ranked
+   replier cache. 25 packets ≈ 1 s of data at the default period —
+   long enough for a recovery exchange to complete and repopulate the
+   caches, short enough that a 200-packet row sees 8 migrations. *)
+let default_adversarial_window = 25
+
+let default_rotation_pool = 4
 
 let default_n_packets = 200
 
@@ -35,13 +46,32 @@ let parse_name name =
               let clusters = max 2 (int_of_float (sqrt (float_of_int n_receivers))) in
               Some (Star_of_stars { clusters }, n_receivers)
           | "dc" -> Some (Deep_chain, n_receivers)
+          | "rh" ->
+              Some
+                ( Rotating_hot
+                    { window = default_adversarial_window; pool = default_rotation_pool },
+                  n_receivers )
+          | "ps" -> Some (Phase_shift { window = default_adversarial_window }, n_receivers)
           | _ -> None)
       | _ -> None)
   | _ -> None
 
 let family_of_name name = Option.map fst (parse_name name)
 
-let family_code = function Bounded_fanout _ -> 0 | Star_of_stars _ -> 1 | Deep_chain -> 2
+let family_code = function
+  | Bounded_fanout _ -> 0
+  | Star_of_stars _ -> 1
+  | Deep_chain -> 2
+  | Rotating_hot _ -> 3
+  | Phase_shift _ -> 4
+
+(* The adversarial families build their loss schedules directly
+   (windowed Bernoulli on chosen links) instead of calibrated Gilbert
+   chains, so they have no streaming loss-chain representation — the
+   harness keeps them on the eager generator even in steady mode. *)
+let supports_streaming = function
+  | Bounded_fanout _ | Star_of_stars _ | Deep_chain -> true
+  | Rotating_hot _ | Phase_shift _ -> false
 
 let row_of name family n_receivers =
   let tree_depth =
@@ -52,6 +82,11 @@ let row_of name family n_receivers =
         2 + int_of_float (ceil (log (float_of_int n_receivers) /. log (float_of_int fanout)))
     | Star_of_stars _ -> 2
     | Deep_chain -> n_receivers + 1
+    | Rotating_hot _ | Phase_shift _ ->
+        (* Bounded-fanout trees at the default fanout. *)
+        2
+        + int_of_float
+            (ceil (log (float_of_int n_receivers) /. log (float_of_int default_fanout)))
   in
   let n_losses =
     max 1
@@ -84,5 +119,5 @@ let catalog =
     (fun n ->
       List.filter_map
         (fun fam -> parse (Printf.sprintf "SCALE-%s-%d" fam n))
-        [ "bf"; "ss"; "dc" ])
+        [ "bf"; "ss"; "dc"; "rh"; "ps" ])
     standard_sizes

@@ -12,7 +12,7 @@ let entry ?(seq = 1) ?(requestor = 1) ?(d_qs = 0.1) ?(replier = 2) ?(d_rq = 0.05
 (* --- Cache ------------------------------------------------------------- *)
 
 let test_cache_insert_and_recency () =
-  let c = Cesrm.Cache.create ~capacity:3 in
+  let c = Cesrm.Cache.create ~capacity:3 () in
   check Alcotest.int "empty" 0 (Cesrm.Cache.size c);
   check Alcotest.bool "no most recent" true (Cesrm.Cache.most_recent c = None);
   ignore (Cesrm.Cache.note_reply c (entry ~seq:5 ()));
@@ -23,7 +23,7 @@ let test_cache_insert_and_recency () =
     (Option.map (fun (e : Cesrm.Cache.entry) -> e.seq) (Cesrm.Cache.most_recent c))
 
 let test_cache_eviction () =
-  let c = Cesrm.Cache.create ~capacity:2 in
+  let c = Cesrm.Cache.create ~capacity:2 () in
   ignore (Cesrm.Cache.note_reply c (entry ~seq:5 ()));
   ignore (Cesrm.Cache.note_reply c (entry ~seq:9 ()));
   check Alcotest.bool "full insert evicts least recent" true
@@ -34,7 +34,7 @@ let test_cache_eviction () =
   check Alcotest.int "size stays at capacity" 2 (Cesrm.Cache.size c)
 
 let test_cache_optimal_update () =
-  let c = Cesrm.Cache.create ~capacity:4 in
+  let c = Cesrm.Cache.create ~capacity:4 () in
   ignore (Cesrm.Cache.note_reply c (entry ~seq:5 ~requestor:1 ~d_qs:0.1 ~d_rq:0.05 ()));
   (* Worse pair (larger d_qs + 2 d_rq) is ignored. *)
   check Alcotest.bool "worse ignored" true
@@ -52,7 +52,7 @@ let test_cache_recovery_delay () =
     (Cesrm.Cache.recovery_delay (entry ~d_qs:0.1 ~d_rq:0.05 ()))
 
 let test_cache_most_frequent () =
-  let c = Cesrm.Cache.create ~capacity:8 in
+  let c = Cesrm.Cache.create ~capacity:8 () in
   ignore (Cesrm.Cache.note_reply c (entry ~seq:1 ~requestor:1 ~replier:2 ()));
   ignore (Cesrm.Cache.note_reply c (entry ~seq:2 ~requestor:3 ~replier:4 ()));
   ignore (Cesrm.Cache.note_reply c (entry ~seq:3 ~requestor:1 ~replier:2 ()));
@@ -68,17 +68,191 @@ let test_cache_most_frequent () =
 let test_cache_validation () =
   Alcotest.check_raises "capacity >= 1"
     (Invalid_argument "Cache.create: capacity >= 1 required") (fun () ->
-      ignore (Cesrm.Cache.create ~capacity:0))
+      ignore (Cesrm.Cache.create ~capacity:0 ()))
 
 let prop_cache_bounded_and_sorted =
   QCheck.Test.make ~name:"cache: size bounded, entries sorted by recency" ~count:200
     QCheck.(pair (int_range 1 8) (list_of_size Gen.(int_range 0 50) (int_range 1 100)))
     (fun (capacity, seqs) ->
-      let c = Cesrm.Cache.create ~capacity in
+      let c = Cesrm.Cache.create ~capacity () in
       List.iter (fun seq -> ignore (Cesrm.Cache.note_reply c (entry ~seq ()))) seqs;
       let es = Cesrm.Cache.entries c in
       Cesrm.Cache.size c <= capacity
       && List.sort (fun (a : Cesrm.Cache.entry) b -> compare b.seq a.seq) es = es)
+
+(* --- Retention laws ----------------------------------------------------- *)
+
+(* Random cache programs over a tiny op language. Virtual time is the
+   op index scaled, so every op has a distinct, increasing timestamp —
+   which makes the use-order and expiry laws exact. *)
+type cache_op = Op_note of int * int | Op_touch of int
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 60)
+      (map2
+         (fun is_note seq -> if is_note then Op_note (seq, seq mod 5) else Op_touch seq)
+         bool (int_range 1 20)))
+
+let ops_arb = QCheck.make ~print:(fun _ -> "<ops>") ops_gen
+
+let op_time i = 0.1 *. float_of_int i
+
+let run_ops c ops =
+  List.iteri
+    (fun i op ->
+      let now = op_time i in
+      match op with
+      | Op_note (seq, pair) ->
+          ignore
+            (Cesrm.Cache.note_reply ~now c (entry ~seq ~requestor:(100 + pair) ~replier:(200 + pair) ()))
+      | Op_touch seq -> Cesrm.Cache.touch ~now c ~seq)
+    ops
+
+let prop_lru_use_order =
+  QCheck.Test.make ~name:"retention: LRU entries ordered by last use" ~count:300
+    QCheck.(pair (int_range 1 6) ops_arb)
+    (fun (capacity, ops) ->
+      let c = Cesrm.Cache.create ~retention:Cesrm.Retention.Lru ~capacity () in
+      (* Reference last-use times: a digest for a seq that stays or
+         enters is a use; so is a touch of a present seq. Evicted seqs
+         re-noted later just get a fresher time. *)
+      let last_use = Hashtbl.create 16 in
+      List.iteri
+        (fun i op ->
+          let now = op_time i in
+          (match op with
+          | Op_note (seq, pair) ->
+              ignore
+                (Cesrm.Cache.note_reply ~now c
+                   (entry ~seq ~requestor:(100 + pair) ~replier:(200 + pair) ()));
+              Hashtbl.replace last_use seq now
+          | Op_touch seq ->
+              if Cesrm.Cache.find c ~seq <> None then Hashtbl.replace last_use seq now;
+              Cesrm.Cache.touch ~now c ~seq);
+          ())
+        ops;
+      let seqs = List.map (fun (e : Cesrm.Cache.entry) -> e.seq) (Cesrm.Cache.entries c) in
+      let uses = List.map (Hashtbl.find last_use) seqs in
+      Cesrm.Cache.size c <= capacity
+      && List.sort (fun a b -> compare b a) uses = uses)
+
+let prop_ttl_expiry =
+  QCheck.Test.make ~name:"retention: no TTL entry outlives the horizon" ~count:300
+    QCheck.(triple (int_range 1 6) (int_range 1 40) (int_range 0 100))
+    (fun (capacity, n, extra) ->
+      let horizon = 1.5 in
+      let c = Cesrm.Cache.create ~retention:(Cesrm.Retention.Ttl horizon) ~capacity () in
+      (* Distinct seqs at distinct times, so each entry's age at the
+         final lookup is exactly [t_final - its note time]. *)
+      for i = 1 to n do
+        ignore (Cesrm.Cache.note_reply ~now:(op_time i) c (entry ~seq:i ()))
+      done;
+      let t_final = op_time n +. (0.05 *. float_of_int extra) in
+      let survivors = Cesrm.Cache.entries ~now:t_final c in
+      List.for_all
+        (fun (e : Cesrm.Cache.entry) -> t_final -. op_time e.seq <= horizon)
+        survivors
+      && Cesrm.Cache.expiries c + List.length survivors
+         >= min n capacity - Cesrm.Cache.evictions c)
+
+let prop_hotspot_ordering =
+  QCheck.Test.make ~name:"retention: hotspot order time-invariant, bump never demotes"
+    ~count:300
+    QCheck.(pair (int_range 1 6) ops_arb)
+    (fun (capacity, ops) ->
+      let c =
+        Cesrm.Cache.create ~retention:(Cesrm.Retention.Hotspot 1.) ~capacity ()
+      in
+      run_ops c ops;
+      let t1 = op_time (List.length ops) in
+      let order_at now =
+        List.map (fun (e : Cesrm.Cache.entry) -> e.seq) (Cesrm.Cache.entries ~now c)
+      in
+      (* Pure time passage decays every pair by the same factor, so the
+         ranking cannot move between bumps. *)
+      let invariant = order_at t1 = order_at (t1 +. 7.9) in
+      match Cesrm.Cache.entries ~now:t1 c with
+      | [] -> invariant
+      | es ->
+          (* Re-digesting a cached tuple bumps its pair's score and
+             changes nothing else, so its rank can only improve. *)
+          let victim = List.nth es (List.length es - 1) in
+          let rank seq l =
+            let rec go i = function
+              | [] -> max_int
+              | (e : Cesrm.Cache.entry) :: tl -> if e.seq = seq then i else go (i + 1) tl
+            in
+            go 0 l
+          in
+          let before = rank victim.seq es in
+          ignore (Cesrm.Cache.note_reply ~now:(t1 +. 0.05) c victim);
+          let after = rank victim.seq (Cesrm.Cache.entries ~now:(t1 +. 0.05) c) in
+          invariant && after <= before)
+
+let test_retention_names () =
+  List.iter
+    (fun n ->
+      match Cesrm.Retention.of_name n with
+      | None -> Alcotest.failf "%S must parse" n
+      | Some r -> check Alcotest.string "canonical" n (Cesrm.Retention.name r))
+    ([ "recent"; "recent:1"; "lru"; "lru:4"; "ttl"; "ttl=2.5"; "ttl=2.5:8"; "hotspot";
+       "hotspot=0.5" ]
+    @ Cesrm.Retention.all_names);
+  check Alcotest.bool "default is default" true
+    (Cesrm.Retention.is_default Cesrm.Retention.default);
+  check Alcotest.bool "capacity override is not default" false
+    (Cesrm.Retention.is_default { Cesrm.Retention.default with capacity = Some 1 });
+  List.iter
+    (fun bad -> check Alcotest.bool bad true (Cesrm.Retention.of_name bad = None))
+    [ ""; "nope"; "recent:0"; "recent:-1"; "ttl=0"; "ttl=x"; "hotspot=-1"; "lru:" ]
+
+(* Reference implementation of the seed retention algorithm (a bare
+   sorted assoc list), run in lockstep with the default cache on random
+   note programs — the differential law pinning the refactor. *)
+let prop_default_matches_reference =
+  let note_ref capacity entries (e : Cesrm.Cache.entry) =
+    match List.find_opt (fun (x : Cesrm.Cache.entry) -> x.seq = e.seq) entries with
+    | Some existing ->
+        if Cesrm.Cache.recovery_delay e < Cesrm.Cache.recovery_delay existing then
+          ( List.map (fun (x : Cesrm.Cache.entry) -> if x.seq = e.seq then e else x) entries,
+            `Updated )
+        else (entries, `Ignored)
+    | None ->
+        let full = List.length entries >= capacity in
+        let least =
+          List.fold_left (fun acc (x : Cesrm.Cache.entry) -> min acc x.seq) max_int entries
+        in
+        if full && e.seq < least then (entries, `Ignored)
+        else
+          let kept =
+            if full then List.filter (fun (x : Cesrm.Cache.entry) -> x.seq <> least) entries
+            else entries
+          in
+          ( List.sort (fun (a : Cesrm.Cache.entry) b -> compare b.seq a.seq) (e :: kept),
+            `Inserted )
+  in
+  QCheck.Test.make ~name:"retention: default scheme == seed reference (differential)"
+    ~count:500
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size Gen.(int_range 0 50)
+           (pair (int_range 1 12) (pair (int_range 1 9) (int_range 1 9)))))
+    (fun (capacity, notes) ->
+      let c = Cesrm.Cache.create ~capacity () in
+      let reference = ref [] in
+      List.for_all
+        (fun (seq, (q, r)) ->
+          let e = entry ~seq ~requestor:q ~d_qs:(float_of_int q /. 10.) ~replier:r
+                    ~d_rq:(float_of_int r /. 100.) () in
+          let verdict = Cesrm.Cache.note_reply c e in
+          let reference', verdict' = note_ref capacity !reference e in
+          reference := reference';
+          verdict = verdict'
+          && Cesrm.Cache.entries c = !reference
+          && Cesrm.Cache.most_recent c
+             = (match !reference with [] -> None | x :: _ -> Some x))
+        notes)
 
 (* --- Policy -------------------------------------------------------------- *)
 
@@ -91,7 +265,7 @@ let test_policy_names () =
   check Alcotest.bool "unknown name" true (Cesrm.Policy.of_name "nope" = None)
 
 let test_policy_choices () =
-  let c = Cesrm.Cache.create ~capacity:8 in
+  let c = Cesrm.Cache.create ~capacity:8 () in
   check Alcotest.bool "empty cache yields nothing" true
     (Cesrm.Policy.choose Cesrm.Policy.Most_recent c = None);
   ignore (Cesrm.Cache.note_reply c (entry ~seq:1 ~requestor:1 ~replier:2 ()));
@@ -109,7 +283,7 @@ let test_policy_choices () =
     (Cesrm.Policy.choose Cesrm.Policy.Frequency_weighted_recent c <> None)
 
 let test_policy_success_biased () =
-  let c = Cesrm.Cache.create ~capacity:8 in
+  let c = Cesrm.Cache.create ~capacity:8 () in
   ignore (Cesrm.Cache.note_reply c (entry ~seq:1 ~requestor:1 ~replier:2 ()));
   ignore (Cesrm.Cache.note_reply c (entry ~seq:2 ~requestor:1 ~replier:9 ()));
   (* With the optimistic default score, recency wins: replier 9. *)
@@ -342,6 +516,14 @@ let () =
           Alcotest.test_case "most frequent" `Quick test_cache_most_frequent;
           Alcotest.test_case "validation" `Quick test_cache_validation;
           qcheck prop_cache_bounded_and_sorted;
+        ] );
+      ( "retention",
+        [
+          Alcotest.test_case "names round-trip" `Quick test_retention_names;
+          qcheck prop_lru_use_order;
+          qcheck prop_ttl_expiry;
+          qcheck prop_hotspot_ordering;
+          qcheck prop_default_matches_reference;
         ] );
       ( "policy",
         [

@@ -15,7 +15,7 @@ let small_spec =
     protocols =
       [
         Exp.Spec.Srm;
-        Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_recent; router_assist = false };
+        Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_recent; retention = Cesrm.Retention.default; router_assist = false };
       ];
     base_seed = 7L;
     n_seeds = 2;
@@ -44,7 +44,7 @@ let test_spec_roundtrip () =
       protocols =
         [
           Exp.Spec.Lms;
-          Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_frequent; router_assist = true };
+          Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_frequent; retention = Cesrm.Retention.default; router_assist = true };
         ];
       base_seed = Int64.min_int;
       n_packets = None;
@@ -94,10 +94,45 @@ let test_protocol_names () =
     :: List.concat_map
          (fun policy ->
            [
-             Exp.Spec.Cesrm { policy; router_assist = false };
-             Exp.Spec.Cesrm { policy; router_assist = true };
+             Exp.Spec.Cesrm { policy; retention = Cesrm.Retention.default; router_assist = false };
+             Exp.Spec.Cesrm { policy; retention = Cesrm.Retention.default; router_assist = true };
            ])
          Cesrm.Policy.all);
+  (* The retention segment: non-default retentions round-trip through
+     the "@" syntax, the default one is omitted from the name (so
+     pre-retention artifact names stay stable), and malformed
+     retentions are rejected. *)
+  List.iter
+    (fun r ->
+      let retention = Option.get (Cesrm.Retention.of_name r) in
+      let p =
+        Exp.Spec.Cesrm
+          { policy = Cesrm.Policy.Most_recent; retention; router_assist = false }
+      in
+      let name = Exp.Spec.protocol_name p in
+      check Alcotest.string "retention in name" ("cesrm:most-recent@" ^ r) name;
+      match Exp.Spec.protocol_of_name name with
+      | Ok (Exp.Spec.Cesrm { retention = retention'; _ }) ->
+          check Alcotest.string "retention round-trip" r (Cesrm.Retention.name retention')
+      | _ -> Alcotest.failf "%s must parse back" name)
+    [ "recent:1"; "lru"; "ttl=2.5"; "hotspot=0.5:8" ];
+  (match
+     Exp.Spec.protocol_of_name
+       (Exp.Spec.protocol_name
+          (Exp.Spec.Cesrm
+             {
+               policy = Cesrm.Policy.Most_recent;
+               retention = Cesrm.Retention.default;
+               router_assist = true;
+             }))
+   with
+  | Ok (Exp.Spec.Cesrm { retention; router_assist = true; _ }) ->
+      check Alcotest.bool "+ra keeps default retention" true
+        (Cesrm.Retention.is_default retention)
+  | _ -> Alcotest.fail "cesrm:most-recent+ra must parse");
+  (match Exp.Spec.protocol_of_name "cesrm:most-recent@nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown retention must be rejected");
   match Exp.Spec.protocol_of_name "cesrm" with
   | Ok (Exp.Spec.Cesrm { router_assist = false; _ }) -> ()
   | _ -> Alcotest.fail "bare cesrm should mean the default policy"

@@ -246,7 +246,7 @@ let cache_entry ~seq ~replier =
   { Cesrm.Cache.seq; requestor = 3; d_qs = 0.1; replier; d_rq = 0.05; turning_point = None }
 
 let test_cache_expire_replier () =
-  let c = Cesrm.Cache.create ~capacity:8 in
+  let c = Cesrm.Cache.create ~capacity:8 () in
   ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:1 ~replier:2));
   ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:2 ~replier:4));
   ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:3 ~replier:2));
@@ -256,7 +256,7 @@ let test_cache_expire_replier () =
     (Option.map (fun (e : Cesrm.Cache.entry) -> e.replier) (Cesrm.Cache.most_recent c))
 
 let test_policy_exclude () =
-  let c = Cesrm.Cache.create ~capacity:8 in
+  let c = Cesrm.Cache.create ~capacity:8 () in
   ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:1 ~replier:2));
   ignore (Cesrm.Cache.note_reply c (cache_entry ~seq:2 ~replier:4));
   let exclude ~replier = replier = 4 in

@@ -71,7 +71,7 @@ let test_scale_find_fallback () =
       ignore (Mtrace.Scale.find "NO-SUCH-TRACE"))
 
 let test_scale_catalog () =
-  check Alcotest.int "3 families x 4 sizes" 12 (List.length Mtrace.Scale.catalog);
+  check Alcotest.int "5 families x 4 sizes" 20 (List.length Mtrace.Scale.catalog);
   List.iter
     (fun row ->
       check Alcotest.bool "catalog rows parse back" true
@@ -173,6 +173,133 @@ let test_domains_compose_steady () =
   let finite = bf ~window:16 and reference = bf ~window:40 in
   check Alcotest.string "domains + finite steady window invisible" reference finite
 
+(* --- Adversarial cache-thrash goldens (rh/ps at 1024) ----------------- *)
+
+(* Full 200-packet runs: the adversarial families' dynamics are
+   windowed (hot-link rotation, phase shifts every 25 packets), so a
+   truncated run would never leave the first phase and the retention
+   schemes would be indistinguishable. The grid pins every scheme on
+   both families: on phase-shift the schemes separate (the win the
+   battery exists to show); on rotating-hot they are identical — the
+   rotation outruns every retention scheme's reuse window, which the
+   shared fingerprint documents as strongly as a difference would. *)
+
+let retention_of name = Option.get (Cesrm.Retention.of_name name)
+
+let run_adv ?cache_policy ?shards ?steady trace protocol =
+  Harness.Runner.run_leg ?cache_policy ?shards ?steady ~seed:42L protocol
+    (Mtrace.Scale.find trace)
+
+let check_adv_fingerprint name expected trace policy () =
+  let protocol, cache_policy =
+    match policy with
+    | None -> (Harness.Runner.Srm_protocol, None)
+    | Some p ->
+        (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config, Some (retention_of p))
+  in
+  let res = run_adv ?cache_policy trace protocol in
+  check Alcotest.int (name ^ " audit clean") 0 res.Harness.Runner.audit_violations;
+  check Alcotest.string name expected (fingerprint res)
+
+let expedited_success (r : Harness.Runner.result) =
+  let total k = Stats.Counters.total r.Harness.Runner.counters k in
+  float_of_int (total Stats.Counters.Exp_repl)
+  /. float_of_int (max 1 (total Stats.Counters.Exp_rqst))
+
+let test_multi_entry_beats_one_entry () =
+  (* The acceptance criterion: on the phase-shifting scenario a
+     multi-entry retention scheme beats the paper's 1-entry
+     most-recent cache on expedited success rate. *)
+  let run p =
+    run_adv ~cache_policy:(retention_of p) "SCALE-ps-1024"
+      (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)
+  in
+  let baseline = expedited_success (run "recent:1") in
+  let hotspot = expedited_success (run "hotspot") in
+  let lru = expedited_success (run "lru") in
+  check Alcotest.bool
+    (Printf.sprintf "hotspot %.3f beats recent:1 %.3f" hotspot baseline)
+    true (hotspot > baseline);
+  check Alcotest.bool (Printf.sprintf "lru %.3f beats recent:1 %.3f" lru baseline) true
+    (lru > baseline)
+
+let test_default_policy_invisible () =
+  (* Passing the default retention explicitly must be byte-identical to
+     not passing one at all — on the pinned dc-1024 golden row and on
+     an adversarial row. *)
+  let pairs =
+    [
+      ("dc-1024", fingerprint (run_dc Harness.Runner.Srm_protocol),
+       fingerprint
+         (Harness.Runner.run_leg ~cache_policy:Cesrm.Retention.default ~n_packets:40
+            ~seed:42L Harness.Runner.Srm_protocol dc_row));
+      ( "ps-1024",
+        fingerprint
+          (run_adv "SCALE-ps-1024" (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)),
+        fingerprint
+          (run_adv ~cache_policy:Cesrm.Retention.default "SCALE-ps-1024"
+             (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config)) );
+    ]
+  in
+  List.iter (fun (name, plain, explicit) -> check Alcotest.string name plain explicit) pairs
+
+let test_adversarial_compose () =
+  (* Shards and the infinite steady window must not feel the
+     adversarial trace path: both compose to the serial eager result
+     (adversarial families are eager-only, so a finite window is the
+     one thing that may not engage here). *)
+  let protocol = Harness.Runner.Cesrm_protocol Cesrm.Host.default_config in
+  let policy = retention_of "hotspot" in
+  let serial = fingerprint (run_adv ~cache_policy:policy "SCALE-ps-1024" protocol) in
+  let sharded = fingerprint (run_adv ~cache_policy:policy ~shards:2 "SCALE-ps-1024" protocol) in
+  check Alcotest.string "ps-1024 serial = 2 shards" serial sharded;
+  let steady =
+    fingerprint
+      (run_adv ~cache_policy:policy ~steady:Steady.Config.infinite "SCALE-ps-1024" protocol)
+  in
+  check Alcotest.string "ps-1024 serial = infinite steady" serial steady
+
+let test_adversarial_not_streamable () =
+  Alcotest.check_raises "rh refuses the streaming generator"
+    (Invalid_argument
+       "Generator.synthesize_streaming: SCALE-rh-1024 is an adversarial cache-thrash \
+        family (eager-only)")
+    (fun () -> ignore (Mtrace.Generator.synthesize_streaming (Mtrace.Scale.find "SCALE-rh-1024")))
+
+(* --- Streamed loss-budget calibration (the dc undershoot fix) --------- *)
+
+let streamed_realized row =
+  let g = Mtrace.Generator.synthesize_streaming row in
+  let tree = Mtrace.Trace.tree g.Mtrace.Generator.s_trace in
+  let n_packets = Mtrace.Trace.n_packets g.Mtrace.Generator.s_trace in
+  let rec path_lost ~node ~seq =
+    node <> 0
+    && (Mtrace.Stream_loss.lost g.Mtrace.Generator.s_loss ~link:node ~seq
+       || path_lost ~node:(Net.Tree.parent tree node) ~seq)
+  in
+  let count = ref 0 in
+  for seq = 1 to n_packets do
+    Array.iter (fun r -> if path_lost ~node:r ~seq then incr count) (Net.Tree.receivers tree)
+  done;
+  !count
+
+let test_streamed_budget_calibrated () =
+  (* The regression this pins: synthesize_streaming used to skip the
+     realized-count correction, so streamed deep-chain legs dropped
+     essentially nothing (dc-1024 realized ~6% of its budget). The
+     sampled bisection must land every streamed family within 20% of
+     the frozen budget. *)
+  List.iter
+    (fun name ->
+      let row = Mtrace.Scale.find name in
+      let realized = float_of_int (streamed_realized row) in
+      let target = float_of_int row.Mtrace.Meta.n_losses in
+      let err = Float.abs (realized -. target) /. target in
+      check Alcotest.bool
+        (Printf.sprintf "%s streamed %.0f within 20%% of %.0f" name realized target)
+        true (err <= 0.20))
+    [ "SCALE-dc-1024"; "SCALE-bf-1024"; "SCALE-ss-1024" ]
+
 (* --- Sweep byte-identity at 1024 receivers --------------------------- *)
 
 let scale_spec =
@@ -182,7 +309,7 @@ let scale_spec =
     protocols =
       [
         Exp.Spec.Srm;
-        Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_recent; router_assist = false };
+        Exp.Spec.Cesrm { policy = Cesrm.Policy.Most_recent; retention = Cesrm.Retention.default; router_assist = false };
       ];
     base_seed = 7L;
     n_seeds = 1;
@@ -256,6 +383,56 @@ let () =
                Harness.Runner.Srm_protocol);
           Alcotest.test_case "compose with shards" `Quick test_domains_compose_shards;
           Alcotest.test_case "compose with steady window" `Quick test_domains_compose_steady;
+        ] );
+      ( "adversarial",
+        (let rh = "SCALE-rh-1024" and ps = "SCALE-ps-1024" in
+         let rh_shared =
+           (* One fingerprint for SRM and every retention scheme: the
+              rotation outruns any cache's reuse window (no expedited
+              requests at all), so the schemes cannot separate. *)
+           "rqst=12 exp_rqst=0 repl=24 exp_repl=0 sess=43 detected=240 unrecovered=0 \
+            recoveries=240 lat_sum=182.21221976189329"
+         in
+         List.map
+           (fun (label, trace, policy, expected) ->
+             Alcotest.test_case label `Quick (check_adv_fingerprint label expected trace policy))
+           [
+             ("rh-1024 srm", rh, None, rh_shared);
+             ("rh-1024 cesrm@recent:1", rh, Some "recent:1", rh_shared);
+             ("rh-1024 cesrm@recent", rh, Some "recent", rh_shared);
+             ("rh-1024 cesrm@lru", rh, Some "lru", rh_shared);
+             ("rh-1024 cesrm@ttl", rh, Some "ttl", rh_shared);
+             ("rh-1024 cesrm@hotspot", rh, Some "hotspot", rh_shared);
+             ( "ps-1024 srm", ps, None,
+               "rqst=98 exp_rqst=0 repl=955 exp_repl=0 sess=43 detected=307 unrecovered=0 \
+                recoveries=307 lat_sum=407.07739872758106" );
+             ( "ps-1024 cesrm@recent:1", ps, Some "recent:1",
+               "rqst=79 exp_rqst=40 repl=739 exp_repl=20 sess=43 detected=307 unrecovered=0 \
+                recoveries=307 lat_sum=311.95910650124631" );
+             ( "ps-1024 cesrm@recent", ps, Some "recent",
+               "rqst=79 exp_rqst=40 repl=739 exp_repl=20 sess=43 detected=307 unrecovered=0 \
+                recoveries=307 lat_sum=311.95910650124631" );
+             ( "ps-1024 cesrm@lru", ps, Some "lru",
+               "rqst=67 exp_rqst=57 repl=505 exp_repl=36 sess=43 detected=307 unrecovered=0 \
+                recoveries=307 lat_sum=284.16249844561906" );
+             ( "ps-1024 cesrm@ttl", ps, Some "ttl",
+               "rqst=78 exp_rqst=42 repl=762 exp_repl=25 sess=43 detected=307 unrecovered=0 \
+                recoveries=307 lat_sum=309.08152589992557" );
+             ( "ps-1024 cesrm@hotspot", ps, Some "hotspot",
+               "rqst=69 exp_rqst=48 repl=652 exp_repl=31 sess=43 detected=307 unrecovered=0 \
+                recoveries=307 lat_sum=288.40262821668074" );
+           ])
+        @ [
+            Alcotest.test_case "multi-entry beats recent:1 on ps" `Quick
+              test_multi_entry_beats_one_entry;
+            Alcotest.test_case "default policy invisible" `Quick test_default_policy_invisible;
+            Alcotest.test_case "compose with shards and steady" `Quick
+              test_adversarial_compose;
+            Alcotest.test_case "eager-only" `Quick test_adversarial_not_streamable;
+          ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "loss budget calibrated" `Quick test_streamed_budget_calibrated;
         ] );
       ( "sweep",
         [ Alcotest.test_case "serial = parallel (bytes)" `Quick test_sweep_identity_at_scale ]
