@@ -301,7 +301,9 @@ let print_result (res : Harness.Runner.result) =
 let faults_arg =
   let doc =
     "Fault plan to run under: a canned name ($(b,partition-heal), $(b,link-flap), \
-     $(b,crash-replier), $(b,jitter-reorder), $(b,dup-burst)) instantiated against the \
+     $(b,crash-replier), $(b,jitter-reorder), $(b,dup-burst)), a canned membership-churn \
+     plan ($(b,churn-late), $(b,churn-flash), $(b,churn-steady) — join/leave/rejoin \
+     schedules driving the dynamic-membership layer), each instantiated against the \
      trace's tree, or a plan JSON file (see `Fault.Plan`). The run is checked by the \
      protocol-invariant oracle; violations are reported and exit with status 1."
   in
@@ -319,7 +321,7 @@ let resolve_fault_plan ~trace name =
       else
         Error
           (Printf.sprintf "--faults: %S is neither a canned plan (%s) nor a file" name
-             (String.concat ", " Fault.Plan.canned_names))
+             (String.concat ", " (Fault.Plan.canned_names @ Fault.Plan.churn_names)))
 
 let print_oracle (res : Harness.Runner.result) =
   Option.iter
@@ -627,9 +629,10 @@ let sweep_cmd =
   in
   let faults_axis_arg =
     let doc =
-      "Faults axis, comma-separated: canned fault-plan names and/or $(b,none) for the unfaulted \
-       baseline (e.g. none,partition-heal). Each entry multiplies the cell matrix; fault \
-       variants of a cell replay the identical synthesized trace."
+      "Faults axis, comma-separated: canned fault-plan names (including the membership-churn \
+       plans $(b,churn-late), $(b,churn-flash), $(b,churn-steady)) and/or $(b,none) for the \
+       unfaulted baseline (e.g. none,partition-heal,churn-steady). Each entry multiplies the \
+       cell matrix; fault variants of a cell replay the identical synthesized trace."
     in
     Arg.(value & opt string "" & info [ "faults" ] ~doc ~docv:"LIST")
   in

@@ -33,6 +33,7 @@ type t = {
   dead_repliers : (int, unit) Hashtbl.t; (* presumed dead until a reply revives them *)
   mutable exp_requests_sent : int;
   mutable exp_replies_sent : int;
+  mutable n_cache_invalidations : int; (* cached pairs dropped because their replier left *)
   mutable cache_local_hits : int; (* expedited pairs whose replier shares our domain *)
   mutable cache_remote_hits : int;
 }
@@ -99,6 +100,24 @@ let note_replier_failure t ~replier =
         Hashtbl.iter (fun _ c -> Cache.expire_replier c ~replier) t.caches
       end
 
+(* Membership departure of [replier], as seen from this host: every
+   cached pair naming it is a ghost — an expedited request would
+   unicast into the void — so the pairs are invalidated immediately
+   instead of burning the consecutive-failure budget rediscovering the
+   obvious, and the replier is presumed dead until a reply revives it
+   (a rejoined replier's first reply does exactly that, via
+   {!digest_reply}). The failure streak is cleared too: a rejoin
+   starts from a clean slate. *)
+let invalidate_replier t ~replier =
+  let size () = Hashtbl.fold (fun _ c acc -> acc + Cache.size c) t.caches 0 in
+  let before = size () in
+  Hashtbl.iter (fun _ c -> Cache.expire_replier c ~replier) t.caches;
+  t.n_cache_invalidations <- t.n_cache_invalidations + (before - size ());
+  Hashtbl.replace t.dead_repliers replier ();
+  Hashtbl.remove t.consec_failures replier
+
+let cache_invalidations t = t.n_cache_invalidations
+
 (* The other half of the retry bound: attempts still in flight count
    against the failure budget too, so a host cannot hammer an
    unresponsive replier with fresh expedited requests while none of the
@@ -135,6 +154,12 @@ let send_expedited_request t ~src seq (pair : Cache.entry) =
   Hashtbl.remove t.exp_timers (key t ~src ~seq);
   if
     (not (Srm.Host.has_packet ~src t.srm ~seq))
+    (* A presumed-dead replier is never sent to — without churn this is
+       implied by the failure budget (death is only ever declared at
+       the budget's limit), but a membership departure marks death
+       directly, and the armed timer that captured the pair before the
+       leave must not fire an expedited request at the ghost. *)
+    && (not (replier_dead t ~replier:pair.replier))
     && attempt_budget_ok t ~replier:pair.replier
   then begin
     t.exp_requests_sent <- t.exp_requests_sent + 1;
@@ -310,6 +335,7 @@ let create ?domain ~network ~self ~params ~config ~n_packets ~counters ~recoveri
       dead_repliers = Hashtbl.create 8;
       exp_requests_sent = 0;
       exp_replies_sent = 0;
+      n_cache_invalidations = 0;
       cache_local_hits = 0;
       cache_remote_hits = 0;
     }
@@ -336,6 +362,11 @@ let publish_metrics t registry =
   | Some _ ->
       Obs.Registry.incr ~by:t.cache_local_hits registry "cesrm/domain_cache_local_hits";
       Obs.Registry.incr ~by:t.cache_remote_hits registry "cesrm/domain_cache_remote_hits");
+  (* Guarded so the metric key set — and with it every churn-free
+     report golden — is unchanged unless churn actually invalidated
+     something. *)
+  if t.n_cache_invalidations > 0 then
+    Obs.Registry.incr ~by:t.n_cache_invalidations registry "cesrm/cache_invalidations";
   Hashtbl.iter
     (fun _ c ->
       Obs.Registry.incr registry "cesrm/caches";

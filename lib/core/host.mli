@@ -108,6 +108,20 @@ val revive_replier : t -> replier:int -> unit
 (** Fresh evidence [replier] is alive (any reply heard from it):
     forget its presumed death and failure streak. *)
 
+val invalidate_replier : t -> replier:int -> unit
+(** [replier] left the group: drop every cached pair naming it from
+    every per-source cache (counted into {!cache_invalidations}),
+    presume it dead — so an expedited timer armed before the leave
+    does not fire a unicast at the ghost, and CESRM falls back to SRM
+    recovery — and clear its failure streak. A rejoined replier's
+    first reply revives it. Called by the runner's leave wiring on
+    every other member. *)
+
+val cache_invalidations : t -> int
+(** Cached pairs this member dropped because their replier left the
+    group (accumulated into the ["cesrm/cache_invalidations"] metric,
+    which is only published when non-zero). *)
+
 val retire_below : t -> upto:int -> unit
 (** Steady-state retirement: forward the horizon to
     {!Srm.Host.retire_below} and defensively sweep the expedited

@@ -98,7 +98,7 @@ let default =
     faults = [];
   }
 
-let fault_names = "none" :: Fault.Plan.canned_names
+let fault_names = ("none" :: Fault.Plan.canned_names) @ Fault.Plan.churn_names
 
 let validate t =
   let unknown =

@@ -2,9 +2,20 @@ type config = {
   max_expedited_retry : int;
   max_requests_per_loss : int;
   max_replies_per_loss : int;
+  max_departed_retry : int;
 }
 
-let default_config = { max_expedited_retry = 12; max_requests_per_loss = 200; max_replies_per_loss = 16 }
+let default_config =
+  {
+    max_expedited_retry = 12;
+    max_requests_per_loss = 200;
+    max_replies_per_loss = 16;
+    (* Small: a CESRM host may have expedited timers already armed at
+       the instant its cached replier departs (those in-flight retries
+       are legitimate), but a host that keeps unicasting a ghost past
+       that has failed to invalidate the pair. *)
+    max_departed_retry = 2;
+  }
 
 type violation = { at : float; node : int; invariant : string; detail : string }
 
@@ -17,6 +28,15 @@ type t = {
   obtained : (int * int * int, int) Hashtbl.t;
   (* (requestor, replier) -> consecutive expedited requests unanswered *)
   exp_streak : (int * int, int) Hashtbl.t;
+  (* (requestor, replier) -> expedited requests sent while the replier
+     was departed (per the membership timeline) *)
+  ghost_streak : (int * int, int) Hashtbl.t;
+  (* membership timeline, newest first: (at, node, member). Appended as
+     churn events fire; consulted with each observation's timestamp so
+     the packet-stream checks answer identically whether the stream is
+     checked inline (serial tap) or replayed later in timestamp order
+     (a sharded run's primary worker). *)
+  mutable churn_rev : (float * int * bool) list;
   (* (node, src, seq) -> requests this member sent for the loss *)
   requests : (int * int * int, int) Hashtbl.t;
   (* (replier, src, seq) -> replies this member sent for the loss *)
@@ -40,6 +60,21 @@ let latch_once t ~invariant ~a ~b f =
     f ()
   end
 
+let note_membership t ~node ~at ~member = t.churn_rev <- (at, node, member) :: t.churn_rev
+
+(* Whether [node] was a member strictly before [at] per the timeline
+   (default: yes). Strict comparison keeps serial and sharded checks
+   identical: a packet sent at the very instant of a membership flip
+   is judged by the pre-flip state in both modes, independent of
+   same-time timer/tap ordering inside the engine. *)
+let member_at t node ~at =
+  let rec scan = function
+    | [] -> true
+    | (entry_at, n, member) :: rest ->
+        if n = node && entry_at < at then member else scan rest
+  in
+  scan t.churn_rev
+
 (* The packet-stream checks, with the observation time explicit: a
    serial run's tap passes the engine clock, a sharded run's primary
    worker replays the merged cross-shard tap stream in timestamp
@@ -56,7 +91,21 @@ let observe t ~at ~from:_ (p : Net.Packet.t) =
               (Printf.sprintf
                  "%d consecutive expedited requests to replier %d without hearing from it \
                   (last for src %d seq %d)"
-                 n replier src seq))
+                 n replier src seq));
+      if not (member_at t replier ~at) then begin
+        let g =
+          1 + Option.value ~default:0 (Hashtbl.find_opt t.ghost_streak (requestor, replier))
+        in
+        Hashtbl.replace t.ghost_streak (requestor, replier) g;
+        if g > config.max_departed_retry then
+          latch_once t ~invariant:"expedited-retry-departed" ~a:requestor ~b:replier (fun () ->
+              violate t ~at ~node:requestor ~invariant:"expedited-retry-departed"
+                (Printf.sprintf
+                   "%d expedited requests to replier %d after it left the group (last for \
+                    src %d seq %d) — the cached pair was never invalidated"
+                   g replier src seq))
+      end
+      else Hashtbl.remove t.ghost_streak (requestor, replier)
   | Net.Packet.Reply { requestor = _; replier; src; seq; expedited = _; _ } ->
       (* Any reply from [replier] is evidence it is alive; the
          retry bound targets hammering a *silent* replier. A live
@@ -70,6 +119,12 @@ let observe t ~at ~from:_ (p : Net.Packet.t) =
           t.exp_streak []
       in
       List.iter (Hashtbl.remove t.exp_streak) stale;
+      let stale_ghost =
+        Hashtbl.fold
+          (fun ((_, rp) as k) _ acc -> if rp = replier then k :: acc else acc)
+          t.ghost_streak []
+      in
+      List.iter (Hashtbl.remove t.ghost_streak) stale_ghost;
       let key = (replier, src, seq) in
       let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.replies key) in
       Hashtbl.replace t.replies key n;
@@ -96,6 +151,8 @@ let make ?(config = default_config) network =
     pending = Hashtbl.create 256;
     obtained = Hashtbl.create 1024;
     exp_streak = Hashtbl.create 32;
+    ghost_streak = Hashtbl.create 8;
+    churn_rev = [];
     requests = Hashtbl.create 256;
     replies = Hashtbl.create 256;
     latched = Hashtbl.create 32;
@@ -134,6 +191,17 @@ let attach_host t host =
       if n = 2 then
         violate t ~at:(now t) ~node ~invariant:"duplicate-delivery"
           (Printf.sprintf "src %d seq %d delivered to the application again" src seq);
+      (* This hook fires inline on whichever worker owns the host, in
+         both serial and sharded runs, so the live membership flag is
+         the correct (and mode-consistent) reference here. *)
+      (match t.network with
+      | Some network when not (Net.Network.is_member network node) ->
+          latch_once t ~invariant:"deliver-to-departed" ~a:node ~b:src (fun () ->
+              violate t ~at:(now t) ~node ~invariant:"deliver-to-departed"
+                (Printf.sprintf
+                   "src %d seq %d delivered to node %d, which is not in the group" src seq
+                   node))
+      | _ -> ());
       prev_obtained ~src ~seq ~expedited)
 
 (* Losses still pending for members alive at the end of the run — the
@@ -143,9 +211,21 @@ let pending_losses t =
   let network = Option.get t.network in
   Hashtbl.fold
     (fun (node, src, seq) detected_at acc ->
-      if Net.Network.is_enabled network node then (node, src, seq, detected_at) :: acc
+      if Net.Network.is_enabled network node && Net.Network.is_member network node then
+        (node, src, seq, detected_at) :: acc
       else acc)
     t.pending []
+
+(* A departing member's outstanding losses are forgiven: it was not
+   present for their full recovery window, so liveness does not apply.
+   Called by the runner's on_leave wiring (on the worker owning the
+   node in a sharded run — the only worker whose oracle holds pending
+   entries for it). *)
+let forget_node t ~node =
+  let stale =
+    Hashtbl.fold (fun ((n, _, _) as k) _ acc -> if n = node then k :: acc else acc) t.pending []
+  in
+  List.iter (Hashtbl.remove t.pending) stale
 
 let liveness_violations ~at still_missing =
   List.map

@@ -20,7 +20,22 @@
       its other replies keep it cached);
     - {b suppression sanity}: per loss, one member sends at most a
       bounded number of requests and of replies — timers, abstinence
-      and back-off must keep working under churn.
+      and back-off must keep working under churn;
+    - {b no delivery to departed hosts}: a member that left the group
+      must not obtain packets — churn must actually silence it;
+    - {b no expedited retries pinned on a departed replier}: once a
+      cached replier leaves the group (per the membership timeline fed
+      through {!note_membership}), at most a couple of already-armed
+      expedited requests may still reach for it — past that bound the
+      cached pair should have been invalidated and CESRM fallen back
+      to SRM recovery.
+
+    Under churn, liveness is membership-aware: a member is only
+    charged for losses whose {e entire} recovery window it was present
+    for — a departing member's outstanding losses are forgiven
+    ({!forget_node}), late joiners are never charged for packets sent
+    before they joined (the runner baselines their detection windows),
+    and members outside the group at the end are exempt.
 
     Violations are recorded as structured events, exported as JSON and
     counted into {!Stats.Counters} (kind [Oracle]) by the runner. A run
@@ -32,18 +47,26 @@ type config = {
           reply heard from it before the retry is deemed unbounded *)
   max_requests_per_loss : int;  (** per (member, src, seq) *)
   max_replies_per_loss : int;  (** per (replier, src, seq) *)
+  max_departed_retry : int;
+      (** expedited requests tolerated to a replier {e after it left
+          the group} (in-flight timers armed before the leave), per
+          (requestor, replier) *)
 }
 
 val default_config : config
 (** Retry bound 12, requests 200, replies 16 — generous enough that
-    only genuinely broken suppression trips them. *)
+    only genuinely broken suppression trips them — and departed-retry
+    2 (in-flight expedited timers may legitimately straddle a leave;
+    a third unicast to the ghost means the pair was never
+    invalidated). *)
 
 type violation = {
   at : float;  (** sim time the violation was established *)
   node : int;  (** the member charged with it *)
   invariant : string;
       (** ["liveness"], ["duplicate-delivery"], ["expedited-retry"],
-          ["request-suppression"] or ["reply-suppression"] *)
+          ["request-suppression"], ["reply-suppression"],
+          ["deliver-to-departed"] or ["expedited-retry-departed"] *)
   detail : string;
 }
 
@@ -64,11 +87,26 @@ val observe : t -> at:float -> from:int -> Net.Packet.t -> unit
 (** Check one packet send observed at time [at] (what the tap installed
     by {!create} does with [at] = the engine clock). *)
 
+val note_membership : t -> node:int -> at:float -> member:bool -> unit
+(** Append one membership transition to the timeline the packet-stream
+    checks consult. The runner feeds a plan's initial absentees (at
+    time 0) and every join/leave/rejoin as it fires; entries must
+    arrive in non-decreasing time order. A packet observed at the very
+    instant of a transition is judged by the {e pre}-transition state,
+    which keeps serial and sharded verdicts identical regardless of
+    same-time event ordering. *)
+
+val forget_node : t -> node:int -> unit
+(** Drop every pending loss charged to [node] — the liveness
+    forgiveness a departure earns (the member was not present for
+    those losses' full recovery windows). Call from the leave wiring,
+    on the worker owning the node. *)
+
 val pending_losses : t -> (int * int * int * float) list
 (** [(node, src, seq, detected_at)] for every loss still unrepaired at
-    a member currently enabled — the raw material of the liveness
-    check, exported so a sharded run's coordinator can evaluate
-    liveness over the whole group. Unsorted. *)
+    a member currently enabled {e and in the group} — the raw material
+    of the liveness check, exported so a sharded run's coordinator can
+    evaluate liveness over the whole group. Unsorted. *)
 
 val liveness_violations : at:float -> (int * int * int * float) list -> violation list
 (** The liveness violations {!finalize} would record at time [at] for

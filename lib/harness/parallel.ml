@@ -45,6 +45,7 @@ type worker_out = {
   wr_exp_requests : int;
   wr_exp_replies : int;
   wr_detected : int;
+  wr_forgiven : int;  (* pending losses forgiven by departures of owned members *)
   wr_audit : int;  (* primary shard only; 0 elsewhere *)
   wr_violations : Fault.Oracle.violation list;  (* chronological *)
   wr_pending : (int * int * int * float) list;  (* unrepaired losses *)
@@ -117,8 +118,51 @@ let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_
   in
   let oracle = Option.map (fun _ -> Fault.Oracle.create_detached ~network ()) fault_plan in
   let attach_oracle srm_host = Option.iter (fun o -> Fault.Oracle.attach_host o srm_host) oracle in
-  let compile_faults ~on_restart =
-    Option.iter (fun plan -> Fault.Plan.compile ~network ~on_restart plan) fault_plan
+  (* Churn wiring, mirroring the serial runner: every shard compiles
+     the full plan, so every shard's oracle carries the identical
+     membership timeline (the primary's is the one that judges the
+     replayed tap stream), while the host-level join/leave effects act
+     only on owned hosts — and each shard's departures contribute to
+     the forgiven-loss total shipped home. *)
+  Option.iter
+    (fun o ->
+      Option.iter
+        (fun plan ->
+          List.iter
+            (fun node -> Fault.Oracle.note_membership o ~node ~at:0. ~member:false)
+            (Fault.Plan.initial_absentees plan))
+        fault_plan)
+    oracle;
+  let forgiven = ref 0 in
+  (* Analytic join baseline (see the serial runner): a pure function of
+     the join time and the send schedule, hence identical on the shard
+     owning the joiner and in a serial run. *)
+  let join_baselines () =
+    let at = Sim.Engine.now engine in
+    let sent = 1 + int_of_float (Float.floor ((at -. setup.warmup) /. period)) in
+    let sent = max 0 (min n_packets sent) in
+    if sent = 0 then [] else [ (0, sent) ]
+  in
+  let compile_faults ?(on_join = fun ~node:_ -> ()) ?(on_leave = fun ~node:_ -> ()) ~on_restart ()
+      =
+    Option.iter
+      (fun plan ->
+        Fault.Plan.compile ~network ~on_restart
+          ~on_join:(fun ~node ->
+            Option.iter
+              (fun o ->
+                Fault.Oracle.note_membership o ~node ~at:(Sim.Engine.now engine) ~member:true)
+              oracle;
+            on_join ~node)
+          ~on_leave:(fun ~node ->
+            Option.iter
+              (fun o ->
+                Fault.Oracle.note_membership o ~node ~at:(Sim.Engine.now engine) ~member:false;
+                Fault.Oracle.forget_node o ~node)
+              oracle;
+            on_leave ~node)
+          plan)
+      fault_plan
   in
   let owned node = Net.Network.owns network node in
   let counters, recoveries, detected, expedited =
@@ -126,8 +170,20 @@ let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_
     | Run_types.Srm_protocol ->
         let proto = Srm.Proto.deploy ~owned ~network ~params:setup.params ~n_packets ~period () in
         List.iter (fun (_, h) -> attach_oracle h) (Srm.Proto.members proto);
-        compile_faults ~on_restart:(fun ~node ->
-            Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
+        compile_faults
+          ~on_join:(fun ~node ->
+            Option.iter
+              (fun h -> Srm.Host.join h ~baselines:(join_baselines ()))
+              (List.assoc_opt node (Srm.Proto.members proto)))
+          ~on_leave:(fun ~node ->
+            List.iter
+              (fun (n, h) ->
+                if n = node then forgiven := !forgiven + Srm.Host.depart h
+                else Srm.Host.forget_peer h node)
+              (Srm.Proto.members proto))
+          ~on_restart:(fun ~node ->
+            Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)))
+          ();
         Srm.Proto.start ~send_jitter:setup.data_jitter ~streaming proto ~warmup:setup.warmup
           ~tail:setup.tail;
         ( Srm.Proto.counters proto,
@@ -142,12 +198,30 @@ let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_
           Cesrm.Proto.deploy ~config ~owned ~network ~params:setup.params ~n_packets ~period ()
         in
         List.iter (fun (_, h) -> attach_oracle (Cesrm.Host.srm h)) (Cesrm.Proto.members proto);
-        compile_faults ~on_restart:(fun ~node ->
+        compile_faults
+          ~on_join:(fun ~node ->
+            Option.iter
+              (fun h -> Srm.Host.join (Cesrm.Host.srm h) ~baselines:(join_baselines ()))
+              (List.assoc_opt node (Cesrm.Proto.members proto)))
+          ~on_leave:(fun ~node ->
+            List.iter
+              (fun (n, h) ->
+                if n = node then begin
+                  Cesrm.Host.reset_caches h;
+                  forgiven := !forgiven + Srm.Host.depart (Cesrm.Host.srm h)
+                end
+                else begin
+                  Cesrm.Host.invalidate_replier h ~replier:node;
+                  Srm.Host.forget_peer (Cesrm.Host.srm h) node
+                end)
+              (Cesrm.Proto.members proto))
+          ~on_restart:(fun ~node ->
             Option.iter
               (fun h ->
                 Cesrm.Host.reset_caches h;
                 Srm.Host.restart_recovery (Cesrm.Host.srm h))
-              (List.assoc_opt node (Cesrm.Proto.members proto)));
+              (List.assoc_opt node (Cesrm.Proto.members proto)))
+          ();
         Cesrm.Proto.start ~send_jitter:setup.data_jitter ~streaming proto ~warmup:setup.warmup
           ~tail:setup.tail;
         ( Cesrm.Proto.counters proto,
@@ -214,6 +288,7 @@ let worker_body ~chan ~me ~observe ~partition ~(setup : Run_types.setup) ~fault_
                wr_exp_requests = exp_requests;
                wr_exp_replies = exp_replies;
                wr_detected = detected ();
+               wr_forgiven = !forgiven;
                wr_audit;
                wr_violations =
                  (match oracle with None -> [] | Some o -> Fault.Oracle.violations o);
@@ -389,6 +464,7 @@ let run ~(partition : Net.Partition.t) ~delay ?registry ?fault_plan ~(setup : Ru
       Pst.publish ~max_shard_events stats ~shards:k ~lookahead reg)
     registry;
   let detected = sum (fun o -> o.wr_detected) in
+  let forgiven = sum (fun o -> o.wr_forgiven) in
   let recovered = Stats.Recovery.count recoveries in
   {
     Run_types.trace;
@@ -400,8 +476,9 @@ let run ~(partition : Net.Partition.t) ~delay ?registry ?fault_plan ~(setup : Ru
     rtt_to_source;
     exp_requests = sum (fun o -> o.wr_exp_requests);
     exp_replies = sum (fun o -> o.wr_exp_replies);
-    unrecovered = detected - recovered;
+    unrecovered = detected - recovered - forgiven;
     detected;
+    forgiven;
     audit_violations = sum (fun o -> o.wr_audit);
     oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
     oracle;

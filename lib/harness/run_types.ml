@@ -52,6 +52,9 @@ type result = {
   exp_replies : int;
   unrecovered : int;
   detected : int;
+  forgiven : int;
+      (* losses dropped by membership departures: detected but pending
+         when the member left, so liveness does not charge them *)
   audit_violations : int;  (* protocol-invariant violations; 0 expected *)
   oracle_violations : int;  (* fault-oracle violations; 0 without a fault plan *)
   oracle : Fault.Oracle.t option;  (* present iff a fault plan was run *)

@@ -40,6 +40,7 @@ type result = {
   exp_replies : int;
   unrecovered : int;
   detected : int;
+  forgiven : int;
   audit_violations : int;
   oracle_violations : int;
   oracle : Fault.Oracle.t option;

@@ -36,6 +36,7 @@ type result = Run_types.result = {
   exp_replies : int;
   unrecovered : int;
   detected : int;
+  forgiven : int;
   audit_violations : int;  (* protocol-invariant violations; 0 expected *)
   oracle_violations : int;  (* fault-oracle violations; 0 without a fault plan *)
   oracle : Fault.Oracle.t option;  (* present iff a fault plan was run *)
@@ -241,12 +242,63 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
        the tracer's; its per-member hook wrappers are added as each
        protocol arm deploys (after CESRM installed its own hooks). *)
     let oracle = Option.map (fun _ -> Fault.Oracle.create ~network ()) fault_plan in
+    (* Churn: the oracle's packet-stream checks consult a membership
+       timeline, seeded with the plan's initial absentees (late joiners
+       are outside the group from time 0) and appended to as each
+       join/leave timer fires (inside [compile_faults] below). *)
+    Option.iter
+      (fun o ->
+        Option.iter
+          (fun plan ->
+            List.iter
+              (fun node -> Fault.Oracle.note_membership o ~node ~at:0. ~member:false)
+              (Fault.Plan.initial_absentees plan))
+          fault_plan)
+      oracle;
+    (* Losses forgiven by departures: detected but still pending when
+       the member left the group (it was not present for their full
+       recovery windows), so end-of-run liveness accounting excludes
+       them. *)
+    let forgiven = ref 0 in
     let trace_host srm_host =
       Option.iter (fun tr -> Instrument.attach_srm_host ~trace:tr ~stride srm_host) tracer;
       Option.iter (fun o -> Fault.Oracle.attach_host o srm_host) oracle
     in
-    let compile_faults ~on_restart =
-      Option.iter (fun plan -> Fault.Plan.compile ~network ~on_restart plan) fault_plan
+    (* A joiner's detection-window baseline: how many packets the
+       source has put on the wire by now. Computed from the send
+       schedule rather than the source host's state — the arithmetic is
+       a pure function of the join time, so a sharded run (where the
+       source host lives on one shard only) baselines identically. With
+       send jitter the analytic count can be off by the packet
+       straddling the join instant, which only shifts whether the
+       joiner bothers recovering that one boundary packet — never
+       whether liveness charges it. *)
+    let join_baselines () =
+      let at = Sim.Engine.now engine in
+      let sent = 1 + int_of_float (Float.floor ((at -. setup.warmup) /. period)) in
+      let sent = max 0 (min n_packets sent) in
+      if sent = 0 then [] else [ (0, sent) ]
+    in
+    let compile_faults ?(on_join = fun ~node:_ -> ()) ?(on_leave = fun ~node:_ -> ()) ~on_restart
+        () =
+      Option.iter
+        (fun plan ->
+          Fault.Plan.compile ~network ~on_restart
+            ~on_join:(fun ~node ->
+              Option.iter
+                (fun o ->
+                  Fault.Oracle.note_membership o ~node ~at:(Sim.Engine.now engine) ~member:true)
+                oracle;
+              on_join ~node)
+            ~on_leave:(fun ~node ->
+              Option.iter
+                (fun o ->
+                  Fault.Oracle.note_membership o ~node ~at:(Sim.Engine.now engine) ~member:false;
+                  Fault.Oracle.forget_node o ~node)
+                oracle;
+              on_leave ~node)
+            plan)
+        fault_plan
     in
     let finish ~counters ~recoveries ~exp_requests ~exp_replies ~detected ~publish =
       let horizon = Run_types.horizon ~setup ~n_packets ~period in
@@ -306,8 +358,9 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         rtt_to_source;
         exp_requests;
         exp_replies;
-        unrecovered = detected () - recovered;
+        unrecovered = detected () - recovered - !forgiven;
         detected = detected ();
+        forgiven = !forgiven;
         audit_violations = List.length (Audit.violations audit);
         oracle_violations = (match oracle with None -> 0 | Some o -> Fault.Oracle.n_violations o);
         oracle;
@@ -333,8 +386,23 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
                   })
               (Srm.Proto.members proto))
           controller;
-        compile_faults ~on_restart:(fun ~node ->
-            Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)));
+        compile_faults
+          ~on_join:(fun ~node ->
+            Option.iter
+              (fun h -> Srm.Host.join h ~baselines:(join_baselines ()))
+              (List.assoc_opt node (Srm.Proto.members proto)))
+          ~on_leave:(fun ~node ->
+            (* The departing host drops all soft state (forgiving its
+               pending losses); every remaining member forgets the
+               session state naming it. *)
+            List.iter
+              (fun (n, h) ->
+                if n = node then forgiven := !forgiven + Srm.Host.depart h
+                else Srm.Host.forget_peer h node)
+              (Srm.Proto.members proto))
+          ~on_restart:(fun ~node ->
+            Option.iter Srm.Host.restart_recovery (List.assoc_opt node (Srm.Proto.members proto)))
+          ();
         Srm.Proto.start ~send_jitter:setup.data_jitter ~streaming:streaming_sends proto
           ~warmup:setup.warmup ~tail:setup.tail;
         let detected () =
@@ -366,12 +434,34 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
                   })
               (Cesrm.Proto.members proto))
           controller;
-        compile_faults ~on_restart:(fun ~node ->
+        compile_faults
+          ~on_join:(fun ~node ->
+            Option.iter
+              (fun h -> Srm.Host.join (Cesrm.Host.srm h) ~baselines:(join_baselines ()))
+              (List.assoc_opt node (Cesrm.Proto.members proto)))
+          ~on_leave:(fun ~node ->
+            (* Beyond the SRM departure, every remaining member
+               invalidates its cached expedited pairs naming the
+               departed replier — CESRM falls back to SRM recovery
+               instead of unicasting a ghost. *)
+            List.iter
+              (fun (n, h) ->
+                if n = node then begin
+                  Cesrm.Host.reset_caches h;
+                  forgiven := !forgiven + Srm.Host.depart (Cesrm.Host.srm h)
+                end
+                else begin
+                  Cesrm.Host.invalidate_replier h ~replier:node;
+                  Srm.Host.forget_peer (Cesrm.Host.srm h) node
+                end)
+              (Cesrm.Proto.members proto))
+          ~on_restart:(fun ~node ->
             Option.iter
               (fun h ->
                 Cesrm.Host.reset_caches h;
                 Srm.Host.restart_recovery (Cesrm.Host.srm h))
-              (List.assoc_opt node (Cesrm.Proto.members proto)));
+              (List.assoc_opt node (Cesrm.Proto.members proto)))
+          ();
         Cesrm.Proto.start ~send_jitter:setup.data_jitter ~streaming:streaming_sends proto
           ~warmup:setup.warmup ~tail:setup.tail;
         let detected () =
@@ -409,7 +499,7 @@ let run_model ?(setup = default_setup) ?tracer ?registry ?fault_plan ?(shards = 
         (* LMS hosts carry no SRM soft state; crashes just toggle the
            enabled flag, and the oracle checks network-level invariants
            only. *)
-        compile_faults ~on_restart:(fun ~node:_ -> ());
+        compile_faults ~on_restart:(fun ~node:_ -> ()) ();
         Lms.Proto.start ~streaming:streaming_sends proto ~warmup:setup.warmup ~tail:setup.tail;
         let publish reg =
           List.iter (fun (_, h) -> Lms.Host.publish_metrics h reg) (Lms.Proto.members proto)

@@ -49,8 +49,14 @@ type result = Run_types.result = {
   rtt_to_source : (int * float) list;  (** per receiver node, true RTT *)
   exp_requests : int;
   exp_replies : int;
-  unrecovered : int;  (** losses detected but never repaired (0 expected) *)
+  unrecovered : int;
+      (** losses detected but never repaired nor forgiven (0 expected):
+          [detected - recovered - forgiven] *)
   detected : int;  (** losses detected across receivers *)
+  forgiven : int;
+      (** losses still pending when their member left the group (churn
+          plans only): the member was not present for their full
+          recovery windows, so liveness accounting excludes them *)
   audit_violations : int;
       (** protocol-invariant violations found by {!Audit} (0 expected) *)
   oracle_violations : int;
@@ -127,6 +133,27 @@ val run :
     oracle would report. Faulted runs remain deterministic: same trace,
     seed and plan ⇒ identical results.
 
+    A plan with membership events (join/leave/rejoin — see
+    {!Fault.Plan} and its churn schedules) additionally drives the
+    network's membership layer: a node outside the group neither
+    receives subcasts nor gets its transmissions onto the wire. On a
+    leave, the departing SRM/CESRM host drops {e all} soft state
+    ({!Srm.Host.depart} — its pending losses are counted into
+    [result.forgiven], not [unrecovered]), every remaining member
+    forgets the session state naming it ({!Srm.Host.forget_peer}), and
+    every remaining CESRM member invalidates its cached expedited
+    pairs naming the departed replier
+    ({!Cesrm.Host.invalidate_replier}) so recovery falls back to SRM
+    instead of unicasting a ghost. On a join or rejoin, the member
+    starts with empty soft state and its per-stream detection windows
+    baselined at the packets already sent ({!Srm.Host.join}) — a late
+    joiner is never charged for packets sent before it joined. The
+    oracle is fed the membership timeline and checks the churn-aware
+    invariants (no delivery to departed hosts, no expedited retries
+    pinned on a departed replier, membership-aware liveness). LMS
+    churn plans only toggle the network layer (LMS hosts carry no SRM
+    soft state).
+
     With [shards] at least 2, the run executes in parallel: the tree is
     partitioned into that many shards of roughly equal member weight
     ({!Net.Partition}), each simulated by a forked worker, synchronised
@@ -189,8 +216,10 @@ val run_leg :
     its losses, and run [protocol] on it with [setup] reseeded to the
     same [seed] — so a leg is a pure function of
     [(row, protocol, setup, n_packets, seed, fault)], the unit a sweep
-    shard executes. [fault] names a {!Fault.Plan.canned} plan,
-    instantiated against the synthesized trace's tree and data phase.
+    shard executes. [fault] names a {!Fault.Plan.canned} plan — a
+    perturbation plan from {!Fault.Plan.canned_names} or a membership
+    (churn) plan from {!Fault.Plan.churn_names} — instantiated against
+    the synthesized trace's tree and data phase.
 
     Rows naming a {!Mtrace.Scale} scenario switch to ground-truth loss
     injection (no attribution pass) and get harness tuning for group

@@ -12,6 +12,16 @@ type perturb = {
   prng : Sim.Rng.t; (* jitter sampling; split off the engine rng on install *)
 }
 
+(* Membership state (dynamic join/leave/rejoin; see {!set_member} in
+   the interface). Allocated lazily like [perturb]: [None] means the
+   group is static and every node is a member — the unfaulted fast
+   path never touches it, so churn-free runs stay byte-identical. *)
+type membership = {
+  m_member : bool array; (* per node; false = outside the group *)
+  mutable m_joins : int;
+  mutable m_leaves : int;
+}
+
 (* -- shard mode (conservative PDES) --------------------------------- *)
 
 type emit_cast = Ecast_multicast | Ecast_unicast of int | Ecast_relayed of int
@@ -64,6 +74,7 @@ type t = {
   mutable delivered : int;
   mutable tap : (from:int -> Packet.t -> unit) option;
   mutable perturb : perturb option; (* None = the unfaulted fast path *)
+  mutable membership : membership option; (* None = static full group *)
   (* Shard-mode hot path: [sh_owner] empty means serial (no sharding);
      otherwise crossings are tallied only when the entered node is
      owned by [sh_me], and non-FIFO flood walks are pruned to branches
@@ -158,6 +169,7 @@ let create_heterogeneous ~engine ~tree ~delays ?(bandwidth_bps = 1.5e6) () =
       delivered = 0;
       tap = None;
       perturb = None;
+      membership = None;
       sh_owner = [||];
       sh_me = 0;
       sh_below = [||];
@@ -265,7 +277,14 @@ let publish_metrics t registry =
   Obs.Registry.incr ~by:(Cost.total_crossings t.cost Cost.Data) registry
     "net/data_crossings";
   Obs.Registry.incr ~by:(Cost.total_crossings t.cost Cost.Session) registry
-    "net/session_crossings"
+    "net/session_crossings";
+  (* Churn counters only exist when a membership layer was installed,
+     so churn-free registries keep their exact historical key set. *)
+  match t.membership with
+  | None -> ()
+  | Some m ->
+      Obs.Registry.incr ~by:m.m_joins registry "net/member_joins";
+      Obs.Registry.incr ~by:m.m_leaves registry "net/member_leaves"
 
 let on_receive t v f = t.handlers.(v) <- Some f
 
@@ -284,6 +303,48 @@ let set_enabled t v flag =
       else if not (List.mem v sh.sh_disabled) then sh.sh_disabled <- v :: sh.sh_disabled
 
 let is_enabled t v = t.enabled.(v)
+
+(* -- membership layer (dynamic join/leave/rejoin) -------------------- *)
+
+let churned t = t.membership <> None
+
+let get_membership t =
+  match t.membership with
+  | Some m -> m
+  | None ->
+      let m =
+        {
+          m_member = Array.make (Tree.n_nodes t.tree) true;
+          m_joins = 0;
+          m_leaves = 0;
+        }
+      in
+      t.membership <- Some m;
+      m
+
+let is_member t v =
+  match t.membership with None -> true | Some m -> m.m_member.(v)
+
+(* Membership rides the enabled flag for packet semantics: a
+   non-member neither receives casts (schedule-time and fire-time
+   checks in [deliver]/[deliver_fire]) nor originates them (the
+   send-side [enabled] guards) — and the shard-mode [sh_disabled]
+   snapshots keep working unchanged. The distinction from a crash is
+   that [is_member] is false too: the oracle stops charging the node
+   for losses, and protocol layers drop (rather than suspend) its soft
+   state. [count] is false for the compile-time initial exclusion of a
+   late joiner, which is a starting condition, not a churn event. *)
+let set_member ?(count = true) t v flag =
+  let m = get_membership t in
+  if m.m_member.(v) <> flag then begin
+    m.m_member.(v) <- flag;
+    if count then if flag then m.m_joins <- m.m_joins + 1 else m.m_leaves <- m.m_leaves + 1
+  end;
+  set_enabled t v flag
+
+let member_joins t = match t.membership with None -> 0 | Some m -> m.m_joins
+
+let member_leaves t = match t.membership with None -> 0 | Some m -> m.m_leaves
 
 (* -- perturbation layer (fault injection) --------------------------- *)
 

@@ -115,6 +115,39 @@ val set_enabled : t -> int -> bool -> unit
     while a packet is in flight does not process it on arrival. Routers
     cannot be disabled (forwarding is topology, not host, behaviour). *)
 
+(** {2 Membership layer (dynamic join/leave/rejoin)}
+
+    Dynamic group membership compiled from a fault plan's churn events
+    (see [lib/fault]). Like the perturbation layer, the state is
+    allocated on first use: a network with no membership changes runs
+    the original static-group code path bit-identically. Membership
+    delegates packet semantics to the enabled flag — a non-member
+    neither receives casts nor gets its own transmissions onto the
+    network — and additionally flips {!is_member}, which the oracle
+    and the protocol layers consult to distinguish {e departed} (soft
+    state dropped, losses forgiven) from {e crashed} (state suspended,
+    recovery resumes on restart). Only leaf members can change
+    membership; routers always forward. *)
+
+val churned : t -> bool
+(** Whether a membership layer was installed (any churn occurred or a
+    plan excluded a late joiner at start). *)
+
+val set_member : ?count:bool -> t -> int -> bool -> unit
+(** Add or remove node [v] from the group. Implies
+    [set_enabled t v flag]. Each effective transition bumps the
+    {!member_joins} / {!member_leaves} counters unless [~count:false]
+    (used for a late joiner's initial exclusion, which is a starting
+    condition rather than a churn event). *)
+
+val is_member : t -> int -> bool
+(** [true] for every node until {!set_member} is first used. A crashed
+    member ([set_enabled _ _ false]) is still a member. *)
+
+val member_joins : t -> int
+
+val member_leaves : t -> int
+
 (** {2 Perturbation layer (fault injection)}
 
     Timed windows compiled from a {e fault plan} (see [lib/fault]).

@@ -132,6 +132,13 @@ type t = {
   mutable n_local_requests : int; (* domain mode: requests sent at level 0 *)
   mutable n_escalations : int; (* domain mode: requests sent at level > 0 *)
   mutable n_detected : int;
+  (* False between [depart] and the next [join]. Gates loss detection:
+     deliveries to a departed node are dropped at the network layer,
+     but detection timers parked before the departure (the
+     session-advertisement grace timer in particular) still fire on
+     the wiped host and would charge it for every packet it no longer
+     tracks. *)
+  mutable in_group : bool;
   counters : Stats.Counters.t;
   recoveries : Stats.Recovery.t;
   hooks : hooks;
@@ -387,6 +394,65 @@ let restart_recovery t =
       arm_request t ~src:(Key.src ~stride:t.stride k) (Key.seq ~stride:t.stride k) st)
     t.requests
 
+(* Membership departure. Unlike a crash — which suspends soft state and
+   resumes recovery on restart — a leave {e drops} everything: reception
+   windows, detection history, pending requests and replies, session
+   estimates. Every armed timer is cancelled, so a group whose last
+   receiver departs drains its event queue instead of backing off to
+   the horizon. Returns the number of detected-but-unrecovered losses
+   dropped: the member was not present for those losses' full recovery
+   windows, so the run's liveness accounting forgives them. *)
+let depart t =
+  let forgiven = Hashtbl.length t.requests in
+  Hashtbl.iter
+    (fun _ (st : request_state) ->
+      match st.timer with Some timer -> Sim.Engine.cancel timer | None -> ())
+    t.requests;
+  Hashtbl.reset t.requests;
+  Hashtbl.iter (fun _ timer -> Sim.Engine.cancel timer) t.replies;
+  Hashtbl.reset t.replies;
+  Hashtbl.reset t.reply_abstain;
+  Hashtbl.reset t.detect_info;
+  Hashtbl.reset t.replied;
+  (* Reception state goes too; a parked due-scan timer that fires after
+     this finds (or lazily recreates) a stream with no data anchor and
+     does nothing. Session-advertisement grace timers are anonymous
+     (uncancellable), so [in_group] gates {!detect_loss} instead: one
+     firing on the wiped host would otherwise charge the departed
+     member for every packet of the stream. *)
+  Hashtbl.reset t.streams;
+  t.stream_srcs <- [];
+  Session.reset t.session;
+  t.in_group <- false;
+  forgiven
+
+(* Membership (re)join with empty soft state. The one thing a joiner
+   must be told is where each stream already stands: baselining the
+   window at the source's current max-seq uses the steady-mode
+   "retired = delivered" convention ([win_get] answers true at or below
+   [base]), so detection — gap-, session-, and due-time-triggered alike
+   — can only ever charge the member for packets sent after it joined. *)
+let join t ~baselines =
+  t.in_group <- true;
+  List.iter
+    (fun (src, upto) ->
+      if upto > 0 then begin
+        let st = stream t src in
+        (* [max] for idempotence; the window bytes are all-zero here
+           (fresh host, or [depart] just wiped them), so moving [base]
+           shifts no live bits. *)
+        st.base <- max st.base upto;
+        st.prefix <- max st.prefix upto;
+        st.max_seq <- max st.max_seq upto;
+        st.scanned_due <- max st.scanned_due upto;
+        st.last_data_seq <- max st.last_data_seq upto
+      end)
+    baselines
+
+(* A peer left the group: drop the session soft state naming it, so a
+   later rejoin re-measures instead of inheriting a stale estimate. *)
+let forget_peer t peer = Session.forget_peer t.session peer
+
 (* A request for [seq] was overheard while ours is pending: push ours to
    the next round unless inside the back-off abstinence period. *)
 let back_off_request t ~src seq st =
@@ -401,7 +467,8 @@ let back_off_request t ~src seq st =
   end
 
 let detect_loss ?(initial_backoff = 0) t ~src seq =
-  if not (has_packet ~src t ~seq || Hashtbl.mem t.requests (key t ~src ~seq)) then begin
+  if t.in_group && not (has_packet ~src t ~seq || Hashtbl.mem t.requests (key t ~src ~seq))
+  then begin
     if not (Hashtbl.mem t.detect_info (key t ~src ~seq)) then begin
       Hashtbl.replace t.detect_info (key t ~src ~seq) (now t);
       Log.debug (fun m -> m "t=%.4f host %d DETECT src %d seq %d" (now t) t.self src seq);
@@ -856,6 +923,7 @@ let create ?domain ~network ~self ~params ~n_packets ~counters ~recoveries () =
       n_local_requests = 0;
       n_escalations = 0;
       n_detected = 0;
+      in_group = true;
       counters;
       recoveries;
       hooks = no_hooks ();

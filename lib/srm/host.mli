@@ -171,5 +171,25 @@ val restart_recovery : t -> unit
     every pending request restarts from round 0 rather than inheriting
     a pre-crash back-off exponent. *)
 
+val depart : t -> int
+(** The member leaves the group: {e all} soft state is dropped —
+    reception windows, detection history, pending requests and replies
+    (every armed timer cancelled), session estimates. Returns the
+    number of detected-but-unrecovered losses dropped, which the run's
+    liveness accounting forgives. Contrast {!restart_recovery}, the
+    crash path, which suspends rather than drops. *)
+
+val join : t -> baselines:(int * int) list -> unit
+(** The member (re)joins with empty soft state. [baselines] gives, per
+    stream source, the highest sequence number already sent before the
+    join; each stream's delivery window is baselined there (pre-join
+    sequences read as delivered, the steady-mode convention) so loss
+    detection never charges the joiner for packets sent before it was
+    a member. *)
+
+val forget_peer : t -> int -> unit
+(** A peer left the group: drop this member's session soft state naming
+    it (distance estimate, heard entry) so a later rejoin starts fresh. *)
+
 val inject_mutation : t -> mutation -> unit
 (** Test-only: switch a {!mutation} on for the rest of the run. *)

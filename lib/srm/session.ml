@@ -159,5 +159,16 @@ let reset t =
   t.ring_pos <- 0;
   t.echo_cursor <- 0
 
+(* A peer left the group: its distance estimate and heard state are
+   stale (it will return, if ever, with fresh timestamps and possibly a
+   different path). Ring slots are blanked in place — the cursor and
+   eviction position are left alone so surviving peers keep their
+   echo-rotation order. *)
+let forget_peer t peer =
+  Hashtbl.remove t.dists peer;
+  Hashtbl.remove t.heard peer;
+  t.heard_order <- List.filter (fun p -> p <> peer) t.heard_order;
+  Array.iteri (fun i p -> if p = peer then t.ring.(i) <- -1) t.ring
+
 let known_peers t =
   List.sort compare (Hashtbl.fold (fun peer _ acc -> peer :: acc) t.dists [])

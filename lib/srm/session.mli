@@ -71,3 +71,9 @@ val reset : t -> unit
 (** Forget all distance estimates and last-heard state, as a crashed
     host restarting with empty soft state would. Periodic transmission,
     if started, continues. *)
+
+val forget_peer : t -> int -> unit
+(** Drop the distance estimate and heard state for one peer — called
+    when that peer {e leaves the group}, so a later rejoin starts from
+    scratch instead of inheriting a stale estimate. Remaining peers'
+    echo rotation is unaffected. *)

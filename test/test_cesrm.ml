@@ -436,6 +436,36 @@ let test_router_assist_reduces_exposure () =
     (Cesrm.Proto.expedited_replies plain >= 1 && Cesrm.Proto.expedited_replies assisted >= 1);
   check Alcotest.bool "subcast exposure is smaller" true (exposure assisted < exposure plain)
 
+(* --- churn-safe cache state (replier departures) ---------------------- *)
+
+let test_invalidate_replier () =
+  let engine = Sim.Engine.create ~seed:77L () in
+  let network = Net.Network.create ~engine ~tree:(sample_tree ()) ~link_delay:0.02 () in
+  let proto =
+    Cesrm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:5 ~period:0.05 ()
+  in
+  let host = Cesrm.Proto.host proto 3 in
+  let cache = Cesrm.Host.cache host in
+  ignore (Cesrm.Cache.note_reply cache (entry ~seq:1 ~requestor:3 ~replier:4 ()));
+  ignore (Cesrm.Cache.note_reply cache (entry ~seq:2 ~requestor:3 ~replier:5 ()));
+  ignore (Cesrm.Cache.note_reply cache (entry ~seq:3 ~requestor:3 ~replier:4 ()));
+  check Alcotest.int "nothing invalidated yet" 0 (Cesrm.Host.cache_invalidations host);
+  Cesrm.Host.invalidate_replier host ~replier:4;
+  check Alcotest.int "only the survivor's entry remains" 1 (Cesrm.Cache.size cache);
+  check Alcotest.int "both departed-replier entries counted" 2
+    (Cesrm.Host.cache_invalidations host);
+  check Alcotest.bool "the departed replier is presumed dead" true
+    (Cesrm.Host.replier_dead host ~replier:4);
+  check Alcotest.bool "the survivor is not" false (Cesrm.Host.replier_dead host ~replier:5);
+  (* idempotent: a second invalidation has nothing left to expire *)
+  Cesrm.Host.invalidate_replier host ~replier:4;
+  check Alcotest.int "no double counting" 2 (Cesrm.Host.cache_invalidations host);
+  (* a reply heard from a rejoined replier revives it (the ordinary
+     presumed-dead revival path) *)
+  Cesrm.Host.revive_replier host ~replier:4;
+  check Alcotest.bool "rejoin revives via a heard reply" false
+    (Cesrm.Host.replier_dead host ~replier:4)
+
 let test_multi_source_streams () =
   (* Two concurrent streams — the root and receiver 5 both transmit —
      with losses in each; recovery state and caches are per source
@@ -543,6 +573,8 @@ let () =
           Alcotest.test_case "Eq.(2) latency bound" `Quick test_expedited_recovery_latency_bound;
           Alcotest.test_case "router assist exposure" `Quick test_router_assist_reduces_exposure;
         ] );
+      ( "churn",
+        [ Alcotest.test_case "invalidate departed replier" `Quick test_invalidate_replier ] );
       ( "multi-source",
         [
           Alcotest.test_case "two streams" `Quick test_multi_source_streams;

@@ -670,6 +670,263 @@ let test_retire_under_partition () =
   check Alcotest.bool "retirement still completed after heal" true
     (Steady.Controller.floor c > 0)
 
+(* --- Membership churn: plans, churn-safe state, churn-aware oracle ---- *)
+
+let churn_kitchen =
+  Fault.Plan.make ~name:"churny"
+    [
+      Fault.Plan.Join { node = 3; at = 5.4 };
+      Fault.Plan.Leave { node = 4; at = 5.2 };
+      Fault.Plan.Rejoin { node = 4; at = 5.9 };
+    ]
+
+let test_churn_plan_json_roundtrip () =
+  check Alcotest.bool "churn plan has churn" true (Fault.Plan.has_churn churn_kitchen);
+  check Alcotest.bool "perturbation plan has none" false (Fault.Plan.has_churn kitchen_sink);
+  check Alcotest.(list int) "initial absentees are the Join nodes" [ 3 ]
+    (Fault.Plan.initial_absentees churn_kitchen);
+  match Fault.Plan.of_json (Fault.Plan.to_json churn_kitchen) with
+  | Error msg -> Alcotest.fail msg
+  | Ok plan' ->
+      check Alcotest.string "churn json round-trip" (plan_string churn_kitchen)
+        (plan_string plan')
+
+let test_churn_plan_validation () =
+  let tree = sample_tree () in
+  let expect_invalid name events =
+    match Fault.Plan.validate ~tree (Fault.Plan.make events) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should be rejected" name
+  in
+  (match Fault.Plan.validate ~tree churn_kitchen with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "churn kitchen sink should validate: %s" msg);
+  expect_invalid "rejoin without a leave" [ Fault.Plan.Rejoin { node = 3; at = 5. } ];
+  expect_invalid "rejoin before its leave"
+    [ Fault.Plan.Leave { node = 4; at = 6. }; Fault.Plan.Rejoin { node = 4; at = 5. } ];
+  expect_invalid "join of a router" [ Fault.Plan.Join { node = 1; at = 5. } ];
+  expect_invalid "leave of the source" [ Fault.Plan.Leave { node = 0; at = 5. } ];
+  expect_invalid "negative join time" [ Fault.Plan.Join { node = 3; at = -1. } ]
+
+let test_canned_churn_plans () =
+  let tree = sample_tree () in
+  check Alcotest.int "three churn plans" 3 (List.length Fault.Plan.churn_names);
+  List.iter
+    (fun name ->
+      match Fault.Plan.canned ~tree ~warmup:5. ~duration:10. name with
+      | None -> Alcotest.failf "canned churn plan %s missing" name
+      | Some plan -> (
+          check Alcotest.string "churn plan is named" name plan.Fault.Plan.name;
+          check Alcotest.bool "churn plan has churn events" true (Fault.Plan.has_churn plan);
+          match Fault.Plan.validate ~tree plan with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "canned %s invalid: %s" name msg))
+    Fault.Plan.churn_names;
+  (* the perturbation names keep resolving, and never claim churn *)
+  match Fault.Plan.canned ~tree ~warmup:5. ~duration:10. "link-flap" with
+  | Some p -> check Alcotest.bool "link-flap has no churn" false (Fault.Plan.has_churn p)
+  | None -> Alcotest.fail "link-flap should still resolve"
+
+let test_churn_schedules_deterministic () =
+  let nodes = [ 3; 4; 5 ] in
+  let steady () =
+    Fault.Plan.steady_churn ~nodes ~from_:5.0 ~until:6.5 ~rate:4.0 ~half_life:0.2 ()
+  in
+  check Alcotest.string "steady_churn is a pure function of its arguments"
+    (print_events (steady ())) (print_events (steady ()));
+  check Alcotest.int "flash crowd joins everyone at once" 3
+    (List.length (Fault.Plan.flash_crowd ~nodes ~at:5.3));
+  let late = Fault.Plan.late_joiners ~nodes ~at:5.2 ~spread:0.2 in
+  check Alcotest.int "late joiners join once each" 3 (List.length late);
+  List.iter
+    (function
+      | Fault.Plan.Join { at; _ } ->
+          check Alcotest.bool "stagger within [at, at+spread]" true (at >= 5.2 && at <= 5.4)
+      | _ -> Alcotest.fail "late_joiners emits only joins")
+    late
+
+(* The canned churn plans leave the oracle clean and every full-window
+   member whole, for both protocols. *)
+let test_canned_churn_clean_oracle () =
+  let row = Mtrace.Meta.nth 4 in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun proto ->
+          let res = Harness.Runner.run_leg ~n_packets:600 ~fault ~seed:11L proto row in
+          let label = fault ^ "/" ^ Harness.Runner.protocol_name proto in
+          check Alcotest.bool (label ^ " oracle attached") true (res.oracle <> None);
+          check Alcotest.int (label ^ " oracle clean") 0 res.oracle_violations;
+          check Alcotest.int (label ^ " full-window members whole") 0 res.unrecovered;
+          check Alcotest.int (label ^ " forgiveness accounted") res.detected
+            (Stats.Recovery.count res.recoveries + res.forgiven);
+          check Alcotest.int (label ^ " oracle counter agrees") res.oracle_violations
+            (Stats.Counters.total res.counters Stats.Counters.Oracle))
+        both_protocols)
+    Fault.Plan.churn_names
+
+(* Model-based churn battery: random bounded join/leave/rejoin plans on
+   a 32-receiver scale group, through the full harness wiring (depart /
+   forgiveness, join baselining, peer forgetting, cache invalidation,
+   oracle membership timeline) — the oracle must stay clean and every
+   full-window member must recover everything. *)
+let churn_case =
+  lazy
+    (let row = Mtrace.Scale.find "SCALE-bf-32" in
+     let gen = Mtrace.Generator.synthesize ~n_packets:30 row in
+     (gen.Mtrace.Generator.trace, gen.Mtrace.Generator.link_bad))
+
+let churn_phase =
+  lazy
+    (let trace, _ = Lazy.force churn_case in
+     let (setup : Harness.Runner.setup) = Harness.Runner.default_setup in
+     (setup.warmup, float_of_int (Mtrace.Trace.n_packets trace) *. Mtrace.Trace.period trace))
+
+let run_churn_model ~protocol plan =
+  let trace, link_bad = Lazy.force churn_case in
+  let setup = Harness.Runner.tune_for_trace trace Harness.Runner.default_setup in
+  Harness.Runner.run_model ~setup ~fault_plan:plan protocol trace
+    (Harness.Runner.Ground_truth link_bad)
+
+(* One membership move per node, times on a 32-step grid over the data
+   phase (a rejoin may land past it — absences can outlive the data,
+   never the session tail). Duplicate node draws keep the first move,
+   so every generated (and every shrunk) list compiles to a valid
+   plan. *)
+let churn_events_of moves =
+  let trace, _ = Lazy.force churn_case in
+  let receivers = Net.Tree.receivers (Mtrace.Trace.tree trace) in
+  let warmup, duration = Lazy.force churn_phase in
+  let at step = warmup +. (duration *. float_of_int step /. 32.) in
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun (ri, move) ->
+      let node = receivers.(ri mod Array.length receivers) in
+      if Hashtbl.mem seen node then []
+      else begin
+        Hashtbl.add seen node ();
+        match move with
+        | `Join a -> [ Fault.Plan.Join { node; at = at a } ]
+        | `Leave a -> [ Fault.Plan.Leave { node; at = at a } ]
+        | `Cycle (a, len) ->
+            [
+              Fault.Plan.Leave { node; at = at a };
+              Fault.Plan.Rejoin { node; at = at (a + len) };
+            ]
+      end)
+    moves
+
+let gen_churn_move =
+  QCheck.Gen.(
+    int_range 0 2 >>= fun kind ->
+    int_range 0 1000 >>= fun ri ->
+    int_range 0 31 >>= fun a ->
+    int_range 1 8 >>= fun len ->
+    return (ri, match kind with 0 -> `Join a | 1 -> `Leave a | _ -> `Cycle (a, len)))
+
+let arbitrary_churn_plan =
+  QCheck.make
+    ~print:(fun moves -> print_events (churn_events_of moves))
+    ~shrink:QCheck.Shrink.(list ?shrink:None)
+    QCheck.Gen.(list_size (int_range 0 4) gen_churn_move)
+
+let churn_plan_clean ~protocol moves =
+  let res = run_churn_model ~protocol (Fault.Plan.make (churn_events_of moves)) in
+  res.Harness.Runner.oracle_violations = 0
+  && res.unrecovered = 0
+  && res.detected = Stats.Recovery.count res.recoveries + res.forgiven
+
+let prop_churn_plans_clean_srm =
+  QCheck.Test.make ~name:"fault: bounded churn plans keep SRM live and clean" ~count:12
+    arbitrary_churn_plan
+    (churn_plan_clean ~protocol:Harness.Runner.Srm_protocol)
+
+let prop_churn_plans_clean_cesrm =
+  QCheck.Test.make ~name:"fault: bounded churn plans keep CESRM live and clean" ~count:8
+    arbitrary_churn_plan
+    (churn_plan_clean ~protocol:(Harness.Runner.Cesrm_protocol Cesrm.Host.default_config))
+
+(* Mutation self-test: a departed member whose deliveries resume (here:
+   its enabled flag is resurrected without a rejoin) must trip the
+   deliver-to-departed invariant — churn must actually silence it. *)
+let run_departed_delivery ~resurrect () =
+  let engine = Sim.Engine.create ~seed:7L () in
+  let network = Net.Network.create ~engine ~tree:(sample_tree ()) ~link_delay:0.02 () in
+  let oracle = Fault.Oracle.create ~network () in
+  let proto = Srm.Proto.deploy ~network ~params:Srm.Params.default ~n_packets:10 ~period:0.05 () in
+  List.iter (fun (_, h) -> Fault.Oracle.attach_host oracle h) (Srm.Proto.members proto);
+  ignore
+    (Sim.Engine.schedule_at engine ~at:5.2 (fun () ->
+         Net.Network.set_member network 4 false;
+         Fault.Oracle.note_membership oracle ~node:4 ~at:5.2 ~member:false));
+  if resurrect then
+    ignore
+      (Sim.Engine.schedule_at engine ~at:5.3 (fun () -> Net.Network.set_enabled network 4 true));
+  Srm.Proto.start proto ~warmup:5.0 ~tail:15.0;
+  Sim.Engine.run ~until:120.0 engine;
+  Fault.Oracle.finalize oracle;
+  oracle
+
+let test_oracle_rejects_deliver_to_departed () =
+  let oracle = run_departed_delivery ~resurrect:true () in
+  check Alcotest.bool "resurrected deliveries caught" true
+    (has_invariant oracle "deliver-to-departed");
+  let honest = run_departed_delivery ~resurrect:false () in
+  check Alcotest.bool "an honest departure is clean" true (Fault.Oracle.clean honest)
+
+(* Mutation self-test: expedited requests pinned on a replier that left
+   the group. Up to [max_departed_retry] = 2 in-flight unicasts may
+   legitimately straddle the leave; the third means the cached pair was
+   never invalidated. *)
+let drive_oracle_departed n =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let network = Net.Network.create ~engine ~tree:(sample_tree ()) ~link_delay:0.02 () in
+  let oracle = Fault.Oracle.create ~network () in
+  ignore
+    (Sim.Engine.schedule_at engine ~at:0.05 (fun () ->
+         Fault.Oracle.note_membership oracle ~node:5 ~at:0.05 ~member:false));
+  List.iteri
+    (fun i payload ->
+      ignore
+        (Sim.Engine.schedule engine ~after:(0.1 *. float_of_int (i + 1)) (fun () ->
+             Net.Network.unicast network ~from:3 ~dst:5 { Net.Packet.sender = 3; payload })))
+    (List.init n exp_req);
+  Sim.Engine.run engine;
+  Fault.Oracle.finalize oracle;
+  oracle
+
+let test_oracle_rejects_departed_replier_retries () =
+  let oracle = drive_oracle_departed 3 in
+  check Alcotest.bool "a third unicast to the ghost is caught" true
+    (has_invariant oracle "expedited-retry-departed");
+  let tolerated = drive_oracle_departed 2 in
+  check Alcotest.bool "in-flight timers straddling the leave are tolerated" true
+    (Fault.Oracle.clean tolerated)
+
+(* Regression: a plan that empties the receiver set mid-stream must
+   complete to the horizon with a clean verdict — every pending loss
+   forgiven, nothing charged to the departed, no machinery stuck
+   waiting on an empty group. *)
+let test_empty_group_mid_stream () =
+  let trace, _ = Lazy.force churn_case in
+  let receivers = Net.Tree.receivers (Mtrace.Trace.tree trace) in
+  let warmup, duration = Lazy.force churn_phase in
+  let at = warmup +. (0.4 *. duration) in
+  let plan =
+    Fault.Plan.make ~name:"everyone-leaves"
+      (List.map (fun node -> Fault.Plan.Leave { node; at }) (Array.to_list receivers))
+  in
+  List.iter
+    (fun proto ->
+      let label = Harness.Runner.protocol_name proto in
+      let res = run_churn_model ~protocol:proto plan in
+      check Alcotest.int (label ^ ": oracle clean with an empty group") 0
+        res.Harness.Runner.oracle_violations;
+      check Alcotest.int (label ^ ": nothing charged to the departed") 0 res.unrecovered;
+      check Alcotest.int (label ^ ": every pending loss forgiven") res.detected
+        (Stats.Recovery.count res.recoveries + res.forgiven))
+    both_protocols
+
 let () =
   Alcotest.run "fault"
     [
@@ -728,5 +985,22 @@ let () =
             test_retire_crash_restart;
           Alcotest.test_case "retirement under an active partition" `Quick
             test_retire_under_partition;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "churn plan json round-trip" `Quick test_churn_plan_json_roundtrip;
+          Alcotest.test_case "churn plan validation" `Quick test_churn_plan_validation;
+          Alcotest.test_case "canned churn plans" `Quick test_canned_churn_plans;
+          Alcotest.test_case "churn schedules deterministic" `Quick
+            test_churn_schedules_deterministic;
+          Alcotest.test_case "canned churn plans clean for both protocols" `Slow
+            test_canned_churn_clean_oracle;
+          qcheck prop_churn_plans_clean_srm;
+          qcheck prop_churn_plans_clean_cesrm;
+          Alcotest.test_case "oracle rejects deliver-to-departed" `Quick
+            test_oracle_rejects_deliver_to_departed;
+          Alcotest.test_case "oracle rejects departed-replier retries" `Quick
+            test_oracle_rejects_departed_replier_retries;
+          Alcotest.test_case "empty group mid-stream" `Quick test_empty_group_mid_stream;
         ] );
     ]

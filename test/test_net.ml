@@ -475,6 +475,66 @@ let test_perturb_dup () =
     Alcotest.(list (float 1e-9))
     "duplicate one delay later, then clean" [ 1.02; 1.04; 3.02 ] (List.rev !arrivals)
 
+(* --- Membership layer (dynamic join/leave/rejoin) --------------------- *)
+
+let test_membership_defaults () =
+  let _, network = make_network () in
+  check Alcotest.bool "no membership layer until first use" false (Net.Network.churned network);
+  check Alcotest.bool "every node is a member by default" true (Net.Network.is_member network 3);
+  check Alcotest.int "no joins" 0 (Net.Network.member_joins network);
+  check Alcotest.int "no leaves" 0 (Net.Network.member_leaves network)
+
+let test_membership_gates_delivery () =
+  let engine, network = make_network () in
+  let got = ref [] in
+  List.iter (fun v -> Net.Network.on_receive network v (fun _ -> got := v :: !got)) [ 3; 4; 5 ];
+  ignore
+    (Sim.Engine.schedule_at engine ~at:0.5 (fun () -> Net.Network.set_member network 3 false));
+  ignore
+    (Sim.Engine.schedule_at engine ~at:1.0 (fun () ->
+         Net.Network.multicast network ~from:0 session_packet));
+  (* a departed member's own transmissions never reach the wire *)
+  ignore
+    (Sim.Engine.schedule_at engine ~at:1.5 (fun () ->
+         Net.Network.multicast network ~from:3 session_packet));
+  ignore
+    (Sim.Engine.schedule_at engine ~at:2.0 (fun () -> Net.Network.set_member network 3 true));
+  ignore
+    (Sim.Engine.schedule_at engine ~at:2.5 (fun () ->
+         Net.Network.multicast network ~from:0 session_packet));
+  Sim.Engine.run engine;
+  check
+    Alcotest.(list int)
+    "non-member misses the first cast, sends nothing, hears the post-rejoin cast"
+    [ 3; 4; 4; 5; 5 ] (List.sort compare !got);
+  check Alcotest.bool "layer installed" true (Net.Network.churned network);
+  check Alcotest.int "one leave" 1 (Net.Network.member_leaves network);
+  check Alcotest.int "one join" 1 (Net.Network.member_joins network)
+
+let test_membership_counts_effective_transitions () =
+  let _, network = make_network () in
+  Net.Network.set_member network 3 false;
+  Net.Network.set_member network 3 false;
+  check Alcotest.int "redundant leave uncounted" 1 (Net.Network.member_leaves network);
+  Net.Network.set_member network 3 true;
+  Net.Network.set_member network 3 true;
+  check Alcotest.int "redundant join uncounted" 1 (Net.Network.member_joins network);
+  (* a late joiner's initial exclusion is a starting condition, not a
+     churn event: the membership flips but the counters stay put *)
+  Net.Network.set_member ~count:false network 4 false;
+  check Alcotest.bool "uncounted exclusion flips membership" false
+    (Net.Network.is_member network 4);
+  check Alcotest.int "but no leave is charged" 1 (Net.Network.member_leaves network)
+
+let test_membership_crash_is_not_departure () =
+  let _, network = make_network () in
+  Net.Network.set_member network 3 false;
+  check Alcotest.bool "departed member is disabled too" false (Net.Network.is_enabled network 3);
+  Net.Network.set_enabled network 4 false;
+  check Alcotest.bool "a crashed host is still a member" true (Net.Network.is_member network 4);
+  Net.Network.set_enabled network 4 true;
+  check Alcotest.bool "and stays one after restart" true (Net.Network.is_member network 4)
+
 (* --- Routes: precomputed orders agree with the Tree walks ------------- *)
 
 let routes_of parents =
@@ -642,6 +702,15 @@ let () =
           Alcotest.test_case "crash in flight" `Quick test_perturb_crash_in_flight;
           Alcotest.test_case "jitter bounded and deterministic" `Quick test_perturb_jitter;
           Alcotest.test_case "duplication" `Quick test_perturb_dup;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "defaults" `Quick test_membership_defaults;
+          Alcotest.test_case "gates delivery both ways" `Quick test_membership_gates_delivery;
+          Alcotest.test_case "counts effective transitions" `Quick
+            test_membership_counts_effective_transitions;
+          Alcotest.test_case "crash is not departure" `Quick
+            test_membership_crash_is_not_departure;
         ] );
       ( "routes",
         [

@@ -333,6 +333,39 @@ let test_sweep_identity_at_scale () =
       parallel
   end
 
+(* --- Pinned churn goldens (churn-steady on bf-1024) ------------------- *)
+
+(* The churn goldens pin the dynamic-membership layer end to end at
+   scale: the canned churn-steady schedule compiled onto bf-1024, the
+   departure forgiveness accounting, the late-join baselining and the
+   churn-aware oracle — one `%.17g` string per protocol. *)
+
+let churn_fingerprint (r : Harness.Runner.result) =
+  Printf.sprintf "%s forgiven=%d oracle=%d" (fingerprint r) r.forgiven r.oracle_violations
+
+let run_churn ?shards protocol =
+  Harness.Runner.run_leg ?shards ~fault:"churn-steady" ~n_packets:40 ~seed:42L protocol
+    scale_row
+
+let check_churn_fingerprint name expected protocol () =
+  let res = run_churn protocol in
+  check Alcotest.int (name ^ " oracle clean") 0 res.Harness.Runner.oracle_violations;
+  check Alcotest.int (name ^ " full-window members whole") 0 res.unrecovered;
+  check Alcotest.string name expected (churn_fingerprint res)
+
+let test_churn_compose_shards () =
+  (* Churn must not force the serial path: every shard compiles the
+     full plan against the same tree, so the sharded run has to
+     reproduce the serial bytes exactly. *)
+  List.iter
+    (fun protocol ->
+      let serial = churn_fingerprint (run_churn protocol) in
+      let sharded = churn_fingerprint (run_churn ~shards:2 protocol) in
+      check Alcotest.string
+        (Harness.Runner.protocol_name protocol ^ " churn-steady serial = 2 shards")
+        serial sharded)
+    [ Harness.Runner.Srm_protocol; Harness.Runner.Cesrm_protocol Cesrm.Host.default_config ]
+
 let () =
   Alcotest.run "scale"
     [
@@ -437,4 +470,18 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "serial = parallel (bytes)" `Quick test_sweep_identity_at_scale ]
       );
+      ( "churn",
+        [
+          Alcotest.test_case "srm churn-steady 1024" `Quick
+            (check_churn_fingerprint "srm-churn-1024"
+               "rqst=26 exp_rqst=0 repl=136 exp_repl=0 sess=36 detected=55 unrecovered=0 \
+                recoveries=55 lat_sum=99.728880368300437 forgiven=0 oracle=0"
+               Harness.Runner.Srm_protocol);
+          Alcotest.test_case "cesrm churn-steady 1024" `Quick
+            (check_churn_fingerprint "cesrm-churn-1024"
+               "rqst=21 exp_rqst=5 repl=122 exp_repl=5 sess=36 detected=55 unrecovered=0 \
+                recoveries=55 lat_sum=72.352493748669531 forgiven=0 oracle=0"
+               (Harness.Runner.Cesrm_protocol Cesrm.Host.default_config));
+          Alcotest.test_case "compose with shards" `Quick test_churn_compose_shards;
+        ] );
     ]

@@ -213,6 +213,71 @@ let test_host_hooks_fire () =
   check Alcotest.(list int) "losses hooked" [ 1; 2 ] (List.sort compare !detected);
   check Alcotest.(list int) "data hooked" [ 3 ] !obtained
 
+(* --- churn-safe host state (depart / join / forget_peer) -------------- *)
+
+let test_host_depart_forgives_pending () =
+  let _, _, host = make_host () in
+  Srm.Host.on_packet host { Net.Packet.sender = 0; payload = Net.Packet.Data { seq = 3 } };
+  check Alcotest.int "two losses pending" 2 (Srm.Host.pending_requests host);
+  check Alcotest.int "depart forgives exactly the pending losses" 2 (Srm.Host.depart host);
+  check Alcotest.int "no requests left armed" 0 (Srm.Host.pending_requests host);
+  check Alcotest.int "the cumulative detection stat survives" 2
+    (Srm.Host.detected_losses host);
+  check Alcotest.int "a second depart has nothing to forgive" 0 (Srm.Host.depart host)
+
+let test_host_join_baselines_detection () =
+  let _, _, host = make_host () in
+  (* the runner baselines a joiner at the packets already sent: they
+     count as delivered, never as losses *)
+  Srm.Host.join host ~baselines:[ (0, 5) ];
+  check Alcotest.bool "baselined packets count as delivered" true
+    (Srm.Host.has_packet host ~seq:5);
+  Srm.Host.on_packet host { Net.Packet.sender = 0; payload = Net.Packet.Data { seq = 7 } };
+  check Alcotest.int "only the post-join gap is detected" 1 (Srm.Host.detected_losses host);
+  check Alcotest.int "one pending request (seq 6)" 1 (Srm.Host.pending_requests host);
+  check Alcotest.bool "seq 6 is the suffered loss" true (Srm.Host.suffered_loss host ~seq:6);
+  (* re-baselining lower never regresses the window (idempotent max) *)
+  Srm.Host.join host ~baselines:[ (0, 3) ];
+  check Alcotest.bool "baseline is monotone" true (Srm.Host.has_packet host ~seq:5)
+
+let test_host_forget_peer_drops_estimate () =
+  let proto = run_srm ~n_packets:1 () in
+  let host = Srm.Proto.host proto 3 in
+  let network = Srm.Proto.network proto in
+  check (Alcotest.float 1e-6) "estimate converged before the leave"
+    (Net.Network.dist network 3 5) (Srm.Host.dist_to host 5);
+  Srm.Host.forget_peer host 5;
+  check (Alcotest.float 1e-9) "forgotten peer falls back to the 1 s default" 1.0
+    (Srm.Host.dist_to host 5);
+  check (Alcotest.float 1e-6) "other peers keep their estimates"
+    (Net.Network.dist network 3 4) (Srm.Host.dist_to host 4)
+
+let test_host_departed_ignores_parked_evidence () =
+  (* Session-triggered detection defers through an anonymous grace
+     timer; one parked before a departure fires on the wiped host and
+     must not charge it for the whole advertised prefix. *)
+  let session_advert =
+    {
+      Net.Packet.sender = 4;
+      payload =
+        Net.Packet.Session { origin = 4; sent_at = 0.; max_seqs = [ (0, 12) ]; echoes = [] };
+    }
+  in
+  (* Positive control: on a member the deferred timer detects the
+     advertised prefix. *)
+  let engine, _, host = make_host () in
+  Srm.Host.on_packet host session_advert;
+  Sim.Engine.run engine;
+  check Alcotest.int "a member detects the advertised prefix" 12
+    (Srm.Host.detected_losses host);
+  (* The same parked timer finds a departed host and detects nothing. *)
+  let engine, _, host = make_host () in
+  Srm.Host.on_packet host session_advert;
+  ignore (Srm.Host.depart host);
+  Sim.Engine.run engine;
+  check Alcotest.int "a departed host detects nothing" 0 (Srm.Host.detected_losses host);
+  check Alcotest.int "and arms no requests" 0 (Srm.Host.pending_requests host)
+
 let test_adaptive_controller () =
   let check = Alcotest.check in
   let a = Srm.Adaptive.create ~initial:Srm.Params.default in
@@ -305,6 +370,17 @@ let () =
             test_host_reply_recovers_and_cancels;
           Alcotest.test_case "reply-now abstinence" `Quick test_host_send_reply_now_abstinence;
           Alcotest.test_case "hooks fire" `Quick test_host_hooks_fire;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "depart forgives pending losses" `Quick
+            test_host_depart_forgives_pending;
+          Alcotest.test_case "join baselines detection" `Quick
+            test_host_join_baselines_detection;
+          Alcotest.test_case "forget_peer drops the estimate" `Quick
+            test_host_forget_peer_drops_estimate;
+          Alcotest.test_case "departed host ignores parked evidence" `Quick
+            test_host_departed_ignores_parked_evidence;
         ] );
       ( "adaptive",
         [
